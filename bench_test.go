@@ -1,0 +1,154 @@
+// Benchmarks that regenerate each of the paper's tables and figures (at
+// quick scale; run `go run ./cmd/dcbench` for the full-scale versions).
+// Each benchmark reports the wall time of one full regeneration — workload
+// execution, measurement, post-mortem merge, and aggregation — plus a
+// headline figure-of-merit as a custom metric where one exists.
+package dcprof_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"dcprof/internal/experiments"
+)
+
+// regenerate runs one experiment per iteration with a fresh run cache.
+func regenerate(b *testing.B, id string) *experiments.Table {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		last = e.Run(experiments.NewContext(), experiments.Quick)
+	}
+	if last == nil || len(last.Rows) == 0 {
+		b.Fatalf("experiment %s produced no rows", id)
+	}
+	return last
+}
+
+// cellPct parses a "12.3%" cell into 12.3.
+func cellPct(s string) (float64, bool) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+// reportRowPct reports the first row whose first cell contains key.
+func reportRowPct(b *testing.B, t *experiments.Table, key, metric string) {
+	for _, row := range t.Rows {
+		if strings.Contains(row[0], key) && len(row) > 1 {
+			if v, ok := cellPct(row[1]); ok {
+				b.ReportMetric(v, metric)
+				return
+			}
+		}
+	}
+}
+
+func BenchmarkFig1Decomposition(b *testing.B) {
+	t := regenerate(b, "fig1")
+	reportRowPct(b, t, "C[]", "C-share-%")
+}
+
+func BenchmarkFig2Coalescing(b *testing.B) {
+	t := regenerate(b, "fig2")
+	for _, row := range t.Rows {
+		if strings.Contains(row[0], "variables in merged profile") {
+			if v, err := strconv.ParseFloat(row[1], 64); err == nil {
+				b.ReportMetric(v, "variables")
+			}
+		}
+	}
+}
+
+func BenchmarkTable1Overhead(b *testing.B) {
+	t := regenerate(b, "table1")
+	// Report the AMG overhead column.
+	for _, row := range t.Rows {
+		if row[0] == "AMG2006" && len(row) > 5 {
+			if v, ok := cellPct(row[5]); ok {
+				b.ReportMetric(v, "amg-overhead-%")
+			}
+		}
+	}
+}
+
+func BenchmarkAllocTrackingAblation(b *testing.B) {
+	t := regenerate(b, "alloctrack")
+	reportRowPct(b, t, "track all", "naive-overhead-%")
+}
+
+func BenchmarkFig4AMGTopDown(b *testing.B) {
+	t := regenerate(b, "fig4")
+	reportRowPct(b, t, "S_diag_j share", "sdiagj-share-%")
+}
+
+func BenchmarkFig5AMGBottomUp(b *testing.B) {
+	t := regenerate(b, "fig5")
+	b.ReportMetric(float64(len(t.Rows)), "alloc-sites")
+}
+
+func BenchmarkTable2AMGPhases(b *testing.B) {
+	t := regenerate(b, "table2")
+	if len(t.Rows) != 3 {
+		b.Fatalf("table2 rows = %d", len(t.Rows))
+	}
+}
+
+func BenchmarkFig6Sweep3DVariables(b *testing.B) {
+	t := regenerate(b, "fig6")
+	reportRowPct(b, t, "Flux", "flux-share-%")
+}
+
+func BenchmarkFig7Sweep3DTranspose(b *testing.B) {
+	t := regenerate(b, "fig7")
+	reportRowPct(b, t, "improvement", "transpose-gain-%")
+}
+
+func BenchmarkFig8LULESHHeap(b *testing.B) {
+	t := regenerate(b, "fig8")
+	reportRowPct(b, t, "heap share of latency", "heap-latency-%")
+}
+
+func BenchmarkFig9LULESHStatic(b *testing.B) {
+	t := regenerate(b, "fig9")
+	reportRowPct(b, t, "f_elem share", "felem-share-%")
+}
+
+func BenchmarkFig10Streamcluster(b *testing.B) {
+	t := regenerate(b, "fig10")
+	reportRowPct(b, t, "block share", "block-share-%")
+}
+
+func BenchmarkFig11NW(b *testing.B) {
+	t := regenerate(b, "fig11")
+	reportRowPct(b, t, "referrence share", "referrence-share-%")
+}
+
+func BenchmarkSpeedupSummary(b *testing.B) {
+	t := regenerate(b, "speedups")
+	if len(t.Rows) != 5 {
+		b.Fatalf("speedups rows = %d", len(t.Rows))
+	}
+}
+
+func BenchmarkScalingMergeCoalescing(b *testing.B) {
+	t := regenerate(b, "scaling")
+	if len(t.Rows) < 2 {
+		b.Fatal("scaling rows missing")
+	}
+}
+
+func BenchmarkTraceVsProfileSpace(b *testing.B) {
+	t := regenerate(b, "tracecmp")
+	// Report the final trace/profile ratio.
+	last := t.Rows[len(t.Rows)-1]
+	cell := strings.TrimSuffix(last[len(last)-1], "x")
+	if v, err := strconv.ParseFloat(cell, 64); err == nil {
+		b.ReportMetric(v, "trace/profile-ratio")
+	}
+}

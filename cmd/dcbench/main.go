@@ -1,0 +1,58 @@
+// Command dcbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dcbench                  # run every experiment at full scale
+//	dcbench -exp table2      # one experiment
+//	dcbench -quick           # unit-test-sized runs
+//	dcbench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcprof/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (default: all)")
+		quick = flag.Bool("quick", false, "use unit-test-sized configurations")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-11s %s\n            paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+
+	todo := experiments.All()
+	if *exp != "" {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dcbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	ctx := experiments.NewContext()
+	for _, e := range todo {
+		start := time.Now()
+		table := e.Run(ctx, scale)
+		fmt.Println(table.Render())
+		fmt.Printf("paper reference: %s   [%s scale, %.1fs]\n\n",
+			e.Paper, scale, time.Since(start).Seconds())
+	}
+}

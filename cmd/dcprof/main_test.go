@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunEveryAppQuick(t *testing.T) {
+	for _, app := range []string{"amg", "sweep3d", "lulesh", "streamcluster", "nw"} {
+		res, err := run(app, "original", "", 0, true)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if res.Cycles == 0 {
+			t.Errorf("%s: no simulated time", app)
+		}
+		if len(res.Profiles) == 0 {
+			t.Errorf("%s: no profiles", app)
+		}
+	}
+}
+
+func TestRunOptimizedVariants(t *testing.T) {
+	for app, variant := range map[string]string{
+		"amg":           "libnuma",
+		"sweep3d":       "transposed",
+		"lulesh":        "both",
+		"streamcluster": "parallel-init",
+		"nw":            "optimized",
+	} {
+		if _, err := run(app, variant, "", 0, true); err != nil {
+			t.Errorf("%s/%s: %v", app, variant, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := run("", "original", "", 0, true); err == nil {
+		t.Error("missing app accepted")
+	}
+	if _, err := run("nosuch", "original", "", 0, true); err == nil {
+		t.Error("bogus app accepted")
+	}
+	if _, err := run("amg", "bogus-variant", "", 0, true); err == nil {
+		t.Error("bogus variant accepted")
+	}
+	if _, err := run("amg", "original", "bogus-event", 0, true); err == nil {
+		t.Error("bogus event accepted")
+	}
+}
+
+func TestProfCfgDefaults(t *testing.T) {
+	// Per-app event defaults follow Table 1.
+	ibsApps := []string{"sweep3d", "lulesh"}
+	for _, app := range ibsApps {
+		cfg, err := profCfg(app, "", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(cfg.EventString(), "IBS") {
+			t.Errorf("%s default event = %s, want IBS", app, cfg.EventString())
+		}
+	}
+	cfg, err := profCfg("amg", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cfg.EventString(), "RMEM") {
+		t.Errorf("amg default event = %s, want RMEM marked", cfg.EventString())
+	}
+	// Explicit period propagates.
+	cfg, err = profCfg("amg", "l3", 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Period != 777 || !strings.Contains(cfg.EventString(), "L3") {
+		t.Errorf("explicit config = %s", cfg.EventString())
+	}
+}

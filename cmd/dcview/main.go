@@ -1,0 +1,105 @@
+// Command dcview is the text analogue of the paper's GUI: it loads a
+// measurement directory written by dcprof, merges the per-thread profiles
+// with the parallel reduction-tree analyzer, and prints the data-centric
+// views.
+//
+// Usage:
+//
+//	dcview -d measurements/                      # all views, default metric
+//	dcview -d m/ -metric LATENCY -view topdown   # one view
+//	dcview -d m/ -view bottomup -rows 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dcprof/internal/analysis"
+	"dcprof/internal/metric"
+	"dcprof/internal/view"
+)
+
+func main() {
+	var (
+		dir     = flag.String("d", "measurements", "measurement directory")
+		metName = flag.String("metric", "", "ranking metric (default: FROM_RMEM for marked profiles, LATENCY(cy) for IBS)")
+		which   = flag.String("view", "all", "view: topdown | bottomup | vars | advice | all")
+		rows    = flag.Int("rows", 20, "max rows for table views")
+		depth   = flag.Int("depth", 12, "max depth for the top-down tree")
+		min     = flag.Float64("min", 0.005, "hide nodes below this share")
+		diffDir = flag.String("diff", "", "second measurement directory to compare against (before -> after)")
+		asJSON  = flag.Bool("json", false, "dump the merged database as JSON and exit")
+	)
+	flag.Parse()
+
+	db, err := analysis.LoadDir(*dir, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcview:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		if err := analysis.WriteJSON(os.Stdout, db); err != nil {
+			fmt.Fprintln(os.Stderr, "dcview:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("measurement: %d profiles (%d ranks), event %s, %.2f MB on disk\n\n",
+		db.Threads, db.Ranks, db.Event, float64(db.MeasurementBytes)/1e6)
+	fmt.Println(view.RenderDerived(db.Merged))
+
+	m := pickMetric(*metName, db.Event)
+	opts := view.Options{Metric: m, MaxRows: *rows, MaxDepth: *depth, MinShare: *min}
+
+	if *diffDir != "" {
+		after, err := analysis.LoadDir(*diffDir, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcview:", err)
+			os.Exit(1)
+		}
+		fmt.Println(view.RenderDiff(db.Merged, after.Merged, m, *rows))
+		return
+	}
+
+	switch *which {
+	case "topdown":
+		fmt.Println(view.RenderTopDown(db.Merged, opts))
+	case "bottomup":
+		fmt.Println(view.RenderBottomUp(db.Merged, opts))
+	case "vars":
+		fmt.Println(view.RenderVariables(db.Merged, opts))
+	case "advice":
+		fmt.Println(view.RenderAdvice(db.Merged, *rows))
+	case "all":
+		fmt.Println(view.RenderVariables(db.Merged, opts))
+		fmt.Println(view.RenderTopDown(db.Merged, opts))
+		fmt.Println(view.RenderBottomUp(db.Merged, opts))
+		fmt.Println(view.RenderAdvice(db.Merged, *rows))
+	default:
+		fmt.Fprintf(os.Stderr, "dcview: unknown view %q\n", *which)
+		os.Exit(1)
+	}
+}
+
+func pickMetric(name, event string) metric.ID {
+	if name == "" {
+		if strings.HasPrefix(event, "IBS") {
+			return metric.Latency
+		}
+		return metric.FromRMEM
+	}
+	for _, id := range metric.IDs() {
+		if strings.EqualFold(id.Name(), name) {
+			return id
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dcview: unknown metric %q; available:", name)
+	for _, id := range metric.IDs() {
+		fmt.Fprintf(os.Stderr, " %s", id.Name())
+	}
+	fmt.Fprintln(os.Stderr)
+	os.Exit(1)
+	return 0
+}

@@ -1,0 +1,138 @@
+// Tests of the public facade: everything an external consumer does —
+// building a machine, running instrumented code, merging, viewing — using
+// only the dcprof package.
+package dcprof_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcprof"
+)
+
+// buildRun executes a small profiled workload through the facade and
+// returns the profiler and master thread.
+func buildRun(t *testing.T) (*dcprof.Profiler, *dcprof.Thread) {
+	t.Helper()
+	node := dcprof.NewNode(dcprof.TinyTopology(), dcprof.DefaultCacheConfig())
+	proc := dcprof.NewProcess(node, 0, 0, 4, nil)
+	cfg := dcprof.DefaultProfilerConfig()
+	cfg.Period = 32
+	prof := dcprof.Attach(proc, cfg)
+
+	exe := proc.LoadMap.Load("api")
+	fnMain := exe.AddFunc("main", "api.c", 1)
+	fnOL := exe.AddFunc("loop.omp_fn.0", "api.c", 10)
+
+	th := proc.Start()
+	th.Call(fnMain)
+	th.At(3)
+	prof.Label(th, "payload")
+	buf := th.Malloc(64 * 1024)
+	th.Memset(buf, 64*1024)
+	proc.ParallelFor(th, fnOL, 4, 1024, func(w *dcprof.Thread, lo, hi int) {
+		w.At(12)
+		for i := lo; i < hi; i++ {
+			w.Load(buf+dcprof.Addr(i*64), 8)
+		}
+	})
+	th.Ret()
+	proc.Finish()
+	return prof, th
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	prof, th := buildRun(t)
+	if th.Clock() == 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	profiles := prof.Profiles()
+	if len(profiles) != 4 {
+		t.Fatalf("profiles = %d, want 4", len(profiles))
+	}
+	db := dcprof.Merge(profiles, 0)
+	vars := dcprof.RankVariables(db.Merged, dcprof.MetricLatency)
+	if len(vars) == 0 || vars[0].Name != "payload" {
+		t.Fatalf("top variable = %v", vars)
+	}
+	if total := dcprof.MetricTotal(db.Merged, dcprof.MetricSamples); total == 0 {
+		t.Error("no samples")
+	}
+	accs := dcprof.TopAccesses(&vars[0], dcprof.MetricLatency, dcprof.MetricTotal(db.Merged, dcprof.MetricLatency))
+	if len(accs) == 0 {
+		t.Fatal("no accesses for top variable")
+	}
+	out := dcprof.RenderTopDown(db.Merged, dcprof.ViewOptions{Metric: dcprof.MetricLatency})
+	if !strings.Contains(out, "payload") {
+		t.Errorf("top-down output missing the variable:\n%s", out)
+	}
+}
+
+func TestFacadeMeasurementRoundTrip(t *testing.T) {
+	prof, _ := buildRun(t)
+	dir := filepath.Join(t.TempDir(), "m")
+	n, err := dcprof.WriteMeasurements(dir, prof.Profiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Error("no bytes written")
+	}
+	db, err := dcprof.LoadMeasurements(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Threads != 4 {
+		t.Errorf("threads = %d", db.Threads)
+	}
+	direct := dcprof.Merge(prof.Profiles(), 0)
+	if db.Merged.Total() != direct.Merged.Total() {
+		t.Error("round-tripped totals differ from in-memory merge")
+	}
+}
+
+func TestFacadeMarkedEvents(t *testing.T) {
+	node := dcprof.NewNode(dcprof.TinyTopology(), dcprof.DefaultCacheConfig())
+	proc := dcprof.NewProcess(node, 0, 0, 2, nil)
+	prof := dcprof.Attach(proc, dcprof.MarkedProfilerConfig(dcprof.MarkAllMem, 4))
+	exe := proc.LoadMap.Load("api")
+	fn := exe.AddFunc("main", "api.c", 1)
+	th := proc.Start()
+	th.Call(fn)
+	th.At(2)
+	b := th.Malloc(8 * 1024)
+	th.Memset(b, 8*1024)
+	th.Ret()
+	proc.Finish()
+	db := dcprof.Merge(prof.Profiles(), 1)
+	if dcprof.MetricTotal(db.Merged, dcprof.MetricSamples) == 0 {
+		t.Error("marked sampling produced no samples")
+	}
+	if !strings.Contains(db.Event, "PM_MRK") {
+		t.Errorf("event = %q", db.Event)
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	// Interleave as a process-wide policy through the facade.
+	node := dcprof.NewNode(dcprof.TinyTopology(), dcprof.DefaultCacheConfig())
+	proc := dcprof.NewProcess(node, 0, 0, 1, dcprof.Interleave{})
+	exe := proc.LoadMap.Load("api")
+	fn := exe.AddFunc("main", "api.c", 1)
+	th := proc.Start()
+	th.Call(fn)
+	th.At(2)
+	b := th.Calloc(16*4096, 1)
+	counts := make(map[int]int)
+	for i := 0; i < 16; i++ {
+		if d, ok := proc.Space.PT.Home(b + dcprof.Addr(i*4096)); ok {
+			counts[d]++
+		}
+	}
+	if len(counts) < 2 {
+		t.Errorf("interleave policy left pages in %d domain(s)", len(counts))
+	}
+	th.Ret()
+	proc.Finish()
+}

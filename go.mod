@@ -1,0 +1,3 @@
+module dcprof
+
+go 1.22

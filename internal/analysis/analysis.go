@@ -1,0 +1,103 @@
+// Package analysis is the post-mortem analyzer: it gathers the per-thread
+// profiles of an execution and merges them — per storage class, across
+// threads and MPI processes — into one compact database for presentation.
+//
+// Merging is structural CCT merge (heap variables coalesce by allocation
+// call path, statics by symbol), executed over a parallel reduction tree:
+// profiles are paired and merged round by round, the Go analogue of the
+// paper's MPI-based reduction-tree merge, with wall-clock logarithmic in
+// the number of profiles for a fixed worker count.
+package analysis
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/profio"
+)
+
+// Database is the merged analysis result.
+type Database struct {
+	// Merged is the union of every thread's profile.
+	Merged *cct.Profile
+	// Ranks and Threads count the sources merged in.
+	Ranks, Threads int
+	// Event is the monitored-event description from the profiles.
+	Event string
+	// MeasurementBytes is the total size of the on-disk measurement data
+	// when the database was loaded from files (0 when merged in memory).
+	MeasurementBytes int64
+}
+
+// Merge reduces the profiles into a database using up to `workers`
+// concurrent merges per round (workers <= 0 uses GOMAXPROCS). The input
+// profiles are consumed: the first profile of each merged pair accumulates
+// the second.
+func Merge(profiles []*cct.Profile, workers int) *Database {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	db := &Database{}
+	if len(profiles) == 0 {
+		db.Merged = cct.NewProfile(0, 0, "")
+		return db
+	}
+	ranks := map[int]bool{}
+	for _, p := range profiles {
+		ranks[p.Rank] = true
+	}
+	db.Ranks = len(ranks)
+	db.Threads = len(profiles)
+	db.Event = profiles[0].Event
+
+	cur := make([]*cct.Profile, len(profiles))
+	copy(cur, profiles)
+	sem := make(chan struct{}, workers)
+	for len(cur) > 1 {
+		next := make([]*cct.Profile, 0, (len(cur)+1)/2)
+		var wg sync.WaitGroup
+		for i := 0; i+1 < len(cur); i += 2 {
+			dst, src := cur[i], cur[i+1]
+			next = append(next, dst)
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				dst.Merge(src)
+				<-sem
+			}()
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		wg.Wait()
+		cur = next
+	}
+	db.Merged = cur[0]
+	return db
+}
+
+// LoadDir reads a measurement directory written by profio.WriteDir and
+// merges it.
+func LoadDir(dir string, workers int) (*Database, error) {
+	profiles, err := profio.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("analysis: no profiles in %s", dir)
+	}
+	var bytes int64
+	for _, p := range profiles {
+		n, err := profio.EncodedSize(p)
+		if err != nil {
+			return nil, err
+		}
+		bytes += n
+	}
+	db := Merge(profiles, workers)
+	db.MeasurementBytes = bytes
+	return db, nil
+}

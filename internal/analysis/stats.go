@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"dcprof/internal/cct"
+)
+
+// MergeStats quantifies the scalability properties the paper claims for
+// its measurement and analysis pipeline (§2.2, §4.2): profiles stay
+// compact because CCTs coalesce identical contexts, and the reduction-tree
+// merge parallelizes.
+type MergeStats struct {
+	// Inputs is the number of thread profiles merged.
+	Inputs int
+	// InputNodes sums CCT nodes across the inputs; MergedNodes counts the
+	// merged result's nodes. Their ratio is the cross-thread coalescing
+	// factor: threads executing the same code produce near-identical CCTs
+	// that collapse into one.
+	InputNodes, MergedNodes int
+	// SequentialMerge and ParallelMerge are wall times for a 1-worker and
+	// a GOMAXPROCS-worker reduction over (copies of) the same inputs.
+	SequentialMerge, ParallelMerge time.Duration
+}
+
+// CoalescingFactor returns InputNodes / MergedNodes (1.0 = no sharing).
+func (s MergeStats) CoalescingFactor() float64 {
+	if s.MergedNodes == 0 {
+		return 0
+	}
+	return float64(s.InputNodes) / float64(s.MergedNodes)
+}
+
+// MeasureMerge clones the profiles twice and times a sequential and a
+// parallel reduction over them, returning the statistics. The inputs are
+// left untouched.
+func MeasureMerge(profiles []*cct.Profile) MergeStats {
+	st := MergeStats{Inputs: len(profiles)}
+	for _, p := range profiles {
+		st.InputNodes += p.NumNodes()
+	}
+	clone := func() []*cct.Profile {
+		out := make([]*cct.Profile, len(profiles))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i, p := range profiles {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, p *cct.Profile) {
+				defer wg.Done()
+				c := cct.NewProfile(p.Rank, p.Thread, p.Event)
+				c.Merge(p)
+				out[i] = c
+				<-sem
+			}(i, p)
+		}
+		wg.Wait()
+		return out
+	}
+
+	seqIn := clone()
+	t0 := time.Now()
+	seqDB := Merge(seqIn, 1)
+	st.SequentialMerge = time.Since(t0)
+	st.MergedNodes = seqDB.Merged.NumNodes()
+
+	parIn := clone()
+	t1 := time.Now()
+	Merge(parIn, 0)
+	st.ParallelMerge = time.Since(t1)
+	return st
+}

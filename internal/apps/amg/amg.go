@@ -1,0 +1,413 @@
+// Package amg reimplements the structure and access pattern of the LLNL
+// Sequoia AMG2006 benchmark (§5.1): a hybrid MPI+OpenMP algebraic-multigrid
+// solver with three phases — initialization, setup and solve.
+//
+// Everything heap-allocated goes through the hypre allocator wrapper
+// (hypre_CAlloc), whose calloc zeroes — and therefore first-touches — every
+// page from the master thread. In the solve phase, OpenMP worker threads
+// across all NUMA domains stream the CSR arrays (S_diag_j and friends) out
+// of the master's domain, contending for its memory controller. The paper
+// compares three placements (Table 2):
+//
+//   - original: first-touch (all matrix pages in the master's domain);
+//   - numactl --interleave=all: everything interleaved — the solve phase
+//     speeds up but initialization doubles, because the master's zeroing
+//     now touches 3 of 4 domains remotely;
+//   - selective libnuma: only the problematic matrix arrays are interleaved
+//     and the thread-initialized vectors switch from calloc to malloc so
+//     parallel first touch places them locally — best of both.
+//
+// The setup phase also performs many small, short-lived allocations in deep
+// call chains, the workload behind the paper's §4.1.3 tracking-overhead
+// ablation (+150% naive, <10% with the threshold and trampoline).
+package amg
+
+import (
+	"dcprof/internal/apps/appkit"
+	"dcprof/internal/apps/bench"
+	"dcprof/internal/cache"
+	"dcprof/internal/loadmap"
+	"dcprof/internal/machine"
+	"dcprof/internal/mem"
+	"dcprof/internal/profiler"
+	"dcprof/internal/sim"
+)
+
+// Variant selects the NUMA placement strategy.
+type Variant int
+
+const (
+	// Original uses calloc + first touch by the master thread.
+	Original Variant = iota
+	// NumactlInterleave launches with `numactl --interleave=all`.
+	NumactlInterleave
+	// LibnumaSelective interleaves only the hot matrix arrays (libnuma) and
+	// switches the parallel-initialized vectors from calloc to malloc.
+	LibnumaSelective
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case NumactlInterleave:
+		return "numactl-interleave"
+	case LibnumaSelective:
+		return "libnuma-selective"
+	default:
+		return "original"
+	}
+}
+
+// Config sizes the run.
+type Config struct {
+	// NodesCount is the number of cluster nodes; one MPI rank runs per node
+	// (the paper: 4 POWER7 nodes, 128 threads each).
+	NodesCount int
+	// Topo is each node's topology.
+	Topo machine.Topology
+	// Threads is the OpenMP thread count per rank.
+	Threads int
+	// Rows is the fine-level matrix rows per rank; NnzPerRow the row degree.
+	Rows, NnzPerRow int
+	// Levels is the multigrid hierarchy depth; VCycles the solve iterations.
+	Levels, VCycles int
+	// SmallAllocs is the number of short-lived descriptor allocations per
+	// setup level (the tracking-overhead driver).
+	SmallAllocs int
+	// SetupWork is extra compute per setup level (cycles), calibrating the
+	// phase balance of Table 2.
+	SetupWork uint64
+	// Variant selects the placement strategy.
+	Variant Variant
+	// Profile attaches the profiler to every rank when non-nil.
+	Profile *profiler.Config
+	// Cache sets the memory-hierarchy parameters (zero: scaled defaults).
+	Cache cache.Config
+}
+
+// DefaultConfig returns the case-study configuration.
+func DefaultConfig() Config {
+	return Config{
+		NodesCount:  4,
+		Topo:        machine.Power7Node(),
+		Threads:     128,
+		Rows:        8192,
+		NnzPerRow:   9,
+		Levels:      4,
+		VCycles:     48,
+		SmallAllocs: 26000,
+		SetupWork:   13_000_000,
+	}
+}
+
+// TestConfig returns a small configuration for unit tests.
+func TestConfig() Config {
+	return Config{
+		NodesCount:  2,
+		Topo:        machine.Tiny(),
+		Threads:     4,
+		Rows:        4096,
+		NnzPerRow:   5,
+		Levels:      2,
+		VCycles:     2,
+		SmallAllocs: 50,
+		SetupWork:   400_000,
+		Cache:       appkit.TinyCacheConfig(),
+	}
+}
+
+// program bundles a rank's declared functions.
+type program struct {
+	main, build, calloc, setup, setupHelper, descend *loadmap.Function
+	solve, matvecOL, relaxOL, initVecOL              *loadmap.Function
+}
+
+func declare(p *sim.Process) *program {
+	exe := p.LoadMap.Load("amg2006")
+	lib := p.LoadMap.Load("libHYPRE.so")
+	return &program{
+		main:        exe.AddFunc("main", "amg2006.c", 1),
+		build:       exe.AddFunc("BuildIJLaplacian27pt", "laplacian.c", 200),
+		calloc:      lib.AddFunc("hypre_CAlloc", "hypre_memory.c", 170),
+		setup:       lib.AddFunc("hypre_BoomerAMGSetup", "par_amg_setup.c", 300),
+		setupHelper: lib.AddFunc("hypre_BoomerAMGCoarsen", "par_coarsen.c", 120),
+		descend:     lib.AddFunc("hypre_CreateSStructGrid", "sstruct_grid.c", 60),
+		solve:       lib.AddFunc("hypre_BoomerAMGSolve", "par_amg_solve.c", 250),
+		matvecOL:    lib.AddFunc("hypre_ParCSRMatrixMatvec.omp_fn.0", "par_csr_matvec.c", 430),
+		relaxOL:     lib.AddFunc("hypre_BoomerAMGRelax.omp_fn.1", "par_relax.c", 620),
+		initVecOL:   lib.AddFunc("hypre_ParVectorInit.omp_fn.2", "par_vector.c", 150),
+	}
+}
+
+// hypreCAlloc allocates through the hypre wrapper: full call path ends at
+// hypre_memory.c:175 inside hypre_CAlloc, then calloc — matching the
+// paper's Figure 4. With useMalloc the zeroing is skipped (the libnuma
+// variant's calloc→malloc change); with interleave the block gets a
+// libnuma interleaved range policy before any touch.
+func hypreCAlloc(th *sim.Thread, in appkit.Instr, pr *program, label string,
+	bytes uint64, useMalloc, interleave bool) mem.Addr {
+	th.Call(pr.calloc)
+	th.At(175)
+	in.Label(th, label)
+	var addr mem.Addr
+	if useMalloc {
+		addr = th.Malloc(bytes)
+	} else {
+		addr = th.CallocWith(bytes, 1, func(a mem.Addr) {
+			if interleave {
+				th.Proc.Space.InterleaveRange(a, bytes)
+			}
+		})
+	}
+	th.Ret()
+	return addr
+}
+
+// Run executes the benchmark, returning phase times (initialization, setup,
+// solver) along with the total.
+func Run(cfg Config) *bench.Result {
+	cacheCfg := cfg.Cache
+	if cacheCfg.L1Sets == 0 {
+		cacheCfg = appkit.ScaledCacheConfig()
+	}
+	nodes := make([]*sim.Node, cfg.NodesCount)
+	for i := range nodes {
+		nodes[i] = sim.NewNode(cfg.Topo, cacheCfg)
+	}
+	var policy mem.Policy
+	if cfg.Variant == NumactlInterleave {
+		policy = mem.Interleave{}
+	}
+	world := sim.NewWorld(nodes, cfg.NodesCount, cfg.Threads, policy)
+
+	profs := make([]*profiler.Profiler, cfg.NodesCount)
+	if cfg.Profile != nil {
+		for r, p := range world.Procs {
+			profs[r] = profiler.Attach(p, *cfg.Profile)
+		}
+	}
+
+	type phaseClocks struct{ init, setup, solve uint64 }
+	perRank := make([]phaseClocks, cfg.NodesCount)
+
+	world.Run(func(p *sim.Process, th *sim.Thread) {
+		in := appkit.Instr{P: profs[p.Rank]}
+		pr := declare(p)
+		nnz := cfg.Rows * cfg.NnzPerRow
+		selective := cfg.Variant == LibnumaSelective
+
+		th.Call(pr.main)
+
+		// ---------------- Phase 1: initialization ----------------
+		start := th.Clock()
+		th.At(12)
+		th.Call(pr.build)
+
+		alloc := func(line int, label string, bytes uint64, vector bool) mem.Addr {
+			th.At(line)
+			// Under selective libnuma: matrix arrays are interleaved;
+			// vectors (initialized in parallel) switch to malloc.
+			return hypreCAlloc(th, in, pr, label, bytes,
+				selective && vector, selective && !vector)
+		}
+		aDiagI := alloc(205, "A_diag_i", uint64(cfg.Rows+1)*8, false)
+		aDiagJ := alloc(206, "A_diag_j", uint64(nnz)*8, false)
+		aDiagD := alloc(207, "A_diag_data", uint64(nnz)*8, false)
+		sDiagI := alloc(210, "S_diag_i", uint64(cfg.Rows+1)*8, false)
+		sDiagJ := alloc(211, "S_diag_j", uint64(nnz)*8, false)
+		u := alloc(215, "u", uint64(cfg.Rows)*8, true)
+		f := alloc(216, "f", uint64(cfg.Rows)*8, true)
+
+		// Grid-construction workspace: thread-local/temporary data that the
+		// paper's selective approach deliberately does NOT interleave
+		// ("we avoid interleaved allocation for thread local data") but
+		// numactl's process-wide interleaving drags remote.
+		th.At(220)
+		workspace := hypreCAlloc(th, in, pr, "workspace", uint64(6*nnz)*8, false, false)
+
+		// Master fills the matrix structure (sequential stores).
+		th.At(230)
+		for r := 0; r < cfg.Rows; r++ {
+			th.Store(aDiagI+mem.Addr(r*8), 8)
+			th.Store(sDiagI+mem.Addr(r*8), 8)
+		}
+		th.At(233)
+		for i := 0; i < nnz; i++ {
+			th.Store(aDiagJ+mem.Addr(i*8), 8)
+			th.Store(aDiagD+mem.Addr(i*8), 8)
+			th.Store(sDiagJ+mem.Addr(i*8), 8)
+		}
+		// Grid construction sweeps the workspace twice, then releases it.
+		th.At(236)
+		for i := 0; i < 6*nnz; i++ {
+			th.Load(workspace+mem.Addr(i*8), 8)
+			th.Store(workspace+mem.Addr(i*8), 8)
+		}
+		th.At(238)
+		th.Free(workspace)
+		th.Ret() // build
+
+		// Vectors are initialized in parallel (first touch by workers under
+		// the selective variant's malloc change).
+		th.At(14)
+		world.Procs[p.Rank].ParallelFor(th, pr.initVecOL, cfg.Threads, cfg.Rows,
+			func(t *sim.Thread, lo, hi int) {
+				t.At(152)
+				for r := lo; r < hi; r++ {
+					t.Store(u+mem.Addr(r*8), 8)
+					t.Store(f+mem.Addr(r*8), 8)
+				}
+			})
+		world.Barrier(th)
+		perRank[p.Rank].init = th.Clock() - start
+
+		// ---------------- Phase 2: setup ----------------
+		start = th.Clock()
+		th.At(16)
+		th.Call(pr.setup)
+		rows := cfg.Rows
+		for lvl := 0; lvl < cfg.Levels; lvl++ {
+			// Short-lived descriptor allocations in a deep call chain.
+			th.At(310 + lvl)
+			th.Call(pr.setupHelper)
+			for a := 0; a < cfg.SmallAllocs; a++ {
+				th.At(130)
+				th.Call(pr.descend)
+				th.At(64)
+				th.Call(pr.descend)
+				th.At(68)
+				d := hypreCAlloc(th, in, pr, "", 128, false, false)
+				th.At(70)
+				th.Free(d)
+				th.Ret()
+				th.Ret()
+			}
+			// Coarsening pass: stream the strength matrix once, then the
+			// (compute-dominated) Galerkin product.
+			th.At(140)
+			for r := 0; r < rows; r++ {
+				th.Load(sDiagI+mem.Addr((r%cfg.Rows)*8), 8)
+			}
+			th.At(144)
+			for i := 0; i < rows*cfg.NnzPerRow; i++ {
+				th.Load(sDiagJ+mem.Addr((i%nnz)*8), 8)
+			}
+			th.Work(cfg.SetupWork)
+			th.Ret() // setupHelper
+			world.Allreduce(th, 64)
+			rows /= 4
+			if rows < 64 {
+				rows = 64
+			}
+		}
+		th.Ret() // setup
+		world.Barrier(th)
+		perRank[p.Rank].setup = th.Clock() - start
+
+		// ---------------- Phase 3: solve ----------------
+		start = th.Clock()
+		th.At(18)
+		th.Call(pr.solve)
+		// Per-thread scratch vectors, allocated and first-touched by each
+		// worker (thread-local data: local under first touch and libnuma,
+		// but interleaved - and so mostly remote - under numactl).
+		const scratchElems = 512
+		scratch := make([]mem.Addr, cfg.Threads)
+		th.At(252)
+		world.Procs[p.Rank].Parallel(th, pr.initVecOL, cfg.Threads, func(t *sim.Thread, tid int) {
+			t.At(154)
+			a := t.Malloc(scratchElems * 8)
+			t.Memset(a, scratchElems*8)
+			scratch[tid] = a
+		})
+		for cyc := 0; cyc < cfg.VCycles; cyc++ {
+			rows := cfg.Rows
+			for lvl := 0; lvl < cfg.Levels; lvl++ {
+				// Relaxation sweep: the dominant S_diag_j access (the
+				// paper's 19.3% statement at line 622) plus A arrays.
+				th.At(260)
+				world.Procs[p.Rank].ParallelFor(th, pr.relaxOL, cfg.Threads, rows,
+					func(t *sim.Thread, lo, hi int) {
+						t.At(620)
+						for i := 0; i < scratchElems; i += 8 {
+							t.Load(scratch[t.ID]+mem.Addr(i*8), 8)
+						}
+						for r := lo; r < hi; r++ {
+							t.At(621)
+							t.Load(aDiagI+mem.Addr((r%cfg.Rows)*8), 8)
+							for k := 0; k < cfg.NnzPerRow; k++ {
+								idx := (r*cfg.NnzPerRow + k) % nnz
+								t.At(622)
+								t.Load(sDiagJ+mem.Addr(idx*8), 8)
+								t.At(623)
+								t.Load(aDiagJ+mem.Addr(idx*8), 8)
+								t.Load(aDiagD+mem.Addr(idx*8), 8)
+								// 27-pt Laplacian columns cluster near the
+								// row, so the u gather has good locality.
+								col := (r + k*17) % cfg.Rows
+								t.At(624)
+								t.Load(u+mem.Addr(col*8), 8)
+								t.Work(4)
+							}
+							t.At(626)
+							t.Load(f+mem.Addr((r%cfg.Rows)*8), 8)
+							t.Store(u+mem.Addr((r%cfg.Rows)*8), 8)
+						}
+					})
+				// Interpolation pass: the secondary S_diag_j access (2.9%).
+				th.At(264)
+				world.Procs[p.Rank].ParallelFor(th, pr.matvecOL, cfg.Threads, rows/4,
+					func(t *sim.Thread, lo, hi int) {
+						for r := lo; r < hi; r++ {
+							t.At(434)
+							t.Load(sDiagJ+mem.Addr(((r*11)%nnz)*8), 8)
+							t.At(435)
+							t.Load(u+mem.Addr((r%cfg.Rows)*8), 8)
+							t.Work(3)
+						}
+					})
+				rows /= 4
+				if rows < 64 {
+					rows = 64
+				}
+			}
+			world.Allreduce(th, 8) // residual norm
+		}
+		th.Ret() // solve
+		world.Barrier(th)
+		perRank[p.Rank].solve = th.Clock() - start
+
+		th.Ret() // main
+	})
+
+	var res bench.Result
+	res.App = "amg2006"
+	res.Variant = cfg.Variant.String()
+	var maxInit, maxSetup, maxSolve uint64
+	for _, pc := range perRank {
+		if pc.init > maxInit {
+			maxInit = pc.init
+		}
+		if pc.setup > maxSetup {
+			maxSetup = pc.setup
+		}
+		if pc.solve > maxSolve {
+			maxSolve = pc.solve
+		}
+	}
+	res.Phases = []bench.Phase{
+		{Name: "initialization", Cycles: maxInit},
+		{Name: "setup", Cycles: maxSetup},
+		{Name: "solver", Cycles: maxSolve},
+	}
+	res.Cycles = maxInit + maxSetup + maxSolve
+	for r, p := range world.Procs {
+		for _, t := range p.Threads() {
+			res.OverheadCycles += t.Overhead()
+		}
+		if profs[r] != nil {
+			res.Profiles = append(res.Profiles, profs[r].Profiles()...)
+		}
+	}
+	return &res
+}

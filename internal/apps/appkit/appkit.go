@@ -1,0 +1,152 @@
+// Package appkit holds helpers shared by the benchmark reimplementations:
+// multi-dimensional array descriptors with explicit memory layouts (so the
+// paper's transpose optimizations are one-line layout changes), and a
+// nil-safe instrumentation handle for labelling allocations when a profiler
+// is attached.
+package appkit
+
+import (
+	"fmt"
+
+	"dcprof/internal/cache"
+	"dcprof/internal/mem"
+	"dcprof/internal/profiler"
+	"dcprof/internal/sim"
+)
+
+// ScaledCacheConfig returns the memory-hierarchy parameters the benchmark
+// reimplementations use by default. Problem sizes are scaled down from the
+// paper's (so runs simulate in seconds), and capacity-dependent behaviour —
+// which data stays resident where — only matches the full-size runs if the
+// cache capacities scale down with them. L1/L2 keep realistic sizes (inner
+// loops have real footprints); the L3 shrinks to 1 MiB per socket.
+func ScaledCacheConfig() cache.Config {
+	c := cache.DefaultConfig()
+	c.L3Sets = 256 // 256 KiB per socket (16-way, 64 B lines)
+	c.L2Sets = 128 // 64 KiB per core
+	return c
+}
+
+// TinyCacheConfig returns further-shrunk caches for unit tests running on
+// tiny problem sizes and thread counts. The DRAM service time is scaled up
+// so that a handful of threads can saturate one memory controller the way
+// 48-128 threads saturate a real one.
+func TinyCacheConfig() cache.Config {
+	c := cache.DefaultConfig()
+	c.L3Sets = 64 // 64 KiB per socket
+	c.L2Sets = 64 // 32 KiB per core
+	c.L1Sets = 16 // 8 KiB per core
+	c.DRAMService = 64
+	return c
+}
+
+// Array is an N-dimensional array over a simulated memory block.
+//
+// Dims are the logical extents, indexed logically everywhere in app code.
+// Order is the layout permutation: Order[0] is the logical dimension that
+// varies slowest in memory and Order[len-1] the one that varies fastest
+// (stride = element size). A C row-major array of logical dims (i, j, k)
+// has Order {0, 1, 2}; Fortran column-major has Order {2, 1, 0}; the
+// paper's Sweep3D fix — "insert the last dimension between the first and
+// second" — is just a different permutation.
+type Array struct {
+	// Base is the first element's address.
+	Base mem.Addr
+	// Elem is the element size in bytes.
+	Elem uint64
+	// Dims are the logical extents.
+	Dims []int
+	// Order is the layout permutation (slowest first).
+	Order []int
+
+	// strides[d] is the byte stride of logical dimension d.
+	strides []uint64
+}
+
+// NewArray describes an array at base with C row-major layout.
+func NewArray(base mem.Addr, elem uint64, dims ...int) *Array {
+	order := make([]int, len(dims))
+	for i := range order {
+		order[i] = i
+	}
+	return NewArrayOrder(base, elem, dims, order)
+}
+
+// NewArrayOrder describes an array with an explicit layout permutation.
+func NewArrayOrder(base mem.Addr, elem uint64, dims, order []int) *Array {
+	if len(dims) == 0 || len(order) != len(dims) {
+		panic("appkit: dims/order mismatch")
+	}
+	seen := make([]bool, len(dims))
+	for _, d := range order {
+		if d < 0 || d >= len(dims) || seen[d] {
+			panic(fmt.Sprintf("appkit: order %v is not a permutation of %d dims", order, len(dims)))
+		}
+		seen[d] = true
+	}
+	a := &Array{Base: base, Elem: elem, Dims: append([]int{}, dims...), Order: append([]int{}, order...)}
+	a.strides = make([]uint64, len(dims))
+	stride := elem
+	for i := len(order) - 1; i >= 0; i-- {
+		d := order[i]
+		a.strides[d] = stride
+		stride *= uint64(dims[d])
+	}
+	return a
+}
+
+// ColMajor describes a Fortran column-major array (first index fastest).
+func ColMajor(base mem.Addr, elem uint64, dims ...int) *Array {
+	order := make([]int, len(dims))
+	for i := range order {
+		order[i] = len(dims) - 1 - i
+	}
+	return NewArrayOrder(base, elem, dims, order)
+}
+
+// Size returns the array's total bytes.
+func (a *Array) Size() uint64 {
+	n := a.Elem
+	for _, d := range a.Dims {
+		n *= uint64(d)
+	}
+	return n
+}
+
+// Addr returns the address of the element at the logical index.
+func (a *Array) Addr(idx ...int) mem.Addr {
+	if len(idx) != len(a.Dims) {
+		panic(fmt.Sprintf("appkit: %d indices for %d dims", len(idx), len(a.Dims)))
+	}
+	off := uint64(0)
+	for d, i := range idx {
+		if i < 0 || i >= a.Dims[d] {
+			panic(fmt.Sprintf("appkit: index %d out of range [0,%d) in dim %d", i, a.Dims[d], d))
+		}
+		off += uint64(i) * a.strides[d]
+	}
+	return a.Base + mem.Addr(off)
+}
+
+// Stride returns the byte stride of a logical dimension.
+func (a *Array) Stride(dim int) uint64 { return a.strides[dim] }
+
+// Load reads the element at the logical index on thread t.
+func (a *Array) Load(t *sim.Thread, idx ...int) { t.Load(a.Addr(idx...), a.Elem) }
+
+// Store writes the element at the logical index on thread t.
+func (a *Array) Store(t *sim.Thread, idx ...int) { t.Store(a.Addr(idx...), a.Elem) }
+
+// Instr is a nil-safe handle to the attached profiler; apps use it to label
+// allocations with source-level variable names when measurement is on.
+type Instr struct {
+	// P is the attached profiler, nil when running unprofiled.
+	P *profiler.Profiler
+}
+
+// Label names the thread's next allocation if a profiler is attached.
+func (in Instr) Label(t *sim.Thread, name string) {
+	if in.P != nil {
+		in.P.Label(t, name)
+	}
+}

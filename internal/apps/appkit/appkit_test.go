@@ -1,0 +1,120 @@
+package appkit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcprof/internal/mem"
+)
+
+func TestRowMajorLayout(t *testing.T) {
+	a := NewArray(0x1000, 8, 4, 3, 2) // C order: dim2 fastest
+	if a.Size() != 4*3*2*8 {
+		t.Errorf("Size = %d", a.Size())
+	}
+	if got := a.Addr(0, 0, 0); got != 0x1000 {
+		t.Errorf("origin = %#x", got)
+	}
+	if got := a.Addr(0, 0, 1) - a.Addr(0, 0, 0); got != 8 {
+		t.Errorf("dim2 stride = %d, want 8", got)
+	}
+	if got := a.Addr(0, 1, 0) - a.Addr(0, 0, 0); got != 16 {
+		t.Errorf("dim1 stride = %d, want 16", got)
+	}
+	if got := a.Addr(1, 0, 0) - a.Addr(0, 0, 0); got != 48 {
+		t.Errorf("dim0 stride = %d, want 48", got)
+	}
+}
+
+func TestColMajorLayout(t *testing.T) {
+	a := ColMajor(0x1000, 8, 4, 3, 2) // Fortran: dim0 fastest
+	if got := a.Addr(1, 0, 0) - a.Addr(0, 0, 0); got != 8 {
+		t.Errorf("dim0 stride = %d, want 8", got)
+	}
+	if got := a.Addr(0, 1, 0) - a.Addr(0, 0, 0); got != 32 {
+		t.Errorf("dim1 stride = %d, want 4*8", got)
+	}
+	if got := a.Addr(0, 0, 1) - a.Addr(0, 0, 0); got != 96 {
+		t.Errorf("dim2 stride = %d, want 12*8", got)
+	}
+	if a.Stride(0) != 8 {
+		t.Errorf("Stride(0) = %d", a.Stride(0))
+	}
+}
+
+func TestCustomOrder(t *testing.T) {
+	// The paper's Sweep3D fix: insert the last dimension between the first
+	// and second — order (0, 2, 1).
+	a := NewArrayOrder(0, 4, []int{5, 6, 7}, []int{0, 2, 1})
+	// Fastest-varying is logical dim 1.
+	if got := a.Addr(0, 1, 0) - a.Addr(0, 0, 0); got != 4 {
+		t.Errorf("dim1 stride = %d, want 4", got)
+	}
+	if got := a.Addr(0, 0, 1) - a.Addr(0, 0, 0); got != 4*6 {
+		t.Errorf("dim2 stride = %d, want 24", got)
+	}
+}
+
+func TestBadOrderPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dup":      func() { NewArrayOrder(0, 8, []int{2, 2}, []int{0, 0}) },
+		"range":    func() { NewArrayOrder(0, 8, []int{2, 2}, []int{0, 5}) },
+		"len":      func() { NewArrayOrder(0, 8, []int{2, 2}, []int{0}) },
+		"empty":    func() { NewArrayOrder(0, 8, nil, nil) },
+		"idxcount": func() { NewArray(0, 8, 2, 2).Addr(1) },
+		"idxrange": func() { NewArray(0, 8, 2, 2).Addr(1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: for any layout permutation, distinct logical indices map to
+// distinct, in-bounds addresses (the layout is a bijection).
+func TestQuickLayoutBijection(t *testing.T) {
+	f := func(permSeed uint8, d0, d1, d2 uint8) bool {
+		dims := []int{int(d0%4) + 1, int(d1%4) + 1, int(d2%4) + 1}
+		perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+		order := perms[int(permSeed)%len(perms)]
+		a := NewArrayOrder(0x4000, 8, dims, order)
+		seen := map[mem.Addr]bool{}
+		for i := 0; i < dims[0]; i++ {
+			for j := 0; j < dims[1]; j++ {
+				for k := 0; k < dims[2]; k++ {
+					addr := a.Addr(i, j, k)
+					if addr < 0x4000 || addr >= 0x4000+mem.Addr(a.Size()) {
+						return false
+					}
+					if seen[addr] {
+						return false
+					}
+					seen[addr] = true
+				}
+			}
+		}
+		return len(seen) == dims[0]*dims[1]*dims[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheConfigsValid(t *testing.T) {
+	if err := ScaledCacheConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := TinyCacheConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrNilSafe(t *testing.T) {
+	var in Instr
+	in.Label(nil, "x") // must not panic with a nil profiler
+}

@@ -1,0 +1,69 @@
+// Package bench defines the common result type the benchmark
+// reimplementations return, bridging app runs to the experiment harness.
+package bench
+
+import (
+	"fmt"
+
+	"dcprof/internal/analysis"
+	"dcprof/internal/cct"
+	"dcprof/internal/profio"
+)
+
+// Phase is one named program phase and its simulated duration.
+type Phase struct {
+	// Name is the phase label ("initialization", "setup", "solver", ...).
+	Name string
+	// Cycles is the phase's elapsed simulated time on the critical path.
+	Cycles uint64
+}
+
+// Result is the outcome of one benchmark run.
+type Result struct {
+	// App and Variant identify the run.
+	App, Variant string
+	// Cycles is the whole program's elapsed simulated time (the slowest
+	// rank's master clock).
+	Cycles uint64
+	// Phases optionally breaks the run into phases.
+	Phases []Phase
+	// Profiles holds the per-thread profiles when measurement was on.
+	Profiles []*cct.Profile
+	// OverheadCycles sums profiler-charged cycles across all threads.
+	OverheadCycles uint64
+}
+
+// Phase returns the named phase's duration (0 if absent).
+func (r *Result) Phase(name string) uint64 {
+	for _, p := range r.Phases {
+		if p.Name == name {
+			return p.Cycles
+		}
+	}
+	return 0
+}
+
+// Merged runs the post-mortem analyzer over the run's profiles.
+func (r *Result) Merged(workers int) *analysis.Database {
+	return analysis.Merge(r.Profiles, workers)
+}
+
+// MeasurementBytes returns the encoded size of all profiles — the space
+// overhead Table 1 reports.
+func (r *Result) MeasurementBytes() (int64, error) {
+	var total int64
+	for _, p := range r.Profiles {
+		n, err := profio.EncodedSize(p)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: %d cycles, %d profiles, %d overhead cycles",
+		r.App, r.Variant, r.Cycles, len(r.Profiles), r.OverheadCycles)
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+func TestPhaseLookup(t *testing.T) {
+	r := &Result{
+		App: "x", Variant: "orig", Cycles: 100,
+		Phases: []Phase{{Name: "init", Cycles: 30}, {Name: "solve", Cycles: 70}},
+	}
+	if r.Phase("init") != 30 || r.Phase("solve") != 70 {
+		t.Error("phase lookup wrong")
+	}
+	if r.Phase("missing") != 0 {
+		t.Error("missing phase should be 0")
+	}
+}
+
+func TestMergedAndBytes(t *testing.T) {
+	p1 := cct.NewProfile(0, 0, "e")
+	p2 := cct.NewProfile(0, 1, "e")
+	var v metric.Vector
+	v[metric.Samples] = 3
+	path := []cct.Frame{{Kind: cct.KindCall, Module: "m", Name: "f", File: "f.c"}}
+	p1.Trees[cct.ClassHeap].AddSample(path, &v)
+	p2.Trees[cct.ClassHeap].AddSample(path, &v)
+
+	r := &Result{App: "x", Variant: "o", Profiles: []*cct.Profile{p1, p2}}
+	db := r.Merged(0)
+	if got := db.Merged.Total()[metric.Samples]; got != 6 {
+		t.Errorf("merged samples = %d", got)
+	}
+	n, err := r.MeasurementBytes()
+	if err != nil || n <= 0 {
+		t.Errorf("bytes = %d, %v", n, err)
+	}
+	if s := r.String(); !strings.Contains(s, "x/o") {
+		t.Errorf("String = %q", s)
+	}
+}

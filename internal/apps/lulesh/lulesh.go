@@ -1,0 +1,308 @@
+// Package lulesh reimplements the access pattern of LLNL's LULESH proxy
+// application (§5.3): an Arbitrary Lagrangian-Eulerian shock-hydrodynamics
+// code, OpenMP-parallel over elements and nodes.
+//
+// Two of the paper's findings are modelled:
+//
+//   - All of LULESH's nodal heap arrays (coordinates, velocities, forces)
+//     are allocated and initialized by the master thread, so first touch
+//     homes them in one NUMA domain whose memory bandwidth then bottlenecks
+//     all 48 threads; libnuma interleaved allocation of the hot arrays
+//     recovers 13%.
+//
+//   - The static array f_elem[elem][3][corner] is accessed with an indirect
+//     first index, the middle index covering 0..2, and a computed last
+//     index; transposing the middle dimension to be last lets each triple
+//     of accesses share a cache line (C is row-major), recovering 2.2%.
+package lulesh
+
+import (
+	"dcprof/internal/apps/appkit"
+	"dcprof/internal/apps/bench"
+	"dcprof/internal/cache"
+	"dcprof/internal/machine"
+	"dcprof/internal/mem"
+	"dcprof/internal/profiler"
+	"dcprof/internal/sim"
+)
+
+// Variant is a bitmask of the paper's two optimizations.
+type Variant int
+
+const (
+	// Original is the highly-tuned upstream OpenMP implementation.
+	Original Variant = 0
+	// InterleavedHeap applies libnuma interleaved allocation to the hot
+	// nodal arrays.
+	InterleavedHeap Variant = 1 << iota
+	// FElemTransposed moves f_elem's length-3 dimension last.
+	FElemTransposed
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Original:
+		return "original"
+	case InterleavedHeap:
+		return "libnuma-interleave"
+	case FElemTransposed:
+		return "felem-transposed"
+	case InterleavedHeap | FElemTransposed:
+		return "both"
+	default:
+		return "variant?"
+	}
+}
+
+// Config sizes the run.
+type Config struct {
+	// Topo is the node (default: the 48-core AMD Magny-Cours server).
+	Topo machine.Topology
+	// Threads is the OpenMP thread count.
+	Threads int
+	// Elems is the element count (nodes ≈ elems).
+	Elems int
+	// Iters is the number of Lagrange leapfrog time steps.
+	Iters int
+	// Variant selects the optimizations applied.
+	Variant Variant
+	// Profile attaches the profiler when non-nil.
+	Profile *profiler.Config
+	// Cache sets the memory-hierarchy parameters (zero value: scaled
+	// defaults via appkit.ScaledCacheConfig).
+	Cache cache.Config
+}
+
+// DefaultConfig returns the case-study configuration.
+func DefaultConfig() Config {
+	return Config{
+		Topo:    machine.MagnyCours48(),
+		Threads: 48,
+		Elems:   49152,
+		Iters:   2,
+	}
+}
+
+// TestConfig returns a small configuration for unit tests.
+func TestConfig() Config {
+	return Config{
+		Topo:    machine.Tiny(),
+		Threads: 4,
+		Elems:   4096,
+		Iters:   1,
+		Cache:   appkit.TinyCacheConfig(),
+	}
+}
+
+// hotArrays is the set of nodal arrays the paper's Figure 8 lists, plus the
+// elemental state arrays the EOS phase streams.
+var hotArrays = []string{
+	"m_x", "m_y", "m_z", // nodal coordinates
+	"m_xd", "m_yd", "m_zd", // nodal velocities
+	"m_fx", "m_fy", "m_fz", // nodal forces
+	"m_e", "m_p", "m_q", "m_v", // elemental energy/pressure/viscosity/volume
+}
+
+// Run executes the benchmark.
+func Run(cfg Config) *bench.Result {
+	cacheCfg := cfg.Cache
+	if cacheCfg.L1Sets == 0 {
+		cacheCfg = appkit.ScaledCacheConfig()
+	}
+	node := sim.NewNode(cfg.Topo, cacheCfg)
+	proc := sim.NewProcess(node, 0, 0, cfg.Threads, nil)
+	var in appkit.Instr
+	if cfg.Profile != nil {
+		in.P = profiler.Attach(proc, *cfg.Profile)
+	}
+
+	exe := proc.LoadMap.Load("lulesh")
+	fMain := exe.AddFunc("main", "lulesh.cc", 1)
+	fLeap := exe.AddFunc("LagrangeLeapFrog", "lulesh.cc", 700)
+	fForceOL := exe.AddFunc("CalcForceForElems.omp_fn.0", "lulesh.cc", 760)
+	fEOSOL := exe.AddFunc("EvalEOSForElems.omp_fn.3", "lulesh.cc", 780)
+	fAccumOL := exe.AddFunc("CalcFAccumForNodes.omp_fn.1", "lulesh.cc", 795)
+	fFindPos := exe.AddFunc("Find_Pos", "lulesh.cc", 640)
+	fPosOL := exe.AddFunc("CalcPositionForNodes.omp_fn.2", "lulesh.cc", 850)
+
+	nelem := cfg.Elems
+	nnode := cfg.Elems // unit-cube mesh approximation
+
+	// Static data: f_elem[elem][3][8] doubles plus the corner list.
+	felemDims := []int{nelem, 3, 8}
+	felemOrder := []int{0, 1, 2} // original layout: length-3 dim in the middle
+	if cfg.Variant&FElemTransposed != 0 {
+		felemOrder = []int{0, 2, 1} // length-3 dim last (the paper's fix)
+	}
+	felemVar := exe.AddStatic("f_elem", uint64(nelem*3*8)*8)
+	felem := appkit.NewArrayOrder(felemVar.Lo, 8, felemDims, felemOrder)
+	cornerVar := exe.AddStatic("nodeElemCornerList", uint64(nnode*8)*4)
+
+	th := proc.Start()
+	th.Call(fMain)
+
+	// Heap allocation and master-thread initialization of the nodal arrays.
+	arrays := make(map[string]mem.Addr, len(hotArrays))
+	th.At(40)
+	for i, name := range hotArrays {
+		th.At(40 + i)
+		in.Label(th, name)
+		a := th.Malloc(uint64(nnode) * 8)
+		if cfg.Variant&InterleavedHeap != 0 {
+			proc.Space.InterleaveRange(a, uint64(nnode)*8)
+		}
+		arrays[name] = a
+	}
+	th.At(60)
+	for _, name := range hotArrays {
+		a := arrays[name]
+		for i := 0; i < nnode; i++ {
+			th.Store(a+mem.Addr(i*8), 8)
+		}
+	}
+	// Initialize the (static) corner list too.
+	th.At(65)
+	for i := 0; i < nnode*8; i++ {
+		th.Store(cornerVar.Lo+mem.Addr(i*4), 4)
+	}
+
+	// The corner list has mesh locality: the elements touching node n are a
+	// small neighbourhood around it (plus the mesh-row/plane offsets), so
+	// f_elem lines see some reuse between adjacent nodes, as on a real
+	// unstructured mesh.
+	edge := 1
+	for edge*edge*edge < nelem {
+		edge++
+	}
+	cornerOff := [6]int{0, 1, edge, edge + 1, edge * edge, edge*edge + 1}
+	elemOfCorner := func(n, c int) int {
+		if c < 6 {
+			// Local neighbours: good reuse between adjacent nodes.
+			return (n + cornerOff[c]) % nelem
+		}
+		// Irregular neighbours (mesh boundary/reordering): scattered.
+		return (n*7 + c*2503 + 11) % nelem
+	}
+	nodeOfElem := func(e, c int) int { return (e*37 + c*1511 + 3) % nnode }
+	posOf := func(n, c int) int { return (n + 3*c) % 8 }
+
+	for it := 0; it < cfg.Iters; it++ {
+		th.At(701)
+		th.Call(fLeap)
+
+		// Phase 1: element-centric force calculation: gather the eight
+		// corner coordinates and velocities (hourglass/Q terms), compute,
+		// scatter into f_elem.
+		th.At(710)
+		proc.ParallelFor(th, fForceOL, cfg.Threads, nelem, func(t *sim.Thread, lo, hi int) {
+			for e := lo; e < hi; e++ {
+				t.At(762)
+				for c := 0; c < 8; c++ {
+					n := nodeOfElem(e, c)
+					t.Load(arrays["m_x"]+mem.Addr(n*8), 8)
+					t.Load(arrays["m_y"]+mem.Addr(n*8), 8)
+					t.Load(arrays["m_z"]+mem.Addr(n*8), 8)
+				}
+				t.At(764)
+				for c := 0; c < 8; c++ {
+					n := nodeOfElem(e, c)
+					t.Load(arrays["m_xd"]+mem.Addr(n*8), 8)
+					t.Load(arrays["m_yd"]+mem.Addr(n*8), 8)
+					t.Load(arrays["m_zd"]+mem.Addr(n*8), 8)
+				}
+				t.Work(400)
+				t.At(770)
+				pos := posOf(e, 1)
+				for c := 0; c < 3; c++ {
+					felem.Store(t, e, c, pos)
+				}
+			}
+		})
+
+		// Phase 1b: elemental EOS/state update streaming the element
+		// arrays (several passes, as EvalEOSForElems re-reads its inputs).
+		th.At(712)
+		proc.ParallelFor(th, fEOSOL, cfg.Threads, nelem, func(t *sim.Thread, lo, hi int) {
+			for e := lo; e < hi; e++ {
+				off := mem.Addr(e * 8)
+				t.At(782)
+				t.Load(arrays["m_e"]+off, 8)
+				t.Load(arrays["m_p"]+off, 8)
+				t.Load(arrays["m_q"]+off, 8)
+				t.Load(arrays["m_v"]+off, 8)
+				t.Work(180)
+				t.At(786)
+				t.Store(arrays["m_e"]+off, 8)
+				t.Store(arrays["m_p"]+off, 8)
+				t.Store(arrays["m_q"]+off, 8)
+			}
+		})
+
+		// Phase 2: node-centric force accumulation — the Figure 9 loop:
+		// indirect first index via nodeElemCornerList (line 801), computed
+		// last index via Find_Pos (line 802), middle index 0..2.
+		th.At(715)
+		proc.ParallelFor(th, fAccumOL, cfg.Threads, nnode, func(t *sim.Thread, lo, hi int) {
+			for n := lo; n < hi; n++ {
+				for c := 0; c < 8; c++ {
+					t.At(801)
+					t.Load(cornerVar.Lo+mem.Addr((n*8+c)*4), 4)
+					e := elemOfCorner(n, c)
+					t.Call(fFindPos)
+					t.At(642)
+					t.Work(4)
+					t.Ret()
+					pos := posOf(n, c)
+					t.At(802)
+					felem.Load(t, e, 0, pos)
+					felem.Load(t, e, 1, pos)
+					felem.Load(t, e, 2, pos)
+				}
+				t.At(805)
+				t.Store(arrays["m_fx"]+mem.Addr(n*8), 8)
+				t.Store(arrays["m_fy"]+mem.Addr(n*8), 8)
+				t.Store(arrays["m_fz"]+mem.Addr(n*8), 8)
+			}
+		})
+
+		// Phase 3: node-centric position/velocity update (streaming).
+		th.At(720)
+		proc.ParallelFor(th, fPosOL, cfg.Threads, nnode, func(t *sim.Thread, lo, hi int) {
+			t.At(852)
+			for n := lo; n < hi; n++ {
+				off := mem.Addr(n * 8)
+				t.Load(arrays["m_fx"]+off, 8)
+				t.Load(arrays["m_fy"]+off, 8)
+				t.Load(arrays["m_fz"]+off, 8)
+				t.Load(arrays["m_xd"]+off, 8)
+				t.Store(arrays["m_xd"]+off, 8)
+				t.Load(arrays["m_yd"]+off, 8)
+				t.Store(arrays["m_yd"]+off, 8)
+				t.Load(arrays["m_zd"]+off, 8)
+				t.Store(arrays["m_zd"]+off, 8)
+				t.Load(arrays["m_x"]+off, 8)
+				t.Store(arrays["m_x"]+off, 8)
+				t.Load(arrays["m_y"]+off, 8)
+				t.Store(arrays["m_y"]+off, 8)
+				t.Load(arrays["m_z"]+off, 8)
+				t.Store(arrays["m_z"]+off, 8)
+				t.Work(20)
+			}
+		})
+
+		th.Ret() // LagrangeLeapFrog
+	}
+
+	th.Ret() // main
+	proc.Finish()
+
+	res := &bench.Result{App: "lulesh", Variant: cfg.Variant.String(), Cycles: th.Clock()}
+	for _, t := range proc.Threads() {
+		res.OverheadCycles += t.Overhead()
+	}
+	if in.P != nil {
+		res.Profiles = in.P.Profiles()
+	}
+	return res
+}

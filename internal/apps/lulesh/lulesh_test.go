@@ -1,0 +1,87 @@
+package lulesh
+
+import (
+	"testing"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+	"dcprof/internal/profiler"
+	"dcprof/internal/view"
+)
+
+func TestInterleaveFaster(t *testing.T) {
+	cfg := TestConfig()
+	orig := Run(cfg)
+	cfg.Variant = InterleavedHeap
+	opt := Run(cfg)
+	if opt.Cycles >= orig.Cycles {
+		t.Errorf("interleaved heap (%d cy) not faster than original (%d cy)", opt.Cycles, orig.Cycles)
+	}
+	t.Logf("heap interleave improvement: %.1f%% (paper: 13%%)",
+		100*float64(orig.Cycles-opt.Cycles)/float64(orig.Cycles))
+}
+
+func TestFElemTransposeFaster(t *testing.T) {
+	// Single-threaded: the transpose is a small spatial-locality effect
+	// that parallel contention jitter would otherwise swamp.
+	cfg := TestConfig()
+	cfg.Threads = 1
+	orig := Run(cfg)
+	cfg.Variant = FElemTransposed
+	opt := Run(cfg)
+	if opt.Cycles >= orig.Cycles {
+		t.Errorf("f_elem transpose (%d cy) not faster than original (%d cy)", opt.Cycles, orig.Cycles)
+	}
+	t.Logf("f_elem transpose improvement: %.1f%% (paper: 2.2%%)",
+		100*float64(orig.Cycles-opt.Cycles)/float64(orig.Cycles))
+}
+
+func TestBothVariantName(t *testing.T) {
+	if (InterleavedHeap | FElemTransposed).String() != "both" {
+		t.Error("variant naming")
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	cfg := TestConfig()
+	pc := profiler.DefaultConfig() // IBS, like the paper's AMD runs
+	pc.Period = 64
+	cfg.Profile = &pc
+	res := Run(cfg)
+	db := res.Merged(4)
+
+	// Heap variables carry the majority of latency; statics a visible
+	// minority with f_elem as the single hottest static (paper: heap 66.8%,
+	// statics 23.6%, f_elem 17%).
+	shares := view.ClassShares(db.Merged, metric.Latency)
+	if shares[cct.ClassHeap] < 0.3 {
+		t.Errorf("heap latency share = %.3f, expected the biggest chunk", shares[cct.ClassHeap])
+	}
+	if shares[cct.ClassStatic] < 0.05 {
+		t.Errorf("static latency share = %.3f, expected visible", shares[cct.ClassStatic])
+	}
+	t.Logf("latency shares: heap=%.1f%% static=%.1f%% (paper: 66.8%% / 23.6%%)",
+		100*shares[cct.ClassHeap], 100*shares[cct.ClassStatic])
+
+	vars := view.RankVariables(db.Merged, metric.Latency)
+	var topStatic *view.VarStat
+	heapSeen := map[string]bool{}
+	for i := range vars {
+		v := &vars[i]
+		if v.Class == cct.ClassStatic && topStatic == nil {
+			topStatic = v
+		}
+		if v.Class == cct.ClassHeap {
+			heapSeen[v.Name] = true
+		}
+	}
+	if topStatic == nil || topStatic.Name != "f_elem" {
+		t.Errorf("hottest static = %v, want f_elem", topStatic)
+	}
+	// All nine nodal arrays appear as distinct variables.
+	for _, name := range hotArrays {
+		if !heapSeen[name] {
+			t.Errorf("heap variable %s missing from the profile", name)
+		}
+	}
+}

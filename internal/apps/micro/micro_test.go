@@ -1,0 +1,49 @@
+package micro
+
+import "testing"
+
+func TestFig1Decomposition(t *testing.T) {
+	cfg := DefaultFig1Config()
+	cfg.Elems = 1 << 14
+	cfg.Iters = 2
+	r := RunFig1(cfg)
+	if r.LineLatency == 0 {
+		t.Fatal("no latency attributed to the kernel line")
+	}
+	t.Logf("A=%.1f%% B=%.1f%% C=%.1f%% (paper inset: 10/5/85)",
+		100*r.ShareA, 100*r.ShareB, 100*r.ShareC)
+	// The indirectly accessed C dominates; the streamed A and B are minor.
+	if r.ShareC < 0.5 {
+		t.Errorf("C share = %.3f, want the dominant share", r.ShareC)
+	}
+	if r.ShareA >= r.ShareC || r.ShareB >= r.ShareC {
+		t.Error("A or B outweighed C")
+	}
+	sum := r.ShareA + r.ShareB + r.ShareC
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("shares sum to %.3f", sum)
+	}
+}
+
+func TestFig2Coalescing(t *testing.T) {
+	r := RunFig2(100, 8192)
+	if r.Allocations != 100 || r.TrackedAllocations != 100 {
+		t.Fatalf("allocated %d, tracked %d; want 100/100", r.Allocations, r.TrackedAllocations)
+	}
+	if r.VariablesInProfile != 1 {
+		t.Errorf("profile contains %d variables for 100 same-path allocations, want 1", r.VariablesInProfile)
+	}
+	if r.SamplesOnVariable == 0 {
+		t.Error("no samples on the coalesced variable")
+	}
+}
+
+func TestFig2DistinctPathsStayDistinct(t *testing.T) {
+	// Sanity inverse: two different block sizes through the same loop are
+	// still one variable (same path); the coalescing key is the path, not
+	// the block identity.
+	r := RunFig2(7, 4096)
+	if r.VariablesInProfile != 1 {
+		t.Errorf("variables = %d, want 1", r.VariablesInProfile)
+	}
+}

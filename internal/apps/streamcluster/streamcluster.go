@@ -1,0 +1,213 @@
+// Package streamcluster reimplements the access pattern of the Rodinia
+// Streamcluster benchmark (§5.4): online k-median clustering of a stream of
+// points. The hot data is `block`, one large array holding every point's
+// coordinates, plus a per-point weight array `point.p`.
+//
+// In the original code the master thread allocates and initializes block,
+// so Linux first-touch homes every page in the master's NUMA domain; all
+// worker threads then compute point-to-center distances against remote
+// memory, contending for one memory controller. The paper's fix initializes
+// block in parallel so first touch distributes pages near their readers,
+// cutting execution time by 28%.
+package streamcluster
+
+import (
+	"dcprof/internal/apps/appkit"
+	"dcprof/internal/apps/bench"
+	"dcprof/internal/cache"
+	"dcprof/internal/machine"
+	"dcprof/internal/mem"
+	"dcprof/internal/profiler"
+	"dcprof/internal/sim"
+)
+
+// Variant selects the original code or the paper's optimization.
+type Variant int
+
+const (
+	// Original: master-thread initialization (first touch concentrates all
+	// pages in the master's domain).
+	Original Variant = iota
+	// ParallelInit: each worker initializes (and therefore first-touches)
+	// its own chunk of block and of the weights.
+	ParallelInit
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == ParallelInit {
+		return "parallel-init"
+	}
+	return "original"
+}
+
+// Config sizes the run.
+type Config struct {
+	// Topo is the node (default: the paper's 128-thread POWER7 node).
+	Topo machine.Topology
+	// Threads is the OpenMP thread count.
+	Threads int
+	// Points and Dim size the point block.
+	Points, Dim int
+	// Centers is the number of candidate medians per pass.
+	Centers int
+	// Iters is the number of clustering passes.
+	Iters int
+	// Variant selects original or optimized behaviour.
+	Variant Variant
+	// Profile attaches the profiler when non-nil.
+	Profile *profiler.Config
+	// Cache sets the memory-hierarchy parameters (zero value: scaled
+	// defaults via appkit.ScaledCacheConfig).
+	Cache cache.Config
+}
+
+// DefaultConfig returns the case-study configuration (scaled to simulate in
+// seconds rather than the paper's minutes).
+func DefaultConfig() Config {
+	return Config{
+		Topo:    machine.Power7Node(),
+		Threads: 128,
+		Points:  6144,
+		Dim:     32,
+		Centers: 8,
+		Iters:   2,
+	}
+}
+
+// TestConfig returns a small configuration for unit tests.
+func TestConfig() Config {
+	return Config{
+		Topo:    machine.Tiny(),
+		Threads: 4,
+		Points:  2048,
+		Dim:     16,
+		Centers: 4,
+		Iters:   1,
+		Cache:   appkit.TinyCacheConfig(),
+	}
+}
+
+// Run executes the benchmark and returns its result.
+func Run(cfg Config) *bench.Result {
+	cacheCfg := cfg.Cache
+	if cacheCfg.L1Sets == 0 {
+		cacheCfg = appkit.ScaledCacheConfig()
+	}
+	node := sim.NewNode(cfg.Topo, cacheCfg)
+	proc := sim.NewProcess(node, 0, 0, cfg.Threads, nil)
+	var in appkit.Instr
+	if cfg.Profile != nil {
+		in.P = profiler.Attach(proc, *cfg.Profile)
+	}
+
+	exe := proc.LoadMap.Load("streamcluster")
+	fMain := exe.AddFunc("main", "streamcluster.cpp", 1)
+	fStream := exe.AddFunc("streamCluster", "streamcluster.cpp", 120)
+	fInitOL := exe.AddFunc("streamCluster.omp_fn.2", "streamcluster.cpp", 140)
+	fPgain := exe.AddFunc("pgain", "streamcluster.cpp", 160)
+	fAssignOL := exe.AddFunc("pgain.omp_fn.0", "streamcluster.cpp", 170)
+	fUpdateOL := exe.AddFunc("pgain.omp_fn.1", "streamcluster.cpp", 190)
+	fDist := exe.AddFunc("dist", "streamcluster.cpp", 172)
+
+	elemsPerPoint := uint64(cfg.Dim) * 8
+
+	th := proc.Start()
+	th.Call(fMain)
+	th.At(3)
+	th.Call(fStream)
+
+	// Allocate block and weights (malloc: pages placed on first touch).
+	th.At(130)
+	in.Label(th, "block")
+	block := th.Malloc(uint64(cfg.Points) * elemsPerPoint)
+	th.At(131)
+	in.Label(th, "point.p")
+	weights := th.Malloc(uint64(cfg.Points) * 8)
+
+	coordAddr := func(point, d int) mem.Addr {
+		return block + mem.Addr(uint64(point)*elemsPerPoint+uint64(d)*8)
+	}
+
+	initRange := func(t *sim.Thread, lo, hi int) {
+		t.At(141)
+		for i := lo; i < hi; i++ {
+			for d := 0; d < cfg.Dim; d++ {
+				t.Store(coordAddr(i, d), 8)
+			}
+			t.At(142)
+			t.Store(weights+mem.Addr(i*8), 8)
+			t.At(141)
+		}
+	}
+
+	// Initialization: the variant under study.
+	th.At(140)
+	if cfg.Variant == ParallelInit {
+		proc.ParallelFor(th, fInitOL, cfg.Threads, cfg.Points, initRange)
+	} else {
+		initRange(th, 0, cfg.Points)
+	}
+
+	// Clustering passes: two parallel regions per pass, as in pgain().
+	centerOf := func(c int) int { return (c*7919 + 13) % cfg.Points }
+	distTo := func(t *sim.Thread, i, c int) {
+		t.Call(fDist)
+		t.At(175)
+		for d := 0; d < cfg.Dim; d++ {
+			t.Load(coordAddr(i, d), 8)           // p1.coord
+			t.Load(coordAddr(centerOf(c), d), 8) // p2.coord
+		}
+		t.Work(uint64(14 * cfg.Dim)) // subtract/square/accumulate/compare
+		t.Ret()
+	}
+
+	for it := 0; it < cfg.Iters; it++ {
+		th.At(161)
+		th.Call(fPgain)
+		// Region 0: assign each point to its closest candidate center
+		// (the 55.5% context: Centers distance evaluations per point).
+		th.At(170)
+		proc.ParallelFor(th, fAssignOL, cfg.Threads, cfg.Points, func(t *sim.Thread, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for c := 0; c < cfg.Centers; c++ {
+					distTo(t, i, c)
+					t.At(176)
+					t.Load(weights+mem.Addr(i*8), 8) // * p[i].weight
+					t.Work(8)
+				}
+			}
+		})
+		// Region 1: evaluate reassignment gains (the 37% context: fewer
+		// distance evaluations).
+		th.At(190)
+		proc.ParallelFor(th, fUpdateOL, cfg.Threads, cfg.Points, func(t *sim.Thread, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for c := 0; c < (cfg.Centers+1)/2; c++ {
+					distTo(t, i, c)
+					t.At(196)
+					t.Load(weights+mem.Addr(i*8), 8)
+					t.Work(8)
+				}
+			}
+		})
+		th.Ret()
+	}
+
+	th.Ret() // streamCluster
+	th.Ret() // main
+	proc.Finish()
+
+	res := &bench.Result{
+		App:     "streamcluster",
+		Variant: cfg.Variant.String(),
+		Cycles:  th.Clock(),
+	}
+	for _, t := range proc.Threads() {
+		res.OverheadCycles += t.Overhead()
+	}
+	if in.P != nil {
+		res.Profiles = in.P.Profiles()
+	}
+	return res
+}

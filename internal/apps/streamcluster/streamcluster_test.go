@@ -1,0 +1,68 @@
+package streamcluster
+
+import (
+	"testing"
+
+	"dcprof/internal/apps/appkit"
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+	"dcprof/internal/pmu"
+	"dcprof/internal/profiler"
+	"dcprof/internal/view"
+)
+
+func TestParallelInitFaster(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Cache = appkit.TinyCacheConfig()
+	cfg.Points = 2048
+	cfg.Dim = 16
+	orig := Run(cfg)
+	cfg.Variant = ParallelInit
+	opt := Run(cfg)
+	if opt.Cycles >= orig.Cycles {
+		t.Errorf("parallel init (%d cy) not faster than original (%d cy)", opt.Cycles, orig.Cycles)
+	}
+	speedup := float64(orig.Cycles-opt.Cycles) / float64(orig.Cycles)
+	t.Logf("improvement: %.1f%% (paper: 28%%)", 100*speedup)
+	if speedup < 0.05 {
+		t.Errorf("improvement %.1f%% too small to be the NUMA effect", 100*speedup)
+	}
+}
+
+func TestRemoteAccessesAttributedToBlock(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Cache = appkit.TinyCacheConfig()
+	cfg.Points = 2048
+	cfg.Dim = 16
+	pc := profiler.MarkedConfig(pmu.MarkDataFromRMEM, 8)
+	cfg.Profile = &pc
+	res := Run(cfg)
+	if len(res.Profiles) != cfg.Threads {
+		t.Fatalf("profiles = %d, want %d", len(res.Profiles), cfg.Threads)
+	}
+	db := res.Merged(4)
+	shares := view.ClassShares(db.Merged, metric.FromRMEM)
+	if shares[cct.ClassHeap] < 0.9 {
+		t.Errorf("heap share of remote accesses = %.3f, paper reports 0.982", shares[cct.ClassHeap])
+	}
+	vars := view.RankVariables(db.Merged, metric.FromRMEM)
+	if len(vars) == 0 {
+		t.Fatal("no variables found")
+	}
+	if vars[0].Name != "block" {
+		t.Errorf("top remote variable = %q, want block", vars[0].Name)
+	}
+	if vars[0].Share < 0.5 {
+		t.Errorf("block share = %.3f, paper reports 0.926", vars[0].Share)
+	}
+}
+
+func TestUnprofiledRunHasNoProfiles(t *testing.T) {
+	res := Run(TestConfig())
+	if len(res.Profiles) != 0 || res.OverheadCycles != 0 {
+		t.Error("unprofiled run produced measurement artifacts")
+	}
+	if res.App != "streamcluster" || res.Variant != "original" {
+		t.Errorf("identification: %s/%s", res.App, res.Variant)
+	}
+}

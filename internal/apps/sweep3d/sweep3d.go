@@ -1,0 +1,253 @@
+// Package sweep3d reimplements the access pattern of the ASCI Sweep3D
+// benchmark (§5.2): a discrete-ordinates neutron-transport sweep over a 3D
+// Cartesian grid, MPI-parallel (no threads) with pipelined wavefronts across
+// a 2D rank grid.
+//
+// The paper's finding: the hot arrays Flux, Src and Face are Fortran
+// column-major, but the two inner-most loops traverse them so that
+// consecutive iterations stride by a full plane — defeating spatial
+// locality, the hardware prefetcher and the TLB. Transposing the arrays'
+// dimensions (inserting the last dimension between the first and second)
+// gives the inner loop unit stride and cuts execution time by 15%. Because
+// each MPI rank allocates and touches only its own arrays, there is no NUMA
+// pathology — data-fetch *latency*, not remoteness, is the signal (the
+// paper samples it with AMD IBS).
+package sweep3d
+
+import (
+	"dcprof/internal/apps/appkit"
+	"dcprof/internal/apps/bench"
+	"dcprof/internal/cache"
+	"dcprof/internal/machine"
+	"dcprof/internal/profiler"
+	"dcprof/internal/sim"
+)
+
+// Variant selects the array layouts.
+type Variant int
+
+const (
+	// Original uses the upstream layout: the inner compute loops stride by
+	// a plane.
+	Original Variant = iota
+	// Transposed permutes Flux/Src/Face dimensions so the inner loop is
+	// unit-stride.
+	Transposed
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == Transposed {
+		return "transposed"
+	}
+	return "original"
+}
+
+// Config sizes the run.
+type Config struct {
+	// Topo is the node (default: the 48-core AMD server).
+	Topo machine.Topology
+	// RanksX, RanksY shape the 2D rank grid (RanksX*RanksY MPI ranks).
+	RanksX, RanksY int
+	// NX, NY, NZ are the per-rank grid extents.
+	NX, NY, NZ int
+	// Octants is the number of sweep directions per iteration (8 in the
+	// real code; 2 suffices for the access pattern).
+	Octants int
+	// Iters is the number of timesteps.
+	Iters int
+	// Variant selects the layout.
+	Variant Variant
+	// Profile attaches the profiler to every rank when non-nil.
+	Profile *profiler.Config
+	// Cache sets the memory-hierarchy parameters (zero value: scaled
+	// defaults).
+	Cache cache.Config
+}
+
+// DefaultConfig returns the case-study configuration: 48 ranks on the AMD
+// node.
+func DefaultConfig() Config {
+	return Config{
+		Topo:   machine.MagnyCours48(),
+		RanksX: 8,
+		RanksY: 6,
+		NX:     24, NY: 24, NZ: 32,
+		Octants: 2,
+		Iters:   1,
+	}
+}
+
+// TestConfig returns a small configuration for unit tests.
+func TestConfig() Config {
+	return Config{
+		Topo:   machine.Tiny(),
+		RanksX: 2,
+		RanksY: 2,
+		// NY*NZ*8 must clear the profiler's 4 KiB tracking threshold, or
+		// Face ends up (correctly) untracked.
+		NX: 12, NY: 16, NZ: 32,
+		Octants: 2,
+		Iters:   1,
+		Cache:   appkit.TinyCacheConfig(),
+	}
+}
+
+// Run executes the benchmark.
+func Run(cfg Config) *bench.Result {
+	cacheCfg := cfg.Cache
+	if cacheCfg.L1Sets == 0 {
+		cacheCfg = appkit.ScaledCacheConfig()
+	}
+	node := sim.NewNode(cfg.Topo, cacheCfg)
+	ranks := cfg.RanksX * cfg.RanksY
+	world := sim.NewWorld([]*sim.Node{node}, ranks, 1, nil)
+
+	profs := make([]*profiler.Profiler, ranks)
+	if cfg.Profile != nil {
+		for r, p := range world.Procs {
+			profs[r] = profiler.Attach(p, *cfg.Profile)
+		}
+	}
+
+	done := make([]uint64, ranks)
+
+	world.Run(func(p *sim.Process, th *sim.Thread) {
+		in := appkit.Instr{P: profs[p.Rank]}
+		exe := p.LoadMap.Load("sweep3d")
+		fMain := exe.AddFunc("driver", "driver.f", 1)
+		fSweep := exe.AddFunc("sweep", "sweep.f", 440)
+		fSource := exe.AddFunc("source", "source.f", 90)
+
+		th.Call(fMain)
+
+		// Per-rank allocations (local first touch, as in real MPI runs).
+		th.At(20)
+		in.Label(th, "Flux")
+		fluxBase := th.Malloc(uint64(cfg.NX*cfg.NY*cfg.NZ) * 8)
+		th.At(21)
+		in.Label(th, "Src")
+		srcBase := th.Malloc(uint64(cfg.NX*cfg.NY*cfg.NZ) * 8)
+		th.At(22)
+		in.Label(th, "Face")
+		faceBase := th.Malloc(uint64(cfg.NY*cfg.NZ) * 8)
+
+		dims := []int{cfg.NX, cfg.NY, cfg.NZ}
+		// Fortran column-major: logical dim 0 (i) fastest. The compute
+		// loops below run k inner — a plane-sized stride. The transposed
+		// variant moves k to the fastest position, matching the loops.
+		order := []int{2, 1, 0} // slowest..fastest = k, j, i
+		if cfg.Variant == Transposed {
+			order = []int{0, 1, 2} // slowest..fastest = i, j, k
+		}
+		flux := appkit.NewArrayOrder(fluxBase, 8, dims, order)
+		src := appkit.NewArrayOrder(srcBase, 8, dims, order)
+		// Face holds one incoming i-face of the block: dims (j, k).
+		faceOrder := []int{1, 0}
+		if cfg.Variant == Transposed {
+			faceOrder = []int{0, 1}
+		}
+		face := appkit.NewArrayOrder(faceBase, 8, []int{cfg.NY, cfg.NZ}, faceOrder)
+
+		// Initialize Src locally (source term).
+		th.Call(fSource)
+		th.At(95)
+		for i := 0; i < cfg.NX; i++ {
+			for j := 0; j < cfg.NY; j++ {
+				for k := 0; k < cfg.NZ; k++ {
+					src.Store(th, i, j, k)
+				}
+			}
+		}
+		th.Ret()
+
+		px, py := p.Rank%cfg.RanksX, p.Rank/cfg.RanksX
+		planeBytes := uint64(cfg.NY*cfg.NZ) * 8
+
+		for it := 0; it < cfg.Iters; it++ {
+			for oct := 0; oct < cfg.Octants; oct++ {
+				// Sweep direction alternates across octants.
+				reverse := oct%2 == 1
+				th.At(450)
+				th.Call(fSweep)
+
+				// Pipelined wavefront: receive upstream faces, sweep the
+				// local block, send downstream.
+				if !reverse {
+					if px > 0 {
+						world.Recv(th, p.Rank-1, oct)
+					}
+					if py > 0 {
+						world.Recv(th, p.Rank-cfg.RanksX, 100+oct)
+					}
+				} else {
+					if px < cfg.RanksX-1 {
+						world.Recv(th, p.Rank+1, oct)
+					}
+					if py < cfg.RanksY-1 {
+						world.Recv(th, p.Rank+cfg.RanksX, 100+oct)
+					}
+				}
+
+				// The i/j loops at lines 477-478 with the recursion over k
+				// at line 480: in the original layout the k loop (inner)
+				// strides by a full i-j plane.
+				for j := 0; j < cfg.NY; j++ {
+					th.At(477)
+					for i := 0; i < cfg.NX; i++ {
+						th.At(478)
+						for k := 0; k < cfg.NZ; k++ {
+							th.At(479)
+							src.Load(th, i, j, k)
+							th.At(480)
+							flux.Load(th, i, j, k)
+							flux.Store(th, i, j, k)
+							th.At(481)
+							face.Load(th, j, k)
+							face.Store(th, j, k)
+							th.Work(10)
+						}
+					}
+				}
+
+				if !reverse {
+					if px < cfg.RanksX-1 {
+						world.Send(th, p.Rank+1, planeBytes, oct)
+					}
+					if py < cfg.RanksY-1 {
+						world.Send(th, p.Rank+cfg.RanksX, planeBytes, 100+oct)
+					}
+				} else {
+					if px > 0 {
+						world.Send(th, p.Rank-1, planeBytes, oct)
+					}
+					if py > 0 {
+						world.Send(th, p.Rank-cfg.RanksX, planeBytes, 100+oct)
+					}
+				}
+				th.Ret()
+			}
+			world.Allreduce(th, 8) // global flux error check
+		}
+
+		th.Ret()
+		done[p.Rank] = th.Clock()
+	})
+
+	var maxClock uint64
+	for _, c := range done {
+		if c > maxClock {
+			maxClock = c
+		}
+	}
+	res := &bench.Result{App: "sweep3d", Variant: cfg.Variant.String(), Cycles: maxClock}
+	for r, p := range world.Procs {
+		for _, t := range p.Threads() {
+			res.OverheadCycles += t.Overhead()
+		}
+		if profs[r] != nil {
+			res.Profiles = append(res.Profiles, profs[r].Profiles()...)
+		}
+	}
+	return res
+}

@@ -1,0 +1,93 @@
+package sweep3d
+
+import (
+	"testing"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+	"dcprof/internal/profiler"
+	"dcprof/internal/view"
+)
+
+func TestTransposeFaster(t *testing.T) {
+	cfg := TestConfig()
+	orig := Run(cfg)
+	cfg.Variant = Transposed
+	opt := Run(cfg)
+	if opt.Cycles >= orig.Cycles {
+		t.Errorf("transposed (%d cy) not faster than original (%d cy)", opt.Cycles, orig.Cycles)
+	}
+	t.Logf("improvement: %.1f%% (paper: 15%%)",
+		100*float64(orig.Cycles-opt.Cycles)/float64(orig.Cycles))
+}
+
+func TestLatencyAttributedToThreeArrays(t *testing.T) {
+	cfg := TestConfig()
+	pc := profiler.DefaultConfig() // IBS, as in the paper's AMD runs
+	pc.Period = 32
+	cfg.Profile = &pc
+	res := Run(cfg)
+	if len(res.Profiles) != cfg.RanksX*cfg.RanksY {
+		t.Fatalf("profiles = %d, want one per rank", len(res.Profiles))
+	}
+	db := res.Merged(4)
+	if db.Ranks != cfg.RanksX*cfg.RanksY {
+		t.Errorf("merged ranks = %d", db.Ranks)
+	}
+
+	shares := view.ClassShares(db.Merged, metric.Latency)
+	if shares[cct.ClassHeap] < 0.7 {
+		t.Errorf("heap latency share = %.3f, paper reports 0.974", shares[cct.ClassHeap])
+	}
+	vars := view.RankVariables(db.Merged, metric.Latency)
+	got := map[string]float64{}
+	for _, v := range vars {
+		got[v.Name] = v.Share
+	}
+	// Paper: Flux 39.4%, Src 39.1%, Face 14.6%.
+	if got["Flux"] == 0 || got["Src"] == 0 || got["Face"] == 0 {
+		t.Fatalf("hot arrays missing from profile: %v", got)
+	}
+	if got["Face"] >= got["Flux"] || got["Face"] >= got["Src"] {
+		t.Errorf("Face (%.3f) should trail Flux (%.3f) and Src (%.3f)",
+			got["Face"], got["Flux"], got["Src"])
+	}
+	t.Logf("Flux=%.1f%% Src=%.1f%% Face=%.1f%% (paper: 39.4/39.1/14.6)",
+		100*got["Flux"], 100*got["Src"], 100*got["Face"])
+
+	// NUMA cleanliness: pure-MPI ranks touch their own data, so remote
+	// accesses are a negligible fraction of samples.
+	tot := db.Merged.Total()
+	if tot[metric.FromRMEM] > tot[metric.Samples]/20 {
+		t.Errorf("remote accesses = %d of %d samples; MPI ranks should be NUMA-local",
+			tot[metric.FromRMEM], tot[metric.Samples])
+	}
+}
+
+func TestHotLineIsFluxAccess(t *testing.T) {
+	cfg := TestConfig()
+	pc := profiler.DefaultConfig()
+	pc.Period = 32
+	cfg.Profile = &pc
+	res := Run(cfg)
+	db := res.Merged(4)
+	vars := view.RankVariables(db.Merged, metric.Latency)
+	var flux *view.VarStat
+	for i := range vars {
+		if vars[i].Name == "Flux" {
+			flux = &vars[i]
+		}
+	}
+	if flux == nil {
+		t.Fatal("Flux not found")
+	}
+	accs := view.TopAccesses(flux.Node, metric.Latency, view.MetricTotal(db.Merged, metric.Latency))
+	if len(accs) == 0 {
+		t.Fatal("no accesses under Flux")
+	}
+	// The paper's Figure 7: the dominant access is the sweep statement at
+	// line 480, deep in the call chain.
+	if accs[0].Line != 480 || accs[0].File != "sweep.f" {
+		t.Errorf("top Flux access = %s:%d, want sweep.f:480", accs[0].File, accs[0].Line)
+	}
+}

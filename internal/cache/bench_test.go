@@ -1,0 +1,98 @@
+package cache
+
+import (
+	"testing"
+
+	"dcprof/internal/machine"
+	"dcprof/internal/mem"
+)
+
+func benchHierarchy(cfg Config) (*Hierarchy, *mem.PageTable) {
+	topo := machine.MagnyCours48()
+	return NewHierarchy(topo, cfg), mem.NewPageTable(topo.NUMADomains, mem.FirstTouch{})
+}
+
+func BenchmarkAccessL1Hit(b *testing.B) {
+	h, pt := benchHierarchy(DefaultConfig())
+	h.Access(0, 0, mem.HeapBase, false, pt, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, 0, mem.HeapBase, false, pt, uint64(i))
+	}
+}
+
+func BenchmarkAccessStreaming(b *testing.B) {
+	h, pt := benchHierarchy(DefaultConfig())
+	b.ResetTimer()
+	var now uint64
+	for i := 0; i < b.N; i++ {
+		r := h.Access(0, 0, mem.HeapBase+mem.Addr((i%(1<<20))*8), false, pt, now)
+		now += r.Latency
+	}
+}
+
+func BenchmarkAccessRandom(b *testing.B) {
+	h, pt := benchHierarchy(DefaultConfig())
+	b.ResetTimer()
+	var now uint64
+	for i := 0; i < b.N; i++ {
+		addr := mem.HeapBase + mem.Addr(((i*2654435761)%(1<<22))*8)
+		r := h.Access(0, 0, addr, false, pt, now)
+		now += r.Latency
+	}
+}
+
+// BenchmarkAblationPrefetcher reports the simulated-cycle cost of a fixed
+// streaming workload with and without the prefetcher — the design-choice
+// ablation DESIGN.md calls out.
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	run := func(degree int) uint64 {
+		cfg := DefaultConfig()
+		cfg.PrefetchDegree = degree
+		h, pt := benchHierarchy(cfg)
+		var now uint64
+		for i := 0; i < 1<<16; i++ {
+			r := h.Access(0, 0, mem.HeapBase+mem.Addr(i*8), false, pt, now)
+			now += r.Latency
+		}
+		return now
+	}
+	var with, without uint64
+	for i := 0; i < b.N; i++ {
+		with = run(1)
+		without = run(0)
+	}
+	b.ReportMetric(float64(without)/float64(with), "speedup-from-prefetch")
+}
+
+// BenchmarkAblationIntervention reports how much of a shared read-mostly
+// working set is served by cross-socket L3 intervention vs remote DRAM.
+func BenchmarkAblationIntervention(b *testing.B) {
+	h, pt := benchHierarchy(DefaultConfig())
+	// Socket 0 (core 0) warms the lines.
+	for i := 0; i < 1<<12; i++ {
+		h.Access(0, 0, mem.HeapBase+mem.Addr(i*64), true, pt, 0)
+	}
+	b.ResetTimer()
+	var rl3, rmem int
+	for i := 0; i < b.N; i++ {
+		r := h.Access(47, 0, mem.HeapBase+mem.Addr((i%(1<<12))*64), false, pt, 0)
+		switch r.Source {
+		case SrcRemoteL3:
+			rl3++
+		case SrcRemoteDRAM:
+			rmem++
+		}
+	}
+	if rl3+rmem > 0 {
+		b.ReportMetric(100*float64(rl3)/float64(rl3+rmem), "intervention-%")
+	}
+}
+
+func BenchmarkControllerFetch(b *testing.B) {
+	var c controller
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.fetch(uint64(i)*4, 8)
+	}
+}

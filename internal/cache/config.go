@@ -1,0 +1,175 @@
+// Package cache simulates the memory hierarchy of a multi-socket NUMA node:
+// per-core L1D and L2 caches and D-TLB, a per-socket shared L3, a next-line
+// prefetcher, and one DRAM controller per NUMA domain with a queueing model
+// of bandwidth contention.
+//
+// The simulator's contract with the profiler mirrors what IBS / POWER7
+// marked-event hardware reports per sampled access: the total latency and
+// the data source (which level, local or remote memory) plus a TLB-miss
+// flag. The paper's three locality pathologies emerge naturally:
+//
+//   - poor spatial locality (large strides, indirection) defeats the line
+//     granularity, the prefetcher and the TLB;
+//   - poor temporal locality evicts lines before reuse;
+//   - poor NUMA locality (first-touch by one thread) turns worker accesses
+//     remote and serializes them on a single DRAM controller.
+package cache
+
+import "fmt"
+
+// LineSize is the cache-line granularity in bytes, shared by all levels.
+const LineSize = 64
+
+// Config sets the geometry and timing of the hierarchy. All latencies are in
+// core cycles. The defaults (DefaultConfig) approximate the paper's AMD
+// Magny-Cours and POWER7 platforms closely enough for shape-level studies.
+type Config struct {
+	// L1 data cache, private per core.
+	L1Sets, L1Ways int
+	// L2 unified cache, private per core.
+	L2Sets, L2Ways int
+	// L3 cache, shared per socket.
+	L3Sets, L3Ways int
+	// D-TLB, private per core (entries = TLBSets*TLBWays pages).
+	TLBSets, TLBWays int
+
+	// Load-to-use latencies per serving level.
+	L1Lat, L2Lat, L3Lat uint64
+	// DRAM access latency (row access etc.), before queueing.
+	MemLat uint64
+	// Extra cycles for crossing the socket interconnect to a remote
+	// controller (HyperTransport / QPI hop).
+	RemoteHop uint64
+	// Page-walk penalty charged on a TLB miss.
+	TLBMissLat uint64
+
+	// DRAMService is the controller occupancy per line fetch: the inverse
+	// bandwidth of one memory controller. Concurrent accesses to one
+	// controller queue behind each other in simulated time.
+	DRAMService uint64
+
+	// PrefetchDegree is how many sequential next lines the L1-miss
+	// prefetcher pulls into L2 (0 disables prefetching). Prefetches never
+	// cross a page boundary.
+	PrefetchDegree int
+
+	// PrefetchThrottle stops prefetch issue while the target DRAM
+	// controller's backlog exceeds this many cycles — modelling finite
+	// miss queues: under bandwidth saturation the prefetcher cannot run
+	// ahead and demand misses surface with their true memory sources.
+	// Zero disables throttling.
+	PrefetchThrottle uint64
+}
+
+// DefaultConfig returns the standard simulation parameters: 32 KiB 8-way L1,
+// 256 KiB 8-way L2, 8 MiB 16-way L3 per socket, 64-entry 4-way DTLB.
+func DefaultConfig() Config {
+	return Config{
+		L1Sets: 64, L1Ways: 8, // 32 KiB
+		L2Sets: 512, L2Ways: 8, // 256 KiB
+		L3Sets: 8192, L3Ways: 16, // 8 MiB
+		TLBSets: 16, TLBWays: 4, // 64 entries
+		L1Lat: 4, L2Lat: 12, L3Lat: 40,
+		MemLat: 180, RemoteHop: 150, TLBMissLat: 40,
+		DRAMService:      8,
+		PrefetchDegree:   1,
+		PrefetchThrottle: 1500,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	pow2 := func(name string, v int) error {
+		if v <= 0 || v&(v-1) != 0 {
+			return fmt.Errorf("cache: %s must be a positive power of two, got %d", name, v)
+		}
+		return nil
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"L1Sets", c.L1Sets}, {"L2Sets", c.L2Sets}, {"L3Sets", c.L3Sets}, {"TLBSets", c.TLBSets},
+	} {
+		if err := pow2(p.name, p.v); err != nil {
+			return err
+		}
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"L1Ways", c.L1Ways}, {"L2Ways", c.L2Ways}, {"L3Ways", c.L3Ways}, {"TLBWays", c.TLBWays},
+	} {
+		if p.v <= 0 {
+			return fmt.Errorf("cache: %s must be positive, got %d", p.name, p.v)
+		}
+	}
+	if c.PrefetchDegree < 0 {
+		return fmt.Errorf("cache: PrefetchDegree must be non-negative, got %d", c.PrefetchDegree)
+	}
+	return nil
+}
+
+// DataSource identifies which level of the hierarchy served an access — the
+// information IBS encodes in its load/store response and POWER7 exposes as
+// PM_MRK_DATA_FROM_* marked events.
+type DataSource uint8
+
+const (
+	// SrcL1 — served by the core's L1 data cache.
+	SrcL1 DataSource = iota
+	// SrcL2 — served by the core's private L2.
+	SrcL2
+	// SrcL3 — served by the socket's shared L3.
+	SrcL3
+	// SrcRemoteL3 — served by another socket's L3 via a cache-to-cache
+	// intervention across the interconnect (the line was recently used by a
+	// core on that socket).
+	SrcRemoteL3
+	// SrcLocalDRAM — served by the accessor's own NUMA domain's memory.
+	SrcLocalDRAM
+	// SrcRemoteDRAM — served by another NUMA domain's memory across the
+	// interconnect.
+	SrcRemoteDRAM
+	// NumSources is the number of DataSource values.
+	NumSources = int(SrcRemoteDRAM) + 1
+)
+
+// String returns the conventional name for the source.
+func (s DataSource) String() string {
+	switch s {
+	case SrcL1:
+		return "L1"
+	case SrcL2:
+		return "L2"
+	case SrcL3:
+		return "L3"
+	case SrcRemoteL3:
+		return "RL3"
+	case SrcLocalDRAM:
+		return "LMEM"
+	case SrcRemoteDRAM:
+		return "RMEM"
+	default:
+		return fmt.Sprintf("DataSource(%d)", uint8(s))
+	}
+}
+
+// AccessResult is what the PMU sees for one memory access.
+type AccessResult struct {
+	// Latency is the total load-to-use cycles, including TLB walk, level
+	// latency, interconnect hop and controller queueing.
+	Latency uint64
+	// Source is the serving level.
+	Source DataSource
+	// TLBMiss reports whether the access missed the D-TLB.
+	TLBMiss bool
+	// HomeDomain is the NUMA domain the data's page is homed in.
+	HomeDomain int
+	// Remote reports whether HomeDomain differs from the accessor's domain.
+	Remote bool
+	// QueueDelay is the portion of Latency spent waiting for the DRAM
+	// controller (bandwidth contention); zero for cache hits.
+	QueueDelay uint64
+}

@@ -1,0 +1,138 @@
+package cache
+
+// setAssoc is a set-associative array with per-set LRU replacement, used for
+// every cache level and the TLB. Keys are line or page numbers already
+// salted with the address-space id. The zero tag is reserved as "invalid",
+// which is safe because salting keeps real keys nonzero.
+//
+// setAssoc does no locking; each instance is guarded by its owner (private
+// caches by the per-core lock, the shared L3 by stripe locks).
+type setAssoc struct {
+	ways    int
+	setMask uint64
+	tags    []uint64 // sets*ways, 0 = invalid
+	stamps  []uint64 // LRU timestamps, parallel to tags
+
+	// Prefetch payload, parallel to tags: the simulated time the line's
+	// background fill completes, the fill's total cost, and its memory
+	// source. A demand access before `ready` is a late prefetch: it pays
+	// the residual latency (capped at the fill cost, since per-thread
+	// clocks are only loosely synchronized) and is classified by the
+	// fill's origin.
+	ready  []uint64
+	cost   []uint64
+	origin []uint8 // DataSource of the fill
+	home   []int32 // NUMA home domain of the line's page
+
+	clock uint64
+}
+
+func newSetAssoc(sets, ways int) *setAssoc {
+	n := sets * ways
+	return &setAssoc{
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, n),
+		stamps:  make([]uint64, n),
+		ready:   make([]uint64, n),
+		cost:    make([]uint64, n),
+		origin:  make([]uint8, n),
+		home:    make([]int32, n),
+	}
+}
+
+func (s *setAssoc) setBase(key uint64) int {
+	return int(key&s.setMask) * s.ways
+}
+
+// lookup probes for key, refreshing its LRU stamp on hit, and returns the
+// way index for payload access.
+func (s *setAssoc) lookup(key uint64) (int, bool) {
+	base := s.setBase(key)
+	for i := base; i < base+s.ways; i++ {
+		if s.tags[i] == key {
+			s.clock++
+			s.stamps[i] = s.clock
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// pending returns the line's in-flight fill information (and clears it, so
+// subsequent hits are plain hits). ok reports a fill still outstanding at
+// `now`.
+func (s *setAssoc) pending(i int, now uint64) (residual uint64, origin DataSource, home int, ok bool) {
+	if s.ready[i] == 0 || s.ready[i] <= now {
+		s.ready[i] = 0
+		return 0, 0, 0, false
+	}
+	residual = s.ready[i] - now
+	if residual > s.cost[i] {
+		residual = s.cost[i]
+	}
+	origin, home = DataSource(s.origin[i]), int(s.home[i])
+	s.ready[i] = 0
+	return residual, origin, home, true
+}
+
+// setPending records an in-flight background fill for the line at way i.
+func (s *setAssoc) setPending(i int, ready, cost uint64, origin DataSource, home int) {
+	s.ready[i] = ready
+	s.cost[i] = cost
+	s.origin[i] = uint8(origin)
+	s.home[i] = int32(home)
+}
+
+// present probes for key without touching LRU state (used by prefetch
+// checks so a prefetch probe doesn't distort replacement).
+func (s *setAssoc) present(key uint64) bool {
+	base := s.setBase(key)
+	for i := base; i < base+s.ways; i++ {
+		if s.tags[i] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// insert installs key, evicting the set's LRU way if needed. It returns the
+// installed way index and the evicted key (0 if an invalid way was used).
+// Inserting an already-present key refreshes it without clearing payload.
+func (s *setAssoc) insert(key uint64) (way int, evicted uint64) {
+	base := s.setBase(key)
+	victim := base
+	s.clock++
+	for i := base; i < base+s.ways; i++ {
+		switch {
+		case s.tags[i] == key:
+			s.stamps[i] = s.clock
+			return i, 0
+		case s.tags[i] == 0:
+			s.tags[i] = key
+			s.stamps[i] = s.clock
+			s.ready[i] = 0
+			return i, 0
+		case s.stamps[i] < s.stamps[victim]:
+			victim = i
+		}
+	}
+	evicted = s.tags[victim]
+	s.tags[victim] = key
+	s.stamps[victim] = s.clock
+	s.ready[victim] = 0
+	return victim, evicted
+}
+
+// invalidate removes key if present.
+func (s *setAssoc) invalidate(key uint64) {
+	base := s.setBase(key)
+	for i := base; i < base+s.ways; i++ {
+		if s.tags[i] == key {
+			s.tags[i] = 0
+			s.stamps[i] = 0
+			s.ready[i] = 0
+			return
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func has(s *setAssoc, key uint64) bool {
+	_, ok := s.lookup(key)
+	return ok
+}
+
+func TestSetAssocHitMiss(t *testing.T) {
+	s := newSetAssoc(4, 2)
+	if _, ok := s.lookup(0x100); ok {
+		t.Error("cold lookup hit")
+	}
+	if _, ev := s.insert(0x100); ev != 0 {
+		t.Errorf("insert into empty set evicted %#x", ev)
+	}
+	if _, ok := s.lookup(0x100); !ok {
+		t.Error("lookup after insert missed")
+	}
+}
+
+func TestSetAssocLRUEviction(t *testing.T) {
+	s := newSetAssoc(1, 2) // single set, 2 ways
+	s.insert(1)
+	s.insert(2)
+	s.lookup(1) // 1 is now MRU; 2 is LRU
+	if _, ev := s.insert(3); ev != 2 {
+		t.Errorf("evicted %#x, want 2 (the LRU)", ev)
+	}
+	if !has(s, 1) || !has(s, 3) || has(s, 2) {
+		t.Error("post-eviction contents wrong")
+	}
+}
+
+func TestSetAssocSetIsolation(t *testing.T) {
+	s := newSetAssoc(4, 1)
+	// Keys 0..3 map to different sets; none should evict another.
+	for k := uint64(1); k <= 4; k++ {
+		key := k<<10 | (k - 1) // distinct set index bits 0..1
+		if _, ev := s.insert(key); ev != 0 {
+			t.Errorf("cross-set eviction of %#x", ev)
+		}
+	}
+}
+
+func TestSetAssocConflictWithinSet(t *testing.T) {
+	s := newSetAssoc(4, 2)
+	// Three keys with identical low bits collide in one 2-way set.
+	k1, k2, k3 := uint64(0x10), uint64(0x50), uint64(0x90)
+	s.insert(k1)
+	s.insert(k2)
+	_, ev := s.insert(k3)
+	if ev != k1 {
+		t.Errorf("evicted %#x, want LRU %#x", ev, k1)
+	}
+}
+
+func TestSetAssocReinsertRefreshes(t *testing.T) {
+	s := newSetAssoc(1, 2)
+	s.insert(1)
+	s.insert(2)
+	s.insert(1) // refresh 1; 2 becomes LRU
+	if _, ev := s.insert(3); ev != 2 {
+		t.Errorf("evicted %#x, want 2", ev)
+	}
+}
+
+func TestSetAssocPresentDoesNotTouchLRU(t *testing.T) {
+	s := newSetAssoc(1, 2)
+	s.insert(1)
+	s.insert(2) // LRU order: 1, 2
+	if !s.present(1) {
+		t.Fatal("present(1) = false")
+	}
+	// present must not have refreshed 1, so 1 is still LRU.
+	if _, ev := s.insert(3); ev != 1 {
+		t.Errorf("evicted %#x, want 1 (present leaked an LRU touch)", ev)
+	}
+}
+
+func TestSetAssocInvalidate(t *testing.T) {
+	s := newSetAssoc(2, 2)
+	s.insert(4)
+	s.invalidate(4)
+	if _, ok := s.lookup(4); ok {
+		t.Error("lookup hit after invalidate")
+	}
+	s.invalidate(12345) // no-op on absent key
+}
+
+// Property: a set-assoc array with one set and W ways behaves exactly like
+// an LRU list of capacity W.
+func TestQuickLRUModel(t *testing.T) {
+	f := func(seed int64, ways8 uint8) bool {
+		ways := int(ways8%6) + 1
+		s := newSetAssoc(1, ways)
+		var model []uint64 // MRU at end
+		rng := rand.New(rand.NewSource(seed))
+		touch := func(k uint64) {
+			for i, v := range model {
+				if v == k {
+					model = append(model[:i], model[i+1:]...)
+					break
+				}
+			}
+			model = append(model, k)
+			if len(model) > ways {
+				model = model[1:]
+			}
+		}
+		contains := func(k uint64) bool {
+			for _, v := range model {
+				if v == k {
+					return true
+				}
+			}
+			return false
+		}
+		for op := 0; op < 500; op++ {
+			k := uint64(rng.Intn(3*ways) + 1)
+			if rng.Intn(2) == 0 {
+				_, got := s.lookup(k)
+				want := contains(k)
+				if got != want {
+					return false
+				}
+				if want {
+					touch(k)
+				}
+			} else {
+				s.insert(k)
+				touch(k)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,352 @@
+// Package cct implements calling context trees (CCTs), the compact profile
+// representation at the heart of the paper's scalability story.
+//
+// A CCT coalesces common call-path prefixes: the root is the thread start,
+// internal nodes are call sites, and leaves are statements where samples
+// were taken. The data-centric extension adds two node kinds: a per-variable
+// dummy node for statics, and — for heap data — the allocation call path
+// prepended to every access path, separated by a "heap data accesses" mark.
+// Because the variable identity is *structural* (the allocation path itself,
+// or the static symbol), merging profiles across threads and processes is a
+// plain recursive tree merge that adds metric vectors.
+package cct
+
+import (
+	"fmt"
+	"sort"
+
+	"dcprof/internal/metric"
+)
+
+// Kind discriminates CCT node frames.
+type Kind uint8
+
+const (
+	// KindRoot is the tree root (thread start / storage-class root).
+	KindRoot Kind = iota
+	// KindCall is a procedure frame entered from a call site.
+	KindCall
+	// KindStmt is a leaf statement (a sampled instruction or an allocation
+	// point).
+	KindStmt
+	// KindStaticVar is the dummy node naming a static variable; all access
+	// paths to that variable hang beneath it.
+	KindStaticVar
+	// KindHeapData is the "heap data accesses" separator between a heap
+	// variable's allocation path and the access paths to it.
+	KindHeapData
+	// KindStackVar is the dummy node naming a registered stack variable
+	// (the paper's §7 extension: stack-allocated data attribution).
+	KindStackVar
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRoot:
+		return "root"
+	case KindCall:
+		return "call"
+	case KindStmt:
+		return "stmt"
+	case KindStaticVar:
+		return "static-var"
+	case KindHeapData:
+		return "heap-data"
+	case KindStackVar:
+		return "stack-var"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Frame identifies a CCT node within its parent. Frames are comparable and
+// name symbols by strings, so identical paths from different threads,
+// processes, or profile files merge structurally.
+type Frame struct {
+	// Kind tags the node.
+	Kind Kind
+	// Module is the load module name (calls, statements, static vars).
+	Module string
+	// Name is the function name (calls/statements), the variable name
+	// (static vars), or the optional heap variable label (heap-data marks).
+	Name string
+	// File is the source file for calls and statements.
+	File string
+	// Line is the call-site line (KindCall), the statement line (KindStmt),
+	// or zero.
+	Line int
+}
+
+// String renders the frame for views and debugging.
+func (f Frame) String() string {
+	switch f.Kind {
+	case KindRoot:
+		return "<root>"
+	case KindCall:
+		if f.Line == 0 {
+			return f.Name
+		}
+		return fmt.Sprintf("%s (called from line %d)", f.Name, f.Line)
+	case KindStmt:
+		return fmt.Sprintf("%s:%d [%s]", f.File, f.Line, f.Name)
+	case KindStaticVar:
+		return fmt.Sprintf("static %s [%s]", f.Name, f.Module)
+	case KindStackVar:
+		return fmt.Sprintf("stack %s [%s]", f.Name, f.Module)
+	case KindHeapData:
+		if f.Name != "" {
+			return fmt.Sprintf("heap data accesses <%s>", f.Name)
+		}
+		return "heap data accesses"
+	default:
+		return fmt.Sprintf("?%d", f.Kind)
+	}
+}
+
+// Node is one CCT node.
+type Node struct {
+	// Frame identifies the node within its parent.
+	Frame Frame
+	// Metrics holds the node's exclusive metric values (samples attributed
+	// directly to this node; usually only leaves have nonzero metrics).
+	Metrics metric.Vector
+
+	parent   *Node
+	children map[Frame]*Node
+}
+
+// Parent returns the node's parent (nil at the root).
+func (n *Node) Parent() *Node { return n.parent }
+
+// Child returns the child with the given frame, creating it if absent.
+func (n *Node) Child(f Frame) *Node {
+	if c, ok := n.children[f]; ok {
+		return c
+	}
+	if n.children == nil {
+		n.children = make(map[Frame]*Node)
+	}
+	c := &Node{Frame: f, parent: n}
+	n.children[f] = c
+	return c
+}
+
+// Lookup returns the child with the given frame if it exists.
+func (n *Node) Lookup(f Frame) (*Node, bool) {
+	c, ok := n.children[f]
+	return c, ok
+}
+
+// Children returns the node's children sorted deterministically (by kind,
+// module, name, file, line).
+func (n *Node) Children() []*Node {
+	out := make([]*Node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return frameLess(out[i].Frame, out[j].Frame) })
+	return out
+}
+
+func frameLess(a, b Frame) bool {
+	switch {
+	case a.Kind != b.Kind:
+		return a.Kind < b.Kind
+	case a.Module != b.Module:
+		return a.Module < b.Module
+	case a.Name != b.Name:
+		return a.Name < b.Name
+	case a.File != b.File:
+		return a.File < b.File
+	default:
+		return a.Line < b.Line
+	}
+}
+
+// NumChildren returns the number of children.
+func (n *Node) NumChildren() int { return len(n.children) }
+
+// Path returns the frames from the root (exclusive) down to n.
+func (n *Node) Path() []Frame {
+	var rev []Frame
+	for cur := n; cur != nil && cur.Frame.Kind != KindRoot; cur = cur.parent {
+		rev = append(rev, cur.Frame)
+	}
+	out := make([]Frame, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Tree is one calling context tree.
+type Tree struct {
+	// Root is the tree root; its frame has KindRoot.
+	Root *Node
+}
+
+// New creates an empty tree.
+func New() *Tree {
+	return &Tree{Root: &Node{Frame: Frame{Kind: KindRoot}}}
+}
+
+// InsertPath walks (creating as needed) the path of frames from the root
+// and returns the final node.
+func (t *Tree) InsertPath(path []Frame) *Node {
+	n := t.Root
+	for _, f := range path {
+		n = n.Child(f)
+	}
+	return n
+}
+
+// AddSample attributes a metric vector to the node at the given path.
+func (t *Tree) AddSample(path []Frame, v *metric.Vector) *Node {
+	n := t.InsertPath(path)
+	n.Metrics.Add(v)
+	return n
+}
+
+// Merge adds the other tree's structure and metrics into t. The other tree
+// is left untouched.
+func (t *Tree) Merge(o *Tree) {
+	mergeNode(t.Root, o.Root)
+}
+
+func mergeNode(dst, src *Node) {
+	dst.Metrics.Add(&src.Metrics)
+	for f, sc := range src.children {
+		mergeNode(dst.Child(f), sc)
+	}
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	c := New()
+	c.Merge(t)
+	return c
+}
+
+// Walk visits every node in deterministic pre-order. Returning false from
+// fn prunes the subtree below that node.
+func (t *Tree) Walk(fn func(n *Node, depth int) bool) {
+	walk(t.Root, 0, fn)
+}
+
+func walk(n *Node, depth int, fn func(*Node, int) bool) {
+	if !fn(n, depth) {
+		return
+	}
+	for _, c := range n.Children() {
+		walk(c, depth+1, fn)
+	}
+}
+
+// NumNodes counts the tree's nodes, root included.
+func (t *Tree) NumNodes() int {
+	count := 0
+	t.Walk(func(*Node, int) bool { count++; return true })
+	return count
+}
+
+// Total sums metric values over the whole tree (since samples are recorded
+// exclusively at their nodes, this is the tree's inclusive total).
+func (t *Tree) Total() metric.Vector {
+	var v metric.Vector
+	t.Walk(func(n *Node, _ int) bool { v.Add(&n.Metrics); return true })
+	return v
+}
+
+// Inclusive computes the inclusive metric vector of a node: its own plus
+// all descendants'.
+func (n *Node) Inclusive() metric.Vector {
+	v := n.Metrics
+	for _, c := range n.children {
+		cv := c.Inclusive()
+		v.Add(&cv)
+	}
+	return v
+}
+
+// Class is the storage class that separates per-thread CCTs (§4.1.4): the
+// profiler files each sample into the tree matching what its effective
+// address resolved to, plus one tree for samples with no memory operand.
+type Class uint8
+
+const (
+	// ClassStatic holds samples on static variables.
+	ClassStatic Class = iota
+	// ClassHeap holds samples on tracked heap allocations.
+	ClassHeap
+	// ClassUnknown holds memory samples on anything else (stack, brk,
+	// untracked small allocations).
+	ClassUnknown
+	// ClassNonMem holds samples whose instruction had no memory operand.
+	ClassNonMem
+	// NumClasses is the number of storage classes.
+	NumClasses = int(ClassNonMem) + 1
+)
+
+// String names the class as the views label it.
+func (c Class) String() string {
+	switch c {
+	case ClassStatic:
+		return "static data"
+	case ClassHeap:
+		return "heap data"
+	case ClassUnknown:
+		return "unknown data"
+	case ClassNonMem:
+		return "no memory access"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Profile is one thread's measurement output: one CCT per storage class
+// plus identification.
+type Profile struct {
+	// Rank and Thread identify the producing MPI rank and thread.
+	Rank, Thread int
+	// Event describes the monitored PMU configuration (e.g.
+	// "PM_MRK_DATA_FROM_RMEM@1000" or "IBS@4096").
+	Event string
+	// Trees holds the per-storage-class CCTs.
+	Trees [NumClasses]*Tree
+}
+
+// NewProfile creates an empty profile.
+func NewProfile(rank, thread int, event string) *Profile {
+	p := &Profile{Rank: rank, Thread: thread, Event: event}
+	for i := range p.Trees {
+		p.Trees[i] = New()
+	}
+	return p
+}
+
+// Merge folds o's trees into p's (identification fields keep p's values).
+func (p *Profile) Merge(o *Profile) {
+	for i := range p.Trees {
+		p.Trees[i].Merge(o.Trees[i])
+	}
+}
+
+// Total sums metrics across all storage classes.
+func (p *Profile) Total() metric.Vector {
+	var v metric.Vector
+	for _, t := range p.Trees {
+		tv := t.Total()
+		v.Add(&tv)
+	}
+	return v
+}
+
+// NumNodes counts nodes across all trees.
+func (p *Profile) NumNodes() int {
+	n := 0
+	for _, t := range p.Trees {
+		n += t.NumNodes()
+	}
+	return n
+}

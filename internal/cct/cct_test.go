@@ -1,0 +1,295 @@
+package cct
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcprof/internal/metric"
+)
+
+func call(name string, line int) Frame {
+	return Frame{Kind: KindCall, Module: "exe", Name: name, File: name + ".c", Line: line}
+}
+
+func stmt(fn string, line int) Frame {
+	return Frame{Kind: KindStmt, Module: "exe", Name: fn, File: fn + ".c", Line: line}
+}
+
+func sampleVec(lat uint64) *metric.Vector {
+	var v metric.Vector
+	v[metric.Samples] = 1
+	v[metric.Latency] = lat
+	return &v
+}
+
+func TestInsertCoalescesPrefixes(t *testing.T) {
+	tr := New()
+	pathA := []Frame{call("main", 0), call("solve", 10), stmt("solve", 12)}
+	pathB := []Frame{call("main", 0), call("solve", 10), stmt("solve", 15)}
+	tr.AddSample(pathA, sampleVec(100))
+	tr.AddSample(pathB, sampleVec(200))
+	// root + main + solve + two leaves = 5 nodes.
+	if got := tr.NumNodes(); got != 5 {
+		t.Errorf("NumNodes = %d, want 5", got)
+	}
+	// Same path again adds metrics, not nodes.
+	tr.AddSample(pathA, sampleVec(50))
+	if got := tr.NumNodes(); got != 5 {
+		t.Errorf("NumNodes after re-add = %d, want 5", got)
+	}
+	total := tr.Total()
+	if total[metric.Samples] != 3 || total[metric.Latency] != 350 {
+		t.Errorf("total = %v", total.String())
+	}
+}
+
+func TestInclusiveExclusive(t *testing.T) {
+	tr := New()
+	leafA := tr.AddSample([]Frame{call("main", 0), call("a", 5), stmt("a", 6)}, sampleVec(10))
+	tr.AddSample([]Frame{call("main", 0), call("b", 7), stmt("b", 8)}, sampleVec(20))
+	mainNode, ok := tr.Root.Lookup(call("main", 0))
+	if !ok {
+		t.Fatal("main node missing")
+	}
+	inc := mainNode.Inclusive()
+	if inc[metric.Latency] != 30 || inc[metric.Samples] != 2 {
+		t.Errorf("main inclusive = %v", inc.String())
+	}
+	if mainNode.Metrics[metric.Latency] != 0 {
+		t.Error("internal node has exclusive metrics")
+	}
+	if leafA.Metrics[metric.Latency] != 10 {
+		t.Error("leaf exclusive wrong")
+	}
+}
+
+func TestPath(t *testing.T) {
+	tr := New()
+	frames := []Frame{call("main", 0), call("a", 5), stmt("a", 6)}
+	n := tr.InsertPath(frames)
+	got := n.Path()
+	if len(got) != 3 {
+		t.Fatalf("path length %d", len(got))
+	}
+	for i := range frames {
+		if got[i] != frames[i] {
+			t.Errorf("path[%d] = %v, want %v", i, got[i], frames[i])
+		}
+	}
+	if len(tr.Root.Path()) != 0 {
+		t.Error("root path should be empty")
+	}
+}
+
+func TestMergePreservesTotals(t *testing.T) {
+	a, b := New(), New()
+	a.AddSample([]Frame{call("main", 0), stmt("main", 3)}, sampleVec(100))
+	b.AddSample([]Frame{call("main", 0), stmt("main", 3)}, sampleVec(50)) // same path
+	b.AddSample([]Frame{call("main", 0), call("x", 9), stmt("x", 10)}, sampleVec(25))
+
+	at, bt := a.Total(), b.Total()
+	a.Merge(b)
+	got := a.Total()
+	if got[metric.Latency] != at[metric.Latency]+bt[metric.Latency] {
+		t.Errorf("merged latency %d, want %d", got[metric.Latency], at[metric.Latency]+bt[metric.Latency])
+	}
+	// Shared path merged into one leaf.
+	n, _ := a.Root.Lookup(call("main", 0))
+	leaf, ok := n.Lookup(stmt("main", 3))
+	if !ok || leaf.Metrics[metric.Latency] != 150 {
+		t.Error("shared leaf not coalesced")
+	}
+	// b is untouched.
+	if bt2 := b.Total(); bt2 != bt {
+		t.Error("merge mutated the source tree")
+	}
+}
+
+func TestHeapVariableStructuralIdentity(t *testing.T) {
+	// Two threads sample the same heap variable: same allocation path, so
+	// merging coalesces them under one variable subtree (the Figure 2
+	// scenario: many allocations at one call path = one logical variable).
+	allocPath := []Frame{call("main", 0), call("hypre_CAlloc", 170), stmt("hypre_CAlloc", 175)}
+	mark := Frame{Kind: KindHeapData, Name: "S_diag_j"}
+
+	t1, t2 := New(), New()
+	access1 := append(append(append([]Frame{}, allocPath...), mark), call("main", 0), stmt("spmv", 480))
+	access2 := append(append(append([]Frame{}, allocPath...), mark), call("main", 0), stmt("spmv", 482))
+	t1.AddSample(access1, sampleVec(300))
+	t2.AddSample(access2, sampleVec(400))
+
+	t1.Merge(t2)
+	// Walk down the alloc path to the mark node.
+	n := t1.Root
+	for _, f := range allocPath {
+		var ok bool
+		n, ok = n.Lookup(f)
+		if !ok {
+			t.Fatalf("alloc path frame %v missing after merge", f)
+		}
+	}
+	markNode, ok := n.Lookup(mark)
+	if !ok {
+		t.Fatal("heap-data mark missing")
+	}
+	inc := markNode.Inclusive()
+	if inc[metric.Latency] != 700 {
+		t.Errorf("variable inclusive latency = %d, want 700", inc[metric.Latency])
+	}
+	if markNode.NumChildren() != 1 {
+		t.Errorf("access roots under mark = %d, want 1 (coalesced main)", markNode.NumChildren())
+	}
+}
+
+func TestWalkOrderDeterministic(t *testing.T) {
+	build := func() []string {
+		tr := New()
+		tr.AddSample([]Frame{call("zeta", 1), stmt("zeta", 2)}, sampleVec(1))
+		tr.AddSample([]Frame{call("alpha", 1), stmt("alpha", 2)}, sampleVec(1))
+		tr.AddSample([]Frame{call("mid", 1), stmt("mid", 2)}, sampleVec(1))
+		var names []string
+		tr.Walk(func(n *Node, _ int) bool {
+			names = append(names, n.Frame.Name)
+			return true
+		})
+		return names
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("walk order not deterministic: %v vs %v", a, b)
+		}
+	}
+	// Children sorted by name: alpha before mid before zeta.
+	if a[1] != "alpha" {
+		t.Errorf("first child %q, want alpha", a[1])
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	tr := New()
+	tr.AddSample([]Frame{call("main", 0), call("deep", 1), stmt("deep", 2)}, sampleVec(1))
+	visited := 0
+	tr.Walk(func(n *Node, depth int) bool {
+		visited++
+		return depth < 1 // prune below main
+	})
+	if visited != 2 { // root + main
+		t.Errorf("visited %d nodes, want 2", visited)
+	}
+}
+
+func TestProfileMergeAndTotals(t *testing.T) {
+	p1 := NewProfile(0, 0, "IBS@4096")
+	p2 := NewProfile(0, 1, "IBS@4096")
+	p1.Trees[ClassHeap].AddSample([]Frame{call("m", 0), stmt("m", 1)}, sampleVec(10))
+	p2.Trees[ClassHeap].AddSample([]Frame{call("m", 0), stmt("m", 1)}, sampleVec(20))
+	p2.Trees[ClassStatic].AddSample([]Frame{{Kind: KindStaticVar, Module: "exe", Name: "g"}, stmt("m", 2)}, sampleVec(5))
+
+	p1.Merge(p2)
+	total := p1.Total()
+	if total[metric.Latency] != 35 {
+		t.Errorf("total latency = %d, want 35", total[metric.Latency])
+	}
+	if p1.Trees[ClassHeap].Total()[metric.Latency] != 30 {
+		t.Error("heap class total wrong")
+	}
+	if p1.Trees[ClassStatic].Total()[metric.Latency] != 5 {
+		t.Error("static class total wrong")
+	}
+	if p1.NumNodes() == 0 {
+		t.Error("NumNodes = 0")
+	}
+}
+
+func TestClassAndKindStrings(t *testing.T) {
+	if ClassHeap.String() != "heap data" || ClassNonMem.String() != "no memory access" {
+		t.Error("class names wrong")
+	}
+	if KindHeapData.String() != "heap-data" || KindStaticVar.String() != "static-var" {
+		t.Error("kind names wrong")
+	}
+}
+
+// randomTree builds a tree from a seeded set of random paths.
+func randomTree(seed int64, paths int) *Tree {
+	rng := rand.New(rand.NewSource(seed))
+	tr := New()
+	fns := []string{"main", "a", "b", "c", "d"}
+	for i := 0; i < paths; i++ {
+		depth := rng.Intn(4) + 1
+		var path []Frame
+		for d := 0; d < depth; d++ {
+			path = append(path, call(fns[rng.Intn(len(fns))], rng.Intn(5)))
+		}
+		path = append(path, stmt(fns[rng.Intn(len(fns))], rng.Intn(50)))
+		tr.AddSample(path, sampleVec(uint64(rng.Intn(1000))))
+	}
+	return tr
+}
+
+// Property: merge is commutative and associative in totals and node counts.
+func TestQuickMergeCommutesAssociates(t *testing.T) {
+	f := func(s1, s2, s3 int64) bool {
+		a1, b1, c1 := randomTree(s1, 20), randomTree(s2, 20), randomTree(s3, 20)
+		a2, b2, c2 := randomTree(s1, 20), randomTree(s2, 20), randomTree(s3, 20)
+
+		// (a+b)+c
+		a1.Merge(b1)
+		a1.Merge(c1)
+		// a+(c+b)
+		c2.Merge(b2)
+		a2.Merge(c2)
+
+		if a1.Total() != a2.Total() {
+			return false
+		}
+		return a1.NumNodes() == a2.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total metrics equal the sum of inserted vectors regardless of
+// path structure.
+func TestQuickTotalsConserved(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		var wantLat, wantSamples uint64
+		for i := 0; i < int(n%50)+1; i++ {
+			lat := uint64(rng.Intn(500))
+			path := []Frame{call("main", 0), stmt("main", rng.Intn(10))}
+			tr.AddSample(path, sampleVec(lat))
+			wantLat += lat
+			wantSamples++
+		}
+		tot := tr.Total()
+		return tot[metric.Latency] == wantLat && tot[metric.Samples] == wantSamples
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAddSampleHotPath(b *testing.B) {
+	tr := New()
+	path := []Frame{call("main", 0), call("solve", 10), call("kernel", 20), stmt("kernel", 25)}
+	v := sampleVec(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.AddSample(path, v)
+	}
+}
+
+func BenchmarkMergeLargeTrees(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := randomTree(1, 2000)
+		c := randomTree(2, 2000)
+		b.StartTimer()
+		a.Merge(c)
+	}
+}

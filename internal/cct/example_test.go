@@ -1,0 +1,37 @@
+package cct_test
+
+import (
+	"fmt"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+// Example shows the structural-identity property at the heart of the
+// paper's scalability: two threads' profiles with the same allocation call
+// path merge into one variable subtree.
+func Example() {
+	path := []cct.Frame{
+		{Kind: cct.KindCall, Module: "exe", Name: "main", File: "main.c"},
+		{Kind: cct.KindStmt, Module: "exe", Name: "main", File: "main.c", Line: 7},
+		{Kind: cct.KindCall, Module: "libc", Name: "malloc", File: "stdlib.h"},
+		{Kind: cct.KindHeapData, Name: "grid"},
+		{Kind: cct.KindStmt, Module: "exe", Name: "stencil", File: "stencil.c", Line: 41},
+	}
+	mk := func(thread int, samples uint64) *cct.Profile {
+		p := cct.NewProfile(0, thread, "IBS@4096")
+		var v metric.Vector
+		v[metric.Samples] = samples
+		p.Trees[cct.ClassHeap].AddSample(path, &v)
+		return p
+	}
+	a, b := mk(0, 10), mk(1, 32)
+	before := a.NumNodes()
+	a.Merge(b)
+	total := a.Total()
+	fmt.Printf("nodes before merge: %d, after: %d\n", before, a.NumNodes())
+	fmt.Printf("samples: %d\n", total[metric.Samples])
+	// Output:
+	// nodes before merge: 9, after: 9
+	// samples: 42
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func pct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a percentage", cell)
+	}
+	return v
+}
+
+func findRow(tab *Table, key string) []string {
+	for _, row := range tab.Rows {
+		if strings.Contains(row[0], key) {
+			return row
+		}
+	}
+	return nil
+}
+
+func TestAllExperimentsHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || seen[e.ID] {
+			t.Errorf("experiment id %q empty or duplicate", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Paper == "" {
+			t.Errorf("%s: missing title or paper reference", e.ID)
+		}
+		if e.Run == nil {
+			t.Errorf("%s: no Run function", e.ID)
+		}
+	}
+	if _, ok := ByID("fig4"); !ok {
+		t.Error("ByID(fig4) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted a bogus id")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Header: []string{"a", "bee"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("hello %d", 7)
+	out := tab.Render()
+	for _, want := range []string{"== x — demo ==", "a", "bee", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The quick-scale shape checks below run every experiment end-to-end: the
+// workload, the profiler, the analyzer and the aggregation. They assert the
+// paper's qualitative findings, not absolute values.
+
+func TestFig1Shape(t *testing.T) {
+	tab := fig1(NewContext(), Quick)
+	c := findRow(tab, "C[]")
+	if c == nil {
+		t.Fatal("C row missing")
+	}
+	if pct(t, c[1]) < 50 {
+		t.Errorf("C share %s; want dominant", c[1])
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	ctx := NewContext()
+	tab := table1(ctx, Quick)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 benchmarks", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		ov := pct(t, row[5])
+		if ov < -2 || ov > 400 {
+			t.Errorf("%s: overhead %s out of sane band", row[0], row[5])
+		}
+	}
+}
+
+func TestAllocTrackShape(t *testing.T) {
+	tab := allocTrack(NewContext(), Quick)
+	naive := findRow(tab, "track all")
+	full := findRow(tab, "cheap context")
+	if naive == nil || full == nil {
+		t.Fatal("ablation rows missing")
+	}
+	if pct(t, naive[2]) <= pct(t, full[2]) {
+		t.Errorf("naive tracking (%s) should cost more than the full strategy (%s)",
+			naive[2], full[2])
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab := table2(NewContext(), Quick)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Column order: label, init, setup, solver, total. Parse "1234.5kcy".
+	cy := func(cell string) float64 {
+		cell = strings.TrimSuffix(cell, "cy")
+		mult := 1.0
+		if strings.HasSuffix(cell, "k") {
+			mult, cell = 1e3, strings.TrimSuffix(cell, "k")
+		} else if strings.HasSuffix(cell, "M") {
+			mult, cell = 1e6, strings.TrimSuffix(cell, "M")
+		}
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("bad cycle cell %q", cell)
+		}
+		return v * mult
+	}
+	origInit, origSolve := cy(tab.Rows[0][1]), cy(tab.Rows[0][3])
+	numaInit, numaSolve := cy(tab.Rows[1][1]), cy(tab.Rows[1][3])
+	libnInit, libnSolve := cy(tab.Rows[2][1]), cy(tab.Rows[2][3])
+	if numaInit <= origInit {
+		t.Error("numactl should slow initialization")
+	}
+	if numaSolve >= origSolve || libnSolve >= origSolve {
+		t.Error("both placements should speed the solver")
+	}
+	if libnInit > numaInit*1.05 {
+		t.Error("libnuma init should not exceed numactl init")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab := fig10(NewContext(), Quick)
+	blk := findRow(tab, "block share")
+	if blk == nil {
+		t.Fatal("block row missing")
+	}
+	if pct(t, blk[1]) < 50 {
+		t.Errorf("block share %s; want dominant", blk[1])
+	}
+	imp := findRow(tab, "improvement")
+	if imp == nil || pct(t, imp[1]) <= 0 {
+		t.Error("parallel init should improve the run")
+	}
+}
+
+func TestSpeedupsShape(t *testing.T) {
+	tab := speedups(NewContext(), Quick)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	positives := 0
+	for _, row := range tab.Rows {
+		if pct(t, row[2]) > 0 {
+			positives++
+		}
+	}
+	if positives < 4 {
+		t.Errorf("only %d of 5 optimizations improved at quick scale", positives)
+	}
+}
+
+func TestContextMemoizes(t *testing.T) {
+	ctx := NewContext()
+	a := ctx.scRun(Quick, 0, false)
+	b := ctx.scRun(Quick, 0, false)
+	if a != b {
+		t.Error("context re-ran a memoized benchmark")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tab := fig2(NewContext(), Quick)
+	row := findRow(tab, "variables in merged profile")
+	if row == nil || row[1] != "1" {
+		t.Errorf("coalescing row = %v, want 1 variable", row)
+	}
+}
+
+func TestFig4Fig5Shape(t *testing.T) {
+	ctx := NewContext() // shared: fig4/fig5 reuse the same AMG run
+	f4 := fig4(ctx, Quick)
+	sdj := findRow(f4, "S_diag_j share")
+	if sdj == nil || pct(t, sdj[1]) < 5 {
+		t.Errorf("S_diag_j share row = %v", sdj)
+	}
+	f5 := fig5(ctx, Quick)
+	if len(f5.Rows) < 4 {
+		t.Errorf("bottom-up sites = %d", len(f5.Rows))
+	}
+}
+
+func TestFig6Fig7Shape(t *testing.T) {
+	ctx := NewContext()
+	f6 := fig6(ctx, Quick)
+	var flux, src, face float64
+	for _, row := range f6.Rows {
+		switch row[0] {
+		case "Flux":
+			flux = pct(t, row[1])
+		case "Src":
+			src = pct(t, row[1])
+		case "Face":
+			face = pct(t, row[1])
+		}
+	}
+	if flux == 0 || src == 0 || face == 0 {
+		t.Fatalf("missing array rows: flux=%v src=%v face=%v", flux, src, face)
+	}
+	if face >= flux || face >= src {
+		t.Error("Face should trail Flux and Src")
+	}
+	f7 := fig7(ctx, Quick)
+	imp := findRow(f7, "improvement")
+	if imp == nil || pct(t, imp[1]) <= 0 {
+		t.Error("transpose should improve Sweep3D")
+	}
+}
+
+func TestFig8Fig9Shape(t *testing.T) {
+	ctx := NewContext()
+	f8 := fig8(ctx, Quick)
+	if row := findRow(f8, "interleaved allocation improvement"); row == nil || pct(t, row[1]) <= 0 {
+		t.Error("interleave should improve LULESH")
+	}
+	f9 := fig9(ctx, Quick)
+	if row := findRow(f9, "f_elem share"); row == nil || pct(t, row[1]) <= 0 {
+		t.Error("f_elem missing from static attribution")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tab := fig11(NewContext(), Quick)
+	ref := findRow(tab, "referrence share")
+	if ref == nil || pct(t, ref[1]) < 10 {
+		t.Errorf("referrence row = %v", ref)
+	}
+	if row := findRow(tab, "heap share"); row == nil || pct(t, row[1]) < 50 {
+		t.Error("heap should dominate NW remote accesses")
+	}
+}
+
+func TestScalingShape(t *testing.T) {
+	tab := scaling(NewContext(), Quick)
+	if len(tab.Rows) < 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Merged node counts stay flat as threads grow.
+	first := tab.Rows[0][3]
+	last := tab.Rows[len(tab.Rows)-1][3]
+	if first != last {
+		t.Errorf("merged nodes changed with thread count: %s -> %s", first, last)
+	}
+}

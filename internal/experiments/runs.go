@@ -1,0 +1,535 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dcprof/internal/apps/amg"
+	"dcprof/internal/apps/bench"
+	"dcprof/internal/apps/lulesh"
+	"dcprof/internal/apps/micro"
+	"dcprof/internal/apps/nw"
+	"dcprof/internal/apps/streamcluster"
+	"dcprof/internal/apps/sweep3d"
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+	"dcprof/internal/pmu"
+	"dcprof/internal/profiler"
+	"dcprof/internal/view"
+)
+
+// Per-app scale selection and PMU configuration for profiled runs. Sampling
+// periods are chosen per app so that Table 1's measurement overhead lands in
+// the paper's single-digit range at full scale.
+
+func amgCfg(s Scale) amg.Config {
+	if s == Full {
+		return amg.DefaultConfig()
+	}
+	return amg.TestConfig()
+}
+
+func amgProfile(s Scale) profiler.Config {
+	period := uint64(40)
+	if s == Quick {
+		period = 8
+	}
+	return profiler.MarkedConfig(pmu.MarkDataFromRMEM, period)
+}
+
+func sweepCfg(s Scale) sweep3d.Config {
+	if s == Full {
+		return sweep3d.DefaultConfig()
+	}
+	return sweep3d.TestConfig()
+}
+
+func sweepProfile(s Scale) profiler.Config {
+	c := profiler.DefaultConfig() // IBS, as on the paper's AMD machine
+	c.Period = 8192
+	if s == Quick {
+		c.Period = 64
+	}
+	return c
+}
+
+func luleshCfg(s Scale) lulesh.Config {
+	if s == Full {
+		return lulesh.DefaultConfig()
+	}
+	return lulesh.TestConfig()
+}
+
+func luleshProfile(s Scale) profiler.Config {
+	c := profiler.DefaultConfig() // IBS
+	c.Period = 320
+	if s == Quick {
+		c.Period = 64
+	}
+	return c
+}
+
+func scCfg(s Scale) streamcluster.Config {
+	if s == Full {
+		return streamcluster.DefaultConfig()
+	}
+	c := streamcluster.TestConfig()
+	c.Points = 2048
+	c.Dim = 16
+	return c
+}
+
+func scProfile(s Scale) profiler.Config {
+	period := uint64(2)
+	if s == Quick {
+		period = 8
+	}
+	return profiler.MarkedConfig(pmu.MarkDataFromRMEM, period)
+}
+
+func nwCfg(s Scale) nw.Config {
+	if s == Full {
+		return nw.DefaultConfig()
+	}
+	return nw.TestConfig()
+}
+
+func nwProfile(s Scale) profiler.Config {
+	period := uint64(2)
+	if s == Quick {
+		period = 8
+	}
+	return profiler.MarkedConfig(pmu.MarkDataFromRMEM, period)
+}
+
+// Memoized runs.
+
+func (c *Context) amgRun(s Scale, v amg.Variant, profiled bool) *bench.Result {
+	key := fmt.Sprintf("amg/%v/%v/%v", s, v, profiled)
+	return c.memo(key, func() *bench.Result {
+		cfg := amgCfg(s)
+		cfg.Variant = v
+		if profiled {
+			pc := amgProfile(s)
+			cfg.Profile = &pc
+		}
+		return amg.Run(cfg)
+	})
+}
+
+func (c *Context) sweepRun(s Scale, v sweep3d.Variant, profiled bool) *bench.Result {
+	key := fmt.Sprintf("sweep3d/%v/%v/%v", s, v, profiled)
+	return c.memo(key, func() *bench.Result {
+		cfg := sweepCfg(s)
+		cfg.Variant = v
+		if profiled {
+			pc := sweepProfile(s)
+			cfg.Profile = &pc
+		}
+		return sweep3d.Run(cfg)
+	})
+}
+
+func (c *Context) luleshRun(s Scale, v lulesh.Variant, profiled bool) *bench.Result {
+	key := fmt.Sprintf("lulesh/%v/%v/%v", s, v, profiled)
+	return c.memo(key, func() *bench.Result {
+		cfg := luleshCfg(s)
+		cfg.Variant = v
+		if profiled {
+			pc := luleshProfile(s)
+			cfg.Profile = &pc
+		}
+		return lulesh.Run(cfg)
+	})
+}
+
+func (c *Context) scRun(s Scale, v streamcluster.Variant, profiled bool) *bench.Result {
+	key := fmt.Sprintf("streamcluster/%v/%v/%v", s, v, profiled)
+	return c.memo(key, func() *bench.Result {
+		cfg := scCfg(s)
+		cfg.Variant = v
+		if profiled {
+			pc := scProfile(s)
+			cfg.Profile = &pc
+		}
+		return streamcluster.Run(cfg)
+	})
+}
+
+func (c *Context) nwRun(s Scale, v nw.Variant, profiled bool) *bench.Result {
+	key := fmt.Sprintf("nw/%v/%v/%v", s, v, profiled)
+	return c.memo(key, func() *bench.Result {
+		cfg := nwCfg(s)
+		cfg.Variant = v
+		if profiled {
+			pc := nwProfile(s)
+			cfg.Profile = &pc
+		}
+		return nw.Run(cfg)
+	})
+}
+
+// ---- Figure 1 ----
+
+func fig1(ctx *Context, s Scale) *Table {
+	cfg := micro.DefaultFig1Config()
+	if s == Quick {
+		cfg.Elems = 1 << 14
+		cfg.Iters = 2
+	}
+	r := micro.RunFig1(cfg)
+	t := &Table{ID: "fig1", Title: "per-variable decomposition of the kernel line's latency",
+		Header: []string{"variable", "measured share", "paper"}}
+	t.AddRow("A[]", pctCell(r.ShareA), "10%")
+	t.AddRow("B[]", pctCell(r.ShareB), "5%")
+	t.AddRow("C[] (indirect)", pctCell(r.ShareC), "85%")
+	t.AddNote("code-centric profiling reports only: line 4 = %s of latency", cyCell(r.LineLatency))
+	return t
+}
+
+// ---- Figure 2 ----
+
+func fig2(ctx *Context, s Scale) *Table {
+	count := 100
+	r := micro.RunFig2(count, 8192)
+	t := &Table{ID: "fig2", Title: "allocation coalescing by allocation call path",
+		Header: []string{"quantity", "value"}}
+	t.AddRow("allocations executed", fmt.Sprintf("%d", r.Allocations))
+	t.AddRow("allocations tracked", fmt.Sprintf("%d", r.TrackedAllocations))
+	t.AddRow("variables in merged profile", fmt.Sprintf("%d", r.VariablesInProfile))
+	t.AddRow("samples on coalesced variable", fmt.Sprintf("%d", r.SamplesOnVariable))
+	t.AddNote("a trace-based tool records one entry per allocation; the CCT records one per call path")
+	return t
+}
+
+// ---- Table 1 ----
+
+func table1(ctx *Context, s Scale) *Table {
+	t := &Table{ID: "table1", Title: "measurement configuration and overhead",
+		Header: []string{"code", "configuration", "monitored events", "exec", "exec+prof", "overhead", "paper", "profile size"}}
+
+	type entry struct {
+		name, conf, paper string
+		base, prof        *bench.Result
+	}
+	entries := []entry{}
+
+	amgBase := ctx.amgRun(s, amg.Original, false)
+	amgProf := ctx.amgRun(s, amg.Original, true)
+	cfgA := amgCfg(s)
+	entries = append(entries, entry{"AMG2006",
+		fmt.Sprintf("%d MPI x %d thr", cfgA.NodesCount, cfgA.Threads), "+9.6%", amgBase, amgProf})
+
+	swBase := ctx.sweepRun(s, sweep3d.Original, false)
+	swProf := ctx.sweepRun(s, sweep3d.Original, true)
+	cfgS := sweepCfg(s)
+	entries = append(entries, entry{"Sweep3D",
+		fmt.Sprintf("%d MPI, no thr", cfgS.RanksX*cfgS.RanksY), "+2.3%", swBase, swProf})
+
+	luBase := ctx.luleshRun(s, lulesh.Original, false)
+	luProf := ctx.luleshRun(s, lulesh.Original, true)
+	entries = append(entries, entry{"LULESH",
+		fmt.Sprintf("%d threads", luleshCfg(s).Threads), "+12%", luBase, luProf})
+
+	scBase := ctx.scRun(s, streamcluster.Original, false)
+	scProf := ctx.scRun(s, streamcluster.Original, true)
+	entries = append(entries, entry{"Streamcluster",
+		fmt.Sprintf("%d threads", scCfg(s).Threads), "+8.0%", scBase, scProf})
+
+	nwBase := ctx.nwRun(s, nw.Original, false)
+	nwProf := ctx.nwRun(s, nw.Original, true)
+	entries = append(entries, entry{"NW",
+		fmt.Sprintf("%d threads", nwCfg(s).Threads), "+3.9%", nwBase, nwProf})
+
+	for _, e := range entries {
+		event := "-"
+		if len(e.prof.Profiles) > 0 {
+			event = e.prof.Profiles[0].Event
+		}
+		bytes, _ := e.prof.MeasurementBytes()
+		t.AddRow(e.name, e.conf, event,
+			cyCell(e.base.Cycles), cyCell(e.prof.Cycles),
+			pctCell(overheadVs(e.prof, e.base)),
+			e.paper,
+			fmt.Sprintf("%.2f MB", float64(bytes)/1e6))
+	}
+	return t
+}
+
+// ---- Allocation-tracking ablation ----
+
+func allocTrack(ctx *Context, s Scale) *Table {
+	base := ctx.amgRun(s, amg.Original, false)
+	run := func(threshold uint64, trampoline, cheapCtx bool) *bench.Result {
+		cfg := amgCfg(s)
+		pc := profiler.DefaultConfig()
+		pc.Period = 1 << 30 // isolate tracking cost from sampling cost
+		pc.SizeThreshold = threshold
+		pc.UseTrampoline = trampoline
+		pc.CheapContext = cheapCtx
+		cfg.Profile = &pc
+		return amg.Run(cfg)
+	}
+	t := &Table{ID: "alloctrack", Title: "allocation-tracking overhead on AMG2006 (sampling off)",
+		Header: []string{"strategy", "exec", "overhead vs base"}}
+	t.AddRow("no profiling", cyCell(base.Cycles), "-")
+	naive := run(0, false, false)
+	t.AddRow("track all, full unwinds, getcontext", cyCell(naive.Cycles), pctCell(overheadVs(naive, base)))
+	thr := run(4096, false, false)
+	t.AddRow("+ 4KiB size threshold", cyCell(thr.Cycles), pctCell(overheadVs(thr, base)))
+	tramp := run(4096, true, false)
+	t.AddRow("+ trampoline suffix unwinds", cyCell(tramp.Cycles), pctCell(overheadVs(tramp, base)))
+	all := run(4096, true, true)
+	t.AddRow("+ cheap context (all of §4.1.3)", cyCell(all.Cycles), pctCell(overheadVs(all, base)))
+	t.AddNote("paper: 150%% with naive tracking, under 10%% with the full strategy")
+	return t
+}
+
+func overheadVs(prof, base *bench.Result) float64 {
+	if base.Cycles == 0 {
+		return 0
+	}
+	return float64(int64(prof.Cycles)-int64(base.Cycles)) / float64(base.Cycles)
+}
+
+// ---- Figure 4 ----
+
+func fig4(ctx *Context, s Scale) *Table {
+	res := ctx.amgRun(s, amg.Original, true)
+	db := res.Merged(0)
+	t := &Table{ID: "fig4", Title: "AMG2006 top-down: remote-access attribution",
+		Header: []string{"item", "measured", "paper"}}
+	shares := view.ClassShares(db.Merged, metric.FromRMEM)
+	t.AddRow("heap data share of remote accesses", pctCell(shares[cct.ClassHeap]), "94.9%")
+
+	vars := view.RankVariables(db.Merged, metric.FromRMEM)
+	grand := view.MetricTotal(db.Merged, metric.FromRMEM)
+	for _, v := range vars {
+		if v.Name == "S_diag_j" {
+			t.AddRow("S_diag_j share", pctCell(v.Share), "22.2%")
+			accs := view.TopAccesses(v.Node, metric.FromRMEM, grand)
+			if len(accs) > 0 {
+				t.AddRow(fmt.Sprintf("  top access (%s:%d)", accs[0].File, accs[0].Line),
+					pctCell(accs[0].Share), "19.3%")
+			}
+			if len(accs) > 1 {
+				t.AddRow(fmt.Sprintf("  2nd access (%s:%d)", accs[1].File, accs[1].Line),
+					pctCell(accs[1].Share), "2.9%")
+			}
+		}
+	}
+	t.AddNote("event %s; %d thread profiles merged across %d ranks", db.Event, db.Threads, db.Ranks)
+	return t
+}
+
+// ---- Figure 5 ----
+
+func fig5(ctx *Context, s Scale) *Table {
+	res := ctx.amgRun(s, amg.Original, true)
+	db := res.Merged(0)
+	t := &Table{ID: "fig5", Title: "AMG2006 bottom-up: hypre allocation call sites by remote accesses",
+		Header: []string{"call site", "variables", "share"}}
+	sites := view.BottomUpCallers(db.Merged, metric.FromRMEM)
+	over7 := 0
+	for i, site := range sites {
+		if i >= 10 {
+			break
+		}
+		name := fmt.Sprintf("%s -> %s @%s:%d", site.Caller, site.Wrapper, site.File, site.Line)
+		if len(site.Names) > 0 {
+			name += fmt.Sprintf(" (%v)", site.Names)
+		}
+		t.AddRow(name, fmt.Sprintf("%d", site.Variables), pctCell(site.Share))
+		if site.Share > 0.07 {
+			over7++
+		}
+	}
+	t.AddNote("sites above 7%%: %d (paper: 7)", over7)
+	return t
+}
+
+// ---- Table 2 ----
+
+func table2(ctx *Context, s Scale) *Table {
+	t := &Table{ID: "table2", Title: "AMG2006 phase times under three placements (simulated cycles)",
+		Header: []string{"phases", "initialization", "setup", "solver", "whole program"}}
+	rows := []struct {
+		label string
+		v     amg.Variant
+		paper string
+	}{
+		{"original", amg.Original, "26/420/105 = 551s"},
+		{"numactl", amg.NumactlInterleave, "52/426/87 = 565s"},
+		{"libnuma", amg.LibnumaSelective, "28/421/80 = 529s"},
+	}
+	for _, r := range rows {
+		res := ctx.amgRun(s, r.v, false)
+		t.AddRow(r.label,
+			cyCell(res.Phase("initialization")),
+			cyCell(res.Phase("setup")),
+			cyCell(res.Phase("solver")),
+			cyCell(res.Cycles))
+	}
+	t.AddNote("paper (seconds): original 26/420/105; numactl 52/426/87; libnuma 28/421/80")
+	return t
+}
+
+// ---- Figure 6 ----
+
+func fig6(ctx *Context, s Scale) *Table {
+	res := ctx.sweepRun(s, sweep3d.Original, true)
+	db := res.Merged(0)
+	t := &Table{ID: "fig6", Title: "Sweep3D: variables by data-fetch latency",
+		Header: []string{"variable", "measured share", "paper"}}
+	shares := view.ClassShares(db.Merged, metric.Latency)
+	t.AddRow("[heap data]", pctCell(shares[cct.ClassHeap]), "97.4%")
+	paper := map[string]string{"Flux": "39.4%", "Src": "39.1%", "Face": "14.6%"}
+	for _, v := range view.RankVariables(db.Merged, metric.Latency) {
+		if p, ok := paper[v.Name]; ok {
+			t.AddRow(v.Name, pctCell(v.Share), p)
+		}
+	}
+	return t
+}
+
+// ---- Figure 7 ----
+
+func fig7(ctx *Context, s Scale) *Table {
+	res := ctx.sweepRun(s, sweep3d.Original, true)
+	db := res.Merged(0)
+	t := &Table{ID: "fig7", Title: "Sweep3D: hot Flux access and dimension transpose",
+		Header: []string{"item", "measured", "paper"}}
+	for _, v := range view.RankVariables(db.Merged, metric.Latency) {
+		if v.Name != "Flux" {
+			continue
+		}
+		accs := view.TopAccesses(v.Node, metric.Latency, view.MetricTotal(db.Merged, metric.Latency))
+		if len(accs) > 0 {
+			t.AddRow(fmt.Sprintf("hot access %s:%d share of latency", accs[0].File, accs[0].Line),
+				pctCell(accs[0].Share), "28.6%")
+		}
+	}
+	orig := ctx.sweepRun(s, sweep3d.Original, false)
+	opt := ctx.sweepRun(s, sweep3d.Transposed, false)
+	t.AddRow("run-time improvement from transposes", pctCell(improvement(orig.Cycles, opt.Cycles)), "15%")
+	return t
+}
+
+// ---- Figure 8 ----
+
+func fig8(ctx *Context, s Scale) *Table {
+	res := ctx.luleshRun(s, lulesh.Original, true)
+	db := res.Merged(0)
+	t := &Table{ID: "fig8", Title: "LULESH: heap variables by latency and remote accesses",
+		Header: []string{"item", "measured", "paper"}}
+	lat := view.ClassShares(db.Merged, metric.Latency)
+	rem := view.ClassShares(db.Merged, metric.FromRMEM)
+	t.AddRow("heap share of latency", pctCell(lat[cct.ClassHeap]), "66.8%")
+	t.AddRow("heap share of remote accesses", pctCell(rem[cct.ClassHeap]), "94.2%")
+	count := 0
+	for _, v := range view.RankVariables(db.Merged, metric.Latency) {
+		if v.Class != cct.ClassHeap || count >= 7 {
+			continue
+		}
+		t.AddRow("  "+v.Name, pctCell(v.Share), "3.0-9.4%")
+		count++
+	}
+	orig := ctx.luleshRun(s, lulesh.Original, false)
+	opt := ctx.luleshRun(s, lulesh.InterleavedHeap, false)
+	t.AddRow("interleaved allocation improvement", pctCell(improvement(orig.Cycles, opt.Cycles)), "13%")
+	return t
+}
+
+// ---- Figure 9 ----
+
+func fig9(ctx *Context, s Scale) *Table {
+	res := ctx.luleshRun(s, lulesh.Original, true)
+	db := res.Merged(0)
+	t := &Table{ID: "fig9", Title: "LULESH: static variable f_elem and its transpose",
+		Header: []string{"item", "measured", "paper"}}
+	lat := view.ClassShares(db.Merged, metric.Latency)
+	t.AddRow("static share of latency", pctCell(lat[cct.ClassStatic]), "23.6%")
+	for _, v := range view.RankVariables(db.Merged, metric.Latency) {
+		if v.Class == cct.ClassStatic && v.Name == "f_elem" {
+			t.AddRow("f_elem share of latency", pctCell(v.Share), "17%")
+			break
+		}
+	}
+	orig := ctx.luleshRun(s, lulesh.Original, false)
+	opt := ctx.luleshRun(s, lulesh.FElemTransposed, false)
+	t.AddRow("f_elem transpose improvement", pctCell(improvement(orig.Cycles, opt.Cycles)), "2.2%")
+	return t
+}
+
+// ---- Figure 10 ----
+
+func fig10(ctx *Context, s Scale) *Table {
+	res := ctx.scRun(s, streamcluster.Original, true)
+	db := res.Merged(0)
+	t := &Table{ID: "fig10", Title: "Streamcluster: remote accesses and parallel first touch",
+		Header: []string{"item", "measured", "paper"}}
+	rem := view.ClassShares(db.Merged, metric.FromRMEM)
+	t.AddRow("heap share of remote accesses", pctCell(rem[cct.ClassHeap]), "98.2%")
+	for _, v := range view.RankVariables(db.Merged, metric.FromRMEM) {
+		switch v.Name {
+		case "block":
+			t.AddRow("block share", pctCell(v.Share), "92.6%")
+		case "point.p":
+			t.AddRow("point.p share", pctCell(v.Share), "5.5%")
+		}
+	}
+	orig := ctx.scRun(s, streamcluster.Original, false)
+	opt := ctx.scRun(s, streamcluster.ParallelInit, false)
+	t.AddRow("parallel-init improvement", pctCell(improvement(orig.Cycles, opt.Cycles)), "28%")
+	return t
+}
+
+// ---- Figure 11 ----
+
+func fig11(ctx *Context, s Scale) *Table {
+	res := ctx.nwRun(s, nw.Original, true)
+	db := res.Merged(0)
+	t := &Table{ID: "fig11", Title: "Needleman-Wunsch: hot variables and interleaving",
+		Header: []string{"item", "measured", "paper"}}
+	rem := view.ClassShares(db.Merged, metric.FromRMEM)
+	t.AddRow("heap share of remote accesses", pctCell(rem[cct.ClassHeap]), "90.9%")
+	for _, v := range view.RankVariables(db.Merged, metric.FromRMEM) {
+		switch v.Name {
+		case "referrence":
+			t.AddRow("referrence share", pctCell(v.Share), "61.4%")
+		case "input_itemsets":
+			t.AddRow("input_itemsets share", pctCell(v.Share), "29.5%")
+		}
+	}
+	orig := ctx.nwRun(s, nw.Original, false)
+	opt := ctx.nwRun(s, nw.LibnumaInterleave, false)
+	t.AddRow("libnuma interleave improvement", pctCell(improvement(orig.Cycles, opt.Cycles)), "53%")
+	return t
+}
+
+// ---- Speedups summary ----
+
+func speedups(ctx *Context, s Scale) *Table {
+	t := &Table{ID: "speedups", Title: "optimization summary (original vs optimized variants)",
+		Header: []string{"benchmark", "optimization", "measured", "paper"}}
+	type row struct {
+		name, opt, paper string
+		orig, best       *bench.Result
+	}
+	rows := []row{
+		{"AMG2006", "selective libnuma interleave", "4%",
+			ctx.amgRun(s, amg.Original, false), ctx.amgRun(s, amg.LibnumaSelective, false)},
+		{"Sweep3D", "array dimension transposes", "15%",
+			ctx.sweepRun(s, sweep3d.Original, false), ctx.sweepRun(s, sweep3d.Transposed, false)},
+		{"LULESH", "interleave + f_elem transpose", "13% + 2.2%",
+			ctx.luleshRun(s, lulesh.Original, false),
+			ctx.luleshRun(s, lulesh.InterleavedHeap|lulesh.FElemTransposed, false)},
+		{"Streamcluster", "parallel first-touch init", "28%",
+			ctx.scRun(s, streamcluster.Original, false), ctx.scRun(s, streamcluster.ParallelInit, false)},
+		{"NW", "libnuma interleaved allocation", "53%",
+			ctx.nwRun(s, nw.Original, false), ctx.nwRun(s, nw.LibnumaInterleave, false)},
+	}
+	for _, r := range rows {
+		t.AddRow(r.name, r.opt, pctCell(improvement(r.orig.Cycles, r.best.Cycles)), r.paper)
+	}
+	return t
+}

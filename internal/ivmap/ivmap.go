@@ -1,0 +1,121 @@
+// Package ivmap provides an ordered map from non-overlapping half-open
+// address intervals [lo, hi) to values.
+//
+// The profiler uses it for the two range-indexed lookups the paper's
+// attribution step performs on every sample: resolving an effective address
+// to the heap block containing it, and resolving per-allocation NUMA policy
+// overrides. Intervals are kept in a sorted slice; Lookup is O(log n) and
+// mutation is O(n) in the number of live intervals, which tracks the number
+// of live tracked allocations rather than the number of samples.
+package ivmap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is one [Lo, Hi) range and its associated value.
+type Interval[V any] struct {
+	Lo, Hi uint64
+	Value  V
+}
+
+// Map maps non-overlapping half-open intervals to values of type V.
+// The zero value is an empty map ready for use. Map is not safe for
+// concurrent mutation; callers synchronize externally.
+type Map[V any] struct {
+	ivs []Interval[V] // sorted by Lo, pairwise disjoint
+}
+
+// Len returns the number of intervals in the map.
+func (m *Map[V]) Len() int { return len(m.ivs) }
+
+// search returns the index of the first interval with Lo > addr, minus one:
+// the candidate interval that could contain addr, or -1.
+func (m *Map[V]) search(addr uint64) int {
+	return sort.Search(len(m.ivs), func(i int) bool { return m.ivs[i].Lo > addr }) - 1
+}
+
+// Insert adds [lo, hi) -> v. It returns an error if the interval is empty or
+// overlaps an existing interval.
+func (m *Map[V]) Insert(lo, hi uint64, v V) error {
+	if lo >= hi {
+		return fmt.Errorf("ivmap: empty interval [%#x, %#x)", lo, hi)
+	}
+	// Position of the first interval starting after lo.
+	i := sort.Search(len(m.ivs), func(i int) bool { return m.ivs[i].Lo > lo })
+	if i > 0 && m.ivs[i-1].Hi > lo {
+		prev := m.ivs[i-1]
+		return fmt.Errorf("ivmap: [%#x, %#x) overlaps existing [%#x, %#x)", lo, hi, prev.Lo, prev.Hi)
+	}
+	if i < len(m.ivs) && m.ivs[i].Lo < hi {
+		next := m.ivs[i]
+		return fmt.Errorf("ivmap: [%#x, %#x) overlaps existing [%#x, %#x)", lo, hi, next.Lo, next.Hi)
+	}
+	m.ivs = append(m.ivs, Interval[V]{})
+	copy(m.ivs[i+1:], m.ivs[i:])
+	m.ivs[i] = Interval[V]{Lo: lo, Hi: hi, Value: v}
+	return nil
+}
+
+// Lookup returns the value of the interval containing addr.
+func (m *Map[V]) Lookup(addr uint64) (V, bool) {
+	iv, ok := m.Find(addr)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return iv.Value, true
+}
+
+// Find returns the full interval containing addr.
+func (m *Map[V]) Find(addr uint64) (Interval[V], bool) {
+	if i := m.search(addr); i >= 0 && addr < m.ivs[i].Hi {
+		return m.ivs[i], true
+	}
+	return Interval[V]{}, false
+}
+
+// RemoveAt removes the interval whose lower bound is exactly lo, returning
+// its value. It reports false if no interval starts at lo.
+func (m *Map[V]) RemoveAt(lo uint64) (V, bool) {
+	i := m.search(lo)
+	if i < 0 || m.ivs[i].Lo != lo {
+		var zero V
+		return zero, false
+	}
+	v := m.ivs[i].Value
+	m.ivs = append(m.ivs[:i], m.ivs[i+1:]...)
+	return v, true
+}
+
+// RemoveContaining removes the interval that contains addr, returning it.
+func (m *Map[V]) RemoveContaining(addr uint64) (Interval[V], bool) {
+	i := m.search(addr)
+	if i < 0 || addr >= m.ivs[i].Hi {
+		return Interval[V]{}, false
+	}
+	iv := m.ivs[i]
+	m.ivs = append(m.ivs[:i], m.ivs[i+1:]...)
+	return iv, true
+}
+
+// Each calls fn on every interval in ascending order. fn returning false
+// stops the iteration early.
+func (m *Map[V]) Each(fn func(Interval[V]) bool) {
+	for _, iv := range m.ivs {
+		if !fn(iv) {
+			return
+		}
+	}
+}
+
+// Intervals returns a copy of the intervals in ascending order.
+func (m *Map[V]) Intervals() []Interval[V] {
+	out := make([]Interval[V], len(m.ivs))
+	copy(out, m.ivs)
+	return out
+}
+
+// Clear removes all intervals.
+func (m *Map[V]) Clear() { m.ivs = m.ivs[:0] }

@@ -1,0 +1,279 @@
+package ivmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustInsert(t *testing.T, m *Map[string], lo, hi uint64, v string) {
+	t.Helper()
+	if err := m.Insert(lo, hi, v); err != nil {
+		t.Fatalf("Insert(%#x, %#x): %v", lo, hi, err)
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	var m Map[string]
+	mustInsert(t, &m, 100, 200, "a")
+	mustInsert(t, &m, 300, 400, "b")
+	mustInsert(t, &m, 200, 300, "c") // exactly adjacent on both sides
+
+	cases := []struct {
+		addr uint64
+		want string
+		ok   bool
+	}{
+		{99, "", false},
+		{100, "a", true},
+		{199, "a", true},
+		{200, "c", true},
+		{299, "c", true},
+		{300, "b", true},
+		{399, "b", true},
+		{400, "", false},
+	}
+	for _, c := range cases {
+		got, ok := m.Lookup(c.addr)
+		if ok != c.ok || got != c.want {
+			t.Errorf("Lookup(%d) = (%q, %v), want (%q, %v)", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestInsertRejectsOverlap(t *testing.T) {
+	var m Map[string]
+	mustInsert(t, &m, 100, 200, "a")
+	overlaps := [][2]uint64{
+		{100, 200}, {50, 101}, {199, 300}, {150, 160}, {0, 1000},
+	}
+	for _, ov := range overlaps {
+		if err := m.Insert(ov[0], ov[1], "x"); err == nil {
+			t.Errorf("Insert(%d, %d) should have failed", ov[0], ov[1])
+		}
+	}
+	if m.Len() != 1 {
+		t.Errorf("failed inserts mutated the map: len = %d", m.Len())
+	}
+}
+
+func TestInsertRejectsEmpty(t *testing.T) {
+	var m Map[int]
+	if err := m.Insert(5, 5, 1); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if err := m.Insert(6, 5, 1); err == nil {
+		t.Error("inverted interval accepted")
+	}
+}
+
+func TestRemoveAt(t *testing.T) {
+	var m Map[string]
+	mustInsert(t, &m, 100, 200, "a")
+	mustInsert(t, &m, 200, 300, "b")
+
+	if _, ok := m.RemoveAt(150); ok {
+		t.Error("RemoveAt(150) should fail: no interval starts there")
+	}
+	v, ok := m.RemoveAt(100)
+	if !ok || v != "a" {
+		t.Errorf("RemoveAt(100) = (%q, %v), want (a, true)", v, ok)
+	}
+	if _, ok := m.Lookup(150); ok {
+		t.Error("address 150 still resolves after removal")
+	}
+	if v, ok := m.Lookup(250); !ok || v != "b" {
+		t.Error("unrelated interval disturbed by removal")
+	}
+	// Freed range can be reinserted.
+	mustInsert(t, &m, 100, 200, "a2")
+	if v, _ := m.Lookup(199); v != "a2" {
+		t.Errorf("reinserted interval not found, got %q", v)
+	}
+}
+
+func TestRemoveContaining(t *testing.T) {
+	var m Map[int]
+	if err := m.Insert(1000, 2000, 7); err != nil {
+		t.Fatal(err)
+	}
+	iv, ok := m.RemoveContaining(1500)
+	if !ok || iv.Lo != 1000 || iv.Hi != 2000 || iv.Value != 7 {
+		t.Errorf("RemoveContaining(1500) = %+v, %v", iv, ok)
+	}
+	if _, ok := m.RemoveContaining(1500); ok {
+		t.Error("second removal should fail")
+	}
+}
+
+func TestEachOrderAndEarlyStop(t *testing.T) {
+	var m Map[int]
+	for _, lo := range []uint64{500, 100, 300} {
+		if err := m.Insert(lo, lo+10, int(lo)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []uint64
+	m.Each(func(iv Interval[int]) bool {
+		seen = append(seen, iv.Lo)
+		return true
+	})
+	want := []uint64{100, 300, 500}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("Each order = %v, want %v", seen, want)
+		}
+	}
+	var count int
+	m.Each(func(Interval[int]) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d intervals, want 2", count)
+	}
+}
+
+func TestClear(t *testing.T) {
+	var m Map[int]
+	if err := m.Insert(0, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Errorf("Len after Clear = %d", m.Len())
+	}
+	if _, ok := m.Lookup(5); ok {
+		t.Error("Lookup succeeded after Clear")
+	}
+}
+
+// naive is a reference model: a list of intervals searched linearly.
+type naive struct {
+	ivs []Interval[int]
+}
+
+func (n *naive) insert(lo, hi uint64, v int) bool {
+	if lo >= hi {
+		return false
+	}
+	for _, iv := range n.ivs {
+		if lo < iv.Hi && iv.Lo < hi {
+			return false
+		}
+	}
+	n.ivs = append(n.ivs, Interval[int]{lo, hi, v})
+	return true
+}
+
+func (n *naive) lookup(a uint64) (int, bool) {
+	for _, iv := range n.ivs {
+		if a >= iv.Lo && a < iv.Hi {
+			return iv.Value, true
+		}
+	}
+	return 0, false
+}
+
+func (n *naive) removeAt(lo uint64) (int, bool) {
+	for i, iv := range n.ivs {
+		if iv.Lo == lo {
+			n.ivs = append(n.ivs[:i], n.ivs[i+1:]...)
+			return iv.Value, true
+		}
+	}
+	return 0, false
+}
+
+// TestQuickAgainstModel drives random operation sequences against both the
+// real map and the naive model and requires identical observable behaviour.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m Map[int]
+		var ref naive
+		const space = 1 << 12
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // insert
+				lo := rng.Uint64() % space
+				hi := lo + 1 + rng.Uint64()%64
+				v := rng.Int()
+				gotErr := m.Insert(lo, hi, v) != nil
+				refOK := ref.insert(lo, hi, v)
+				if gotErr == refOK {
+					return false // exactly one of them must accept
+				}
+			case 2: // lookup
+				a := rng.Uint64() % space
+				gv, gok := m.Lookup(a)
+				rv, rok := ref.lookup(a)
+				if gok != rok || (gok && gv != rv) {
+					return false
+				}
+			case 3: // remove at a known or random lo
+				var lo uint64
+				if len(ref.ivs) > 0 && rng.Intn(2) == 0 {
+					lo = ref.ivs[rng.Intn(len(ref.ivs))].Lo
+				} else {
+					lo = rng.Uint64() % space
+				}
+				gv, gok := m.RemoveAt(lo)
+				rv, rok := ref.removeAt(lo)
+				if gok != rok || (gok && gv != rv) {
+					return false
+				}
+			}
+			if m.Len() != len(ref.ivs) {
+				return false
+			}
+		}
+		// Final structural invariant: sorted, disjoint.
+		ivs := m.Intervals()
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i-1].Hi > ivs[i].Lo {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	var m Map[int]
+	const n = 4096
+	for i := 0; i < n; i++ {
+		lo := uint64(i) * 128
+		if err := m.Insert(lo, lo+64, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lookup(uint64(i%n)*128 + 32)
+	}
+}
+
+func BenchmarkInsertRemove(b *testing.B) {
+	var m Map[int]
+	const n = 1024
+	for i := 0; i < n; i++ {
+		lo := uint64(i) * 128
+		if err := m.Insert(lo, lo+64, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint64(n+i%n) * 128
+		if err := m.Insert(lo, lo+64, i); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := m.RemoveAt(lo); !ok {
+			b.Fatal("remove failed")
+		}
+	}
+}

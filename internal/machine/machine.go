@@ -1,0 +1,187 @@
+// Package machine models the topology of a multi-socket NUMA node: sockets,
+// cores, SMT hardware threads, and NUMA locality domains.
+//
+// The paper evaluates on two platforms: a POWER7 cluster node (four sockets,
+// 128 hardware threads, four NUMA domains — one per socket) and a four-socket
+// AMD Magny-Cours server (48 cores, eight NUMA domains — Magny-Cours packages
+// hold two dies, each die being its own locality domain). Both are available
+// as presets.
+package machine
+
+import "fmt"
+
+// Topology describes the static shape of one node.
+//
+// Hardware threads are numbered 0..NumHWThreads()-1 in socket-major order:
+// all SMT threads of core 0 of socket 0, then core 1 of socket 0, and so on.
+// NUMA domains partition the sockets' dies evenly.
+type Topology struct {
+	// Name identifies the preset (for reports).
+	Name string
+	// Sockets is the number of processor packages.
+	Sockets int
+	// CoresPerSocket is the number of physical cores per package.
+	CoresPerSocket int
+	// ThreadsPerCore is the SMT degree (1 = no SMT).
+	ThreadsPerCore int
+	// NUMADomains is the number of memory locality domains. It must be a
+	// multiple of Sockets (each socket holds NUMADomains/Sockets dies, each
+	// with its own memory controller).
+	NUMADomains int
+}
+
+// Validate reports whether the topology is internally consistent.
+func (t Topology) Validate() error {
+	switch {
+	case t.Sockets <= 0:
+		return fmt.Errorf("machine: %s: sockets must be positive, got %d", t.Name, t.Sockets)
+	case t.CoresPerSocket <= 0:
+		return fmt.Errorf("machine: %s: cores per socket must be positive, got %d", t.Name, t.CoresPerSocket)
+	case t.ThreadsPerCore <= 0:
+		return fmt.Errorf("machine: %s: threads per core must be positive, got %d", t.Name, t.ThreadsPerCore)
+	case t.NUMADomains <= 0:
+		return fmt.Errorf("machine: %s: NUMA domains must be positive, got %d", t.Name, t.NUMADomains)
+	case t.NUMADomains%t.Sockets != 0:
+		return fmt.Errorf("machine: %s: NUMA domains (%d) must be a multiple of sockets (%d)",
+			t.Name, t.NUMADomains, t.Sockets)
+	case t.CoresPerSocket%(t.NUMADomains/t.Sockets) != 0:
+		return fmt.Errorf("machine: %s: cores per socket (%d) must divide evenly into %d dies",
+			t.Name, t.CoresPerSocket, t.NUMADomains/t.Sockets)
+	}
+	return nil
+}
+
+// NumCores returns the total number of physical cores on the node.
+func (t Topology) NumCores() int { return t.Sockets * t.CoresPerSocket }
+
+// NumHWThreads returns the total number of hardware threads on the node.
+func (t Topology) NumHWThreads() int { return t.NumCores() * t.ThreadsPerCore }
+
+// DiesPerSocket returns the number of NUMA domains contributed by one socket.
+func (t Topology) DiesPerSocket() int { return t.NUMADomains / t.Sockets }
+
+// CoresPerDomain returns the number of physical cores in one NUMA domain.
+func (t Topology) CoresPerDomain() int { return t.NumCores() / t.NUMADomains }
+
+// CoreOf returns the physical core a hardware thread runs on.
+func (t Topology) CoreOf(hwThread int) int {
+	t.mustContainThread(hwThread)
+	return hwThread / t.ThreadsPerCore
+}
+
+// SocketOf returns the socket a hardware thread belongs to.
+func (t Topology) SocketOf(hwThread int) int {
+	return t.CoreOf(hwThread) / t.CoresPerSocket
+}
+
+// SocketOfCore returns the socket a physical core belongs to.
+func (t Topology) SocketOfCore(core int) int {
+	t.mustContainCore(core)
+	return core / t.CoresPerSocket
+}
+
+// DomainOf returns the NUMA domain a hardware thread's core belongs to.
+func (t Topology) DomainOf(hwThread int) int {
+	return t.DomainOfCore(t.CoreOf(hwThread))
+}
+
+// DomainOfCore returns the NUMA domain of a physical core.
+func (t Topology) DomainOfCore(core int) int {
+	t.mustContainCore(core)
+	return core / t.CoresPerDomain()
+}
+
+// ThreadsOfDomain returns the hardware-thread ids whose cores live in the
+// given NUMA domain, in ascending order.
+func (t Topology) ThreadsOfDomain(domain int) []int {
+	if domain < 0 || domain >= t.NUMADomains {
+		panic(fmt.Sprintf("machine: domain %d out of range [0,%d)", domain, t.NUMADomains))
+	}
+	perDomain := t.CoresPerDomain() * t.ThreadsPerCore
+	ids := make([]int, perDomain)
+	base := domain * perDomain
+	for i := range ids {
+		ids[i] = base + i
+	}
+	return ids
+}
+
+// IsLocal reports whether an access from the given hardware thread to memory
+// homed in the given domain is NUMA-local.
+func (t Topology) IsLocal(hwThread, domain int) bool {
+	return t.DomainOf(hwThread) == domain
+}
+
+// DomainDistance returns the interconnect hop count between two NUMA
+// domains: 0 for the same domain, 1 for two dies in one package (the
+// Magny-Cours on-package HT link), 2 across packages. Single-die-per-socket
+// machines (POWER7) see only 0 or 2.
+func (t Topology) DomainDistance(a, b int) int {
+	if a < 0 || a >= t.NUMADomains || b < 0 || b >= t.NUMADomains {
+		panic(fmt.Sprintf("machine: domain pair (%d,%d) out of range [0,%d)", a, b, t.NUMADomains))
+	}
+	switch {
+	case a == b:
+		return 0
+	case a/t.DiesPerSocket() == b/t.DiesPerSocket():
+		return 1
+	default:
+		return 2
+	}
+}
+
+func (t Topology) mustContainThread(hw int) {
+	if hw < 0 || hw >= t.NumHWThreads() {
+		panic(fmt.Sprintf("machine: hardware thread %d out of range [0,%d)", hw, t.NumHWThreads()))
+	}
+}
+
+func (t Topology) mustContainCore(core int) {
+	if core < 0 || core >= t.NumCores() {
+		panic(fmt.Sprintf("machine: core %d out of range [0,%d)", core, t.NumCores()))
+	}
+}
+
+// String renders a compact one-line description.
+func (t Topology) String() string {
+	return fmt.Sprintf("%s: %d sockets x %d cores x %d SMT = %d HW threads, %d NUMA domains",
+		t.Name, t.Sockets, t.CoresPerSocket, t.ThreadsPerCore, t.NumHWThreads(), t.NUMADomains)
+}
+
+// Power7Node is the paper's first test platform: one node of the POWER7
+// cluster — four POWER7 processors, 128 hardware threads total, one NUMA
+// domain per socket.
+func Power7Node() Topology {
+	return Topology{
+		Name:           "power7",
+		Sockets:        4,
+		CoresPerSocket: 8,
+		ThreadsPerCore: 4,
+		NUMADomains:    4,
+	}
+}
+
+// MagnyCours48 is the paper's second test platform: a single-node server
+// with four AMD Magny-Cours packages, 48 cores and 8 NUMA locality domains
+// (each package carries two six-core dies).
+func MagnyCours48() Topology {
+	return Topology{
+		Name:           "magny-cours",
+		Sockets:        4,
+		CoresPerSocket: 12,
+		ThreadsPerCore: 1,
+		NUMADomains:    8,
+	}
+}
+
+// Tiny returns a small topology convenient for unit tests: two sockets, two
+// cores each, no SMT, two NUMA domains.
+func Tiny() Topology {
+	return Topology{
+		Name:           "tiny",
+		Sockets:        2,
+		CoresPerSocket: 2,
+		ThreadsPerCore: 1,
+		NUMADomains:    2,
+	}
+}

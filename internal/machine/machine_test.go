@@ -1,0 +1,230 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, top := range []Topology{Power7Node(), MagnyCours48(), Tiny()} {
+		if err := top.Validate(); err != nil {
+			t.Errorf("%s: unexpected validation error: %v", top.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadShapes(t *testing.T) {
+	cases := []Topology{
+		{Name: "zero-sockets", Sockets: 0, CoresPerSocket: 2, ThreadsPerCore: 1, NUMADomains: 1},
+		{Name: "zero-cores", Sockets: 2, CoresPerSocket: 0, ThreadsPerCore: 1, NUMADomains: 2},
+		{Name: "zero-smt", Sockets: 2, CoresPerSocket: 2, ThreadsPerCore: 0, NUMADomains: 2},
+		{Name: "zero-domains", Sockets: 2, CoresPerSocket: 2, ThreadsPerCore: 1, NUMADomains: 0},
+		{Name: "domains-not-multiple", Sockets: 2, CoresPerSocket: 2, ThreadsPerCore: 1, NUMADomains: 3},
+		{Name: "cores-dont-split", Sockets: 1, CoresPerSocket: 3, ThreadsPerCore: 1, NUMADomains: 2},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error, got nil", c.Name)
+		}
+	}
+}
+
+func TestPower7Shape(t *testing.T) {
+	p := Power7Node()
+	if got := p.NumHWThreads(); got != 128 {
+		t.Errorf("NumHWThreads() = %d, want 128", got)
+	}
+	if got := p.NumCores(); got != 32 {
+		t.Errorf("NumCores() = %d, want 32", got)
+	}
+	if got := p.CoresPerDomain(); got != 8 {
+		t.Errorf("CoresPerDomain() = %d, want 8", got)
+	}
+	// Thread 0 is on core 0, socket 0, domain 0.
+	if d := p.DomainOf(0); d != 0 {
+		t.Errorf("DomainOf(0) = %d, want 0", d)
+	}
+	// Last thread is on the last core of the last socket, domain 3.
+	if d := p.DomainOf(127); d != 3 {
+		t.Errorf("DomainOf(127) = %d, want 3", d)
+	}
+	if c := p.CoreOf(127); c != 31 {
+		t.Errorf("CoreOf(127) = %d, want 31", c)
+	}
+	if s := p.SocketOf(127); s != 3 {
+		t.Errorf("SocketOf(127) = %d, want 3", s)
+	}
+}
+
+func TestMagnyCoursShape(t *testing.T) {
+	m := MagnyCours48()
+	if got := m.NumCores(); got != 48 {
+		t.Errorf("NumCores() = %d, want 48", got)
+	}
+	if got := m.NUMADomains; got != 8 {
+		t.Errorf("NUMADomains = %d, want 8", got)
+	}
+	if got := m.CoresPerDomain(); got != 6 {
+		t.Errorf("CoresPerDomain() = %d, want 6", got)
+	}
+	if got := m.DiesPerSocket(); got != 2 {
+		t.Errorf("DiesPerSocket() = %d, want 2", got)
+	}
+	// Cores 0-5 in domain 0, 6-11 in domain 1 (second die of socket 0).
+	if d := m.DomainOfCore(5); d != 0 {
+		t.Errorf("DomainOfCore(5) = %d, want 0", d)
+	}
+	if d := m.DomainOfCore(6); d != 1 {
+		t.Errorf("DomainOfCore(6) = %d, want 1", d)
+	}
+	if s := m.SocketOfCore(6); s != 0 {
+		t.Errorf("SocketOfCore(6) = %d, want 0", s)
+	}
+}
+
+func TestThreadsOfDomainPartition(t *testing.T) {
+	for _, top := range []Topology{Power7Node(), MagnyCours48(), Tiny()} {
+		seen := make(map[int]int)
+		for d := 0; d < top.NUMADomains; d++ {
+			for _, hw := range top.ThreadsOfDomain(d) {
+				seen[hw]++
+				if got := top.DomainOf(hw); got != d {
+					t.Errorf("%s: thread %d listed in domain %d but DomainOf = %d", top.Name, hw, d, got)
+				}
+			}
+		}
+		if len(seen) != top.NumHWThreads() {
+			t.Errorf("%s: domains cover %d threads, want %d", top.Name, len(seen), top.NumHWThreads())
+		}
+		for hw, n := range seen {
+			if n != 1 {
+				t.Errorf("%s: thread %d appears in %d domains", top.Name, hw, n)
+			}
+		}
+	}
+}
+
+func TestIsLocal(t *testing.T) {
+	top := Tiny()
+	// Tiny: threads 0,1 in domain 0; threads 2,3 in domain 1.
+	if !top.IsLocal(0, 0) {
+		t.Error("thread 0 should be local to domain 0")
+	}
+	if top.IsLocal(0, 1) {
+		t.Error("thread 0 should not be local to domain 1")
+	}
+	if !top.IsLocal(3, 1) {
+		t.Error("thread 3 should be local to domain 1")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	top := Tiny()
+	for name, fn := range map[string]func(){
+		"CoreOf-negative":     func() { top.CoreOf(-1) },
+		"CoreOf-too-big":      func() { top.CoreOf(top.NumHWThreads()) },
+		"DomainOfCore-big":    func() { top.DomainOfCore(top.NumCores()) },
+		"ThreadsOfDomain-big": func() { top.ThreadsOfDomain(top.NUMADomains) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestDomainMappingConsistency checks, by exhaustive property, that the
+// thread→core→socket/domain maps agree on every valid preset thread.
+func TestDomainMappingConsistency(t *testing.T) {
+	for _, top := range []Topology{Power7Node(), MagnyCours48(), Tiny()} {
+		for hw := 0; hw < top.NumHWThreads(); hw++ {
+			core := top.CoreOf(hw)
+			if got, want := top.DomainOf(hw), top.DomainOfCore(core); got != want {
+				t.Fatalf("%s thread %d: DomainOf=%d DomainOfCore=%d", top.Name, hw, got, want)
+			}
+			if got, want := top.SocketOf(hw), top.SocketOfCore(core); got != want {
+				t.Fatalf("%s thread %d: SocketOf=%d SocketOfCore=%d", top.Name, hw, got, want)
+			}
+			// A domain never spans sockets.
+			if top.SocketOf(hw) != top.DomainOf(hw)/top.DiesPerSocket() {
+				t.Fatalf("%s thread %d: domain %d not contained in socket %d",
+					top.Name, hw, top.DomainOf(hw), top.SocketOf(hw))
+			}
+		}
+	}
+}
+
+// Property: for any valid small topology, every hardware thread maps to a
+// core within range and a domain within range, and locality is reflexive
+// with respect to the thread's own domain.
+func TestQuickThreadMapsInRange(t *testing.T) {
+	f := func(s, c, smt, dies uint8) bool {
+		top := Topology{
+			Name:           "quick",
+			Sockets:        int(s%4) + 1,
+			CoresPerSocket: int(c%8) + 1,
+			ThreadsPerCore: int(smt%4) + 1,
+		}
+		d := int(dies%2) + 1
+		if top.CoresPerSocket%d != 0 {
+			return true // shape not constructible; skip
+		}
+		top.NUMADomains = top.Sockets * d
+		if err := top.Validate(); err != nil {
+			return false
+		}
+		for hw := 0; hw < top.NumHWThreads(); hw++ {
+			core := top.CoreOf(hw)
+			if core < 0 || core >= top.NumCores() {
+				return false
+			}
+			dom := top.DomainOf(hw)
+			if dom < 0 || dom >= top.NUMADomains {
+				return false
+			}
+			if !top.IsLocal(hw, dom) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDomainDistance(t *testing.T) {
+	m := MagnyCours48()
+	if d := m.DomainDistance(0, 0); d != 0 {
+		t.Errorf("same-domain distance = %d", d)
+	}
+	// Domains 0 and 1 are the two dies of socket 0.
+	if d := m.DomainDistance(0, 1); d != 1 {
+		t.Errorf("on-package distance = %d, want 1", d)
+	}
+	if d := m.DomainDistance(0, 2); d != 2 {
+		t.Errorf("cross-package distance = %d, want 2", d)
+	}
+	p := Power7Node() // one die per socket: everything remote is 2 hops
+	if d := p.DomainDistance(0, 3); d != 2 {
+		t.Errorf("POWER7 remote distance = %d, want 2", d)
+	}
+	// Symmetry.
+	for a := 0; a < m.NUMADomains; a++ {
+		for b := 0; b < m.NUMADomains; b++ {
+			if m.DomainDistance(a, b) != m.DomainDistance(b, a) {
+				t.Fatalf("distance not symmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range distance should panic")
+		}
+	}()
+	m.DomainDistance(0, 99)
+}

@@ -1,0 +1,178 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Alignment of every block the allocator hands out.
+const allocAlign = 16
+
+// Allocator is a first-fit heap allocator with address-ordered free-list
+// coalescing, managing the [HeapBase, HeapLimit) arena of one process.
+// It plays the role of the C library's malloc family, which the profiler
+// wraps; the allocator itself is measurement-free.
+//
+// Allocator is safe for concurrent use by the simulated threads of one
+// process.
+type Allocator struct {
+	base, limit Addr
+
+	mu     sync.Mutex
+	brk    Addr            // bump frontier; everything above is virgin
+	free   []span          // address-ordered free spans below brk
+	live   map[Addr]uint64 // block start -> usable size
+	nLive  int
+	nAlloc uint64 // cumulative allocations (stats)
+	bLive  uint64 // bytes currently allocated
+	peak   uint64 // high-water mark of bLive
+}
+
+type span struct{ lo, hi Addr }
+
+// NewAllocator creates an allocator over [base, limit).
+func NewAllocator(base, limit Addr) *Allocator {
+	if base >= limit || base%allocAlign != 0 {
+		panic(fmt.Sprintf("mem: bad allocator arena [%#x, %#x)", base, limit))
+	}
+	return &Allocator{base: base, limit: limit, brk: base, live: make(map[Addr]uint64)}
+}
+
+// NewHeap creates an allocator over the standard heap segment.
+func NewHeap() *Allocator { return NewAllocator(HeapBase, HeapLimit) }
+
+func roundUp(n uint64) uint64 {
+	if n == 0 {
+		n = 1
+	}
+	return (n + allocAlign - 1) &^ (allocAlign - 1)
+}
+
+// Alloc reserves size usable bytes and returns the block's base address.
+func (a *Allocator) Alloc(size uint64) (Addr, error) {
+	need := roundUp(size)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	// First fit over the free list.
+	for i, s := range a.free {
+		if uint64(s.hi-s.lo) >= need {
+			addr := s.lo
+			rest := span{s.lo + Addr(need), s.hi}
+			if rest.lo == rest.hi {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i] = rest
+			}
+			a.commit(addr, size)
+			return addr, nil
+		}
+	}
+	// Bump the frontier.
+	if uint64(a.limit-a.brk) < need {
+		return 0, fmt.Errorf("mem: out of heap: need %d bytes, %d available", need, a.limit-a.brk)
+	}
+	addr := a.brk
+	a.brk += Addr(need)
+	a.commit(addr, size)
+	return addr, nil
+}
+
+func (a *Allocator) commit(addr Addr, size uint64) {
+	a.live[addr] = size
+	a.nLive++
+	a.nAlloc++
+	a.bLive += roundUp(size)
+	if a.bLive > a.peak {
+		a.peak = a.bLive
+	}
+}
+
+// Free releases the block starting at addr, returning its usable size.
+// Freeing an address that is not a live block start is an error (the paper's
+// profiler wraps every free precisely to keep this map exact).
+func (a *Allocator) Free(addr Addr) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	size, ok := a.live[addr]
+	if !ok {
+		return 0, fmt.Errorf("mem: free of non-allocated address %#x", addr)
+	}
+	delete(a.live, addr)
+	a.nLive--
+	a.bLive -= roundUp(size)
+	a.insertFree(span{addr, addr + Addr(roundUp(size))})
+	return size, nil
+}
+
+// insertFree adds s to the address-ordered free list, coalescing neighbours.
+func (a *Allocator) insertFree(s span) {
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].lo >= s.lo })
+	// Coalesce with predecessor.
+	if i > 0 && a.free[i-1].hi == s.lo {
+		s.lo = a.free[i-1].lo
+		a.free = append(a.free[:i-1], a.free[i:]...)
+		i--
+	}
+	// Coalesce with successor.
+	if i < len(a.free) && s.hi == a.free[i].lo {
+		s.hi = a.free[i].hi
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+	// Retreat the frontier if the span abuts it.
+	if s.hi == a.brk {
+		a.brk = s.lo
+		return
+	}
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = s
+}
+
+// SizeOf returns the usable size of the live block starting at addr.
+func (a *Allocator) SizeOf(addr Addr) (uint64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.live[addr]
+	return s, ok
+}
+
+// Stats reports allocator counters: live blocks, live bytes, peak live
+// bytes, and cumulative allocation count.
+func (a *Allocator) Stats() (liveBlocks int, liveBytes, peakBytes, totalAllocs uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nLive, a.bLive, a.peak, a.nAlloc
+}
+
+// CheckInvariants verifies internal consistency (free list sorted, disjoint,
+// coalesced, inside the arena, and disjoint from live blocks). Intended for
+// tests.
+func (a *Allocator) CheckInvariants() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, s := range a.free {
+		if s.lo >= s.hi {
+			return fmt.Errorf("free span %d empty: [%#x,%#x)", i, s.lo, s.hi)
+		}
+		if s.lo < a.base || s.hi > a.brk {
+			return fmt.Errorf("free span %d outside used arena: [%#x,%#x) brk=%#x", i, s.lo, s.hi, a.brk)
+		}
+		if i > 0 && a.free[i-1].hi >= s.lo {
+			return fmt.Errorf("free spans %d,%d not disjoint/coalesced", i-1, i)
+		}
+	}
+	for addr, size := range a.live {
+		lo, hi := addr, addr+Addr(roundUp(size))
+		if lo < a.base || hi > a.brk {
+			return fmt.Errorf("live block [%#x,%#x) outside used arena", lo, hi)
+		}
+		for _, s := range a.free {
+			if lo < s.hi && s.lo < hi {
+				return fmt.Errorf("live block [%#x,%#x) overlaps free span [%#x,%#x)", lo, hi, s.lo, s.hi)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasic(t *testing.T) {
+	a := NewHeap()
+	p1, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Alloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("two allocations returned the same address")
+	}
+	if p1%allocAlign != 0 || p2%allocAlign != 0 {
+		t.Errorf("unaligned blocks: %#x %#x", p1, p2)
+	}
+	if s, ok := a.SizeOf(p1); !ok || s != 100 {
+		t.Errorf("SizeOf(p1) = %d,%v want 100,true", s, ok)
+	}
+	// Blocks must not overlap.
+	if p2 < p1+Addr(roundUp(100)) && p1 < p2+Addr(roundUp(200)) {
+		if p1 < p2 && p1+Addr(roundUp(100)) > p2 {
+			t.Error("blocks overlap")
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocZeroSize(t *testing.T) {
+	a := NewHeap()
+	p, err := a.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	a := NewHeap()
+	p, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Free(p + 8); err == nil {
+		t.Error("interior free accepted")
+	}
+	if _, err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Free(p); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestFreeListReuseAndCoalesce(t *testing.T) {
+	a := NewHeap()
+	var ptrs []Addr
+	for i := 0; i < 4; i++ {
+		p, err := a.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	frontierAfter := ptrs[3] + Addr(roundUp(64))
+	// Free middle two blocks; they should coalesce into one 128-byte span.
+	if _, err := a.Free(ptrs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Free(ptrs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A 128-byte allocation must fit in the coalesced hole, not the frontier.
+	p, err := a.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != ptrs[1] {
+		t.Errorf("128-byte alloc at %#x, want reuse of coalesced hole at %#x", p, ptrs[1])
+	}
+	if p >= frontierAfter {
+		t.Error("allocation extended the frontier instead of reusing the hole")
+	}
+}
+
+func TestFrontierRetreat(t *testing.T) {
+	a := NewHeap()
+	p1, _ := a.Alloc(64)
+	p2, _ := a.Alloc(64)
+	// Free the top block: the frontier retreats and the free list stays empty.
+	if _, err := a.Free(p2); err != nil {
+		t.Fatal(err)
+	}
+	p3, _ := a.Alloc(64)
+	if p3 != p2 {
+		t.Errorf("frontier did not retreat: got %#x want %#x", p3, p2)
+	}
+	_ = p1
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := NewHeap()
+	p1, _ := a.Alloc(100)
+	p2, _ := a.Alloc(50)
+	live, bytes, peak, total := a.Stats()
+	if live != 2 || total != 2 {
+		t.Errorf("live=%d total=%d, want 2,2", live, total)
+	}
+	wantBytes := roundUp(100) + roundUp(50)
+	if bytes != wantBytes || peak != wantBytes {
+		t.Errorf("bytes=%d peak=%d, want %d", bytes, peak, wantBytes)
+	}
+	if _, err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	live, bytes, peak, _ = a.Stats()
+	if live != 1 || bytes != roundUp(50) || peak != wantBytes {
+		t.Errorf("after free: live=%d bytes=%d peak=%d", live, bytes, peak)
+	}
+	_ = p2
+}
+
+func TestOutOfHeap(t *testing.T) {
+	a := NewAllocator(HeapBase, HeapBase+1024)
+	if _, err := a.Alloc(2048); err == nil {
+		t.Error("oversized allocation accepted")
+	}
+	p, err := a.Alloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1); err == nil {
+		t.Error("allocation beyond arena accepted")
+	}
+	if _, err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1024); err != nil {
+		t.Error("arena not fully reusable after free")
+	}
+}
+
+// Property: random alloc/free sequences never produce overlapping live
+// blocks and always satisfy the allocator invariants.
+func TestQuickAllocatorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewHeap()
+		type blk struct {
+			addr Addr
+			size uint64
+		}
+		var blocks []blk
+		for op := 0; op < 400; op++ {
+			if len(blocks) == 0 || rng.Intn(3) != 0 {
+				size := uint64(rng.Intn(4096) + 1)
+				p, err := a.Alloc(size)
+				if err != nil {
+					return false
+				}
+				for _, b := range blocks {
+					bl, bh := b.addr, b.addr+Addr(roundUp(b.size))
+					nl, nh := p, p+Addr(roundUp(size))
+					if nl < bh && bl < nh {
+						return false // overlap
+					}
+				}
+				blocks = append(blocks, blk{p, size})
+			} else {
+				i := rng.Intn(len(blocks))
+				got, err := a.Free(blocks[i].addr)
+				if err != nil || got != blocks[i].size {
+					return false
+				}
+				blocks = append(blocks[:i], blocks[i+1:]...)
+			}
+		}
+		return a.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	a := NewHeap()
+	const workers = 8
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(int64(w)))
+			var mine []Addr
+			for i := 0; i < 500; i++ {
+				if len(mine) == 0 || rng.Intn(2) == 0 {
+					p, err := a.Alloc(uint64(rng.Intn(512) + 1))
+					if err != nil {
+						done <- err
+						return
+					}
+					mine = append(mine, p)
+				} else {
+					i := rng.Intn(len(mine))
+					if _, err := a.Free(mine[i]); err != nil {
+						done <- err
+						return
+					}
+					mine = append(mine[:i], mine[i+1:]...)
+				}
+			}
+			for _, p := range mine {
+				if _, err := a.Free(p); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if live, bytes, _, _ := a.Stats(); live != 0 || bytes != 0 {
+		t.Errorf("leaked: live=%d bytes=%d", live, bytes)
+	}
+}

@@ -1,0 +1,172 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstTouchPlacement(t *testing.T) {
+	pt := NewPageTable(4, FirstTouch{})
+	addr := HeapBase
+	if d := pt.Resolve(addr, 2); d != 2 {
+		t.Errorf("first touch from domain 2 homed page in %d", d)
+	}
+	// A later access from another domain sees the established home.
+	if d := pt.Resolve(addr+8, 0); d != 2 {
+		t.Errorf("second touch moved page to %d", d)
+	}
+	if d, ok := pt.Home(addr); !ok || d != 2 {
+		t.Errorf("Home = %d,%v", d, ok)
+	}
+}
+
+func TestInterleavePlacement(t *testing.T) {
+	pt := NewPageTable(4, Interleave{})
+	counts := make([]int, 4)
+	for i := 0; i < 64; i++ {
+		a := HeapBase + Addr(i*PageSize)
+		counts[pt.Resolve(a, 0)]++
+	}
+	for d, c := range counts {
+		if c != 16 {
+			t.Errorf("domain %d homed %d pages, want 16", d, c)
+		}
+	}
+}
+
+func TestBindPlacement(t *testing.T) {
+	pt := NewPageTable(4, Bind{Domain: 3})
+	for i := 0; i < 8; i++ {
+		if d := pt.Resolve(HeapBase+Addr(i*PageSize), 1); d != 3 {
+			t.Errorf("bind placed page in %d", d)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Bind should panic on placement")
+		}
+	}()
+	NewPageTable(2, Bind{Domain: 5}).Resolve(HeapBase, 0)
+}
+
+func TestRangePolicyOverride(t *testing.T) {
+	pt := NewPageTable(4, FirstTouch{})
+	lo := HeapBase
+	hi := lo + 8*PageSize
+	pt.SetRangePolicy(lo, hi, Interleave{})
+
+	// Pages inside the range interleave regardless of accessor.
+	for i := 0; i < 8; i++ {
+		a := lo + Addr(i*PageSize)
+		want := int(uint64(PageOf(a)) % 4)
+		if d := pt.Resolve(a, 1); d != want {
+			t.Errorf("page %d placed in %d, want %d", i, d, want)
+		}
+	}
+	// Pages outside still first-touch.
+	if d := pt.Resolve(hi, 1); d != 1 {
+		t.Errorf("page outside override placed in %d, want 1", d)
+	}
+}
+
+func TestRangePolicyReplacement(t *testing.T) {
+	pt := NewPageTable(4, FirstTouch{})
+	lo := HeapBase
+	pt.SetRangePolicy(lo, lo+16*PageSize, Bind{Domain: 0})
+	// Replace the middle of the range; the flanks keep the old policy.
+	pt.SetRangePolicy(lo+4*PageSize, lo+8*PageSize, Bind{Domain: 3})
+
+	if d := pt.Resolve(lo, 2); d != 0 {
+		t.Errorf("left flank placed in %d, want 0", d)
+	}
+	if d := pt.Resolve(lo+5*PageSize, 2); d != 3 {
+		t.Errorf("replaced middle placed in %d, want 3", d)
+	}
+	if d := pt.Resolve(lo+12*PageSize, 2); d != 0 {
+		t.Errorf("right flank placed in %d, want 0", d)
+	}
+}
+
+func TestClearRangePolicy(t *testing.T) {
+	pt := NewPageTable(4, FirstTouch{})
+	lo := HeapBase
+	pt.SetRangePolicy(lo, lo+4*PageSize, Bind{Domain: 3})
+	pt.ClearRangePolicy(lo, lo+4*PageSize)
+	if d := pt.Resolve(lo, 1); d != 1 {
+		t.Errorf("cleared range placed in %d, want first-touch 1", d)
+	}
+}
+
+func TestDiscardAndRecount(t *testing.T) {
+	pt := NewPageTable(2, FirstTouch{})
+	a := HeapBase
+	pt.Resolve(a, 0)
+	pt.Resolve(a+PageSize, 1)
+	if got := pt.MappedPages(); got != 2 {
+		t.Fatalf("MappedPages = %d", got)
+	}
+	counts := pt.DomainCounts()
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("DomainCounts = %v", counts)
+	}
+	pt.Discard(a, a+2*PageSize)
+	if got := pt.MappedPages(); got != 0 {
+		t.Fatalf("MappedPages after discard = %d", got)
+	}
+	// Re-touch from the other domain: placement starts over.
+	if d := pt.Resolve(a, 1); d != 1 {
+		t.Errorf("re-touch placed in %d, want 1", d)
+	}
+}
+
+func TestConcurrentResolveSingleHome(t *testing.T) {
+	pt := NewPageTable(8, FirstTouch{})
+	const workers = 16
+	addr := HeapBase
+	var wg sync.WaitGroup
+	homes := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			homes[w] = pt.Resolve(addr, w%8)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if homes[w] != homes[0] {
+			t.Fatalf("racing first-touchers got different homes: %v", homes)
+		}
+	}
+	if pt.MappedPages() != 1 {
+		t.Errorf("MappedPages = %d, want 1", pt.MappedPages())
+	}
+}
+
+// Property: interleave spreads any contiguous run of pages within one page
+// of perfectly even.
+func TestQuickInterleaveEven(t *testing.T) {
+	f := func(npages uint16, domains uint8) bool {
+		d := int(domains%7) + 2
+		n := int(npages%512) + d
+		pt := NewPageTable(d, Interleave{})
+		for i := 0; i < n; i++ {
+			pt.Resolve(HeapBase+Addr(i*PageSize), 0)
+		}
+		counts := pt.DomainCounts()
+		min, max := counts[0], counts[0]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package mem
+
+import "fmt"
+
+// Policy decides which NUMA domain a page is homed in when it is first
+// touched. Policies are consulted exactly once per page.
+type Policy interface {
+	// Place returns the home domain for page, given the NUMA domain of the
+	// thread performing the first touch and the number of domains.
+	Place(page PageID, accessorDomain, domains int) int
+	// String names the policy for reports.
+	String() string
+}
+
+// FirstTouch homes each page in the domain of the first thread to touch it —
+// the Linux default. Arrays initialized serially by a master thread end up
+// entirely in the master's domain.
+type FirstTouch struct{}
+
+// Place implements Policy.
+func (FirstTouch) Place(_ PageID, accessorDomain, _ int) int { return accessorDomain }
+
+func (FirstTouch) String() string { return "first-touch" }
+
+// Interleave homes pages round-robin across all domains, like
+// `numactl --interleave=all` (process-wide) or libnuma's
+// numa_alloc_interleaved (per allocation, via Space.SetRangePolicy).
+type Interleave struct{}
+
+// Place implements Policy.
+func (Interleave) Place(page PageID, _, domains int) int { return int(uint64(page) % uint64(domains)) }
+
+func (Interleave) String() string { return "interleave" }
+
+// Bind homes every page in one fixed domain (numactl --membind).
+type Bind struct{ Domain int }
+
+// Place implements Policy.
+func (b Bind) Place(_ PageID, _, domains int) int {
+	if b.Domain < 0 || b.Domain >= domains {
+		panic(fmt.Sprintf("mem: Bind domain %d out of range [0,%d)", b.Domain, domains))
+	}
+	return b.Domain
+}
+
+func (b Bind) String() string { return fmt.Sprintf("bind(%d)", b.Domain) }

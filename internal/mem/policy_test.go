@@ -1,0 +1,56 @@
+package mem
+
+import "testing"
+
+func TestPolicyNames(t *testing.T) {
+	if (FirstTouch{}).String() != "first-touch" {
+		t.Error("first-touch name")
+	}
+	if (Interleave{}).String() != "interleave" {
+		t.Error("interleave name")
+	}
+	if (Bind{Domain: 3}).String() != "bind(3)" {
+		t.Error("bind name")
+	}
+}
+
+func TestPolicyPlacement(t *testing.T) {
+	if d := (FirstTouch{}).Place(5, 2, 4); d != 2 {
+		t.Errorf("first touch placed in %d", d)
+	}
+	if d := (Interleave{}).Place(10, 0, 4); d != 2 {
+		t.Errorf("interleave placed page 10 in %d, want 2", d)
+	}
+	if d := (Bind{Domain: 1}).Place(99, 3, 4); d != 1 {
+		t.Errorf("bind placed in %d", d)
+	}
+}
+
+func TestBindOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	(Bind{Domain: 9}).Place(0, 0, 4)
+}
+
+func TestDefaultPolicySwitch(t *testing.T) {
+	pt := NewPageTable(4, FirstTouch{})
+	a := HeapBase
+	if d := pt.Resolve(a, 3); d != 3 {
+		t.Fatalf("first touch placed in %d", d)
+	}
+	// Switch the process-wide policy: already-homed pages do not move, new
+	// pages follow the new policy.
+	pt.SetDefaultPolicy(Bind{Domain: 0})
+	if d := pt.Resolve(a, 1); d != 3 {
+		t.Error("existing page moved after policy switch")
+	}
+	if d := pt.Resolve(a+PageSize, 1); d != 0 {
+		t.Errorf("new page placed in %d, want bound 0", d)
+	}
+	if pt.DefaultPolicy().String() != "bind(0)" {
+		t.Error("DefaultPolicy not updated")
+	}
+}

@@ -1,0 +1,73 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Space is one process's virtual address space: a page table with NUMA
+// placement, a heap allocator, a brk bump region, and fixed static/stack
+// segments. Each simulated MPI rank owns one Space.
+type Space struct {
+	PT   *PageTable
+	Heap *Allocator
+
+	mu  sync.Mutex
+	brk Addr
+}
+
+// NewSpace creates an address space on a node with the given number of NUMA
+// domains, using def as the process-wide placement policy (nil means
+// first-touch, the Linux default).
+func NewSpace(domains int, def Policy) *Space {
+	return &Space{
+		PT:   NewPageTable(domains, def),
+		Heap: NewHeap(),
+		brk:  BrkBase,
+	}
+}
+
+// Malloc allocates size bytes on the heap without touching its pages: page
+// placement happens on first access, so the first toucher's domain wins —
+// this is why the paper's calloc→malloc change fixes first-touch placement
+// for arrays that are initialized in parallel.
+func (s *Space) Malloc(size uint64) (Addr, error) {
+	return s.Heap.Alloc(size)
+}
+
+// Free releases a heap block, discarding page placements and any libnuma
+// range policy so recycled address ranges start fresh.
+func (s *Space) Free(addr Addr) (uint64, error) {
+	size, err := s.Heap.Free(addr)
+	if err != nil {
+		return 0, err
+	}
+	s.PT.Discard(addr, addr+Addr(size))
+	s.PT.ClearRangePolicy(addr, addr+Addr(size))
+	return size, nil
+}
+
+// Sbrk extends the brk region (untracked "unknown data" allocations, like
+// the paper's C++ template containers) and returns the old frontier.
+func (s *Space) Sbrk(size uint64) (Addr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	need := Addr(roundUp(size))
+	if s.brk+need > BrkLimit {
+		return 0, fmt.Errorf("mem: brk region exhausted")
+	}
+	addr := s.brk
+	s.brk += need
+	return addr, nil
+}
+
+// InterleaveRange installs libnuma-style interleaved placement for the
+// not-yet-touched pages of [addr, addr+size).
+func (s *Space) InterleaveRange(addr Addr, size uint64) {
+	s.PT.SetRangePolicy(addr, addr+Addr(size), Interleave{})
+}
+
+// BindRange installs libnuma-style bound placement for [addr, addr+size).
+func (s *Space) BindRange(addr Addr, size uint64, domain int) {
+	s.PT.SetRangePolicy(addr, addr+Addr(size), Bind{Domain: domain})
+}

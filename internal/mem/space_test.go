@@ -1,0 +1,149 @@
+package mem
+
+import "testing"
+
+func TestSegmentClassification(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want Segment
+	}{
+		{StaticBase, SegStatic},
+		{ModuleBase(3) + 100, SegStatic},
+		{HeapBase, SegHeap},
+		{HeapBase + 12345, SegHeap},
+		{BrkBase + 1, SegBrk},
+		{StackTop - 64, SegStack},
+		{StackBase(100) - 100, SegStack},
+		{0, SegUnmapped},
+		{0x9000_0000_0000, SegUnmapped},
+	}
+	for _, c := range cases {
+		if got := SegmentOf(c.addr); got != c.want {
+			t.Errorf("SegmentOf(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestSegmentNames(t *testing.T) {
+	names := map[Segment]string{
+		SegStatic: "static", SegHeap: "heap", SegBrk: "brk",
+		SegStack: "stack", SegUnmapped: "unmapped",
+	}
+	for seg, want := range names {
+		if got := seg.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", seg, got, want)
+		}
+	}
+}
+
+func TestModuleBasesDisjoint(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		lo := ModuleBase(i)
+		hi := lo + StaticModuleSpan
+		if SegmentOf(lo) != SegStatic || SegmentOf(hi-1) != SegStatic {
+			t.Errorf("module %d span leaves the static segment", i)
+		}
+		if i > 0 && lo != ModuleBase(i-1)+StaticModuleSpan {
+			t.Errorf("module %d not adjacent to module %d", i, i-1)
+		}
+	}
+}
+
+func TestStackBasesDescendDisjoint(t *testing.T) {
+	for tid := 1; tid < 64; tid++ {
+		if StackBase(tid) != StackBase(tid-1)-StackSpan {
+			t.Errorf("stack %d not %d bytes below stack %d", tid, StackSpan, tid-1)
+		}
+	}
+}
+
+func TestSpaceMallocFreeRecyclesPlacement(t *testing.T) {
+	s := NewSpace(2, FirstTouch{})
+	p, err := s.Malloc(2 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch from domain 1.
+	s.PT.Resolve(p, 1)
+	if d, ok := s.PT.Home(p); !ok || d != 1 {
+		t.Fatalf("home = %d,%v", d, ok)
+	}
+	if _, err := s.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	// After free+realloc, pages are unplaced again.
+	p2, err := s.Malloc(2 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Fatalf("allocator did not recycle: %#x vs %#x", p2, p)
+	}
+	if _, ok := s.PT.Home(p2); ok {
+		t.Error("recycled pages kept stale placement")
+	}
+	if d := s.PT.Resolve(p2, 0); d != 0 {
+		t.Errorf("recycled page homed in %d, want 0", d)
+	}
+}
+
+func TestSpaceInterleaveRange(t *testing.T) {
+	s := NewSpace(4, FirstTouch{})
+	p, err := s.Malloc(16 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InterleaveRange(p, 16*PageSize)
+	counts := make([]int, 4)
+	for i := 0; i < 16; i++ {
+		counts[s.PT.Resolve(p+Addr(i*PageSize), 0)]++
+	}
+	for d, c := range counts {
+		if c != 4 {
+			t.Errorf("domain %d got %d pages, want 4", d, c)
+		}
+	}
+	// Freeing clears the override.
+	if _, err := s.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := s.Malloc(16 * PageSize)
+	if d := s.PT.Resolve(p2, 2); d != 2 {
+		t.Errorf("stale interleave override survived free: placed in %d", d)
+	}
+}
+
+func TestSpaceBindRange(t *testing.T) {
+	s := NewSpace(4, FirstTouch{})
+	p, err := s.Malloc(4 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.BindRange(p, 4*PageSize, 2)
+	for i := 0; i < 4; i++ {
+		if d := s.PT.Resolve(p+Addr(i*PageSize), 0); d != 2 {
+			t.Errorf("bound page placed in %d, want 2", d)
+		}
+	}
+}
+
+func TestSbrk(t *testing.T) {
+	s := NewSpace(2, nil)
+	p1, err := s.Sbrk(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Sbrk(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != BrkBase {
+		t.Errorf("first sbrk at %#x, want %#x", p1, BrkBase)
+	}
+	if p2 <= p1 {
+		t.Error("sbrk did not advance")
+	}
+	if SegmentOf(p1) != SegBrk || SegmentOf(p2) != SegBrk {
+		t.Error("sbrk result outside brk segment")
+	}
+}

@@ -1,0 +1,111 @@
+// Package metric defines the performance metrics the profiler attributes to
+// calling-context-tree nodes and the fixed-width vector they are stored in.
+//
+// Each PMU sample contributes to several metrics at once: the sample count,
+// the measured latency, one per-data-source counter (the marked-event
+// families on POWER7, the load/store response on AMD IBS), and flags like
+// TLB misses. Keeping them in one dense vector makes CCT merging a plain
+// element-wise add, which is what lets the post-mortem analyzer coalesce
+// millions of thread profiles cheaply.
+package metric
+
+import "fmt"
+
+// ID indexes a metric within a Vector.
+type ID int
+
+// The metric set. Order is part of the profile file format; append only.
+const (
+	// Samples counts delivered PMU samples.
+	Samples ID = iota
+	// Latency accumulates measured access latency in cycles.
+	Latency
+	// FromL1..FromRL3 count samples by serving memory-hierarchy level
+	// (FromRL3 = another socket's L3 via cache intervention).
+	FromL1
+	FromL2
+	FromL3
+	FromLMEM
+	FromRMEM
+	FromRL3
+	// TLBMiss counts samples whose access missed the D-TLB.
+	TLBMiss
+	// Stores counts sampled writes (the rest were loads).
+	Stores
+	// NumMetrics is the vector width.
+	NumMetrics
+)
+
+// Name returns the metric's display name.
+func (id ID) Name() string {
+	switch id {
+	case Samples:
+		return "SAMPLES"
+	case Latency:
+		return "LATENCY(cy)"
+	case FromL1:
+		return "FROM_L1"
+	case FromL2:
+		return "FROM_L2"
+	case FromL3:
+		return "FROM_L3"
+	case FromLMEM:
+		return "FROM_LMEM"
+	case FromRMEM:
+		return "FROM_RMEM"
+	case FromRL3:
+		return "FROM_RL3"
+	case TLBMiss:
+		return "TLB_MISS"
+	case Stores:
+		return "STORES"
+	default:
+		return fmt.Sprintf("METRIC(%d)", int(id))
+	}
+}
+
+// IDs returns all metric ids in order.
+func IDs() []ID {
+	out := make([]ID, NumMetrics)
+	for i := range out {
+		out[i] = ID(i)
+	}
+	return out
+}
+
+// Vector is one node's metric values.
+type Vector [NumMetrics]uint64
+
+// Add accumulates o into v.
+func (v *Vector) Add(o *Vector) {
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// IsZero reports whether every metric is zero.
+func (v *Vector) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the non-zero metrics compactly.
+func (v *Vector) String() string {
+	s := "{"
+	first := true
+	for i, x := range v {
+		if x == 0 {
+			continue
+		}
+		if !first {
+			s += " "
+		}
+		first = false
+		s += fmt.Sprintf("%s=%d", ID(i).Name(), x)
+	}
+	return s + "}"
+}

@@ -1,0 +1,62 @@
+package metric
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, id := range IDs() {
+		n := id.Name()
+		if n == "" || seen[n] {
+			t.Errorf("metric %d name %q empty or duplicated", id, n)
+		}
+		seen[n] = true
+	}
+	if len(IDs()) != int(NumMetrics) {
+		t.Errorf("IDs() returned %d, want %d", len(IDs()), NumMetrics)
+	}
+}
+
+func TestVectorAdd(t *testing.T) {
+	var a, b Vector
+	a[Samples] = 3
+	a[Latency] = 100
+	b[Samples] = 4
+	b[FromRMEM] = 2
+	a.Add(&b)
+	if a[Samples] != 7 || a[Latency] != 100 || a[FromRMEM] != 2 {
+		t.Errorf("add result = %v", a.String())
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var v Vector
+	if !v.IsZero() {
+		t.Error("zero vector not zero")
+	}
+	v[TLBMiss] = 1
+	if v.IsZero() {
+		t.Error("nonzero vector reported zero")
+	}
+}
+
+func TestStringShowsOnlyNonzero(t *testing.T) {
+	var v Vector
+	v[Samples] = 5
+	v[Stores] = 2
+	s := v.String()
+	if !strings.Contains(s, "SAMPLES=5") || !strings.Contains(s, "STORES=2") {
+		t.Errorf("String = %q", s)
+	}
+	if strings.Contains(s, "LATENCY") {
+		t.Errorf("String shows zero metric: %q", s)
+	}
+}
+
+func TestUnknownMetricName(t *testing.T) {
+	if !strings.Contains(ID(99).Name(), "99") {
+		t.Error("unknown metric name unhelpful")
+	}
+}

@@ -1,0 +1,301 @@
+// Package pmu simulates the two per-hardware-thread performance monitoring
+// unit mechanisms the paper builds on (§3):
+//
+//   - Instruction-based sampling (IBS), as on AMD family 10h: every
+//     `period` retired instructions, the next instruction is monitored. For
+//     a memory operation the PMU captures the effective address, latency and
+//     memory-hierarchy response; either way it records the precise
+//     instruction pointer of the monitored instruction.
+//
+//   - Marked-event sampling, as on IBM POWER5+: the PMU counts occurrences
+//     of one marked event (e.g. PM_MRK_DATA_FROM_RMEM, "demand load served
+//     from remote memory") and raises a sample every `period` occurrences,
+//     exposing the precise sampled-instruction address (SIAR) and sampled
+//     data address (SDAR).
+//
+// Out-of-order pipelines deliver the sampling interrupt several instructions
+// after the monitored one retires ("skid"). The simulation reproduces this:
+// a sample is delivered to the handler on the *next* retirement, carrying
+// both the precise IP and the skidded interrupt IP, so the profiler's
+// skid-correction step (§4.1.2) has real work to do.
+package pmu
+
+import (
+	"fmt"
+
+	"dcprof/internal/cache"
+	"dcprof/internal/mem"
+)
+
+// MemInfo is the hardware-captured description of one monitored memory
+// operation.
+type MemInfo struct {
+	// EA is the effective (virtual) data address.
+	EA mem.Addr
+	// Write distinguishes stores from loads.
+	Write bool
+	// Latency is the measured load-to-use latency in cycles.
+	Latency uint64
+	// Source is the memory-hierarchy level that served the access.
+	Source cache.DataSource
+	// TLBMiss reports a D-TLB miss during translation.
+	TLBMiss bool
+	// Remote reports the access was served by another NUMA domain.
+	Remote bool
+	// HomeDomain is the NUMA domain owning the data's page (-1 unknown).
+	HomeDomain int
+}
+
+// Sample is what the interrupt handler can read from PMU registers.
+type Sample struct {
+	// PreciseIP is the address of the monitored instruction (IBS op
+	// address / POWER SIAR).
+	PreciseIP uint64
+	// SkidIP is the interrupt IP — where execution had advanced to when the
+	// signal was delivered. Naive attribution uses this and smears metrics
+	// past the true instruction.
+	SkidIP uint64
+	// IsMem reports whether the monitored instruction accessed memory.
+	IsMem bool
+	// Mem holds the memory details when IsMem is true.
+	Mem MemInfo
+}
+
+// Handler receives delivered samples. Handlers run on the simulated thread
+// that triggered the sample, mirroring signal delivery.
+type Handler func(*Sample)
+
+// Sampler is the interface the execution substrate drives. Exactly one of
+// the two concrete samplers (IBS, Marked) is armed per monitored thread.
+//
+// RetireWork reports n consecutive non-memory instructions retiring at
+// instruction pointer ip. RetireMem reports one memory instruction. Flush
+// delivers any pending sample at thread teardown.
+type Sampler interface {
+	RetireWork(ip uint64, n uint64)
+	RetireMem(ip uint64, mi MemInfo)
+	Flush()
+}
+
+// delivery holds the skid machinery shared by both samplers.
+type delivery struct {
+	handler Handler
+	pending *Sample
+	// Samples counts delivered samples.
+	samples uint64
+}
+
+// deliverLater queues s for delivery at the next retirement.
+func (d *delivery) deliverLater(s Sample) {
+	// If a sample is already pending (period shorter than the skid window),
+	// deliver it immediately rather than losing it.
+	if d.pending != nil {
+		d.deliver(d.pending.PreciseIP)
+	}
+	d.pending = &s
+}
+
+// deliver fires the pending sample, stamping the interrupt IP.
+func (d *delivery) deliver(skidIP uint64) {
+	if d.pending == nil {
+		return
+	}
+	s := d.pending
+	d.pending = nil
+	s.SkidIP = skidIP
+	d.samples++
+	if d.handler != nil {
+		d.handler(s)
+	}
+}
+
+func (d *delivery) observe(ip uint64) { d.deliver(ip) }
+
+func (d *delivery) flush() {
+	if d.pending != nil {
+		d.deliver(d.pending.PreciseIP)
+	}
+}
+
+// IBS is an instruction-based sampler: it monitors one instruction every
+// `period` retired instructions, memory or not.
+type IBS struct {
+	delivery
+	period    uint64
+	countdown uint64
+}
+
+// NewIBS creates an IBS sampler with the given period (in retired
+// instructions) and handler.
+func NewIBS(period uint64, h Handler) *IBS {
+	if period == 0 {
+		panic("pmu: IBS period must be positive")
+	}
+	return &IBS{delivery: delivery{handler: h}, period: period, countdown: period}
+}
+
+// RetireWork implements Sampler for a run of non-memory instructions.
+func (p *IBS) RetireWork(ip uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	p.observe(ip)
+	for n >= p.countdown {
+		n -= p.countdown
+		p.countdown = p.period
+		p.deliverLater(Sample{PreciseIP: ip, IsMem: false})
+	}
+	p.countdown -= n
+}
+
+// RetireMem implements Sampler for one memory instruction.
+func (p *IBS) RetireMem(ip uint64, mi MemInfo) {
+	p.observe(ip)
+	if p.countdown <= 1 {
+		p.countdown = p.period
+		p.deliverLater(Sample{PreciseIP: ip, IsMem: true, Mem: mi})
+		return
+	}
+	p.countdown--
+}
+
+// Flush implements Sampler.
+func (p *IBS) Flush() { p.flush() }
+
+// Samples returns the number of samples delivered so far.
+func (p *IBS) Samples() uint64 { return p.samples }
+
+// MarkedEvent selects which event a Marked sampler counts. The names follow
+// POWER7's PM_MRK_DATA_FROM_* mnemonics.
+type MarkedEvent uint8
+
+const (
+	// MarkDataFromRMEM counts demand loads/stores served from a remote NUMA
+	// domain's memory.
+	MarkDataFromRMEM MarkedEvent = iota
+	// MarkDataFromLMEM counts accesses served from local memory.
+	MarkDataFromLMEM
+	// MarkDataFromL3 counts accesses served from the shared L3.
+	MarkDataFromL3
+	// MarkDataFromL2 counts accesses served from the private L2.
+	MarkDataFromL2
+	// MarkDataFromRL3 counts accesses served from a remote socket's L3
+	// (cache intervention).
+	MarkDataFromRL3
+	// MarkAllMem counts every memory operation.
+	MarkAllMem
+)
+
+// String returns the POWER-style mnemonic.
+func (e MarkedEvent) String() string {
+	switch e {
+	case MarkDataFromRMEM:
+		return "PM_MRK_DATA_FROM_RMEM"
+	case MarkDataFromLMEM:
+		return "PM_MRK_DATA_FROM_LMEM"
+	case MarkDataFromL3:
+		return "PM_MRK_DATA_FROM_L3"
+	case MarkDataFromL2:
+		return "PM_MRK_DATA_FROM_L2"
+	case MarkDataFromRL3:
+		return "PM_MRK_DATA_FROM_RL3"
+	case MarkAllMem:
+		return "PM_MRK_INST_LOADSTORE"
+	default:
+		return fmt.Sprintf("MarkedEvent(%d)", uint8(e))
+	}
+}
+
+// Matches reports whether a memory operation triggers the event. The
+// PM_MRK_DATA_FROM_* family are *load* data-source events: they describe
+// where demand-load data came from, so stores never trigger them.
+func (e MarkedEvent) Matches(mi *MemInfo) bool {
+	if e == MarkAllMem {
+		return true
+	}
+	if mi.Write {
+		return false
+	}
+	switch e {
+	case MarkDataFromRMEM:
+		return mi.Source == cache.SrcRemoteDRAM
+	case MarkDataFromLMEM:
+		return mi.Source == cache.SrcLocalDRAM
+	case MarkDataFromL3:
+		return mi.Source == cache.SrcL3
+	case MarkDataFromL2:
+		return mi.Source == cache.SrcL2
+	case MarkDataFromRL3:
+		return mi.Source == cache.SrcRemoteL3
+	default:
+		return false
+	}
+}
+
+// Marked is a marked-event sampler: every `period` occurrences of the event
+// it samples the triggering instruction (SIAR = precise IP, SDAR = EA).
+type Marked struct {
+	delivery
+	event     MarkedEvent
+	period    uint64
+	countdown uint64
+	// occurrences counts matching events regardless of sampling.
+	occurrences uint64
+}
+
+// NewMarked creates a marked-event sampler.
+func NewMarked(event MarkedEvent, period uint64, h Handler) *Marked {
+	if period == 0 {
+		panic("pmu: marked-event period must be positive")
+	}
+	return &Marked{delivery: delivery{handler: h}, event: event, period: period, countdown: period}
+}
+
+// RetireWork implements Sampler; non-memory instructions only advance skid
+// delivery — they cannot trigger marked data events.
+func (p *Marked) RetireWork(ip uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	p.observe(ip)
+}
+
+// RetireMem implements Sampler.
+func (p *Marked) RetireMem(ip uint64, mi MemInfo) {
+	p.observe(ip)
+	if !p.event.Matches(&mi) {
+		return
+	}
+	p.occurrences++
+	if p.countdown <= 1 {
+		p.countdown = p.period
+		p.deliverLater(Sample{PreciseIP: ip, IsMem: true, Mem: mi})
+		return
+	}
+	p.countdown--
+}
+
+// Flush implements Sampler.
+func (p *Marked) Flush() { p.flush() }
+
+// Samples returns the number of samples delivered so far.
+func (p *Marked) Samples() uint64 { return p.samples }
+
+// Occurrences returns how many times the marked event fired.
+func (p *Marked) Occurrences() uint64 { return p.occurrences }
+
+// Event returns the configured marked event.
+func (p *Marked) Event() MarkedEvent { return p.event }
+
+// Nop is a Sampler that does nothing; used for unmonitored runs so the
+// execution substrate has no nil checks on its hot path.
+type Nop struct{}
+
+// RetireWork implements Sampler.
+func (Nop) RetireWork(uint64, uint64) {}
+
+// RetireMem implements Sampler.
+func (Nop) RetireMem(uint64, MemInfo) {}
+
+// Flush implements Sampler.
+func (Nop) Flush() {}

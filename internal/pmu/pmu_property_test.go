@@ -1,0 +1,103 @@
+package pmu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcprof/internal/cache"
+)
+
+// Property: for any mix of work batches and memory ops, IBS delivers
+// exactly floor(totalInstructions/period) samples after a flush, and no
+// sample is ever lost or duplicated.
+func TestQuickIBSSampleCount(t *testing.T) {
+	f := func(seed int64, period8 uint8) bool {
+		period := uint64(period8%200) + 1
+		rng := rand.New(rand.NewSource(seed))
+		var delivered uint64
+		p := NewIBS(period, func(*Sample) { delivered++ })
+		var instrs uint64
+		for op := 0; op < 200; op++ {
+			if rng.Intn(2) == 0 {
+				n := uint64(rng.Intn(500))
+				p.RetireWork(uint64(op)*4, n)
+				instrs += n
+			} else {
+				p.RetireMem(uint64(op)*4, MemInfo{EA: 1})
+				instrs++
+			}
+		}
+		p.Flush()
+		return delivered == instrs/period
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: marked-event sampling delivers floor(matching/period) samples
+// regardless of how non-matching events interleave.
+func TestQuickMarkedSampleCount(t *testing.T) {
+	f := func(seed int64, period8 uint8) bool {
+		period := uint64(period8%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		var delivered uint64
+		p := NewMarked(MarkDataFromRMEM, period, func(s *Sample) {
+			if s.Mem.Source != cache.SrcRemoteDRAM {
+				panic("non-matching access sampled")
+			}
+			delivered++
+		})
+		var matching uint64
+		for op := 0; op < 400; op++ {
+			src := cache.SrcLocalDRAM
+			if rng.Intn(3) == 0 {
+				src = cache.SrcRemoteDRAM
+				matching++
+			}
+			p.RetireMem(uint64(op)*4, MemInfo{Source: src})
+		}
+		p.Flush()
+		return delivered == matching/period && p.Occurrences() == matching
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the precise IP of every delivered sample is an IP that was
+// actually retired, and skid IPs never precede their precise IPs in
+// retirement order.
+func TestQuickSkidOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		retireOrder := map[uint64]int{}
+		var samples []Sample
+		p := NewIBS(3, func(s *Sample) { samples = append(samples, *s) })
+		for op := 0; op < 300; op++ {
+			ip := uint64(0x1000 + op*4)
+			retireOrder[ip] = op
+			if rng.Intn(2) == 0 {
+				p.RetireWork(ip, uint64(rng.Intn(3)+1))
+			} else {
+				p.RetireMem(ip, MemInfo{EA: 7})
+			}
+		}
+		p.Flush()
+		for _, s := range samples {
+			pi, ok1 := retireOrder[s.PreciseIP]
+			si, ok2 := retireOrder[s.SkidIP]
+			if !ok1 || !ok2 {
+				return false
+			}
+			if si < pi {
+				return false // interrupt delivered before the instruction?!
+			}
+		}
+		return len(samples) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

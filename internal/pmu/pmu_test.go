@@ -1,0 +1,225 @@
+package pmu
+
+import (
+	"testing"
+
+	"dcprof/internal/cache"
+)
+
+func collect(samples *[]Sample) Handler {
+	return func(s *Sample) { *samples = append(*samples, *s) }
+}
+
+func TestIBSPeriodWork(t *testing.T) {
+	var got []Sample
+	p := NewIBS(100, collect(&got))
+	p.RetireWork(0x1000, 1000)
+	p.Flush()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d samples for 1000 instructions at period 100, want 10", len(got))
+	}
+	for _, s := range got {
+		if s.IsMem {
+			t.Error("work sample marked as memory op")
+		}
+		if s.PreciseIP != 0x1000 {
+			t.Errorf("PreciseIP = %#x, want 0x1000", s.PreciseIP)
+		}
+	}
+	if p.Samples() != 10 {
+		t.Errorf("Samples() = %d", p.Samples())
+	}
+}
+
+func TestIBSSamplesMemOps(t *testing.T) {
+	var got []Sample
+	p := NewIBS(3, collect(&got))
+	mi := MemInfo{EA: 0xdead00, Latency: 200, Source: cache.SrcLocalDRAM}
+	for i := 0; i < 9; i++ {
+		p.RetireMem(uint64(0x400000+i*4), mi)
+	}
+	p.Flush()
+	if len(got) != 3 {
+		t.Fatalf("delivered %d samples for 9 mem ops at period 3, want 3", len(got))
+	}
+	for _, s := range got {
+		if !s.IsMem {
+			t.Error("mem sample not marked as memory op")
+		}
+		if s.Mem.EA != 0xdead00 || s.Mem.Latency != 200 {
+			t.Errorf("mem info not propagated: %+v", s.Mem)
+		}
+	}
+	// Sampled instructions are every third: ips 0x400008, 0x400014, 0x400020.
+	wantIPs := []uint64{0x400008, 0x400014, 0x400020}
+	for i, s := range got {
+		if s.PreciseIP != wantIPs[i] {
+			t.Errorf("sample %d PreciseIP = %#x, want %#x", i, s.PreciseIP, wantIPs[i])
+		}
+	}
+}
+
+func TestIBSSkidDelivery(t *testing.T) {
+	var got []Sample
+	p := NewIBS(2, collect(&got))
+	p.RetireMem(0x100, MemInfo{EA: 1}) // countdown 2->1
+	p.RetireMem(0x104, MemInfo{EA: 2}) // triggers sample, delivery pending
+	if len(got) != 0 {
+		t.Fatal("sample delivered without skid")
+	}
+	p.RetireWork(0x108, 1) // next retirement delivers with its IP
+	if len(got) != 1 {
+		t.Fatal("sample not delivered on next retirement")
+	}
+	if got[0].PreciseIP != 0x104 || got[0].SkidIP != 0x108 {
+		t.Errorf("precise=%#x skid=%#x, want 0x104/0x108", got[0].PreciseIP, got[0].SkidIP)
+	}
+}
+
+func TestIBSFlushDeliversPendingWithoutSkid(t *testing.T) {
+	var got []Sample
+	p := NewIBS(1, collect(&got))
+	p.RetireMem(0x200, MemInfo{})
+	p.Flush()
+	if len(got) != 1 {
+		t.Fatal("flush lost the pending sample")
+	}
+	if got[0].SkidIP != got[0].PreciseIP {
+		t.Errorf("flush skid=%#x, want precise %#x", got[0].SkidIP, got[0].PreciseIP)
+	}
+}
+
+func TestIBSWorkMixedWithMem(t *testing.T) {
+	var got []Sample
+	p := NewIBS(10, collect(&got))
+	for i := 0; i < 5; i++ {
+		p.RetireWork(0x300, 9)
+		p.RetireMem(0x304, MemInfo{EA: 42})
+	}
+	p.Flush()
+	// 50 instructions, period 10 -> 5 samples.
+	if len(got) != 5 {
+		t.Fatalf("delivered %d samples, want 5", len(got))
+	}
+	// The 10th instruction of each group is the mem op.
+	for i, s := range got {
+		if !s.IsMem {
+			t.Errorf("sample %d should be the mem op at position 10", i)
+		}
+	}
+}
+
+func TestIBSZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewIBS(0, nil)
+}
+
+func TestMarkedCountsOnlyMatchingEvents(t *testing.T) {
+	var got []Sample
+	p := NewMarked(MarkDataFromRMEM, 2, collect(&got))
+	remote := MemInfo{Source: cache.SrcRemoteDRAM, Remote: true}
+	local := MemInfo{Source: cache.SrcLocalDRAM}
+	for i := 0; i < 10; i++ {
+		p.RetireMem(0x500, local) // never matches
+		p.RetireMem(0x504, remote)
+	}
+	p.Flush()
+	if p.Occurrences() != 10 {
+		t.Errorf("occurrences = %d, want 10", p.Occurrences())
+	}
+	if len(got) != 5 {
+		t.Fatalf("delivered %d samples for 10 remote events at period 2, want 5", len(got))
+	}
+	for _, s := range got {
+		if s.Mem.Source != cache.SrcRemoteDRAM {
+			t.Error("sampled a non-matching access")
+		}
+		if s.PreciseIP != 0x504 {
+			t.Errorf("SIAR = %#x, want 0x504", s.PreciseIP)
+		}
+	}
+}
+
+func TestMarkedWorkDoesNotCount(t *testing.T) {
+	var got []Sample
+	p := NewMarked(MarkAllMem, 1, collect(&got))
+	p.RetireWork(0x100, 1000000)
+	p.Flush()
+	if len(got) != 0 {
+		t.Errorf("work instructions triggered %d marked samples", len(got))
+	}
+}
+
+func TestMarkedEventMatching(t *testing.T) {
+	cases := []struct {
+		ev   MarkedEvent
+		src  cache.DataSource
+		want bool
+	}{
+		{MarkDataFromRMEM, cache.SrcRemoteDRAM, true},
+		{MarkDataFromRMEM, cache.SrcLocalDRAM, false},
+		{MarkDataFromLMEM, cache.SrcLocalDRAM, true},
+		{MarkDataFromL3, cache.SrcL3, true},
+		{MarkDataFromL3, cache.SrcL2, false},
+		{MarkDataFromL2, cache.SrcL2, true},
+		{MarkAllMem, cache.SrcL1, true},
+	}
+	for _, c := range cases {
+		mi := MemInfo{Source: c.src}
+		if got := c.ev.Matches(&mi); got != c.want {
+			t.Errorf("%v.Matches(%v) = %v, want %v", c.ev, c.src, got, c.want)
+		}
+	}
+}
+
+func TestMarkedEventNames(t *testing.T) {
+	if MarkDataFromRMEM.String() != "PM_MRK_DATA_FROM_RMEM" {
+		t.Errorf("unexpected mnemonic %q", MarkDataFromRMEM.String())
+	}
+	if MarkDataFromL3.String() != "PM_MRK_DATA_FROM_L3" {
+		t.Errorf("unexpected mnemonic %q", MarkDataFromL3.String())
+	}
+}
+
+func TestPendingOverrunDeliversBoth(t *testing.T) {
+	// Period 1: every mem op samples; a pending sample must not be lost when
+	// the next sample triggers before delivery.
+	var got []Sample
+	p := NewIBS(1, collect(&got))
+	p.RetireMem(0x10, MemInfo{EA: 1})
+	p.RetireMem(0x14, MemInfo{EA: 2})
+	p.RetireMem(0x18, MemInfo{EA: 3})
+	p.Flush()
+	if len(got) != 3 {
+		t.Fatalf("delivered %d samples, want 3 (none dropped)", len(got))
+	}
+}
+
+func TestNopSampler(t *testing.T) {
+	var n Nop
+	n.RetireWork(1, 100)
+	n.RetireMem(2, MemInfo{})
+	n.Flush()
+}
+
+func BenchmarkIBSRetireMem(b *testing.B) {
+	p := NewIBS(4096, func(*Sample) {})
+	mi := MemInfo{EA: 0x1000, Latency: 4, Source: cache.SrcL1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RetireMem(uint64(i), mi)
+	}
+}
+
+func BenchmarkMarkedRetireMem(b *testing.B) {
+	p := NewMarked(MarkDataFromRMEM, 4096, func(*Sample) {})
+	mi := MemInfo{EA: 0x1000, Latency: 300, Source: cache.SrcRemoteDRAM, Remote: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RetireMem(uint64(i), mi)
+	}
+}

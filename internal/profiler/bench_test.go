@@ -1,0 +1,82 @@
+package profiler
+
+import (
+	"testing"
+
+	"dcprof/internal/cache"
+	"dcprof/internal/machine"
+	"dcprof/internal/mem"
+	"dcprof/internal/sim"
+)
+
+// benchSetup builds a profiled single-thread environment with a deep call
+// stack, the worst case for the sample and allocation paths.
+func benchSetup(cfg Config, depth int) (*Profiler, *sim.Thread) {
+	node := sim.NewNode(machine.Tiny(), cache.DefaultConfig())
+	p := sim.NewProcess(node, 0, 0, 1, nil)
+	prof := Attach(p, cfg)
+	exe := p.LoadMap.Load("exe")
+	th := p.Start()
+	for i := 0; i < depth; i++ {
+		th.Call(exe.AddFunc("fn", "f.c", 10*i+1))
+	}
+	th.At(5)
+	return prof, th
+}
+
+// BenchmarkSamplePath measures the full per-sample cost: PMU delivery,
+// unwind, classification against a populated heap map, CCT insertion.
+func BenchmarkSamplePath(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Period = 1 // every access samples
+	prof, th := benchSetup(cfg, 12)
+	var bufs []mem.Addr
+	for i := 0; i < 512; i++ {
+		bufs = append(bufs, th.Malloc(8192))
+	}
+	_ = prof
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Load(bufs[i%len(bufs)], 8)
+	}
+}
+
+// BenchmarkAllocPathTrampoline vs NoTrampoline: the §4.1.3 unwind
+// optimization, measured in host time AND reported in charged simulated
+// cycles per allocation.
+func benchAllocPath(b *testing.B, trampoline bool) {
+	cfg := DefaultConfig()
+	cfg.Period = 1 << 30
+	cfg.UseTrampoline = trampoline
+	cfg.SizeThreshold = 0 // track everything
+	_, th := benchSetup(cfg, 24)
+	before := th.Overhead()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := th.Malloc(64)
+		th.Free(a)
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(th.Overhead()-before)/float64(b.N), "sim-cycles/alloc")
+	}
+}
+
+func BenchmarkAllocPathTrampoline(b *testing.B)   { benchAllocPath(b, true) }
+func BenchmarkAllocPathNoTrampoline(b *testing.B) { benchAllocPath(b, false) }
+
+// BenchmarkClassify measures address classification against a large live
+// heap map — the per-sample lookup the paper keeps on the fast path.
+func BenchmarkClassify(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Period = 1 << 30
+	prof, th := benchSetup(cfg, 4)
+	var bufs []mem.Addr
+	for i := 0; i < 4096; i++ {
+		bufs = append(bufs, th.Malloc(8192))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof.classify(bufs[i%len(bufs)] + 16)
+	}
+}

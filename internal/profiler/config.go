@@ -1,0 +1,132 @@
+// Package profiler implements the paper's contribution: an online
+// data-centric call-path profiler. It attaches to a simulated process the
+// way HPCToolkit attaches to a real one (malloc-family wrappers plus
+// per-thread PMU configuration) and, on every PMU sample:
+//
+//  1. unwinds the thread's call stack into a calling context,
+//  2. replaces the context's leaf with the PMU's precise IP (undoing
+//     interrupt skid),
+//  3. classifies the sampled effective address against tracked heap blocks
+//     and static-variable symbol ranges,
+//  4. and records the sample in the per-thread CCT for that storage class —
+//     for heap data, under the block's allocation call path, so blocks
+//     allocated at the same path coalesce into one logical variable.
+//
+// Every profiler action charges simulated cycles to the thread it runs on,
+// reproducing the paper's overhead mechanics: sample handling costs grow
+// with stack depth and sampling frequency; allocation tracking costs are
+// bounded by the 4 KiB size threshold and the trampoline that limits
+// unwinding to the call-path suffix that changed since the previous
+// allocation (§4.1.3).
+package profiler
+
+import (
+	"fmt"
+
+	"dcprof/internal/pmu"
+)
+
+// Mode selects the PMU mechanism.
+type Mode uint8
+
+const (
+	// ModeIBS uses instruction-based sampling (AMD-style): every Period
+	// retired instructions, one is monitored.
+	ModeIBS Mode = iota
+	// ModeMarked uses marked-event sampling (POWER7-style): every Period
+	// occurrences of Marked, the triggering instruction is sampled.
+	ModeMarked
+)
+
+// Config controls measurement and the overhead model.
+type Config struct {
+	// Mode selects IBS or marked-event sampling.
+	Mode Mode
+	// Marked is the monitored event for ModeMarked.
+	Marked pmu.MarkedEvent
+	// Period is the sampling period (instructions for IBS, event
+	// occurrences for marked events).
+	Period uint64
+
+	// TrackAllocations enables the malloc-family wrappers' bookkeeping.
+	TrackAllocations bool
+	// SizeThreshold skips tracking of heap blocks smaller than this many
+	// bytes (0 tracks everything). The paper uses 4 KiB: small blocks
+	// rarely matter for locality but dominate wrapping cost.
+	SizeThreshold uint64
+	// UseTrampoline limits each allocation unwind to the call-path suffix
+	// changed since the previous one, using a marker frame (§4.1.3).
+	UseTrampoline bool
+	// CheapContext reads the execution context with inlined assembly
+	// instead of libc's getcontext, a fixed-cost saving per unwind.
+	CheapContext bool
+
+	// UseSkidIP attributes samples to the skidded interrupt IP instead of
+	// the PMU's precise IP — the naive behaviour the paper's leaf
+	// adjustment fixes. For ablation only.
+	UseSkidIP bool
+
+	// SmallAllocSamplePeriod, when nonzero, tracks every Nth allocation
+	// below SizeThreshold instead of none of them — the paper's §7
+	// extension for programs whose data structures are built from many
+	// small allocations. The unwind cost is paid only on tracked ones.
+	SmallAllocSamplePeriod uint64
+
+	// Overhead model, in cycles.
+	SampleBaseCycles  uint64 // per-sample fixed handler cost
+	UnwindFrameCycles uint64 // per stack frame unwound
+	AllocUnwindBase   uint64 // fixed cost of one allocation unwind
+	WrapCycles        uint64 // per wrapped malloc/calloc/realloc/free call
+	ContextCheap      uint64 // register-read context cost
+	ContextGetcontext uint64 // libc getcontext cost
+	ThreadSetupCycles uint64 // PMU programming at thread start
+}
+
+// DefaultConfig returns the paper-faithful configuration: IBS at a 64K
+// instruction period, allocation tracking with the 4 KiB threshold,
+// trampoline-assisted unwinding and cheap context reads.
+func DefaultConfig() Config {
+	return Config{
+		Mode:             ModeIBS,
+		Period:           65536,
+		TrackAllocations: true,
+		SizeThreshold:    4096,
+		UseTrampoline:    true,
+		CheapContext:     true,
+
+		SampleBaseCycles:  1200,
+		UnwindFrameCycles: 60,
+		AllocUnwindBase:   150,
+		WrapCycles:        30,
+		ContextCheap:      40,
+		ContextGetcontext: 450,
+		ThreadSetupCycles: 3000,
+	}
+}
+
+// MarkedConfig returns a marked-event configuration for the given event and
+// period, with the rest of the defaults.
+func MarkedConfig(event pmu.MarkedEvent, period uint64) Config {
+	c := DefaultConfig()
+	c.Mode = ModeMarked
+	c.Marked = event
+	c.Period = period
+	return c
+}
+
+// EventString describes the monitored event for profile metadata, e.g.
+// "IBS@65536" or "PM_MRK_DATA_FROM_RMEM@1000".
+func (c Config) EventString() string {
+	if c.Mode == ModeMarked {
+		return fmt.Sprintf("%s@%d", c.Marked, c.Period)
+	}
+	return fmt.Sprintf("IBS@%d", c.Period)
+}
+
+// contextCost returns the per-unwind execution-context read cost.
+func (c Config) contextCost() uint64 {
+	if c.CheapContext {
+		return c.ContextCheap
+	}
+	return c.ContextGetcontext
+}

@@ -1,0 +1,70 @@
+package profiler
+
+// This file implements the extensions the paper's §7 sketches as future
+// work:
+//
+//   - sampling small heap allocations instead of ignoring everything under
+//     the size threshold, so data structures built from many small blocks
+//     still get data-centric feedback;
+//   - attributing samples to registered stack-allocated variables.
+
+import (
+	"dcprof/internal/cct"
+	"dcprof/internal/mem"
+	"dcprof/internal/sim"
+)
+
+// RegisterStackVar names a live stack range of the calling thread so that
+// samples on it are attributed to a variable instead of anonymous unknown
+// data (§7: "associate data-centric measurements with stack-allocated
+// variables"). Registration costs one wrap charge, like an allocation.
+// Stack variables are thread-local: only the owning thread's samples
+// resolve them.
+func (p *Profiler) RegisterStackVar(t *sim.Thread, name string, addr mem.Addr, size uint64) {
+	t.ChargeOverhead(p.cfg.WrapCycles)
+	ts := p.state(t)
+	fn := t.Func()
+	module := ""
+	if fn != nil {
+		module = fn.Module.Name
+	}
+	prefix := []cct.Frame{{Kind: cct.KindStackVar, Module: module, Name: name}}
+	// Ranges may be re-registered as frames come and go; replace quietly.
+	ts.stackVars.RemoveContaining(uint64(addr))
+	if err := ts.stackVars.Insert(uint64(addr), uint64(addr)+size, prefix); err != nil {
+		// Overlap with a different live registration: drop the new one, as
+		// a real tool must when debug info is ambiguous.
+		return
+	}
+}
+
+// UnregisterStackVar removes a registration when the frame dies.
+func (p *Profiler) UnregisterStackVar(t *sim.Thread, addr mem.Addr) {
+	t.ChargeOverhead(p.cfg.WrapCycles)
+	ts := p.state(t)
+	ts.stackVars.RemoveContaining(uint64(addr))
+}
+
+// stackVarPrefix resolves an effective address against the thread's own
+// registered stack variables.
+func (ts *tstate) stackVarPrefix(ea mem.Addr) ([]cct.Frame, bool) {
+	if ts.stackVars.Len() == 0 {
+		return nil, false
+	}
+	return ts.stackVars.Lookup(uint64(ea))
+}
+
+// trackSmallAlloc decides whether a below-threshold allocation should be
+// tracked anyway under the small-allocation sampling extension (§7:
+// "monitoring some of them"): every SmallAllocSamplePeriod-th small
+// allocation is tracked, amortizing the unwind cost across the rest.
+func (p *Profiler) trackSmallAlloc() bool {
+	if p.cfg.SmallAllocSamplePeriod == 0 {
+		return false
+	}
+	p.statesMu.Lock()
+	p.smallAllocSeen++
+	hit := p.smallAllocSeen%p.cfg.SmallAllocSamplePeriod == 0
+	p.statesMu.Unlock()
+	return hit
+}

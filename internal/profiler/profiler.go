@@ -1,0 +1,354 @@
+package profiler
+
+import (
+	"sort"
+	"sync"
+
+	"dcprof/internal/cache"
+	"dcprof/internal/cct"
+	"dcprof/internal/ivmap"
+	"dcprof/internal/loadmap"
+	"dcprof/internal/mem"
+	"dcprof/internal/metric"
+	"dcprof/internal/pmu"
+	"dcprof/internal/sim"
+)
+
+// heapBlock is the tracked state of one live heap allocation: its
+// allocation call path (ending in the allocation statement, the allocator
+// entry point, and the "heap data accesses" mark), precomputed so the
+// sample hot path can prepend it with a single slice reference.
+type heapBlock struct {
+	prefix []cct.Frame // immutable once created
+	size   uint64
+}
+
+// Profiler attaches data-centric measurement to one simulated process.
+type Profiler struct {
+	cfg  Config
+	proc *sim.Process
+
+	// blocks maps live tracked heap ranges to their allocation contexts.
+	// Written by allocating threads, read by every sampling thread.
+	blocksMu sync.RWMutex
+	blocks   ivmap.Map[*heapBlock]
+
+	// states holds per-thread profiler state (thread-local CCTs; no locks
+	// on the sample path, as in the paper).
+	statesMu sync.Mutex
+	states   map[*sim.Thread]*tstate
+
+	// staticPrefix caches the one-frame variable prefix per static symbol.
+	staticPrefixMu sync.Mutex
+	staticPrefix   map[*loadmap.StaticVar][]cct.Frame
+
+	// trackedAllocs / skippedAllocs count tracking decisions (stats).
+	trackedAllocs uint64
+	skippedAllocs uint64
+	// smallAllocSeen counts below-threshold allocations for the sampling
+	// extension.
+	smallAllocSeen uint64
+
+	// trace, when non-nil, records every memory sample MemProf-style (see
+	// EnableTrace and the tracecmp experiment).
+	trace *Trace
+}
+
+// tstate is the per-thread measurement state.
+type tstate struct {
+	prof    *Profiler
+	t       *sim.Thread
+	profile *cct.Profile
+
+	pendingLabel string
+	// stackVars maps registered stack-variable ranges to their dummy-node
+	// prefixes (§7 extension). Thread-local: no locking.
+	stackVars ivmap.Map[[]cct.Frame]
+	// cache holds the converted frames of the stack prefix covered by the
+	// trampoline, so consecutive allocation unwinds reuse it.
+	cache []cct.Frame
+	// pathBuf is scratch for building sample paths without allocating.
+	pathBuf []cct.Frame
+}
+
+// Attach wraps the process's runtime events with profiler instrumentation.
+// Call before Process.Start / World.Run.
+func Attach(p *sim.Process, cfg Config) *Profiler {
+	if cfg.Period == 0 {
+		cfg.Period = DefaultConfig().Period
+	}
+	prof := &Profiler{
+		cfg:          cfg,
+		proc:         p,
+		states:       make(map[*sim.Thread]*tstate),
+		staticPrefix: make(map[*loadmap.StaticVar][]cct.Frame),
+	}
+	p.SetHooks(prof)
+	return prof
+}
+
+// Config returns the profiler's configuration.
+func (p *Profiler) Config() Config { return p.cfg }
+
+// ThreadStart implements sim.Hooks: it programs the thread's PMU and
+// creates its CCTs.
+func (p *Profiler) ThreadStart(t *sim.Thread) {
+	ts := &tstate{
+		prof:    p,
+		t:       t,
+		profile: cct.NewProfile(p.proc.Rank, t.ID, p.cfg.EventString()),
+	}
+	var sampler pmu.Sampler
+	if p.cfg.Mode == ModeMarked {
+		sampler = pmu.NewMarked(p.cfg.Marked, p.cfg.Period, ts.handle)
+	} else {
+		sampler = pmu.NewIBS(p.cfg.Period, ts.handle)
+	}
+	t.SetSampler(sampler)
+	t.ChargeOverhead(p.cfg.ThreadSetupCycles)
+
+	p.statesMu.Lock()
+	p.states[t] = ts
+	p.statesMu.Unlock()
+}
+
+// ThreadEnd implements sim.Hooks.
+func (p *Profiler) ThreadEnd(t *sim.Thread) {}
+
+// state returns the thread's profiler state.
+func (p *Profiler) state(t *sim.Thread) *tstate {
+	p.statesMu.Lock()
+	ts := p.states[t]
+	p.statesMu.Unlock()
+	if ts == nil {
+		panic("profiler: event from thread without ThreadStart")
+	}
+	return ts
+}
+
+// Label names the calling thread's *next* allocation; views display it
+// beside the allocation call path (standing in for the paper's manual
+// source annotation of figures).
+func (p *Profiler) Label(t *sim.Thread, name string) {
+	p.state(t).pendingLabel = name
+}
+
+// OnAlloc implements sim.Hooks: the malloc-family wrapper.
+func (p *Profiler) OnAlloc(t *sim.Thread, addr mem.Addr, size uint64, kind sim.AllocKind) {
+	t.ChargeOverhead(p.cfg.WrapCycles)
+	ts := p.state(t)
+	label := ts.pendingLabel
+	ts.pendingLabel = ""
+	if !p.cfg.TrackAllocations {
+		return
+	}
+	if p.cfg.SizeThreshold > 0 && size < p.cfg.SizeThreshold && !p.trackSmallAlloc() {
+		p.statesMu.Lock()
+		p.skippedAllocs++
+		p.statesMu.Unlock()
+		return
+	}
+
+	// Unwind the allocation calling context. With the trampoline, only the
+	// suffix above the marked frame must be walked; without it, the whole
+	// stack is unwound every time.
+	frames := t.Frames()
+	depth := len(frames)
+	known := 0
+	if p.cfg.UseTrampoline {
+		known = t.TrampolineDepth()
+		if known > len(ts.cache) {
+			known = len(ts.cache)
+		}
+	}
+	t.ChargeOverhead(p.cfg.contextCost() + p.cfg.AllocUnwindBase +
+		p.cfg.UnwindFrameCycles*uint64(depth-known))
+
+	// Rebuild the cached converted stack: reuse the known prefix, convert
+	// the suffix.
+	ts.cache = ts.cache[:known]
+	for i := known; i < depth; i++ {
+		ts.cache = append(ts.cache, callFrame(frames[i]))
+	}
+	t.SetTrampolineDepth(depth)
+
+	// Allocation context = stack + allocation statement + allocator entry
+	// + heap-data mark. Copied so it stays immutable.
+	prefix := make([]cct.Frame, 0, depth+3)
+	prefix = append(prefix, ts.cache...)
+	prefix = append(prefix, stmtFrameAt(t))
+	prefix = append(prefix, cct.Frame{Kind: cct.KindCall, Module: "libc", Name: kind.String(), File: "stdlib.h"})
+	prefix = append(prefix, cct.Frame{Kind: cct.KindHeapData, Name: label})
+
+	blk := &heapBlock{prefix: prefix, size: size}
+	p.blocksMu.Lock()
+	// A racing free of an overlapping stale range cannot happen (allocator
+	// hands out disjoint live ranges), so Insert only fails on profiler
+	// bookkeeping bugs.
+	if err := p.blocks.Insert(uint64(addr), uint64(addr)+size, blk); err != nil {
+		p.blocksMu.Unlock()
+		panic("profiler: heap map corrupt: " + err.Error())
+	}
+	p.trackedAllocs++
+	p.blocksMu.Unlock()
+}
+
+// OnFree implements sim.Hooks: frees are always wrapped (cheaply — no
+// calling context is collected for them) so stale ranges never
+// mis-attribute later samples.
+func (p *Profiler) OnFree(t *sim.Thread, addr mem.Addr, size uint64) {
+	t.ChargeOverhead(p.cfg.WrapCycles)
+	p.blocksMu.Lock()
+	p.blocks.RemoveAt(uint64(addr))
+	p.blocksMu.Unlock()
+}
+
+// handle is the PMU interrupt handler, running on the sampled thread.
+func (ts *tstate) handle(s *pmu.Sample) {
+	t := ts.t
+	cfg := &ts.prof.cfg
+	frames := t.Frames()
+	depth := len(frames)
+	t.ChargeOverhead(cfg.SampleBaseCycles + cfg.UnwindFrameCycles*uint64(depth))
+
+	ts.recordTrace(s)
+
+	ip := s.PreciseIP
+	if cfg.UseSkidIP {
+		ip = s.SkidIP
+	}
+	leaf, ok := ts.leafFor(ip)
+	if !ok {
+		return // IP in unloaded module; drop, as the real tool must
+	}
+
+	var v metric.Vector
+	v[metric.Samples] = 1
+	if !s.IsMem {
+		ts.record(cct.ClassNonMem, nil, frames, leaf, &v)
+		return
+	}
+	mi := &s.Mem
+	v[metric.Latency] = mi.Latency
+	v[sourceMetric(mi)] = 1
+	if mi.TLBMiss {
+		v[metric.TLBMiss] = 1
+	}
+	if mi.Write {
+		v[metric.Stores] = 1
+	}
+
+	class, varPrefix := ts.prof.classify(mi.EA)
+	if class == cct.ClassUnknown {
+		if prefix, ok := ts.stackVarPrefix(mi.EA); ok {
+			varPrefix = prefix
+		}
+	}
+	ts.record(class, varPrefix, frames, leaf, &v)
+}
+
+// record builds prefix ++ stack ++ leaf in the thread's scratch buffer and
+// attributes the vector in the class's tree.
+func (ts *tstate) record(class cct.Class, prefix []cct.Frame, frames []sim.Frame, leaf cct.Frame, v *metric.Vector) {
+	buf := ts.pathBuf[:0]
+	buf = append(buf, prefix...)
+	for _, f := range frames {
+		buf = append(buf, callFrame(f))
+	}
+	buf = append(buf, leaf)
+	ts.pathBuf = buf
+	ts.profile.Trees[class].AddSample(buf, v)
+}
+
+// classify resolves an effective address to its storage class and, for heap
+// and static data, the variable prefix to hang the access path under.
+func (p *Profiler) classify(ea mem.Addr) (cct.Class, []cct.Frame) {
+	p.blocksMu.RLock()
+	blk, ok := p.blocks.Lookup(uint64(ea))
+	p.blocksMu.RUnlock()
+	if ok {
+		return cct.ClassHeap, blk.prefix
+	}
+	if sv, found := p.proc.LoadMap.FindStatic(ea); found {
+		p.staticPrefixMu.Lock()
+		fr, cached := p.staticPrefix[sv]
+		if !cached {
+			fr = []cct.Frame{{Kind: cct.KindStaticVar, Module: sv.Module.Name, Name: sv.Name}}
+			p.staticPrefix[sv] = fr
+		}
+		p.staticPrefixMu.Unlock()
+		return cct.ClassStatic, fr
+	}
+	return cct.ClassUnknown, nil
+}
+
+// leafFor resolves a sampled IP to its statement frame. The unwinder's leaf
+// is adjusted to the PMU's precise IP (or deliberately the skid IP under
+// the ablation flag); an IP that no longer resolves (module unloaded)
+// reports false.
+func (ts *tstate) leafFor(ip uint64) (cct.Frame, bool) {
+	mod, fn, line, ok := ts.t.Proc.LoadMap.ResolveIP(ip)
+	if !ok {
+		return cct.Frame{}, false
+	}
+	return cct.Frame{Kind: cct.KindStmt, Module: mod.Name, Name: fn.Name, File: fn.File, Line: line}, true
+}
+
+// callFrame converts a live stack frame to its CCT identity.
+func callFrame(f sim.Frame) cct.Frame {
+	return cct.Frame{
+		Kind:   cct.KindCall,
+		Module: f.Fn.Module.Name,
+		Name:   f.Fn.Name,
+		File:   f.Fn.File,
+		Line:   f.CallLine,
+	}
+}
+
+// stmtFrameAt is the statement frame for the thread's current position
+// (used as the allocation point in allocation contexts).
+func stmtFrameAt(t *sim.Thread) cct.Frame {
+	fn := t.Func()
+	return cct.Frame{Kind: cct.KindStmt, Module: fn.Module.Name, Name: fn.Name, File: fn.File, Line: t.Line()}
+}
+
+// sourceMetric maps a data source to its metric id.
+func sourceMetric(mi *pmu.MemInfo) metric.ID {
+	switch mi.Source {
+	case cache.SrcL1:
+		return metric.FromL1
+	case cache.SrcL2:
+		return metric.FromL2
+	case cache.SrcL3:
+		return metric.FromL3
+	case cache.SrcRemoteL3:
+		return metric.FromRL3
+	case cache.SrcLocalDRAM:
+		return metric.FromLMEM
+	default:
+		return metric.FromRMEM
+	}
+}
+
+// Profiles returns the per-thread profiles collected so far, ordered by
+// thread id. Call after the process finished.
+func (p *Profiler) Profiles() []*cct.Profile {
+	p.statesMu.Lock()
+	defer p.statesMu.Unlock()
+	out := make([]*cct.Profile, 0, len(p.states))
+	for _, ts := range p.states {
+		out = append(out, ts.profile)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Thread < out[j].Thread })
+	return out
+}
+
+// Stats reports allocation-tracking decisions.
+func (p *Profiler) Stats() (tracked, skipped uint64, liveTracked int) {
+	p.blocksMu.RLock()
+	live := p.blocks.Len()
+	p.blocksMu.RUnlock()
+	p.statesMu.Lock()
+	defer p.statesMu.Unlock()
+	return p.trackedAllocs, p.skippedAllocs, live
+}

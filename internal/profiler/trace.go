@@ -1,0 +1,122 @@
+package profiler
+
+// Optional per-sample tracing, in the style of the trace-based tools the
+// paper compares against (§2.2, §6: MemProf records every IBS sample and
+// allocation event). It exists to make the paper's space argument
+// measurable: trace volume grows linearly with execution length and thread
+// count, while the CCT profile's size tracks only the number of distinct
+// contexts. See the `tracecmp` experiment.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"sync"
+
+	"dcprof/internal/mem"
+	"dcprof/internal/pmu"
+)
+
+// TraceRecord is one traced sample, shaped like MemProf's per-sample event.
+type TraceRecord struct {
+	// Thread is the recording thread id; Time its clock at the sample.
+	Thread int
+	Time   uint64
+	// PreciseIP and EA identify the instruction and data address.
+	PreciseIP uint64
+	EA        mem.Addr
+	// Latency and Source are the hardware measurements.
+	Latency uint64
+	Source  uint8
+	// Write flags stores.
+	Write bool
+}
+
+// TraceRecordBytes is the encoded size of one record.
+const TraceRecordBytes = 4 + 8 + 8 + 8 + 8 + 1 + 1
+
+// Trace accumulates records from all threads of one profiler.
+type Trace struct {
+	mu      sync.Mutex
+	records []TraceRecord
+}
+
+// Len returns the number of records.
+func (tr *Trace) Len() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.records)
+}
+
+// Bytes returns the encoded size of the trace.
+func (tr *Trace) Bytes() int64 { return int64(tr.Len()) * TraceRecordBytes }
+
+// Records returns a copy of the trace.
+func (tr *Trace) Records() []TraceRecord {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]TraceRecord, len(tr.records))
+	copy(out, tr.records)
+	return out
+}
+
+func (tr *Trace) append(r TraceRecord) {
+	tr.mu.Lock()
+	tr.records = append(tr.records, r)
+	tr.mu.Unlock()
+}
+
+// WriteTo streams the trace in a flat binary format, returning the bytes
+// written.
+func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	recs := tr.Records()
+	var buf [TraceRecordBytes]byte
+	for _, r := range recs {
+		binary.LittleEndian.PutUint32(buf[0:], uint32(r.Thread))
+		binary.LittleEndian.PutUint64(buf[4:], r.Time)
+		binary.LittleEndian.PutUint64(buf[12:], r.PreciseIP)
+		binary.LittleEndian.PutUint64(buf[20:], uint64(r.EA))
+		binary.LittleEndian.PutUint64(buf[28:], r.Latency)
+		buf[36] = r.Source
+		buf[37] = 0
+		if r.Write {
+			buf[37] = 1
+		}
+		if _, err := bw.Write(buf[:]); err != nil {
+			return 0, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return int64(len(recs)) * TraceRecordBytes, nil
+}
+
+// EnableTrace turns on per-sample trace recording (in addition to CCT
+// profiling) and returns the trace. Call before the workload runs.
+func (p *Profiler) EnableTrace() *Trace {
+	p.statesMu.Lock()
+	defer p.statesMu.Unlock()
+	if p.trace == nil {
+		p.trace = &Trace{}
+	}
+	return p.trace
+}
+
+// recordTrace appends a sample to the trace if tracing is enabled.
+func (ts *tstate) recordTrace(s *pmu.Sample) {
+	tr := ts.prof.trace
+	if tr == nil || !s.IsMem {
+		return
+	}
+	tr.append(TraceRecord{
+		Thread:    ts.t.ID,
+		Time:      ts.t.Clock(),
+		PreciseIP: s.PreciseIP,
+		EA:        s.Mem.EA,
+		Latency:   s.Mem.Latency,
+		Source:    uint8(s.Mem.Source),
+		Write:     s.Mem.Write,
+	})
+}

@@ -1,0 +1,412 @@
+// Package profio implements the compact binary profile format the profiler
+// writes per thread and the post-mortem analyzer reads back.
+//
+// Compactness is a scalability requirement (§2.2): with millions of threads,
+// per-thread measurement data must stay in megabytes. The format therefore
+// stores each CCT as a flat pre-order array of nodes with parent indices, a
+// deduplicated string table for symbols, and sparse varint-encoded metric
+// vectors (most nodes carry no metrics; leaves carry few distinct ones).
+package profio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+// Magic identifies profile files ("DCPF" = data-centric profile).
+const Magic = 0x44435046
+
+// Version is the current format version.
+const Version = 1
+
+const noParent = ^uint32(0)
+
+// WriteProfile encodes one thread profile.
+func WriteProfile(w io.Writer, p *cct.Profile) error {
+	bw := bufio.NewWriter(w)
+	if err := writeProfile(bw, p); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeProfile(w *bufio.Writer, p *cct.Profile) error {
+	// Collect the string table.
+	strs := newStringTable()
+	for _, tree := range p.Trees {
+		tree.Walk(func(n *cct.Node, _ int) bool {
+			strs.intern(n.Frame.Module)
+			strs.intern(n.Frame.Name)
+			strs.intern(n.Frame.File)
+			return true
+		})
+	}
+	strs.intern(p.Event)
+
+	writeU32(w, Magic)
+	writeU32(w, Version)
+	writeUvarint(w, uint64(p.Rank))
+	writeUvarint(w, uint64(p.Thread))
+
+	// String table.
+	writeUvarint(w, uint64(len(strs.list)))
+	for _, s := range strs.list {
+		writeUvarint(w, uint64(len(s)))
+		if _, err := w.WriteString(s); err != nil {
+			return err
+		}
+	}
+	writeUvarint(w, uint64(strs.idx[p.Event]))
+
+	// Trees.
+	if len(p.Trees) != cct.NumClasses {
+		return fmt.Errorf("profio: profile has %d trees, want %d", len(p.Trees), cct.NumClasses)
+	}
+	for _, tree := range p.Trees {
+		if err := writeTree(w, tree, strs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTree(w *bufio.Writer, t *cct.Tree, strs *stringTable) error {
+	// Pre-order with parent indices. Walk is deterministic, so index
+	// assignment is too.
+	index := map[*cct.Node]uint32{}
+	count := uint32(0)
+	t.Walk(func(n *cct.Node, _ int) bool {
+		index[n] = count
+		count++
+		return true
+	})
+	writeUvarint(w, uint64(count))
+	var err error
+	t.Walk(func(n *cct.Node, _ int) bool {
+		parent := noParent
+		if n.Parent() != nil {
+			parent = index[n.Parent()]
+		}
+		writeU32(w, parent)
+		w.WriteByte(byte(n.Frame.Kind))
+		writeUvarint(w, uint64(strs.idx[n.Frame.Module]))
+		writeUvarint(w, uint64(strs.idx[n.Frame.Name]))
+		writeUvarint(w, uint64(strs.idx[n.Frame.File]))
+		writeUvarint(w, uint64(int64(n.Frame.Line)))
+		// Sparse metrics.
+		nz := 0
+		for _, v := range n.Metrics {
+			if v != 0 {
+				nz++
+			}
+		}
+		w.WriteByte(byte(nz))
+		for i, v := range n.Metrics {
+			if v != 0 {
+				w.WriteByte(byte(i))
+				writeUvarint(w, v)
+			}
+		}
+		return true
+	})
+	return err
+}
+
+// ReadProfile decodes one thread profile.
+func ReadProfile(r io.Reader) (*cct.Profile, error) {
+	br := bufio.NewReader(r)
+	if m, err := readU32(br); err != nil || m != Magic {
+		if err != nil {
+			return nil, fmt.Errorf("profio: reading magic: %w", err)
+		}
+		return nil, fmt.Errorf("profio: bad magic %#x", m)
+	}
+	if v, err := readU32(br); err != nil || v != Version {
+		if err != nil {
+			return nil, fmt.Errorf("profio: reading version: %w", err)
+		}
+		return nil, fmt.Errorf("profio: unsupported version %d", v)
+	}
+	rank, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	thread, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+
+	nStrs, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nStrs > 1<<24 {
+		return nil, fmt.Errorf("profio: unreasonable string table size %d", nStrs)
+	}
+	strs := make([]string, nStrs)
+	for i := range strs {
+		n, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<16 {
+			return nil, fmt.Errorf("profio: unreasonable string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		strs[i] = string(buf)
+	}
+	str := func(i uint64) (string, error) {
+		if i >= uint64(len(strs)) {
+			return "", fmt.Errorf("profio: string index %d out of range", i)
+		}
+		return strs[i], nil
+	}
+
+	eventIdx, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	event, err := str(eventIdx)
+	if err != nil {
+		return nil, err
+	}
+
+	p := cct.NewProfile(int(rank), int(thread), event)
+	for c := 0; c < cct.NumClasses; c++ {
+		if err := readTree(br, p.Trees[c], str); err != nil {
+			return nil, fmt.Errorf("profio: tree %d: %w", c, err)
+		}
+	}
+	return p, nil
+}
+
+func readTree(br *bufio.Reader, t *cct.Tree, str func(uint64) (string, error)) error {
+	count, err := readUvarint(br)
+	if err != nil {
+		return err
+	}
+	if count == 0 {
+		return fmt.Errorf("empty node array (even the root must be present)")
+	}
+	if count > 1<<28 {
+		return fmt.Errorf("unreasonable node count %d", count)
+	}
+	nodes := make([]*cct.Node, count)
+	for i := uint64(0); i < count; i++ {
+		parent, err := readU32(br)
+		if err != nil {
+			return err
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		modI, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		nameI, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		fileI, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		line, err := readUvarint(br)
+		if err != nil {
+			return err
+		}
+		mod, err := str(modI)
+		if err != nil {
+			return err
+		}
+		name, err := str(nameI)
+		if err != nil {
+			return err
+		}
+		file, err := str(fileI)
+		if err != nil {
+			return err
+		}
+		frame := cct.Frame{
+			Kind:   cct.Kind(kind),
+			Module: mod,
+			Name:   name,
+			File:   file,
+			Line:   int(int64(line)),
+		}
+
+		var node *cct.Node
+		switch {
+		case parent == noParent:
+			if i != 0 {
+				return fmt.Errorf("non-first node %d has no parent", i)
+			}
+			node = t.Root
+		case uint64(parent) >= i:
+			return fmt.Errorf("node %d references later/self parent %d", i, parent)
+		default:
+			node = nodes[parent].Child(frame)
+		}
+
+		nz, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		for k := 0; k < int(nz); k++ {
+			id, err := br.ReadByte()
+			if err != nil {
+				return err
+			}
+			if int(id) >= int(metric.NumMetrics) {
+				return fmt.Errorf("metric id %d out of range", id)
+			}
+			v, err := readUvarint(br)
+			if err != nil {
+				return err
+			}
+			var vec metric.Vector
+			vec[id] = v
+			node.Metrics.Add(&vec)
+		}
+		nodes[i] = node
+	}
+	return nil
+}
+
+// EncodedSize returns the number of bytes WriteProfile would produce.
+func EncodedSize(p *cct.Profile) (int64, error) {
+	var cw countWriter
+	if err := WriteProfile(&cw, p); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(b []byte) (int, error) {
+	c.n += int64(len(b))
+	return len(b), nil
+}
+
+// FileName returns the canonical per-thread profile file name.
+func FileName(rank, thread int) string {
+	return fmt.Sprintf("rank%05d-thread%05d.dcprof", rank, thread)
+}
+
+// WriteDir writes one file per profile into dir (created if needed) and
+// returns the total bytes written — the measurement's space overhead.
+func WriteDir(dir string, profiles []*cct.Profile) (int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, p := range profiles {
+		path := filepath.Join(dir, FileName(p.Rank, p.Thread))
+		f, err := os.Create(path)
+		if err != nil {
+			return total, err
+		}
+		if err := WriteProfile(f, p); err != nil {
+			f.Close()
+			return total, err
+		}
+		if err := f.Close(); err != nil {
+			return total, err
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return total, err
+		}
+		total += st.Size()
+	}
+	return total, nil
+}
+
+// ReadDir loads every profile file in dir, sorted by (rank, thread).
+func ReadDir(dir string) ([]*cct.Profile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*cct.Profile
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".dcprof" {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		p, err := ReadProfile(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Thread < out[j].Thread
+	})
+	return out, nil
+}
+
+// stringTable interns strings for writing.
+type stringTable struct {
+	idx  map[string]int
+	list []string
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{idx: map[string]int{}}
+}
+
+func (s *stringTable) intern(str string) int {
+	if i, ok := s.idx[str]; ok {
+		return i
+	}
+	i := len(s.list)
+	s.idx[str] = i
+	s.list = append(s.list, str)
+	return i
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.Write(buf[:])
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}

@@ -1,0 +1,65 @@
+package profio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dcprof/internal/cct"
+)
+
+// TestCorruptionNeverPanics flips bytes all over a valid profile image and
+// requires ReadProfile to either error out or return a structurally valid
+// profile — never panic, never hang, never allocate absurdly.
+func TestCorruptionNeverPanics(t *testing.T) {
+	p := sampleProfile(1, 1)
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		img := append([]byte{}, pristine...)
+		flips := rng.Intn(4) + 1
+		for f := 0; f < flips; f++ {
+			img[rng.Intn(len(img))] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: ReadProfile panicked: %v", trial, r)
+				}
+			}()
+			got, err := ReadProfile(bytes.NewReader(img))
+			if err == nil && got != nil {
+				// Accidentally still parseable: must be well-formed.
+				_ = got.NumNodes()
+				_ = got.Total()
+			}
+		}()
+	}
+}
+
+// TestTruncationSweep truncates at every prefix length of a small profile.
+func TestTruncationSweep(t *testing.T) {
+	p := cctSmall()
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	for n := 0; n < len(img); n++ {
+		if _, err := ReadProfile(bytes.NewReader(img[:n])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", n, len(img))
+		}
+	}
+	if _, err := ReadProfile(bytes.NewReader(img)); err != nil {
+		t.Fatalf("full image rejected: %v", err)
+	}
+}
+
+func cctSmall() *cct.Profile {
+	return sampleProfile(0, 0)
+}

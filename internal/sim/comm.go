@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"dcprof/internal/mem"
+)
+
+// MPI-lite cost model, in cycles. The paper's hybrid benchmarks are
+// node-level memory-bound studies, so communication only needs plausible
+// magnitudes for wavefront and collective synchronization.
+const (
+	// msgLatencyCycles is the point-to-point injection-to-delivery latency.
+	msgLatencyCycles = 2000
+	// msgCyclesPerByte is the inverse network bandwidth.
+	msgCyclesPerByte = 0.25
+	// sendOverheadCycles / recvOverheadCycles are CPU-side costs.
+	sendOverheadCycles = 400
+	recvOverheadCycles = 400
+)
+
+type envelope struct {
+	sendClock uint64
+	bytes     uint64
+	tag       int
+}
+
+// World is an MPI-lite communicator over a set of processes, which may be
+// spread across several nodes. Point-to-point messages are FIFO per
+// (sender, receiver) pair; collectives synchronize simulated clocks.
+type World struct {
+	// Procs lists the ranks in order.
+	Procs []*Process
+
+	chans   [][]chan envelope
+	barrier *clockBarrier
+}
+
+// NewWorld creates `ranks` processes block-distributed over the nodes, each
+// reserving threadsPerRank hardware threads, with the given process-wide
+// placement policy.
+func NewWorld(nodes []*Node, ranks, threadsPerRank int, policy mem.Policy) *World {
+	if len(nodes) == 0 || ranks <= 0 {
+		panic("sim: world needs nodes and ranks")
+	}
+	w := &World{barrier: newClockBarrier(ranks)}
+	for r := 0; r < ranks; r++ {
+		node := nodes[r*len(nodes)/ranks]
+		p := NewProcess(node, r, r, threadsPerRank, policy)
+		p.world = w
+		w.Procs = append(w.Procs, p)
+	}
+	w.chans = make([][]chan envelope, ranks)
+	for i := range w.chans {
+		w.chans[i] = make([]chan envelope, ranks)
+		for j := range w.chans[i] {
+			w.chans[i][j] = make(chan envelope, 4096)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.Procs) }
+
+// Run starts every rank's main on its own goroutine and waits for all of
+// them; each rank gets its master thread. Hooks must already be attached.
+func (w *World) Run(main func(p *Process, t *Thread)) {
+	var wg sync.WaitGroup
+	for _, p := range w.Procs {
+		wg.Add(1)
+		go func(p *Process) {
+			defer wg.Done()
+			t := p.Start()
+			main(p, t)
+			p.Finish()
+		}(p)
+	}
+	wg.Wait()
+}
+
+// transferCycles is the wire time for a message of the given size.
+func transferCycles(bytes uint64) uint64 {
+	return msgLatencyCycles + uint64(float64(bytes)*msgCyclesPerByte)
+}
+
+// Send posts a message of `bytes` payload bytes to rank dst.
+func (w *World) Send(t *Thread, dst int, bytes uint64, tag int) {
+	if dst < 0 || dst >= len(w.Procs) {
+		panic(fmt.Sprintf("sim: send to invalid rank %d", dst))
+	}
+	t.Work(sendOverheadCycles)
+	w.chans[t.Proc.Rank][dst] <- envelope{sendClock: t.clock, bytes: bytes, tag: tag}
+}
+
+// Recv consumes the next message from rank src, which must carry the
+// expected tag (messages between a pair are FIFO, as in MPI with one comm).
+// The receiver's clock advances to the message's arrival time if it was
+// waiting. Returns the payload size.
+func (w *World) Recv(t *Thread, src int, tag int) uint64 {
+	if src < 0 || src >= len(w.Procs) {
+		panic(fmt.Sprintf("sim: recv from invalid rank %d", src))
+	}
+	env := <-w.chans[src][t.Proc.Rank]
+	if env.tag != tag {
+		panic(fmt.Sprintf("sim: rank %d expected tag %d from %d, got %d", t.Proc.Rank, tag, src, env.tag))
+	}
+	arrival := env.sendClock + transferCycles(env.bytes)
+	if t.clock < arrival {
+		t.clock = arrival
+	}
+	t.Work(recvOverheadCycles)
+	return env.bytes
+}
+
+// Barrier synchronizes all ranks: every caller leaves at the slowest rank's
+// clock plus the collective's cost.
+func (w *World) Barrier(t *Thread) {
+	t.clock = w.barrier.wait(t.clock) + collectiveCost(len(w.Procs), 0)
+}
+
+// Allreduce models a reduction+broadcast of `bytes` per rank.
+func (w *World) Allreduce(t *Thread, bytes uint64) {
+	t.clock = w.barrier.wait(t.clock) + collectiveCost(len(w.Procs), bytes)
+}
+
+// collectiveCost is a log-tree cost for an n-rank collective.
+func collectiveCost(n int, bytes uint64) uint64 {
+	steps := uint64(0)
+	for v := 1; v < n; v <<= 1 {
+		steps++
+	}
+	if steps == 0 {
+		steps = 1
+	}
+	return steps * transferCycles(bytes)
+}
+
+// clockBarrier is a reusable barrier that also computes the max of the
+// participants' clocks.
+type clockBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	max     uint64
+	result  uint64
+}
+
+func newClockBarrier(n int) *clockBarrier {
+	b := &clockBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n participants have arrived and returns the maximum
+// clock among them.
+func (b *clockBarrier) wait(clock uint64) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	if clock > b.max {
+		b.max = clock
+	}
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.result = b.max
+		b.max = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.result
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.result
+}

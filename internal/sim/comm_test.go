@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"dcprof/internal/cache"
+	"dcprof/internal/machine"
+)
+
+func testWorld(ranks, threadsPerRank int) *World {
+	node := NewNode(machine.MagnyCours48(), cache.DefaultConfig())
+	return NewWorld([]*Node{node}, ranks, threadsPerRank, nil)
+}
+
+func TestWorldRunAllRanks(t *testing.T) {
+	w := testWorld(4, 1)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	w.Run(func(p *Process, th *Thread) {
+		mu.Lock()
+		seen[p.Rank] = true
+		mu.Unlock()
+		th.Work(10)
+	})
+	if len(seen) != 4 {
+		t.Errorf("ran %d ranks, want 4", len(seen))
+	}
+}
+
+func TestSendRecvClockPropagation(t *testing.T) {
+	w := testWorld(2, 1)
+	var recvClock, sendClock uint64
+	w.Run(func(p *Process, th *Thread) {
+		exe := p.LoadMap.Load("exe")
+		f := exe.AddFunc("main", "main.c", 1)
+		th.Call(f)
+		switch p.Rank {
+		case 0:
+			th.Work(100000) // sender is far ahead
+			w.Send(th, 1, 1024, 7)
+			sendClock = th.Clock()
+		case 1:
+			w.Recv(th, 0, 7)
+			recvClock = th.Clock()
+		}
+		th.Ret()
+	})
+	if recvClock <= 100000 {
+		t.Errorf("receiver clock %d did not advance past sender's send time", recvClock)
+	}
+	if recvClock < sendClock {
+		t.Errorf("receiver clock %d below sender's %d + latency", recvClock, sendClock)
+	}
+}
+
+func TestRecvDoesNotRewindClock(t *testing.T) {
+	w := testWorld(2, 1)
+	var recvClock uint64
+	w.Run(func(p *Process, th *Thread) {
+		exe := p.LoadMap.Load("exe")
+		f := exe.AddFunc("main", "main.c", 1)
+		th.Call(f)
+		switch p.Rank {
+		case 0:
+			w.Send(th, 1, 8, 0) // sent at ~t=400
+		case 1:
+			th.Work(10_000_000) // receiver is far ahead; message already waiting
+			before := th.Clock()
+			w.Recv(th, 0, 0)
+			recvClock = th.Clock() - before
+		}
+		th.Ret()
+	})
+	if recvClock > 2*recvOverheadCycles {
+		t.Errorf("late recv cost %d cycles, want only CPU overhead", recvClock)
+	}
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	w := testWorld(2, 1)
+	panicked := make(chan bool, 1)
+	w.Run(func(p *Process, th *Thread) {
+		exe := p.LoadMap.Load("exe")
+		f := exe.AddFunc("main", "main.c", 1)
+		th.Call(f)
+		switch p.Rank {
+		case 0:
+			w.Send(th, 1, 8, 1)
+		case 1:
+			func() {
+				defer func() { panicked <- recover() != nil }()
+				w.Recv(th, 0, 2)
+			}()
+		}
+		th.Ret()
+	})
+	if !<-panicked {
+		t.Error("tag mismatch did not panic")
+	}
+}
+
+func TestBarrierSyncsToSlowest(t *testing.T) {
+	w := testWorld(4, 1)
+	clocks := make([]uint64, 4)
+	w.Run(func(p *Process, th *Thread) {
+		exe := p.LoadMap.Load("exe")
+		f := exe.AddFunc("main", "main.c", 1)
+		th.Call(f)
+		th.Work(uint64(1000 * (p.Rank + 1)))
+		w.Barrier(th)
+		clocks[p.Rank] = th.Clock()
+		th.Ret()
+	})
+	for r := 1; r < 4; r++ {
+		if clocks[r] != clocks[0] {
+			t.Fatalf("clocks diverge after barrier: %v", clocks)
+		}
+	}
+	if clocks[0] < 4000 {
+		t.Errorf("barrier exit %d below slowest rank's 4000", clocks[0])
+	}
+}
+
+func TestAllreduceCostsMoreThanBarrier(t *testing.T) {
+	runCollective := func(allreduce bool) uint64 {
+		w := testWorld(4, 1)
+		var out uint64
+		w.Run(func(p *Process, th *Thread) {
+			exe := p.LoadMap.Load("exe")
+			f := exe.AddFunc("main", "main.c", 1)
+			th.Call(f)
+			if allreduce {
+				w.Allreduce(th, 1<<20)
+			} else {
+				w.Barrier(th)
+			}
+			if p.Rank == 0 {
+				out = th.Clock()
+			}
+			th.Ret()
+		})
+		return out
+	}
+	if runCollective(true) <= runCollective(false) {
+		t.Error("megabyte allreduce not costlier than empty barrier")
+	}
+}
+
+func TestWorldBlockDistribution(t *testing.T) {
+	nodeA := NewNode(machine.Tiny(), cache.DefaultConfig())
+	nodeB := NewNode(machine.Tiny(), cache.DefaultConfig())
+	w := NewWorld([]*Node{nodeA, nodeB}, 4, 2, nil)
+	if w.Procs[0].Node != nodeA || w.Procs[1].Node != nodeA {
+		t.Error("ranks 0,1 should land on node A")
+	}
+	if w.Procs[2].Node != nodeB || w.Procs[3].Node != nodeB {
+		t.Error("ranks 2,3 should land on node B")
+	}
+	// Distinct ASIDs.
+	if w.Procs[0].ASID == w.Procs[1].ASID {
+		t.Error("ranks share an ASID")
+	}
+}
+
+// TestMessageFIFOProperty: messages between one (sender, receiver) pair are
+// delivered in send order, regardless of payload sizes.
+func TestMessageFIFOProperty(t *testing.T) {
+	w := testWorld(2, 1)
+	const n = 200
+	var got []int
+	w.Run(func(p *Process, th *Thread) {
+		exe := p.LoadMap.Load("exe")
+		f := exe.AddFunc("main", "main.c", 1)
+		th.Call(f)
+		switch p.Rank {
+		case 0:
+			for i := 0; i < n; i++ {
+				w.Send(th, 1, uint64(i%977+1), i)
+			}
+		case 1:
+			for i := 0; i < n; i++ {
+				w.Recv(th, 0, i) // tag check enforces order
+				got = append(got, i)
+			}
+		}
+		th.Ret()
+	})
+	if len(got) != n {
+		t.Fatalf("received %d messages, want %d", len(got), n)
+	}
+}
+
+// TestClockMonotonicThroughCollectives: a rank's clock never goes backwards
+// across sends, receives and barriers.
+func TestClockMonotonicThroughCollectives(t *testing.T) {
+	w := testWorld(4, 1)
+	violations := make([]bool, 4)
+	w.Run(func(p *Process, th *Thread) {
+		exe := p.LoadMap.Load("exe")
+		f := exe.AddFunc("main", "main.c", 1)
+		th.Call(f)
+		prev := th.Clock()
+		check := func() {
+			if th.Clock() < prev {
+				violations[p.Rank] = true
+			}
+			prev = th.Clock()
+		}
+		for i := 0; i < 10; i++ {
+			th.Work(uint64(100 * (p.Rank + 1)))
+			check()
+			peer := p.Rank ^ 1
+			w.Send(th, peer, 64, i)
+			check()
+			w.Recv(th, peer, i)
+			check()
+			w.Barrier(th)
+			check()
+		}
+		th.Ret()
+	})
+	for r, v := range violations {
+		if v {
+			t.Errorf("rank %d clock went backwards", r)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+import "dcprof/internal/mem"
+
+// AllocKind distinguishes the malloc-family entry point used, because the
+// paper's calloc→malloc optimization hinges on it: calloc zeroes (and
+// therefore first-touches) the block at allocation time, malloc leaves the
+// pages untouched for the eventual initializer.
+type AllocKind uint8
+
+const (
+	// AllocMalloc is a plain malloc.
+	AllocMalloc AllocKind = iota
+	// AllocCalloc is a zeroing calloc.
+	AllocCalloc
+	// AllocRealloc is a resize of an existing block.
+	AllocRealloc
+)
+
+// String returns the libc entry-point name.
+func (k AllocKind) String() string {
+	switch k {
+	case AllocCalloc:
+		return "calloc"
+	case AllocRealloc:
+		return "realloc"
+	default:
+		return "malloc"
+	}
+}
+
+// Hooks is the interception surface the profiler attaches to a process —
+// the analogue of LD_PRELOAD wrappers around the malloc family plus
+// per-thread monitoring setup. All callbacks run on the simulated thread's
+// goroutine.
+type Hooks interface {
+	// ThreadStart fires when a simulated thread is created, before it
+	// executes anything. The hook may install a PMU sampler via
+	// Thread.SetSampler and charge setup cost via Thread.ChargeOverhead.
+	ThreadStart(t *Thread)
+	// ThreadEnd fires when the process shuts the thread down.
+	ThreadEnd(t *Thread)
+	// OnAlloc fires after a successful malloc/calloc/realloc, before the
+	// block is returned to the program (for calloc: before zeroing).
+	OnAlloc(t *Thread, addr mem.Addr, size uint64, kind AllocKind)
+	// OnFree fires before a block is released.
+	OnFree(t *Thread, addr mem.Addr, size uint64)
+}
+
+// NopHooks is the default no-profiler instrumentation.
+type NopHooks struct{}
+
+// ThreadStart implements Hooks.
+func (NopHooks) ThreadStart(*Thread) {}
+
+// ThreadEnd implements Hooks.
+func (NopHooks) ThreadEnd(*Thread) {}
+
+// OnAlloc implements Hooks.
+func (NopHooks) OnAlloc(*Thread, mem.Addr, uint64, AllocKind) {}
+
+// OnFree implements Hooks.
+func (NopHooks) OnFree(*Thread, mem.Addr, uint64) {}

@@ -1,0 +1,79 @@
+// Package sim is the execution substrate the benchmarks run on: simulated
+// processes (MPI ranks) and threads (OpenMP workers) that execute work,
+// loads and stores against the simulated memory hierarchy, in simulated
+// time.
+//
+// Time is counted in per-thread cycles. Compute instructions cost one cycle
+// each; a memory access costs the latency the hierarchy reports (including
+// NUMA interconnect hops and DRAM-controller queueing). A parallel region's
+// elapsed time is the maximum over its participants — all the paper's
+// optimization effects (interleaving beating first-touch-by-master, layout
+// transposes fixing strides) show up as changes in these cycle counts.
+//
+// Every retired instruction is also offered to the thread's PMU sampler,
+// and allocation events are surfaced through Hooks, which is how the
+// profiler (package profiler) attaches without the substrate knowing about
+// it.
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dcprof/internal/cache"
+	"dcprof/internal/machine"
+)
+
+// Node is one machine: a topology plus its memory hierarchy. Several
+// processes (ranks) can share a node; each gets a disjoint range of
+// hardware threads.
+type Node struct {
+	Topo machine.Topology
+	Mem  *cache.Hierarchy
+
+	nextHW int // next unassigned hardware thread
+
+	// coreActive counts the simulated threads currently executing on each
+	// physical core. SMT siblings share a core's issue slots: compute
+	// throughput per thread degrades as siblings activate (see
+	// Thread.Work). One thread per core (no SMT, or idle siblings) runs at
+	// full speed.
+	coreActive []atomic.Int32
+}
+
+// NewNode builds a node with the given topology and cache configuration.
+func NewNode(topo machine.Topology, cfg cache.Config) *Node {
+	return &Node{
+		Topo:       topo,
+		Mem:        cache.NewHierarchy(topo, cfg),
+		coreActive: make([]atomic.Int32, topo.NumCores()),
+	}
+}
+
+// activate/deactivate maintain the per-core active-thread counts.
+func (n *Node) activate(core int)   { n.coreActive[core].Add(1) }
+func (n *Node) deactivate(core int) { n.coreActive[core].Add(-1) }
+
+// smtFactor returns the per-thread compute slowdown on a core with the
+// current number of active SMT siblings, in tenths: 10 = full speed. Each
+// additional sibling costs 60% of a thread's width (SMT4 at full occupancy
+// yields ~1.4x the single-thread core throughput, roughly POWER7's
+// behaviour).
+func (n *Node) smtFactor(core int) uint64 {
+	active := int64(n.coreActive[core].Load())
+	if active <= 1 {
+		return 10
+	}
+	return uint64(10 + 6*(active-1))
+}
+
+// reserveHW hands out a contiguous range of `n` hardware threads.
+func (n *Node) reserveHW(count int) (base int) {
+	if n.nextHW+count > n.Topo.NumHWThreads() {
+		panic(fmt.Sprintf("sim: node %s oversubscribed: %d+%d hardware threads",
+			n.Topo.Name, n.nextHW, count))
+	}
+	base = n.nextHW
+	n.nextHW += count
+	return base
+}

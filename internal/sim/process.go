@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"dcprof/internal/loadmap"
+	"dcprof/internal/mem"
+)
+
+// barrierBaseCycles is the cost of an OpenMP region fork/join barrier.
+const barrierBaseCycles = 300
+
+// Process is one simulated process (MPI rank): a private address space and
+// load map, a pool of OpenMP-style threads pinned to a reserved range of the
+// node's hardware threads, and the profiler hooks wrapped around its
+// runtime events.
+type Process struct {
+	// Node is the machine the process runs on.
+	Node *Node
+	// Rank is the process's MPI rank (0 for single-process runs).
+	Rank int
+	// ASID is the globally unique address-space id.
+	ASID int
+	// Space is the process's memory.
+	Space *mem.Space
+	// LoadMap lists the process's load modules.
+	LoadMap *loadmap.Map
+
+	world   *World
+	hooks   Hooks
+	hwBase  int
+	hwCount int
+
+	mu      sync.Mutex
+	threads []*Thread
+	started bool
+}
+
+// NewProcess creates a process on node with hwCount hardware threads
+// reserved for it. policy is the process-wide page placement policy (nil =
+// first-touch; Interleave{} models launching under `numactl --interleave`).
+func NewProcess(node *Node, rank, asid, hwCount int, policy mem.Policy) *Process {
+	if hwCount <= 0 {
+		panic("sim: process needs at least one hardware thread")
+	}
+	return &Process{
+		Node:    node,
+		Rank:    rank,
+		ASID:    asid,
+		Space:   mem.NewSpace(node.Topo.NUMADomains, policy),
+		LoadMap: loadmap.NewMap(),
+		hooks:   NopHooks{},
+		hwBase:  node.reserveHW(hwCount),
+		hwCount: hwCount,
+	}
+}
+
+// SetHooks attaches profiler instrumentation. Must be called before Start.
+func (p *Process) SetHooks(h Hooks) {
+	if p.started {
+		panic("sim: SetHooks after Start")
+	}
+	if h == nil {
+		h = NopHooks{}
+	}
+	p.hooks = h
+}
+
+// Hooks returns the attached instrumentation.
+func (p *Process) Hooks() Hooks { return p.hooks }
+
+// MaxThreads returns the size of the process's hardware-thread reservation.
+func (p *Process) MaxThreads() int { return p.hwCount }
+
+// Start creates and returns the master thread (tid 0), marking it active
+// on its core.
+func (p *Process) Start() *Thread {
+	p.started = true
+	t := p.thread(0)
+	p.Node.activate(t.Core)
+	return t
+}
+
+// thread returns the pooled thread with the given id, creating it (and
+// firing ThreadStart) on first use.
+func (p *Process) thread(tid int) *Thread {
+	if tid < 0 || tid >= p.hwCount {
+		panic(fmt.Sprintf("sim: thread id %d outside reservation of %d", tid, p.hwCount))
+	}
+	p.mu.Lock()
+	for len(p.threads) <= tid {
+		p.threads = append(p.threads, nil)
+	}
+	t := p.threads[tid]
+	if t == nil {
+		t = newThread(p, tid, p.hwBase+tid)
+		p.threads[tid] = t
+		p.mu.Unlock()
+		p.hooks.ThreadStart(t)
+		return t
+	}
+	p.mu.Unlock()
+	return t
+}
+
+// Threads returns the threads created so far, densest first.
+func (p *Process) Threads() []*Thread {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Thread, 0, len(p.threads))
+	for _, t := range p.threads {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Finish flushes samplers and fires ThreadEnd for every thread. Call once
+// when the process's main returns.
+func (p *Process) Finish() {
+	for _, t := range p.Threads() {
+		t.sampler.Flush()
+		p.hooks.ThreadEnd(t)
+	}
+	if len(p.threads) > 0 && p.threads[0] != nil {
+		p.Node.deactivate(p.threads[0].Core)
+	}
+}
+
+// Parallel runs an OpenMP-style parallel region of nThreads threads
+// executing the outlined function fn. The master (the calling thread)
+// participates as tid 0; workers come from the persistent pool, inherit the
+// master's calling context (so their samples carry the full call path into
+// the region), and the implicit end-of-region barrier synchronizes all
+// participants' clocks to the slowest.
+func (p *Process) Parallel(master *Thread, fn *loadmap.Function, nThreads int, body func(t *Thread, tid int)) {
+	if nThreads < 1 {
+		panic("sim: parallel region needs at least one thread")
+	}
+	if nThreads > p.hwCount {
+		panic(fmt.Sprintf("sim: region of %d threads exceeds reservation of %d", nThreads, p.hwCount))
+	}
+	if master != p.thread(0) {
+		panic("sim: parallel regions must be entered by the master thread")
+	}
+
+	start := master.clock
+	ctx := make([]Frame, len(master.stack))
+	copy(ctx, master.stack)
+	ctxLine, ctxIP := master.curLine, master.curIP
+
+	workers := make([]*Thread, 0, nThreads-1)
+	// Mark every participant active before any body runs, so SMT
+	// contention is in effect for the whole region.
+	for tid := 1; tid < nThreads; tid++ {
+		t := p.thread(tid)
+		t.resetFor(ctx, ctxLine, ctxIP, start)
+		workers = append(workers, t)
+		p.Node.activate(t.Core)
+	}
+	var wg sync.WaitGroup
+	for i := range workers {
+		t := workers[i]
+		wg.Add(1)
+		go func(t *Thread, tid int) {
+			defer wg.Done()
+			t.Call(fn)
+			body(t, tid)
+			t.Ret()
+		}(t, i+1)
+	}
+
+	master.Call(fn)
+	body(master, 0)
+	master.Ret()
+	wg.Wait()
+	for _, t := range workers {
+		p.Node.deactivate(t.Core)
+	}
+
+	// Implicit barrier: everyone leaves at the slowest participant's time.
+	maxClock := master.clock
+	for _, t := range workers {
+		if t.clock > maxClock {
+			maxClock = t.clock
+		}
+	}
+	maxClock += barrierBaseCycles
+	master.clock = maxClock
+	for _, t := range workers {
+		t.clock = maxClock
+	}
+}
+
+// ParallelFor splits iterations [0, n) statically among nThreads threads
+// (OpenMP static schedule) inside a parallel region running fn. body
+// receives the thread and its contiguous iteration range.
+func (p *Process) ParallelFor(master *Thread, fn *loadmap.Function, nThreads, n int, body func(t *Thread, lo, hi int)) {
+	p.Parallel(master, fn, nThreads, func(t *Thread, tid int) {
+		lo := tid * n / nThreads
+		hi := (tid + 1) * n / nThreads
+		if lo < hi {
+			body(t, lo, hi)
+		}
+	})
+}

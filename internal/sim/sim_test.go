@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"dcprof/internal/cache"
+	"dcprof/internal/machine"
+	"dcprof/internal/mem"
+)
+
+func testNode() *Node {
+	return NewNode(machine.Tiny(), cache.DefaultConfig())
+}
+
+func TestCallStackMechanics(t *testing.T) {
+	node := testNode()
+	p := NewProcess(node, 0, 0, 1, nil)
+	exe := p.LoadMap.Load("exe")
+	fMain := exe.AddFunc("main", "main.c", 1)
+	fKern := exe.AddFunc("kernel", "kernel.c", 10)
+
+	th := p.Start()
+	th.Call(fMain)
+	if th.Func() != fMain || th.Line() != 1 {
+		t.Fatalf("after Call(main): fn=%v line=%d", th.Func().Name, th.Line())
+	}
+	th.At(5)
+	ipAtCall := th.IP()
+	th.Call(fKern)
+	if th.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", th.Depth())
+	}
+	if th.Frames()[1].CallLine != 5 {
+		t.Errorf("callee frame CallLine = %d, want 5", th.Frames()[1].CallLine)
+	}
+	if th.Line() != 10 {
+		t.Errorf("entered kernel at line %d, want StartLine 10", th.Line())
+	}
+	th.Ret()
+	if th.Func() != fMain || th.Line() != 5 || th.IP() != ipAtCall {
+		t.Error("Ret did not restore caller statement")
+	}
+	th.Ret()
+	if th.Depth() != 0 {
+		t.Error("stack not empty after final Ret")
+	}
+}
+
+func TestRetEmptyPanics(t *testing.T) {
+	p := NewProcess(testNode(), 0, 0, 1, nil)
+	th := p.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	th.Ret()
+}
+
+func TestTrampolineDepthMaintenance(t *testing.T) {
+	p := NewProcess(testNode(), 0, 0, 1, nil)
+	exe := p.LoadMap.Load("exe")
+	a := exe.AddFunc("a", "f.c", 1)
+	b := exe.AddFunc("b", "f.c", 10)
+	c := exe.AddFunc("c", "f.c", 20)
+
+	th := p.Start()
+	th.Call(a)
+	th.Call(b)
+	th.Call(c)
+	th.SetTrampolineDepth(3)
+	th.Ret() // pops c: marker must drop to 2
+	if th.TrampolineDepth() != 2 {
+		t.Errorf("trampoline depth = %d after Ret, want 2", th.TrampolineDepth())
+	}
+	th.Call(c) // re-entering does not raise the marker
+	if th.TrampolineDepth() != 2 {
+		t.Errorf("trampoline depth = %d after re-Call, want 2", th.TrampolineDepth())
+	}
+}
+
+func TestWorkAndAccessAdvanceClock(t *testing.T) {
+	p := NewProcess(testNode(), 0, 0, 1, nil)
+	exe := p.LoadMap.Load("exe")
+	f := exe.AddFunc("main", "main.c", 1)
+	th := p.Start()
+	th.Call(f)
+
+	c0 := th.Clock()
+	th.Work(100)
+	if th.Clock()-c0 != 100 {
+		t.Errorf("Work(100) advanced clock by %d", th.Clock()-c0)
+	}
+	if th.Instructions() < 100 {
+		t.Error("instructions not counted")
+	}
+
+	buf := th.Malloc(4096)
+	c1 := th.Clock()
+	th.Load(buf, 8)
+	dramCost := th.Clock() - c1
+	if dramCost < cache.DefaultConfig().MemLat {
+		t.Errorf("cold load cost %d below DRAM latency", dramCost)
+	}
+	c2 := th.Clock()
+	th.Load(buf, 8)
+	if hit := th.Clock() - c2; hit >= dramCost {
+		t.Errorf("hit cost %d not below miss cost %d", hit, dramCost)
+	}
+}
+
+func TestAccessSplitsCacheLines(t *testing.T) {
+	p := NewProcess(testNode(), 0, 0, 1, nil)
+	exe := p.LoadMap.Load("exe")
+	f := exe.AddFunc("main", "main.c", 1)
+	th := p.Start()
+	th.Call(f)
+	buf := th.Malloc(4096)
+
+	m0 := th.MemOps()
+	th.Load(buf, 8) // one line
+	if th.MemOps()-m0 != 1 {
+		t.Errorf("8-byte load issued %d mem ops", th.MemOps()-m0)
+	}
+	m1 := th.MemOps()
+	th.Load(buf, 256) // four lines
+	if th.MemOps()-m1 != 4 {
+		t.Errorf("256-byte load issued %d mem ops, want 4", th.MemOps()-m1)
+	}
+	m2 := th.MemOps()
+	th.Load(buf+60, 8) // straddles a line boundary
+	if th.MemOps()-m2 != 2 {
+		t.Errorf("straddling load issued %d mem ops, want 2", th.MemOps()-m2)
+	}
+}
+
+func TestCallocFirstTouchByAllocator(t *testing.T) {
+	p := NewProcess(testNode(), 0, 0, 4, nil) // tiny: threads 0,1 dom0; 2,3 dom1
+	exe := p.LoadMap.Load("exe")
+	f := exe.AddFunc("main", "main.c", 1)
+	th := p.Start() // tid 0 -> hw 0 -> domain 0
+	th.Call(f)
+
+	const pages = 8
+	addr := th.Calloc(pages*mem.PageSize, 1)
+	for i := 0; i < pages; i++ {
+		d, ok := p.Space.PT.Home(addr + mem.Addr(i*mem.PageSize))
+		if !ok {
+			t.Fatalf("page %d not placed by calloc zeroing", i)
+		}
+		if d != 0 {
+			t.Errorf("page %d homed in %d, want allocator's domain 0", i, d)
+		}
+	}
+}
+
+func TestMallocLeavesPagesForWorkers(t *testing.T) {
+	p := NewProcess(testNode(), 0, 0, 4, nil)
+	exe := p.LoadMap.Load("exe")
+	fMain := exe.AddFunc("main", "main.c", 1)
+	fOL := exe.AddFunc("init.omp_fn.0", "main.c", 20)
+	th := p.Start()
+	th.Call(fMain)
+
+	const pages = 4
+	addr := th.Malloc(pages * mem.PageSize)
+	if _, ok := p.Space.PT.Home(addr); ok {
+		t.Fatal("malloc touched pages")
+	}
+	// Parallel first-touch: each thread initializes its block.
+	p.ParallelFor(th, fOL, 4, pages, func(w *Thread, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w.Store(addr+mem.Addr(i*mem.PageSize), 8)
+		}
+	})
+	// Pages 0,1 by threads 0,1 (domain 0); pages 2,3 by threads 2,3 (dom 1).
+	for i := 0; i < pages; i++ {
+		d, ok := p.Space.PT.Home(addr + mem.Addr(i*mem.PageSize))
+		if !ok {
+			t.Fatalf("page %d unplaced", i)
+		}
+		want := 0
+		if i >= 2 {
+			want = 1
+		}
+		if d != want {
+			t.Errorf("page %d homed in %d, want %d", i, d, want)
+		}
+	}
+}
+
+func TestParallelContextInheritance(t *testing.T) {
+	p := NewProcess(testNode(), 0, 0, 4, nil)
+	exe := p.LoadMap.Load("exe")
+	fMain := exe.AddFunc("main", "main.c", 1)
+	fSolve := exe.AddFunc("solve", "solve.c", 50)
+	fOL := exe.AddFunc("solve.omp_fn.0", "solve.c", 60)
+
+	th := p.Start()
+	th.Call(fMain)
+	th.At(3)
+	th.Call(fSolve)
+	th.At(55)
+
+	type obs struct {
+		depth    int
+		rootFn   string
+		leafFn   string
+		callLine int
+	}
+	var mu sync.Mutex
+	seen := map[int]obs{}
+	p.Parallel(th, fOL, 4, func(w *Thread, tid int) {
+		fr := w.Frames()
+		mu.Lock()
+		seen[tid] = obs{
+			depth:    len(fr),
+			rootFn:   fr[0].Fn.Name,
+			leafFn:   fr[len(fr)-1].Fn.Name,
+			callLine: fr[len(fr)-1].CallLine,
+		}
+		mu.Unlock()
+	})
+	for tid := 0; tid < 4; tid++ {
+		o := seen[tid]
+		if o.depth != 3 {
+			t.Errorf("tid %d depth = %d, want 3 (main/solve/omp)", tid, o.depth)
+		}
+		if o.rootFn != "main" || o.leafFn != "solve.omp_fn.0" {
+			t.Errorf("tid %d path = %s..%s", tid, o.rootFn, o.leafFn)
+		}
+		if o.callLine != 55 {
+			t.Errorf("tid %d region call line = %d, want 55", tid, o.callLine)
+		}
+	}
+	// Master's stack is restored after the region.
+	if th.Func() != fSolve || th.Line() != 55 {
+		t.Error("master context clobbered by region")
+	}
+}
+
+func TestParallelClockJoin(t *testing.T) {
+	p := NewProcess(testNode(), 0, 0, 4, nil)
+	exe := p.LoadMap.Load("exe")
+	fMain := exe.AddFunc("main", "main.c", 1)
+	fOL := exe.AddFunc("ol", "main.c", 5)
+	th := p.Start()
+	th.Call(fMain)
+
+	start := th.Clock()
+	p.Parallel(th, fOL, 4, func(w *Thread, tid int) {
+		w.Work(uint64(1000 * (tid + 1))) // slowest does 4000
+	})
+	elapsed := th.Clock() - start
+	if elapsed < 4000 {
+		t.Errorf("region elapsed %d, want >= slowest worker's 4000", elapsed)
+	}
+	if elapsed > 4000+2*barrierBaseCycles+100 {
+		t.Errorf("region elapsed %d, want close to 4000", elapsed)
+	}
+	// All pool threads left at the same time.
+	for _, w := range p.Threads() {
+		if w.Clock() != th.Clock() {
+			t.Errorf("thread %d clock %d != master %d", w.ID, w.Clock(), th.Clock())
+		}
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	rec := &recordingHooks{}
+	p := NewProcess(testNode(), 0, 0, 2, nil)
+	p.SetHooks(rec)
+	exe := p.LoadMap.Load("exe")
+	f := exe.AddFunc("main", "main.c", 1)
+	fOL := exe.AddFunc("ol", "main.c", 2)
+
+	th := p.Start()
+	th.Call(f)
+	a := th.Malloc(100)
+	b := th.Calloc(10, 8)
+	b2 := th.Realloc(b, 200)
+	th.Free(a)
+	th.Free(b2)
+	p.Parallel(th, fOL, 2, func(w *Thread, tid int) { w.Work(1) })
+	th.Ret()
+	p.Finish()
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.starts != 2 || rec.ends != 2 {
+		t.Errorf("thread hooks: %d starts, %d ends; want 2,2", rec.starts, rec.ends)
+	}
+	wantKinds := []AllocKind{AllocMalloc, AllocCalloc, AllocRealloc}
+	if len(rec.allocs) != 3 {
+		t.Fatalf("allocs = %d, want 3", len(rec.allocs))
+	}
+	for i, k := range wantKinds {
+		if rec.allocs[i] != k {
+			t.Errorf("alloc %d kind = %v, want %v", i, rec.allocs[i], k)
+		}
+	}
+	// Frees: realloc frees b internally, plus explicit frees of a and b2.
+	if rec.frees != 3 {
+		t.Errorf("frees = %d, want 3", rec.frees)
+	}
+}
+
+type recordingHooks struct {
+	mu     sync.Mutex
+	starts int
+	ends   int
+	allocs []AllocKind
+	frees  int
+}
+
+func (r *recordingHooks) ThreadStart(*Thread) {
+	r.mu.Lock()
+	r.starts++
+	r.mu.Unlock()
+}
+func (r *recordingHooks) ThreadEnd(*Thread) {
+	r.mu.Lock()
+	r.ends++
+	r.mu.Unlock()
+}
+func (r *recordingHooks) OnAlloc(_ *Thread, _ mem.Addr, _ uint64, k AllocKind) {
+	r.mu.Lock()
+	r.allocs = append(r.allocs, k)
+	r.mu.Unlock()
+}
+func (r *recordingHooks) OnFree(*Thread, mem.Addr, uint64) {
+	r.mu.Lock()
+	r.frees++
+	r.mu.Unlock()
+}
+
+func TestChargeOverheadTracked(t *testing.T) {
+	p := NewProcess(testNode(), 0, 0, 1, nil)
+	th := p.Start()
+	c0 := th.Clock()
+	th.ChargeOverhead(1234)
+	if th.Clock()-c0 != 1234 || th.Overhead() != 1234 {
+		t.Errorf("clock +%d overhead %d, want 1234/1234", th.Clock()-c0, th.Overhead())
+	}
+}
+
+func TestOversubscriptionPanics(t *testing.T) {
+	node := testNode() // 4 HW threads
+	NewProcess(node, 0, 0, 3, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewProcess(node, 1, 1, 2, nil)
+}
+
+func TestAllocKindStrings(t *testing.T) {
+	if AllocMalloc.String() != "malloc" || AllocCalloc.String() != "calloc" || AllocRealloc.String() != "realloc" {
+		t.Error("AllocKind names wrong")
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+
+	"dcprof/internal/cache"
+	"dcprof/internal/machine"
+)
+
+// smtTopo: one socket, one core, 4 SMT threads.
+func smtTopo() machine.Topology {
+	return machine.Topology{
+		Name: "smt4", Sockets: 1, CoresPerSocket: 1, ThreadsPerCore: 4, NUMADomains: 1,
+	}
+}
+
+func TestSMTContentionSlowsCompute(t *testing.T) {
+	run := func(threads int) uint64 {
+		p := NewProcess(NewNode(smtTopo(), cache.DefaultConfig()), 0, 0, 4, nil)
+		exe := p.LoadMap.Load("exe")
+		f := exe.AddFunc("main", "main.c", 1)
+		ol := exe.AddFunc("ol", "main.c", 5)
+		th := p.Start()
+		th.Call(f)
+		start := th.Clock()
+		p.Parallel(th, ol, threads, func(w *Thread, tid int) {
+			w.Work(100_000)
+		})
+		elapsed := th.Clock() - start
+		th.Ret()
+		p.Finish()
+		return elapsed
+	}
+	solo := run(1)
+	full := run(4)
+	// Four SMT siblings on one core: each thread's 100k instructions take
+	// (10+6*3)/10 = 2.8x longer.
+	if full < 2*solo {
+		t.Errorf("SMT4 region (%d cy) not clearly slower than solo (%d cy)", full, solo)
+	}
+	if full > 4*solo {
+		t.Errorf("SMT4 region (%d cy) slower than serialized execution (%d cy)", full, 4*solo)
+	}
+}
+
+func TestNoSMTNoEffect(t *testing.T) {
+	// Tiny topology has one thread per core: parallel compute scales fully.
+	p := NewProcess(NewNode(machine.Tiny(), cache.DefaultConfig()), 0, 0, 4, nil)
+	exe := p.LoadMap.Load("exe")
+	f := exe.AddFunc("main", "main.c", 1)
+	ol := exe.AddFunc("ol", "main.c", 5)
+	th := p.Start()
+	th.Call(f)
+	start := th.Clock()
+	p.Parallel(th, ol, 4, func(w *Thread, tid int) { w.Work(100_000) })
+	elapsed := th.Clock() - start
+	if elapsed > 100_000+2*barrierBaseCycles+200 {
+		t.Errorf("one-thread-per-core region took %d cy, want ~100000", elapsed)
+	}
+	th.Ret()
+	p.Finish()
+}
+
+func TestSMTSerialMasterFullSpeed(t *testing.T) {
+	// Outside parallel regions the master has the core to itself, even on
+	// an SMT topology.
+	p := NewProcess(NewNode(smtTopo(), cache.DefaultConfig()), 0, 0, 4, nil)
+	exe := p.LoadMap.Load("exe")
+	f := exe.AddFunc("main", "main.c", 1)
+	th := p.Start()
+	th.Call(f)
+	c0 := th.Clock()
+	th.Work(50_000)
+	if got := th.Clock() - c0; got != 50_000 {
+		t.Errorf("serial master work cost %d cy, want 50000", got)
+	}
+	th.Ret()
+	p.Finish()
+}

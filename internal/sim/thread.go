@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"fmt"
+
+	"dcprof/internal/cache"
+	"dcprof/internal/loadmap"
+	"dcprof/internal/mem"
+	"dcprof/internal/pmu"
+)
+
+// Default cycle charges for runtime events that are not loads/stores.
+const (
+	// allocatorCycles is the compute cost of one malloc/free call itself
+	// (bookkeeping inside the allocator, excluding any profiler wrapping).
+	allocatorCycles = 150
+	// callCycles covers call/return linkage.
+	callCycles = 2
+)
+
+// Frame is one procedure frame on a simulated call stack.
+type Frame struct {
+	// Fn is the function this frame executes.
+	Fn *loadmap.Function
+	// CallLine is the source line in the caller at the call site (0 for the
+	// thread root).
+	CallLine int
+
+	// Saved caller statement state, restored on return.
+	savedLine int
+	savedIP   uint64
+}
+
+// Thread is one simulated thread of execution. All methods must be invoked
+// from the single goroutine animating the thread; distinct threads run
+// concurrently.
+type Thread struct {
+	// Proc is the owning process.
+	Proc *Process
+	// ID is the thread id within the process (0 = master).
+	ID int
+	// HW and Core locate the thread on the node.
+	HW   int
+	Core int
+
+	clock    uint64
+	instrs   uint64
+	overhead uint64
+	memOps   uint64
+
+	sampler pmu.Sampler
+	stack   []Frame
+	curLine int
+	curIP   uint64
+
+	// trampDepth is the number of bottom stack frames known unchanged since
+	// the profiler last marked the stack with its trampoline (§4.1.3). Ret
+	// lowers it; the profiler raises it after an unwind.
+	trampDepth int
+}
+
+func newThread(p *Process, id, hw int) *Thread {
+	return &Thread{
+		Proc:    p,
+		ID:      id,
+		HW:      hw,
+		Core:    p.Node.Topo.CoreOf(hw),
+		sampler: pmu.Nop{},
+	}
+}
+
+// Clock returns the thread's simulated time in cycles.
+func (t *Thread) Clock() uint64 { return t.clock }
+
+// Instructions returns the number of retired simulated instructions.
+func (t *Thread) Instructions() uint64 { return t.instrs }
+
+// MemOps returns the number of retired memory instructions.
+func (t *Thread) MemOps() uint64 { return t.memOps }
+
+// Overhead returns the cycles charged by the profiler (included in Clock).
+func (t *Thread) Overhead() uint64 { return t.overhead }
+
+// ChargeOverhead adds profiler-induced cycles to the thread's clock.
+func (t *Thread) ChargeOverhead(cycles uint64) {
+	t.clock += cycles
+	t.overhead += cycles
+}
+
+// SetSampler installs the PMU sampler monitoring this thread.
+func (t *Thread) SetSampler(s pmu.Sampler) {
+	if s == nil {
+		s = pmu.Nop{}
+	}
+	t.sampler = s
+}
+
+// Sampler returns the installed PMU sampler.
+func (t *Thread) Sampler() pmu.Sampler { return t.sampler }
+
+// Domain returns the NUMA domain of the thread's core.
+func (t *Thread) Domain() int { return t.Proc.Node.Topo.DomainOfCore(t.Core) }
+
+// Frames exposes the live call stack for the profiler's unwinder. The slice
+// is only valid until the thread executes further; callers on the thread's
+// own goroutine (sample handlers, allocation hooks) may read it directly.
+func (t *Thread) Frames() []Frame { return t.stack }
+
+// Depth returns the current call-stack depth.
+func (t *Thread) Depth() int { return len(t.stack) }
+
+// TrampolineDepth returns how many bottom frames are covered by the
+// profiler's trampoline marker.
+func (t *Thread) TrampolineDepth() int { return t.trampDepth }
+
+// SetTrampolineDepth marks the bottom d frames as known to the profiler.
+func (t *Thread) SetTrampolineDepth(d int) {
+	if d < 0 || d > len(t.stack) {
+		panic(fmt.Sprintf("sim: trampoline depth %d outside stack of %d frames", d, len(t.stack)))
+	}
+	t.trampDepth = d
+}
+
+// Call enters fn. The current statement becomes fn's first line.
+func (t *Thread) Call(fn *loadmap.Function) {
+	if len(t.stack) > 0 {
+		t.sampler.RetireWork(t.curIP, 1) // the call instruction itself
+	}
+	t.stack = append(t.stack, Frame{
+		Fn:        fn,
+		CallLine:  t.curLine,
+		savedLine: t.curLine,
+		savedIP:   t.curIP,
+	})
+	t.clock += callCycles
+	t.instrs++
+	t.At(fn.StartLine)
+}
+
+// Ret leaves the current function, restoring the caller's statement.
+func (t *Thread) Ret() {
+	if len(t.stack) == 0 {
+		panic("sim: Ret with empty call stack")
+	}
+	t.sampler.RetireWork(t.curIP, 1) // the return instruction (in the callee)
+	f := t.stack[len(t.stack)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	if t.trampDepth > len(t.stack) {
+		t.trampDepth = len(t.stack)
+	}
+	t.curLine = f.savedLine
+	t.curIP = f.savedIP
+	t.clock += callCycles
+	t.instrs++
+}
+
+// At moves the thread to a source line of the current function; subsequent
+// work and memory accesses are attributed to this statement.
+func (t *Thread) At(line int) {
+	if len(t.stack) == 0 {
+		panic("sim: At outside any function; Call first")
+	}
+	t.curLine = line
+	t.curIP = t.stack[len(t.stack)-1].Fn.IPFor(line)
+}
+
+// IP returns the synthetic instruction address of the current statement.
+func (t *Thread) IP() uint64 { return t.curIP }
+
+// Line returns the current source line.
+func (t *Thread) Line() int { return t.curLine }
+
+// Func returns the function the thread is currently executing.
+func (t *Thread) Func() *loadmap.Function {
+	if len(t.stack) == 0 {
+		return nil
+	}
+	return t.stack[len(t.stack)-1].Fn
+}
+
+// Work retires n non-memory instructions at the current statement. With
+// SMT siblings active on the same core, the instructions take
+// proportionally longer (shared issue slots).
+func (t *Thread) Work(n uint64) {
+	t.clock += n * t.Proc.Node.smtFactor(t.Core) / 10
+	t.instrs += n
+	t.sampler.RetireWork(t.curIP, n)
+}
+
+// Load performs a read of size bytes at addr. Accesses spanning multiple
+// cache lines are split into one memory instruction per line.
+func (t *Thread) Load(addr mem.Addr, size uint64) { t.access(addr, size, false) }
+
+// Store performs a write of size bytes at addr.
+func (t *Thread) Store(addr mem.Addr, size uint64) { t.access(addr, size, true) }
+
+func (t *Thread) access(addr mem.Addr, size uint64, write bool) {
+	if size == 0 {
+		return
+	}
+	p := t.Proc
+	first := uint64(addr) &^ (cache.LineSize - 1)
+	last := (uint64(addr) + size - 1) &^ (cache.LineSize - 1)
+	for line := first; line <= last; line += cache.LineSize {
+		a := addr
+		if uint64(a) < line {
+			a = mem.Addr(line)
+		}
+		res := p.Node.Mem.Access(t.Core, p.ASID, a, write, p.Space.PT, t.clock)
+		t.clock += res.Latency
+		t.instrs++
+		t.memOps++
+		t.sampler.RetireMem(t.curIP, pmu.MemInfo{
+			EA:         a,
+			Write:      write,
+			Latency:    res.Latency,
+			Source:     res.Source,
+			TLBMiss:    res.TLBMiss,
+			Remote:     res.Remote,
+			HomeDomain: res.HomeDomain,
+		})
+	}
+}
+
+// LoadSeq reads count elements of elemSize bytes starting at base with the
+// given byte stride, as one convenience loop.
+func (t *Thread) LoadSeq(base mem.Addr, count int, elemSize, stride uint64) {
+	for i := 0; i < count; i++ {
+		t.Load(base+mem.Addr(uint64(i)*stride), elemSize)
+	}
+}
+
+// StoreSeq writes count elements of elemSize bytes with the given stride.
+func (t *Thread) StoreSeq(base mem.Addr, count int, elemSize, stride uint64) {
+	for i := 0; i < count; i++ {
+		t.Store(base+mem.Addr(uint64(i)*stride), elemSize)
+	}
+}
+
+// Malloc allocates size bytes on the process heap without touching pages.
+func (t *Thread) Malloc(size uint64) mem.Addr {
+	return t.allocate(size, AllocMalloc)
+}
+
+// Calloc allocates n*elemSize bytes and zeroes them through normal stores,
+// so the allocating thread first-touches every page — the behaviour behind
+// the paper's NUMA pathologies.
+func (t *Thread) Calloc(n, elemSize uint64) mem.Addr {
+	return t.CallocWith(n, elemSize, nil)
+}
+
+// CallocWith behaves like Calloc but invokes place on the block before the
+// zeroing stores — modelling allocators (like libnuma's
+// numa_alloc_interleaved) that install a placement policy before the first
+// touch.
+func (t *Thread) CallocWith(n, elemSize uint64, place func(mem.Addr)) mem.Addr {
+	size := n * elemSize
+	addr := t.allocate(size, AllocCalloc)
+	if place != nil {
+		place(addr)
+	}
+	t.zero(addr, size)
+	return addr
+}
+
+// Memset writes size bytes line by line at the current statement.
+func (t *Thread) Memset(addr mem.Addr, size uint64) { t.zero(addr, size) }
+
+func (t *Thread) allocate(size uint64, kind AllocKind) mem.Addr {
+	t.Work(allocatorCycles)
+	addr, err := t.Proc.Space.Malloc(size)
+	if err != nil {
+		panic(fmt.Sprintf("sim: rank %d: %v", t.Proc.Rank, err))
+	}
+	t.Proc.hooks.OnAlloc(t, addr, size, kind)
+	return addr
+}
+
+// zero writes the block line by line at the current statement.
+func (t *Thread) zero(addr mem.Addr, size uint64) {
+	for off := uint64(0); off < size; off += cache.LineSize {
+		n := uint64(cache.LineSize)
+		if size-off < n {
+			n = size - off
+		}
+		t.Store(addr+mem.Addr(off), n)
+	}
+}
+
+// Realloc resizes a block, copying the smaller of the two sizes through
+// normal loads and stores like the C library would.
+func (t *Thread) Realloc(addr mem.Addr, newSize uint64) mem.Addr {
+	oldSize, ok := t.Proc.Space.Heap.SizeOf(addr)
+	if !ok {
+		panic(fmt.Sprintf("sim: realloc of non-allocated address %#x", addr))
+	}
+	newAddr := t.allocate(newSize, AllocRealloc)
+	n := oldSize
+	if newSize < n {
+		n = newSize
+	}
+	for off := uint64(0); off < n; off += cache.LineSize {
+		sz := uint64(cache.LineSize)
+		if n-off < sz {
+			sz = n - off
+		}
+		t.Load(addr+mem.Addr(off), sz)
+		t.Store(newAddr+mem.Addr(off), sz)
+	}
+	t.free(addr)
+	return newAddr
+}
+
+// Free releases a heap block.
+func (t *Thread) Free(addr mem.Addr) {
+	t.Work(allocatorCycles)
+	t.free(addr)
+}
+
+func (t *Thread) free(addr mem.Addr) {
+	size, ok := t.Proc.Space.Heap.SizeOf(addr)
+	if !ok {
+		panic(fmt.Sprintf("sim: rank %d: free of non-allocated address %#x", t.Proc.Rank, addr))
+	}
+	t.Proc.hooks.OnFree(t, addr, size)
+	if _, err := t.Proc.Space.Free(addr); err != nil {
+		panic(fmt.Sprintf("sim: rank %d: %v", t.Proc.Rank, err))
+	}
+}
+
+// Sbrk allocates from the untracked brk region ("unknown data").
+func (t *Thread) Sbrk(size uint64) mem.Addr {
+	t.Work(allocatorCycles)
+	addr, err := t.Proc.Space.Sbrk(size)
+	if err != nil {
+		panic(fmt.Sprintf("sim: rank %d: %v", t.Proc.Rank, err))
+	}
+	return addr
+}
+
+// StackAddr returns an address within the thread's stack, offset bytes below
+// the stack base (for modelling stack-variable accesses).
+func (t *Thread) StackAddr(offset uint64) mem.Addr {
+	return mem.StackBase(t.ID) - mem.Addr(offset)
+}
+
+// resetFor prepares a pooled worker thread to join a parallel region: its
+// logical calling context becomes a copy of the master's, its clock jumps
+// to the region start (idle workers don't accumulate time), and any
+// trampoline marker is dropped.
+func (t *Thread) resetFor(stack []Frame, line int, ip uint64, clock uint64) {
+	t.stack = t.stack[:0]
+	t.stack = append(t.stack, stack...)
+	t.curLine = line
+	t.curIP = ip
+	t.trampDepth = 0
+	if t.clock < clock {
+		t.clock = clock
+	}
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"testing"
+
+	"dcprof/internal/mem"
+	"dcprof/internal/pmu"
+)
+
+// countingSampler tallies retirements offered to the PMU.
+type countingSampler struct {
+	work, memOps uint64
+}
+
+func (c *countingSampler) RetireWork(_ uint64, n uint64) { c.work += n }
+func (c *countingSampler) RetireMem(uint64, pmu.MemInfo) { c.memOps++ }
+func (c *countingSampler) Flush()                        {}
+
+func threadFixture(t *testing.T) (*Process, *Thread) {
+	t.Helper()
+	p := NewProcess(testNode(), 0, 0, 4, nil)
+	exe := p.LoadMap.Load("exe")
+	f := exe.AddFunc("main", "main.c", 1)
+	th := p.Start()
+	th.Call(f)
+	return p, th
+}
+
+func TestLoadSeqStoreSeq(t *testing.T) {
+	_, th := threadFixture(t)
+	buf := th.Malloc(4096)
+	m0 := th.MemOps()
+	th.LoadSeq(buf, 16, 8, 8) // 16 contiguous 8-byte loads
+	if th.MemOps()-m0 != 16 {
+		t.Errorf("LoadSeq issued %d ops", th.MemOps()-m0)
+	}
+	m1 := th.MemOps()
+	th.StoreSeq(buf, 8, 8, 64) // strided stores
+	if th.MemOps()-m1 != 8 {
+		t.Errorf("StoreSeq issued %d ops", th.MemOps()-m1)
+	}
+}
+
+func TestMemsetTouchesWholeBlock(t *testing.T) {
+	p, th := threadFixture(t)
+	buf := th.Malloc(4 * mem.PageSize)
+	th.Memset(buf, 4*mem.PageSize)
+	for i := 0; i < 4; i++ {
+		if _, ok := p.Space.PT.Home(buf + mem.Addr(i*mem.PageSize)); !ok {
+			t.Errorf("page %d untouched by Memset", i)
+		}
+	}
+}
+
+func TestCallocWithPlacesBeforeZeroing(t *testing.T) {
+	p, th := threadFixture(t)
+	var placedAt mem.Addr
+	buf := th.CallocWith(4*mem.PageSize, 1, func(a mem.Addr) {
+		placedAt = a
+		p.Space.BindRange(a, 4*mem.PageSize, 1)
+	})
+	if placedAt != buf {
+		t.Fatalf("place callback got %#x, block at %#x", placedAt, buf)
+	}
+	// Zeroing happened after the bind: pages homed in domain 1 even though
+	// the master runs in domain 0.
+	for i := 0; i < 4; i++ {
+		if d, ok := p.Space.PT.Home(buf + mem.Addr(i*mem.PageSize)); !ok || d != 1 {
+			t.Errorf("page %d homed in %d (ok=%v), want bound domain 1", i, d, ok)
+		}
+	}
+}
+
+func TestReallocCopiesAndFrees(t *testing.T) {
+	p, th := threadFixture(t)
+	a := th.Malloc(1024)
+	m0 := th.MemOps()
+	b := th.Realloc(a, 4096)
+	copyOps := th.MemOps() - m0
+	// Copy is min(old,new) = 1024 bytes = 16 lines, load+store each.
+	if copyOps != 32 {
+		t.Errorf("realloc issued %d mem ops, want 32", copyOps)
+	}
+	if _, ok := p.Space.Heap.SizeOf(a); ok && a != b {
+		t.Error("old block still live after realloc")
+	}
+	if s, ok := p.Space.Heap.SizeOf(b); !ok || s != 4096 {
+		t.Errorf("new block size = %d, ok=%v", s, ok)
+	}
+	// Shrinking realloc copies only the new size.
+	m1 := th.MemOps()
+	c := th.Realloc(b, 128)
+	if got := th.MemOps() - m1; got != 4 {
+		t.Errorf("shrink copy issued %d ops, want 4", got)
+	}
+	th.Free(c)
+}
+
+func TestSamplerSeesAllRetirements(t *testing.T) {
+	_, th := threadFixture(t)
+	cs := &countingSampler{}
+	th.SetSampler(cs)
+	th.Work(100)
+	buf := th.Malloc(4096) // allocatorCycles of Work + no mem ops
+	th.Load(buf, 8)
+	th.Store(buf, 8)
+	if cs.memOps != 2 {
+		t.Errorf("sampler saw %d mem ops, want 2", cs.memOps)
+	}
+	if cs.work < 100 {
+		t.Errorf("sampler saw %d work instructions, want >= 100", cs.work)
+	}
+	th.SetSampler(nil) // resets to Nop without panicking
+	th.Work(1)
+}
+
+func TestInstructionAccounting(t *testing.T) {
+	_, th := threadFixture(t)
+	i0 := th.Instructions()
+	th.Work(50)
+	buf := th.Malloc(4096) // + allocator work
+	th.Load(buf, 8)
+	if got := th.Instructions() - i0; got < 51 {
+		t.Errorf("instructions = %d, want >= 51", got)
+	}
+	if th.MemOps() == 0 {
+		t.Error("mem ops not counted")
+	}
+}
+
+func TestDomainOfThread(t *testing.T) {
+	p, th := threadFixture(t)
+	if th.Domain() != 0 {
+		t.Errorf("master domain = %d", th.Domain())
+	}
+	exe := p.LoadMap.Modules()[0]
+	fOL := exe.AddFunc("ol", "main.c", 9)
+	domains := make([]int, 4)
+	p.Parallel(th, fOL, 4, func(w *Thread, tid int) {
+		domains[tid] = w.Domain()
+	})
+	// Tiny topology: threads 0,1 in domain 0; threads 2,3 in domain 1.
+	if domains[1] != 0 || domains[2] != 1 || domains[3] != 1 {
+		t.Errorf("worker domains = %v", domains)
+	}
+}
+
+func TestZeroSizeAccessesIgnored(t *testing.T) {
+	_, th := threadFixture(t)
+	m0 := th.MemOps()
+	th.Load(mem.HeapBase, 0)
+	th.Store(mem.HeapBase, 0)
+	if th.MemOps() != m0 {
+		t.Error("zero-size access issued mem ops")
+	}
+}

@@ -1,0 +1,99 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+// adviceProfile builds a profile with three pathological variables: a
+// NUMA-remote heap array, a TLB-thrashing static, and a plain
+// latency-heavy heap array.
+func adviceProfile() *cct.Profile {
+	p := cct.NewProfile(0, 0, "IBS@64")
+	stmt := func(line int) cct.Frame {
+		return cct.Frame{Kind: cct.KindStmt, Module: "exe", Name: "k", File: "k.c", Line: line}
+	}
+	add := func(class cct.Class, prefix cct.Frame, samples, lat, rmem, lmem, tlb uint64) {
+		var v metric.Vector
+		v[metric.Samples] = samples
+		v[metric.Latency] = lat
+		v[metric.FromRMEM] = rmem
+		v[metric.FromLMEM] = lmem
+		v[metric.TLBMiss] = tlb
+		p.Trees[class].AddSample([]cct.Frame{prefix, stmt(10)}, &v)
+	}
+	heapMark := func(name string) cct.Frame { return cct.Frame{Kind: cct.KindHeapData, Name: name} }
+
+	// numa_victim: 90% of its memory samples are remote.
+	add(cct.ClassHeap, heapMark("numa_victim"), 100, 40_000, 90, 10, 5)
+	// strided: half its samples miss the TLB, few remote.
+	add(cct.ClassStatic, cct.Frame{Kind: cct.KindStaticVar, Module: "exe", Name: "strided"},
+		100, 30_000, 2, 60, 50)
+	// churner: high latency, no NUMA or TLB signature.
+	add(cct.ClassHeap, heapMark("churner"), 100, 20_000, 5, 80, 2)
+	// tiny: below the reporting threshold.
+	add(cct.ClassHeap, heapMark("tiny"), 5, 100, 1, 1, 0)
+	return p
+}
+
+func TestAdviseClassifiesPathologies(t *testing.T) {
+	advice := Advise(adviceProfile())
+	byName := map[string]Advice{}
+	for _, a := range advice {
+		byName[a.Variable] = a
+	}
+	if a, ok := byName["numa_victim"]; !ok || a.Pathology != PathologyNUMA {
+		t.Errorf("numa_victim = %+v, want NUMA pathology", a)
+	}
+	if a, ok := byName["strided"]; !ok || a.Pathology != PathologySpatial {
+		t.Errorf("strided = %+v, want spatial pathology", a)
+	}
+	if a, ok := byName["churner"]; !ok || a.Pathology != PathologyLatency {
+		t.Errorf("churner = %+v, want latency pathology", a)
+	}
+	if _, ok := byName["tiny"]; ok {
+		t.Error("tiny variable should be below the reporting threshold")
+	}
+	// Ordered by latency share.
+	if len(advice) >= 2 && advice[0].Variable != "numa_victim" {
+		t.Errorf("first advice = %s, want the biggest latency share", advice[0].Variable)
+	}
+}
+
+func TestAdviseSuggestionsMentionFixFamilies(t *testing.T) {
+	advice := Advise(adviceProfile())
+	for _, a := range advice {
+		switch a.Pathology {
+		case PathologyNUMA:
+			if !strings.Contains(a.Suggestion, "interleave") && !strings.Contains(a.Suggestion, "first touch") {
+				t.Errorf("NUMA suggestion %q lacks placement advice", a.Suggestion)
+			}
+		case PathologySpatial:
+			if !strings.Contains(a.Suggestion, "transpose") {
+				t.Errorf("spatial suggestion %q lacks transpose advice", a.Suggestion)
+			}
+		}
+	}
+}
+
+func TestRenderAdvice(t *testing.T) {
+	out := RenderAdvice(adviceProfile(), 10)
+	for _, want := range []string{"numa_victim", "NUMA placement", "strided", "spatial locality"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("advice output missing %q:\n%s", want, out)
+		}
+	}
+	empty := RenderAdvice(cct.NewProfile(0, 0, "x"), 5)
+	if !strings.Contains(empty, "no variable") {
+		t.Error("empty-profile advice not handled")
+	}
+}
+
+func TestPathologyStrings(t *testing.T) {
+	if PathologyNUMA.String() != "NUMA placement" || PathologyNone.String() != "none" {
+		t.Error("pathology names wrong")
+	}
+}

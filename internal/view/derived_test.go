@@ -1,0 +1,75 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+func derivedProfile(l1, l3, rmem, tlb, stores, latency uint64) *cct.Profile {
+	p := cct.NewProfile(0, 0, "IBS@64")
+	var v metric.Vector
+	v[metric.Samples] = l1 + l3 + rmem
+	v[metric.Latency] = latency
+	v[metric.FromL1] = l1
+	v[metric.FromL3] = l3
+	v[metric.FromRMEM] = rmem
+	v[metric.TLBMiss] = tlb
+	v[metric.Stores] = stores
+	p.Trees[cct.ClassHeap].AddSample([]cct.Frame{
+		{Kind: cct.KindHeapData, Name: "x"},
+		{Kind: cct.KindStmt, Module: "exe", Name: "k", File: "k.c", Line: 1},
+	}, &v)
+	return p
+}
+
+func TestDeriveMetrics(t *testing.T) {
+	p := derivedProfile(60, 20, 20, 10, 25, 50_000)
+	d := DeriveMetrics(p)
+	if d.MemSamples != 100 {
+		t.Fatalf("mem samples = %d", d.MemSamples)
+	}
+	if d.AvgLatency != 500 {
+		t.Errorf("avg latency = %v", d.AvgLatency)
+	}
+	if d.MemoryBound != 0.4 { // (20 L3 + 20 RMEM) / 100
+		t.Errorf("memory bound = %v", d.MemoryBound)
+	}
+	if d.RemoteRatio != 0.2 || d.TLBMissRatio != 0.1 || d.StoreRatio != 0.25 {
+		t.Errorf("ratios = %+v", d)
+	}
+	if !d.WorthDataCentricAnalysis() {
+		t.Error("memory-bound profile not flagged for analysis")
+	}
+}
+
+func TestDeriveMetricsCacheFriendly(t *testing.T) {
+	// Everything L1: not memory-bound.
+	p := derivedProfile(1000, 0, 0, 0, 0, 4000)
+	d := DeriveMetrics(p)
+	if d.WorthDataCentricAnalysis() {
+		t.Error("L1-resident profile flagged as memory-bound")
+	}
+}
+
+func TestDeriveMetricsEmpty(t *testing.T) {
+	d := DeriveMetrics(cct.NewProfile(0, 0, "x"))
+	if d.WorthDataCentricAnalysis() {
+		t.Error("empty profile flagged")
+	}
+	out := RenderDerived(cct.NewProfile(0, 0, "x"))
+	if !strings.Contains(out, "no memory samples") {
+		t.Errorf("empty render:\n%s", out)
+	}
+}
+
+func TestRenderDerived(t *testing.T) {
+	out := RenderDerived(derivedProfile(60, 20, 20, 10, 25, 50_000))
+	for _, want := range []string{"derived metrics", "avg access latency", "recommended"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

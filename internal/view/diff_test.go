@@ -1,0 +1,66 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+func diffFixture() (*cct.Profile, *cct.Profile) {
+	mk := func(shares map[string]uint64) *cct.Profile {
+		p := cct.NewProfile(0, 0, "e")
+		for name, rmem := range shares {
+			var v metric.Vector
+			v[metric.Samples] = rmem
+			v[metric.FromRMEM] = rmem
+			p.Trees[cct.ClassHeap].AddSample([]cct.Frame{
+				{Kind: cct.KindHeapData, Name: name},
+				{Kind: cct.KindStmt, Module: "exe", Name: "k", File: "k.c", Line: 9},
+			}, &v)
+		}
+		return p
+	}
+	before := mk(map[string]uint64{"block": 90, "weights": 10})
+	after := mk(map[string]uint64{"block": 5, "weights": 10, "newcomer": 5})
+	return before, after
+}
+
+func TestDiffVariables(t *testing.T) {
+	before, after := diffFixture()
+	deltas := DiffVariables(before, after, metric.FromRMEM)
+	byName := map[string]VarDelta{}
+	for _, d := range deltas {
+		byName[d.Variable] = d
+	}
+	blk := byName["block"]
+	if blk.BeforeShare < 0.89 || blk.BeforeShare > 0.91 {
+		t.Errorf("block before = %v", blk.BeforeShare)
+	}
+	if blk.AfterShare > 0.3 {
+		t.Errorf("block after = %v", blk.AfterShare)
+	}
+	if blk.DeltaShare() >= 0 {
+		t.Error("block should have improved")
+	}
+	// Largest |delta| first.
+	if deltas[0].Variable != "block" {
+		t.Errorf("first delta = %s", deltas[0].Variable)
+	}
+	nc := byName["newcomer"]
+	if nc.BeforeValue != 0 || nc.AfterValue != 5 {
+		t.Errorf("newcomer = %+v", nc)
+	}
+}
+
+func TestRenderDiff(t *testing.T) {
+	before, after := diffFixture()
+	out := RenderDiff(before, after, metric.FromRMEM, 10)
+	if !strings.Contains(out, "block") || !strings.Contains(out, "improved") {
+		t.Errorf("diff render:\n%s", out)
+	}
+	if !strings.Contains(out, "worsened") {
+		t.Errorf("weights' share grew; expected a worsened row:\n%s", out)
+	}
+}

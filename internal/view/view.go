@@ -1,0 +1,447 @@
+// Package view is the presentation layer — the text analogue of
+// HPCToolkit's GUI panes. It computes the same aggregations the paper's
+// figures show:
+//
+//   - storage-class shares (e.g. "94.9% of remote accesses are in heap
+//     data"),
+//   - ranked variables, each a static symbol or a heap allocation path,
+//     with its share of a chosen metric,
+//   - per-variable top access statements ("one access accounts for 19.3%"),
+//   - the top-down contextual tree, and
+//   - the bottom-up aggregation by allocation call site (Figure 5).
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+// ClassShares returns each storage class's share of the metric's total
+// across all classes.
+func ClassShares(p *cct.Profile, m metric.ID) [cct.NumClasses]float64 {
+	var shares [cct.NumClasses]float64
+	var totals [cct.NumClasses]uint64
+	var grand uint64
+	for c := range p.Trees {
+		totals[c] = p.Trees[c].Total()[m]
+		grand += totals[c]
+	}
+	if grand == 0 {
+		return shares
+	}
+	for c := range shares {
+		shares[c] = float64(totals[c]) / float64(grand)
+	}
+	return shares
+}
+
+// VarStat describes one variable's aggregate cost.
+type VarStat struct {
+	// Name is the display name: the allocation label, the static symbol, or
+	// a synthesized "site" name.
+	Name string
+	// Class is ClassHeap or ClassStatic.
+	Class cct.Class
+	// AllocSite locates the allocation statement ("func@file:line") for
+	// heap variables; empty for statics.
+	AllocSite string
+	// Value is the variable's inclusive metric value.
+	Value uint64
+	// Share is Value over the metric total across all storage classes.
+	Share float64
+	// Node is the variable's anchor node (the heap-data mark or the static
+	// dummy node).
+	Node *cct.Node
+}
+
+// RankVariables lists every variable (heap and static) sorted by descending
+// metric value. Shares are fractions of the profile-wide metric total.
+func RankVariables(p *cct.Profile, m metric.ID) []VarStat {
+	var grand uint64
+	for _, t := range p.Trees {
+		grand += t.Total()[m]
+	}
+	var out []VarStat
+
+	p.Trees[cct.ClassHeap].Walk(func(n *cct.Node, _ int) bool {
+		if n.Frame.Kind != cct.KindHeapData {
+			return true
+		}
+		inc := n.Inclusive()
+		st := VarStat{
+			Name:      n.Frame.Name,
+			Class:     cct.ClassHeap,
+			AllocSite: allocSiteOf(n),
+			Value:     inc[m],
+			Node:      n,
+		}
+		if st.Name == "" {
+			st.Name = st.AllocSite
+		}
+		out = append(out, st)
+		return false // don't descend into access paths
+	})
+	p.Trees[cct.ClassStatic].Walk(func(n *cct.Node, _ int) bool {
+		if n.Frame.Kind != cct.KindStaticVar {
+			return true
+		}
+		inc := n.Inclusive()
+		out = append(out, VarStat{
+			Name:  n.Frame.Name,
+			Class: cct.ClassStatic,
+			Value: inc[m],
+			Node:  n,
+		})
+		return false
+	})
+	// Registered stack variables (§7 extension) live in the unknown tree
+	// under their own dummy nodes.
+	p.Trees[cct.ClassUnknown].Walk(func(n *cct.Node, _ int) bool {
+		if n.Frame.Kind != cct.KindStackVar {
+			return true
+		}
+		inc := n.Inclusive()
+		out = append(out, VarStat{
+			Name:  n.Frame.Name,
+			Class: cct.ClassUnknown,
+			Value: inc[m],
+			Node:  n,
+		})
+		return false
+	})
+
+	if grand > 0 {
+		for i := range out {
+			out[i].Share = float64(out[i].Value) / float64(grand)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// allocSiteOf walks up from a heap-data mark to its allocation statement:
+// mark -> allocator call (calloc/malloc) -> allocation statement.
+func allocSiteOf(mark *cct.Node) string {
+	alloc := mark.Parent() // the calloc/malloc frame
+	if alloc == nil {
+		return "?"
+	}
+	stmt := alloc.Parent()
+	if stmt == nil || stmt.Frame.Kind != cct.KindStmt {
+		return alloc.Frame.Name
+	}
+	return fmt.Sprintf("%s@%s:%d (%s)", stmt.Frame.Name, stmt.Frame.File, stmt.Frame.Line, alloc.Frame.Name)
+}
+
+// AccessStat is one statement accessing a variable.
+type AccessStat struct {
+	// Func, File, Line locate the access.
+	Func, File string
+	Line       int
+	// Value is the statement's metric value for this variable.
+	Value uint64
+	// Share is Value over the profile-wide metric total (as the paper
+	// reports: "this access accounts for 19.3% of total remote accesses").
+	Share float64
+}
+
+// TopAccesses ranks the statements below a variable's anchor node. The
+// grand total used for shares is passed in (profile-wide metric total).
+func TopAccesses(anchor *cct.Node, m metric.ID, grand uint64) []AccessStat {
+	agg := map[cct.Frame]uint64{}
+	var walk func(n *cct.Node)
+	walk = func(n *cct.Node) {
+		if n.Frame.Kind == cct.KindStmt && n.Metrics[m] > 0 {
+			agg[n.Frame] += n.Metrics[m]
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	for _, c := range anchor.Children() {
+		walk(c)
+	}
+	out := make([]AccessStat, 0, len(agg))
+	for f, v := range agg {
+		s := AccessStat{Func: f.Name, File: f.File, Line: f.Line, Value: v}
+		if grand > 0 {
+			s.Share = float64(v) / float64(grand)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// MetricTotal returns the metric's total across all storage classes.
+func MetricTotal(p *cct.Profile, m metric.ID) uint64 {
+	var grand uint64
+	for _, t := range p.Trees {
+		grand += t.Total()[m]
+	}
+	return grand
+}
+
+// AllocSiteStat is the bottom-up view's unit: one allocation call site with
+// every cost of every variable allocated there, across all calling contexts
+// that reach it.
+type AllocSiteStat struct {
+	// Func, File, Line locate the allocation statement.
+	Func, File string
+	Line       int
+	// Allocator is the entry point used (malloc/calloc/realloc).
+	Allocator string
+	// Variables counts distinct variables (allocation paths) through this
+	// site.
+	Variables int
+	// Value and Share aggregate the metric over those variables.
+	Value uint64
+	Share float64
+}
+
+// BottomUp aggregates heap variables by their allocation statement,
+// regardless of the calling context above it — the paper's bottom-up view,
+// which exposes "the same malloc called from different contexts" as one row.
+func BottomUp(p *cct.Profile, m metric.ID) []AllocSiteStat {
+	grand := MetricTotal(p, m)
+	type key struct {
+		fn, file  string
+		line      int
+		allocator string
+	}
+	agg := map[key]*AllocSiteStat{}
+	p.Trees[cct.ClassHeap].Walk(func(n *cct.Node, _ int) bool {
+		if n.Frame.Kind != cct.KindHeapData {
+			return true
+		}
+		alloc := n.Parent()
+		stmt := alloc.Parent()
+		k := key{allocator: alloc.Frame.Name}
+		if stmt != nil && stmt.Frame.Kind == cct.KindStmt {
+			k.fn, k.file, k.line = stmt.Frame.Name, stmt.Frame.File, stmt.Frame.Line
+		}
+		st := agg[k]
+		if st == nil {
+			st = &AllocSiteStat{Func: k.fn, File: k.file, Line: k.line, Allocator: k.allocator}
+			agg[k] = st
+		}
+		st.Variables++
+		st.Value += n.Inclusive()[m]
+		return false
+	})
+	out := make([]AllocSiteStat, 0, len(agg))
+	for _, st := range agg {
+		if grand > 0 {
+			st.Share = float64(st.Value) / float64(grand)
+		}
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// CallerSiteStat is one row of the caller-level bottom-up view: a call site
+// that invokes an allocating wrapper (e.g. every `hypre_CAlloc(...)` call in
+// AMG2006), aggregated over all variables allocated through it.
+type CallerSiteStat struct {
+	// Caller is the function containing the call; Line is the call line.
+	Caller, File string
+	Line         int
+	// Wrapper is the allocating function that was called (e.g. hypre_CAlloc).
+	Wrapper string
+	// Variables counts distinct variables allocated through this site.
+	Variables int
+	// Value and Share aggregate the metric.
+	Value uint64
+	Share float64
+	// Names lists the labels of the variables (when labelled).
+	Names []string
+}
+
+// BottomUpCallers aggregates heap variables one level higher than BottomUp:
+// by the call site that invoked the allocating wrapper function — the
+// paper's Figure 5, where each row is a distinct `hypre_CAlloc` invocation.
+func BottomUpCallers(p *cct.Profile, m metric.ID) []CallerSiteStat {
+	grand := MetricTotal(p, m)
+	type key struct {
+		caller, file string
+		line         int
+		wrapper      string
+	}
+	agg := map[key]*CallerSiteStat{}
+	p.Trees[cct.ClassHeap].Walk(func(n *cct.Node, _ int) bool {
+		if n.Frame.Kind != cct.KindHeapData {
+			return true
+		}
+		alloc := n.Parent() // malloc/calloc frame
+		stmt := alloc.Parent()
+		var k key
+		if stmt != nil && stmt.Frame.Kind == cct.KindStmt {
+			k.wrapper = stmt.Frame.Name
+			if wrapCall := stmt.Parent(); wrapCall != nil && wrapCall.Frame.Kind == cct.KindCall {
+				k.line = wrapCall.Frame.Line
+				if callerFrame := wrapCall.Parent(); callerFrame != nil && callerFrame.Frame.Kind == cct.KindCall {
+					k.caller = callerFrame.Frame.Name
+					k.file = callerFrame.Frame.File
+				}
+			}
+		} else {
+			k.wrapper = alloc.Frame.Name
+		}
+		st := agg[k]
+		if st == nil {
+			st = &CallerSiteStat{Caller: k.caller, File: k.file, Line: k.line, Wrapper: k.wrapper}
+			agg[k] = st
+		}
+		st.Variables++
+		st.Value += n.Inclusive()[m]
+		if n.Frame.Name != "" {
+			st.Names = append(st.Names, n.Frame.Name)
+		}
+		return false
+	})
+	out := make([]CallerSiteStat, 0, len(agg))
+	for _, st := range agg {
+		if grand > 0 {
+			st.Share = float64(st.Value) / float64(grand)
+		}
+		sort.Strings(st.Names)
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		if out[i].Caller != out[j].Caller {
+			return out[i].Caller < out[j].Caller
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// Options controls text rendering.
+type Options struct {
+	// Metric selects the ranking metric.
+	Metric metric.ID
+	// MaxDepth prunes the top-down tree (0 = unlimited).
+	MaxDepth int
+	// MinShare hides nodes below this fraction of the total (e.g. 0.01).
+	MinShare float64
+	// MaxRows limits table-style sections (0 = unlimited).
+	MaxRows int
+}
+
+// RenderTopDown renders the classic top-down pane: storage-class roots with
+// their trees beneath, annotated with inclusive shares of Options.Metric.
+func RenderTopDown(p *cct.Profile, o Options) string {
+	grand := MetricTotal(p, o.Metric)
+	var b strings.Builder
+	fmt.Fprintf(&b, "top-down view — metric %s, total %d, event %s\n", o.Metric.Name(), grand, p.Event)
+	if grand == 0 {
+		b.WriteString("  (no samples)\n")
+		return b.String()
+	}
+	for c, tree := range p.Trees {
+		classTotal := tree.Total()[o.Metric]
+		if classTotal == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%6.1f%%  [%s]\n", pct(classTotal, grand), cct.Class(c))
+		renderNode(&b, tree.Root, 1, grand, o)
+	}
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *cct.Node, depth int, grand uint64, o Options) {
+	if o.MaxDepth > 0 && depth > o.MaxDepth {
+		return
+	}
+	for _, c := range n.Children() {
+		inc := c.Inclusive()[o.Metric]
+		if inc == 0 {
+			continue
+		}
+		share := float64(inc) / float64(grand)
+		if share < o.MinShare {
+			continue
+		}
+		fmt.Fprintf(b, "%6.1f%%  %s%s\n", 100*share, strings.Repeat("  ", depth), c.Frame)
+		renderNode(b, c, depth+1, grand, o)
+	}
+}
+
+// RenderVariables renders the ranked-variable table.
+func RenderVariables(p *cct.Profile, o Options) string {
+	vars := RankVariables(p, o.Metric)
+	var b strings.Builder
+	fmt.Fprintf(&b, "variables by %s (total %d)\n", o.Metric.Name(), MetricTotal(p, o.Metric))
+	rows := 0
+	for _, v := range vars {
+		if v.Value == 0 {
+			continue
+		}
+		if o.MaxRows > 0 && rows >= o.MaxRows {
+			break
+		}
+		loc := v.AllocSite
+		if v.Class == cct.ClassStatic {
+			loc = "static [" + v.Node.Frame.Module + "]"
+		}
+		fmt.Fprintf(&b, "%6.1f%%  %-24s %s\n", 100*v.Share, v.Name, loc)
+		rows++
+	}
+	return b.String()
+}
+
+// RenderBottomUp renders the allocation-call-site table.
+func RenderBottomUp(p *cct.Profile, o Options) string {
+	sites := BottomUp(p, o.Metric)
+	var b strings.Builder
+	fmt.Fprintf(&b, "bottom-up view — allocation sites by %s\n", o.Metric.Name())
+	rows := 0
+	for _, s := range sites {
+		if s.Value == 0 {
+			continue
+		}
+		if o.MaxRows > 0 && rows >= o.MaxRows {
+			break
+		}
+		fmt.Fprintf(&b, "%6.1f%%  %s@%s:%d (%s, %d variable(s))\n",
+			100*s.Share, s.Func, s.File, s.Line, s.Allocator, s.Variables)
+		rows++
+	}
+	return b.String()
+}
+
+func pct(v, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(v) / float64(total)
+}

@@ -1,0 +1,228 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+// buildProfile constructs a profile shaped like the paper's AMG figure:
+// two heap variables and one static variable with known remote-access
+// weights, so share computations can be checked exactly.
+func buildProfile() *cct.Profile {
+	p := cct.NewProfile(0, 0, "PM_MRK_DATA_FROM_RMEM@1000")
+
+	call := func(name string, line int) cct.Frame {
+		return cct.Frame{Kind: cct.KindCall, Module: "exe", Name: name, File: name + ".c", Line: line}
+	}
+	stmt := func(name string, line int) cct.Frame {
+		return cct.Frame{Kind: cct.KindStmt, Module: "exe", Name: name, File: name + ".c", Line: line}
+	}
+	vec := func(rmem uint64) *metric.Vector {
+		var v metric.Vector
+		v[metric.Samples] = rmem
+		v[metric.FromRMEM] = rmem
+		v[metric.Latency] = rmem * 300
+		return &v
+	}
+
+	// Heap variable "S_diag_j": allocated at hypre_CAlloc@hypre_CAlloc.c:175
+	// via calloc; two access statements with weights 60 and 10.
+	allocPath := []cct.Frame{
+		call("main", 0), call("hypre_CAlloc", 120), stmt("hypre_CAlloc", 175),
+		{Kind: cct.KindCall, Module: "libc", Name: "calloc", File: "stdlib.h"},
+		{Kind: cct.KindHeapData, Name: "S_diag_j"},
+	}
+	acc1 := append(append([]cct.Frame{}, allocPath...), call("main", 0), call("omp_fn.0", 300), stmt("omp_fn.0", 310))
+	acc2 := append(append([]cct.Frame{}, allocPath...), call("main", 0), call("omp_fn.1", 400), stmt("omp_fn.1", 410))
+	p.Trees[cct.ClassHeap].AddSample(acc1, vec(60))
+	p.Trees[cct.ClassHeap].AddSample(acc2, vec(10))
+
+	// Heap variable "A_offd": different allocation line in the same func.
+	alloc2 := []cct.Frame{
+		call("main", 0), call("hypre_CAlloc", 120), stmt("hypre_CAlloc", 180),
+		{Kind: cct.KindCall, Module: "libc", Name: "calloc", File: "stdlib.h"},
+		{Kind: cct.KindHeapData, Name: "A_offd"},
+	}
+	acc3 := append(append([]cct.Frame{}, alloc2...), call("main", 0), stmt("relax", 90))
+	p.Trees[cct.ClassHeap].AddSample(acc3, vec(20))
+
+	// Static variable "f_elem" with weight 10.
+	p.Trees[cct.ClassStatic].AddSample([]cct.Frame{
+		{Kind: cct.KindStaticVar, Module: "exe", Name: "f_elem"},
+		call("main", 0), stmt("kernel", 801),
+	}, vec(10))
+
+	return p
+}
+
+func TestClassShares(t *testing.T) {
+	p := buildProfile()
+	shares := ClassShares(p, metric.FromRMEM)
+	// Heap 90/100, static 10/100.
+	if got := shares[cct.ClassHeap]; got < 0.899 || got > 0.901 {
+		t.Errorf("heap share = %v, want 0.9", got)
+	}
+	if got := shares[cct.ClassStatic]; got < 0.099 || got > 0.101 {
+		t.Errorf("static share = %v, want 0.1", got)
+	}
+	if shares[cct.ClassUnknown] != 0 || shares[cct.ClassNonMem] != 0 {
+		t.Error("empty classes should have zero share")
+	}
+}
+
+func TestClassSharesEmptyProfile(t *testing.T) {
+	p := cct.NewProfile(0, 0, "x")
+	shares := ClassShares(p, metric.FromRMEM)
+	for _, s := range shares {
+		if s != 0 {
+			t.Error("empty profile should have zero shares")
+		}
+	}
+}
+
+func TestRankVariables(t *testing.T) {
+	p := buildProfile()
+	vars := RankVariables(p, metric.FromRMEM)
+	if len(vars) != 3 {
+		t.Fatalf("found %d variables, want 3", len(vars))
+	}
+	// Sorted: S_diag_j (70), A_offd (20), f_elem (10).
+	if vars[0].Name != "S_diag_j" || vars[0].Value != 70 {
+		t.Errorf("top variable = %s/%d", vars[0].Name, vars[0].Value)
+	}
+	if s := vars[0].Share; s < 0.699 || s > 0.701 {
+		t.Errorf("top share = %v, want 0.7", s)
+	}
+	if vars[1].Name != "A_offd" || vars[2].Name != "f_elem" {
+		t.Errorf("order: %s, %s", vars[1].Name, vars[2].Name)
+	}
+	if vars[2].Class != cct.ClassStatic {
+		t.Error("f_elem should be static")
+	}
+	if !strings.Contains(vars[0].AllocSite, "hypre_CAlloc") || !strings.Contains(vars[0].AllocSite, "175") {
+		t.Errorf("alloc site = %q", vars[0].AllocSite)
+	}
+}
+
+func TestTopAccesses(t *testing.T) {
+	p := buildProfile()
+	vars := RankVariables(p, metric.FromRMEM)
+	grand := MetricTotal(p, metric.FromRMEM)
+	if grand != 100 {
+		t.Fatalf("grand total = %d, want 100", grand)
+	}
+	accs := TopAccesses(vars[0].Node, metric.FromRMEM, grand)
+	if len(accs) != 2 {
+		t.Fatalf("accesses = %d, want 2", len(accs))
+	}
+	if accs[0].Value != 60 || accs[0].Line != 310 {
+		t.Errorf("top access = %d@%d", accs[0].Value, accs[0].Line)
+	}
+	if accs[0].Share < 0.599 || accs[0].Share > 0.601 {
+		t.Errorf("top access share = %v, want 0.6", accs[0].Share)
+	}
+	if accs[1].Value != 10 || accs[1].Line != 410 {
+		t.Errorf("second access = %d@%d", accs[1].Value, accs[1].Line)
+	}
+}
+
+func TestBottomUpAggregatesSites(t *testing.T) {
+	p := buildProfile()
+	sites := BottomUp(p, metric.FromRMEM)
+	if len(sites) != 2 {
+		t.Fatalf("sites = %d, want 2 (lines 175 and 180)", len(sites))
+	}
+	if sites[0].Line != 175 || sites[0].Value != 70 {
+		t.Errorf("top site = line %d value %d", sites[0].Line, sites[0].Value)
+	}
+	if sites[0].Allocator != "calloc" || sites[0].Variables != 1 {
+		t.Errorf("site meta = %s/%d", sites[0].Allocator, sites[0].Variables)
+	}
+	if sites[1].Line != 180 || sites[1].Value != 20 {
+		t.Errorf("second site = line %d value %d", sites[1].Line, sites[1].Value)
+	}
+}
+
+func TestBottomUpMergesSameSiteAcrossContexts(t *testing.T) {
+	// Two variables allocated at the SAME statement from different calling
+	// contexts must aggregate into one bottom-up row.
+	p := cct.NewProfile(0, 0, "e")
+	mk := func(ctx string, w uint64) {
+		var v metric.Vector
+		v[metric.FromRMEM] = w
+		path := []cct.Frame{
+			{Kind: cct.KindCall, Module: "exe", Name: ctx, File: ctx + ".c"},
+			{Kind: cct.KindCall, Module: "exe", Name: "alloc_helper", File: "h.c", Line: 9},
+			{Kind: cct.KindStmt, Module: "exe", Name: "alloc_helper", File: "h.c", Line: 12},
+			{Kind: cct.KindCall, Module: "libc", Name: "malloc", File: "stdlib.h"},
+			{Kind: cct.KindHeapData},
+			{Kind: cct.KindStmt, Module: "exe", Name: ctx, File: ctx + ".c", Line: 50},
+		}
+		p.Trees[cct.ClassHeap].AddSample(path, &v)
+	}
+	mk("phase1", 30)
+	mk("phase2", 20)
+	sites := BottomUp(p, metric.FromRMEM)
+	if len(sites) != 1 {
+		t.Fatalf("sites = %d, want 1", len(sites))
+	}
+	if sites[0].Value != 50 || sites[0].Variables != 2 {
+		t.Errorf("aggregated site = value %d, vars %d; want 50, 2", sites[0].Value, sites[0].Variables)
+	}
+}
+
+func TestRenderTopDown(t *testing.T) {
+	p := buildProfile()
+	out := RenderTopDown(p, Options{Metric: metric.FromRMEM})
+	for _, want := range []string{
+		"90.0%", "[heap data]", "10.0%", "[static data]",
+		"S_diag_j", "hypre_CAlloc", "calloc", "static f_elem",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top-down output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTopDownDepthAndShareFilters(t *testing.T) {
+	p := buildProfile()
+	full := RenderTopDown(p, Options{Metric: metric.FromRMEM})
+	shallow := RenderTopDown(p, Options{Metric: metric.FromRMEM, MaxDepth: 2})
+	if len(shallow) >= len(full) {
+		t.Error("MaxDepth did not prune")
+	}
+	filtered := RenderTopDown(p, Options{Metric: metric.FromRMEM, MinShare: 0.5})
+	if strings.Contains(filtered, "A_offd") {
+		t.Error("MinShare did not hide the 20% variable")
+	}
+	if !strings.Contains(filtered, "S_diag_j") {
+		t.Error("MinShare hid the 70% variable")
+	}
+}
+
+func TestRenderVariablesAndBottomUp(t *testing.T) {
+	p := buildProfile()
+	vo := RenderVariables(p, Options{Metric: metric.FromRMEM})
+	if !strings.Contains(vo, "S_diag_j") || !strings.Contains(vo, "70.0%") {
+		t.Errorf("variables render:\n%s", vo)
+	}
+	limited := RenderVariables(p, Options{Metric: metric.FromRMEM, MaxRows: 1})
+	if strings.Contains(limited, "A_offd") {
+		t.Error("MaxRows did not limit")
+	}
+	bo := RenderBottomUp(p, Options{Metric: metric.FromRMEM})
+	if !strings.Contains(bo, "hypre_CAlloc.c:175") {
+		t.Errorf("bottom-up render:\n%s", bo)
+	}
+}
+
+func TestRenderEmptyProfile(t *testing.T) {
+	p := cct.NewProfile(0, 0, "e")
+	out := RenderTopDown(p, Options{Metric: metric.FromRMEM})
+	if !strings.Contains(out, "no samples") {
+		t.Errorf("empty render:\n%s", out)
+	}
+}
