@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz-smoke bench-smoke
+
+# check is the full pre-merge gate: static checks, the whole test suite,
+# the race detector over the goroutine-heavy packages (the simulator's
+# thread fan-out and the analyzer's streaming merge pipeline), and a
+# one-iteration merge benchmark smoke to catch gross regressions.
+check: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim ./internal/analysis
+
+# Run the fuzz corpus seeds (no fuzzing engine) — fast regression pass.
+fuzz-smoke:
+	$(GO) test -run=FuzzReadProfile ./internal/profio
+
+bench-smoke:
+	$(GO) test -run='^$$' -bench=Merge -benchtime=1x ./internal/analysis .

@@ -141,6 +141,15 @@ func BenchmarkScalingMergeCoalescing(b *testing.B) {
 	if len(t.Rows) < 2 {
 		b.Fatal("scaling rows missing")
 	}
+	// Report the streaming pipeline's peak decoded-profile residency at the
+	// largest thread count (the "k/n" cell in the last column).
+	last := t.Rows[len(t.Rows)-1]
+	cell := last[len(last)-1]
+	if i := strings.IndexByte(cell, '/'); i > 0 {
+		if v, err := strconv.ParseFloat(cell[:i], 64); err == nil {
+			b.ReportMetric(v, "peak-resident-profiles")
+		}
+	}
 }
 
 func BenchmarkTraceVsProfileSpace(b *testing.B) {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"dcprof/internal/experiments"
@@ -19,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run (default: all)")
+		exp   = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
 		quick = flag.Bool("quick", false, "use unit-test-sized configurations")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 	)
@@ -39,20 +40,28 @@ func main() {
 
 	todo := experiments.All()
 	if *exp != "" {
-		e, ok := experiments.ByID(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "dcbench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(1)
+		todo = nil
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dcbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			todo = append(todo, e)
 		}
-		todo = []experiments.Experiment{e}
 	}
 
 	ctx := experiments.NewContext()
+	total := time.Now()
 	for _, e := range todo {
 		start := time.Now()
 		table := e.Run(ctx, scale)
 		fmt.Println(table.Render())
 		fmt.Printf("paper reference: %s   [%s scale, %.1fs]\n\n",
 			e.Paper, scale, time.Since(start).Seconds())
+	}
+	if len(todo) > 1 {
+		fmt.Printf("%d experiments in %.1fs\n", len(todo), time.Since(total).Seconds())
 	}
 }

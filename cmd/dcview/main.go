@@ -31,13 +31,20 @@ func main() {
 		min     = flag.Float64("min", 0.005, "hide nodes below this share")
 		diffDir = flag.String("diff", "", "second measurement directory to compare against (before -> after)")
 		asJSON  = flag.Bool("json", false, "dump the merged database as JSON and exit")
+		workers = flag.Int("workers", 0, "streaming ingest/merge workers (0 = GOMAXPROCS)")
+		stats   = flag.Bool("stats", false, "print streaming merge pipeline statistics")
 	)
 	flag.Parse()
 
-	db, err := analysis.LoadDir(*dir, 0)
+	db, st, err := analysis.LoadDirStreaming(*dir, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcview:", err)
 		os.Exit(1)
+	}
+	if *stats {
+		fmt.Printf("merge stats: %d profiles, %.2f MB read, %d -> %d nodes (%.1fx coalescing), decode %s, merge %s, %d workers, peak residency %d profiles\n",
+			st.Inputs, float64(st.BytesRead)/1e6, st.InputNodes, st.MergedNodes,
+			st.CoalescingFactor(), st.DecodeWall, st.MergeWall, st.Workers, st.MaxResident)
 	}
 	if *asJSON {
 		if err := analysis.WriteJSON(os.Stdout, db); err != nil {
@@ -54,7 +61,7 @@ func main() {
 	opts := view.Options{Metric: m, MaxRows: *rows, MaxDepth: *depth, MinShare: *min}
 
 	if *diffDir != "" {
-		after, err := analysis.LoadDir(*diffDir, 0)
+		after, err := analysis.LoadDir(*diffDir, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcview:", err)
 			os.Exit(1)

@@ -140,13 +140,30 @@ type Profile = cct.Profile
 // Database is the merged analysis result.
 type Database = analysis.Database
 
-// Merge reduces per-thread profiles with the parallel reduction tree
-// (workers <= 0 uses GOMAXPROCS).
+// MergeStats reports streaming merge pipeline observability (bytes read,
+// node counts, per-stage wall times, peak decoded-profile residency).
+type MergeStats = analysis.MergeStats
+
+// Merge reduces per-thread profiles with the streaming channel-fed
+// reduction (workers <= 0 uses GOMAXPROCS). The inputs are consumed; use
+// MergePreserving to merge the same profiles more than once.
 func Merge(profiles []*Profile, workers int) *Database { return analysis.Merge(profiles, workers) }
+
+// MergePreserving is Merge without input consumption.
+func MergePreserving(profiles []*Profile, workers int) *Database {
+	return analysis.MergePreserving(profiles, workers)
+}
 
 // LoadMeasurements reads and merges a measurement directory.
 func LoadMeasurements(dir string, workers int) (*Database, error) {
 	return analysis.LoadDir(dir, workers)
+}
+
+// LoadMeasurementsStreaming reads and merges a measurement directory
+// through the bounded-residency streaming pipeline, returning its
+// statistics alongside the database.
+func LoadMeasurementsStreaming(dir string, workers int) (*Database, MergeStats, error) {
+	return analysis.LoadDirStreaming(dir, workers)
 }
 
 // WriteMeasurements writes one profile file per thread into dir, returning

@@ -3,19 +3,16 @@
 // threads and MPI processes — into one compact database for presentation.
 //
 // Merging is structural CCT merge (heap variables coalesce by allocation
-// call path, statics by symbol), executed over a parallel reduction tree:
-// profiles are paired and merged round by round, the Go analogue of the
-// paper's MPI-based reduction-tree merge, with wall-clock logarithmic in
-// the number of profiles for a fixed worker count.
+// call path, statics by symbol), executed as a streaming channel-fed
+// reduction — the Go analogue of the paper's MPI-based reduction-tree
+// merge. Profiles are decoded, split by storage class, and folded into
+// bounded per-class accumulators as they arrive (see stream.go), so
+// neither wall-clock nor memory grows with the number of profiles held
+// resident at once.
 package analysis
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
 	"dcprof/internal/cct"
-	"dcprof/internal/profio"
 )
 
 // Database is the merged analysis result.
@@ -32,72 +29,30 @@ type Database struct {
 }
 
 // Merge reduces the profiles into a database using up to `workers`
-// concurrent merges per round (workers <= 0 uses GOMAXPROCS). The input
-// profiles are consumed: the first profile of each merged pair accumulates
-// the second.
+// concurrent folders (workers <= 0 uses GOMAXPROCS); it is a thin wrapper
+// over the streaming engine in stream.go.
+//
+// The input profiles are CONSUMED: each folder adopts the first tree it
+// receives as its accumulator and mutates it in place, so after Merge
+// returns some inputs carry other inputs' metrics. Callers that need to
+// merge the same profiles again (experiment drivers rerunning an analysis
+// without re-decoding) must use MergePreserving instead.
 func Merge(profiles []*cct.Profile, workers int) *Database {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	db := &Database{}
-	if len(profiles) == 0 {
-		db.Merged = cct.NewProfile(0, 0, "")
-		return db
-	}
-	ranks := map[int]bool{}
-	for _, p := range profiles {
-		ranks[p.Rank] = true
-	}
-	db.Ranks = len(ranks)
-	db.Threads = len(profiles)
-	db.Event = profiles[0].Event
+	db, _ := mergeSlice(profiles, workers, false)
+	return db
+}
 
-	cur := make([]*cct.Profile, len(profiles))
-	copy(cur, profiles)
-	sem := make(chan struct{}, workers)
-	for len(cur) > 1 {
-		next := make([]*cct.Profile, 0, (len(cur)+1)/2)
-		var wg sync.WaitGroup
-		for i := 0; i+1 < len(cur); i += 2 {
-			dst, src := cur[i], cur[i+1]
-			next = append(next, dst)
-			wg.Add(1)
-			sem <- struct{}{}
-			go func() {
-				defer wg.Done()
-				dst.Merge(src)
-				<-sem
-			}()
-		}
-		if len(cur)%2 == 1 {
-			next = append(next, cur[len(cur)-1])
-		}
-		wg.Wait()
-		cur = next
-	}
-	db.Merged = cur[0]
+// MergePreserving is Merge without input consumption: accumulators start
+// from fresh empty trees (copy-on-first-merge), so the input profiles are
+// left untouched and can be merged again.
+func MergePreserving(profiles []*cct.Profile, workers int) *Database {
+	db, _ := mergeSlice(profiles, workers, true)
 	return db
 }
 
 // LoadDir reads a measurement directory written by profio.WriteDir and
-// merges it.
+// merges it through the streaming pipeline, discarding the statistics.
 func LoadDir(dir string, workers int) (*Database, error) {
-	profiles, err := profio.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("analysis: %w", err)
-	}
-	if len(profiles) == 0 {
-		return nil, fmt.Errorf("analysis: no profiles in %s", dir)
-	}
-	var bytes int64
-	for _, p := range profiles {
-		n, err := profio.EncodedSize(p)
-		if err != nil {
-			return nil, err
-		}
-		bytes += n
-	}
-	db := Merge(profiles, workers)
-	db.MeasurementBytes = bytes
-	return db, nil
+	db, _, err := LoadDirStreaming(dir, workers)
+	return db, err
 }

@@ -23,6 +23,23 @@ type MergeStats struct {
 	// SequentialMerge and ParallelMerge are wall times for a 1-worker and
 	// a GOMAXPROCS-worker reduction over (copies of) the same inputs.
 	SequentialMerge, ParallelMerge time.Duration
+
+	// Workers is the concurrency the streaming pipeline ran with.
+	Workers int
+	// BytesRead is the total on-disk measurement size ingested (0 for
+	// in-memory merges).
+	BytesRead int64
+	// DecodeWall and MergeWall are per-stage wall times of the streaming
+	// pipeline, both measured from pipeline start: DecodeWall ends when
+	// the last profile finished decoding, MergeWall when the merged
+	// database was assembled. The stages overlap — that they nearly
+	// coincide is the pipelining win.
+	DecodeWall, MergeWall time.Duration
+	// MaxResident is the peak number of decoded profiles simultaneously
+	// alive in the pipeline — bounded by ~2×Workers regardless of how
+	// many files the measurement holds (0 for in-memory merges, where
+	// the caller already owns every profile).
+	MaxResident int
 }
 
 // CoalescingFactor returns InputNodes / MergedNodes (1.0 = no sharing).

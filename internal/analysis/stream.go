@@ -1,0 +1,285 @@
+// Streaming ingestion and merge: the pipelined analogue of the paper's
+// MPI reduction tree. Profiles are decoded by a bounded worker pool,
+// split into their storage-class trees, and folded into per-class
+// accumulators as they arrive — there is no barrier between decoding and
+// merging, and at no point are more than ~2×workers decoded profiles
+// resident, which is what lets the analyzer ingest thousand-thread
+// measurements without holding the whole measurement in memory first.
+
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/profio"
+)
+
+// streamItem is one decoded profile entering the merge pipeline.
+type streamItem struct {
+	p     *cct.Profile
+	bytes int64 // on-disk size (0 when merged from memory)
+	nodes int   // CCT nodes decoded (0 when unknown)
+}
+
+// residency tracks how many decoded profiles are simultaneously alive in
+// the pipeline — the bounded-memory guarantee the streaming path exists
+// to provide.
+type residency struct {
+	mu       sync.Mutex
+	cur, max int
+}
+
+func (r *residency) inc() {
+	r.mu.Lock()
+	r.cur++
+	if r.cur > r.max {
+		r.max = r.cur
+	}
+	r.mu.Unlock()
+}
+
+func (r *residency) dec() {
+	r.mu.Lock()
+	r.cur--
+	r.mu.Unlock()
+}
+
+// mergeItems is the channel-fed reduction engine behind Merge,
+// MergePreserving, MergeStream, and LoadDirStreaming.
+//
+// Each arriving profile is split into its storage-class trees, which are
+// fanned out to per-class folder goroutines; every folder owns one
+// accumulator tree and folds incoming trees into it immediately. When the
+// input drains, the few per-class accumulators are reduced pairwise — the
+// only step with a barrier, over O(workers) trees instead of O(inputs).
+//
+// With preserve=false the first tree a folder receives becomes its
+// accumulator (the input profile is consumed); with preserve=true folders
+// start from fresh empty trees and the inputs are never mutated.
+func mergeItems(items <-chan streamItem, workers int, preserve bool, res *residency) (*Database, MergeStats) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	st := MergeStats{Workers: workers}
+
+	type classItem struct {
+		tree *cct.Tree
+		rem  *int32 // trees of the owning profile not yet folded
+	}
+	var chans [cct.NumClasses]chan classItem
+	for c := range chans {
+		chans[c] = make(chan classItem, 1)
+	}
+
+	perClass := (workers + cct.NumClasses - 1) / cct.NumClasses
+	accs := make([][]*cct.Tree, cct.NumClasses)
+	var fwg sync.WaitGroup
+	for c := 0; c < cct.NumClasses; c++ {
+		accs[c] = make([]*cct.Tree, perClass)
+		for k := 0; k < perClass; k++ {
+			fwg.Add(1)
+			go func(c, k int) {
+				defer fwg.Done()
+				var acc *cct.Tree
+				if preserve {
+					acc = cct.New()
+				}
+				for it := range chans[c] {
+					if acc == nil {
+						acc = it.tree
+					} else {
+						acc.Root.MergeFrom(it.tree.Root)
+					}
+					if atomic.AddInt32(it.rem, -1) == 0 && res != nil {
+						res.dec()
+					}
+				}
+				if acc == nil {
+					acc = cct.New()
+				}
+				accs[c][k] = acc
+			}(c, k)
+		}
+	}
+
+	// Split stage: runs inline, recording identity while fanning trees out.
+	var (
+		ranks        = map[int]bool{}
+		n            int
+		bestRank     int
+		bestThread   int
+		bestEvent    string
+		have         bool
+		lastItemSeen time.Time
+	)
+	for it := range items {
+		n++
+		st.InputNodes += it.nodes
+		st.BytesRead += it.bytes
+		ranks[it.p.Rank] = true
+		if !have || it.p.Rank < bestRank || (it.p.Rank == bestRank && it.p.Thread < bestThread) {
+			bestRank, bestThread, bestEvent = it.p.Rank, it.p.Thread, it.p.Event
+			have = true
+		}
+		rem := int32(cct.NumClasses)
+		for c, tr := range it.p.Trees {
+			chans[c] <- classItem{tr, &rem}
+		}
+		lastItemSeen = time.Now()
+	}
+	if have {
+		st.DecodeWall = lastItemSeen.Sub(start)
+	}
+	for c := range chans {
+		close(chans[c])
+	}
+	fwg.Wait()
+
+	merged := cct.NewProfile(bestRank, bestThread, bestEvent)
+	for c := 0; c < cct.NumClasses; c++ {
+		acc := accs[c][0]
+		for k := 1; k < perClass; k++ {
+			acc.Merge(accs[c][k])
+		}
+		merged.Trees[c] = acc
+	}
+	st.MergeWall = time.Since(start)
+	st.Inputs = n
+	st.MergedNodes = merged.NumNodes()
+	return &Database{Merged: merged, Ranks: len(ranks), Threads: n, Event: bestEvent}, st
+}
+
+// mergeSlice feeds an in-memory profile slice through the engine.
+func mergeSlice(profiles []*cct.Profile, workers int, preserve bool) (*Database, MergeStats) {
+	items := make(chan streamItem, 1)
+	go func() {
+		for _, p := range profiles {
+			items <- streamItem{p: p}
+		}
+		close(items)
+	}()
+	return mergeItems(items, workers, preserve, nil)
+}
+
+// MergeStream merges profiles as they arrive on ch, with the same bounded
+// fan-out as Merge. Like Merge it consumes its inputs: some arriving
+// profiles are adopted as accumulators and mutated.
+func MergeStream(ch <-chan *cct.Profile, workers int) (*Database, MergeStats) {
+	items := make(chan streamItem, 1)
+	go func() {
+		for p := range ch {
+			items <- streamItem{p: p, nodes: p.NumNodes()}
+		}
+		close(items)
+	}()
+	return mergeItems(items, workers, false, nil)
+}
+
+// LoadDirStreaming reads a measurement directory written by profio.WriteDir
+// through the streaming pipeline: `workers` decoders read files
+// incrementally (sharing one string-interning cache) and feed the merge
+// stage as each profile completes. At most about 2×workers decoded
+// profiles are ever resident — MergeStats.MaxResident records the observed
+// peak — so directory size does not bound memory.
+func LoadDirStreaming(dir string, workers int) (*Database, MergeStats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	files, err := profio.Files(dir)
+	if err != nil {
+		return nil, MergeStats{}, fmt.Errorf("analysis: %w", err)
+	}
+	if len(files) == 0 {
+		return nil, MergeStats{}, fmt.Errorf("analysis: no profiles in %s", dir)
+	}
+
+	var (
+		res    = &residency{}
+		intern = profio.NewIntern()
+		items  = make(chan streamItem)
+		paths  = make(chan string)
+		errMu  sync.Mutex
+		first  error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return first != nil
+	}
+
+	var dwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		dwg.Add(1)
+		go func() {
+			defer dwg.Done()
+			for path := range paths {
+				if failed() {
+					continue
+				}
+				p, size, nodes, err := decodeFile(path, intern)
+				if err != nil {
+					fail(fmt.Errorf("analysis: %s: %w", filepath.Base(path), err))
+					continue
+				}
+				res.inc()
+				items <- streamItem{p: p, bytes: size, nodes: nodes}
+			}
+		}()
+	}
+	go func() {
+		for _, f := range files {
+			paths <- f
+		}
+		close(paths)
+	}()
+	go func() {
+		dwg.Wait()
+		close(items)
+	}()
+
+	db, st := mergeItems(items, workers, false, res)
+	if failed() {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return nil, st, first
+	}
+	st.MaxResident = res.max
+	db.MeasurementBytes = st.BytesRead
+	return db, st, nil
+}
+
+func decodeFile(path string, in *profio.Intern) (*cct.Profile, int64, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	d, err := profio.NewReaderInterned(f, in)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	p, err := d.ReadRest()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return p, fi.Size(), d.NodesRead(), nil
+}

@@ -43,9 +43,12 @@ func (r *Result) Phase(name string) uint64 {
 	return 0
 }
 
-// Merged runs the post-mortem analyzer over the run's profiles.
+// Merged runs the post-mortem analyzer over the run's profiles. It merges
+// preservingly: Results are memoized and shared across experiments (fig4
+// and fig5 both analyze the same AMG run), so the profiles must survive
+// being merged more than once without double-counting.
 func (r *Result) Merged(workers int) *analysis.Database {
-	return analysis.Merge(r.Profiles, workers)
+	return analysis.MergePreserving(r.Profiles, workers)
 }
 
 // MeasurementBytes returns the encoded size of all profiles — the space

@@ -43,3 +43,28 @@ func TestMergedAndBytes(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+// Results are memoized and shared across experiments, so merging the same
+// Result twice (as fig4 and fig5 do with one AMG run) must not
+// double-count metrics — the bug the consuming analysis.Merge would cause
+// here if Merged did not merge preservingly.
+func TestMergedTwiceNoDoubleCount(t *testing.T) {
+	p1 := cct.NewProfile(0, 0, "e")
+	p2 := cct.NewProfile(0, 1, "e")
+	var v metric.Vector
+	v[metric.Samples] = 3
+	path := []cct.Frame{{Kind: cct.KindCall, Module: "m", Name: "f", File: "f.c"}}
+	p1.Trees[cct.ClassHeap].AddSample(path, &v)
+	p2.Trees[cct.ClassHeap].AddSample(path, &v)
+
+	r := &Result{App: "x", Variant: "o", Profiles: []*cct.Profile{p1, p2}}
+	for round := 1; round <= 3; round++ {
+		db := r.Merged(0)
+		if got := db.Merged.Total()[metric.Samples]; got != 6 {
+			t.Fatalf("merge round %d: samples = %d, want 6 (inputs were consumed)", round, got)
+		}
+	}
+	if p1.Total()[metric.Samples] != 3 || p2.Total()[metric.Samples] != 3 {
+		t.Error("Merged mutated the Result's profiles")
+	}
+}

@@ -221,6 +221,14 @@ func mergeNode(dst, src *Node) {
 	}
 }
 
+// MergeFrom adds src's subtree (structure and metrics) into n, the
+// incremental analogue of Tree.Merge: a streaming analyzer can graft
+// partially-built subtrees into an accumulator as they are decoded. src is
+// left untouched.
+func (n *Node) MergeFrom(src *Node) {
+	mergeNode(n, src)
+}
+
 // Clone returns a deep copy of the tree.
 func (t *Tree) Clone() *Tree {
 	c := New()
@@ -330,6 +338,13 @@ func (p *Profile) Merge(o *Profile) {
 	for i := range p.Trees {
 		p.Trees[i].Merge(o.Trees[i])
 	}
+}
+
+// MergeClass folds a single storage-class tree into p — the unit of work of
+// the streaming analyzer, which receives class trees individually as
+// profiles are decoded. t is left untouched.
+func (p *Profile) MergeClass(c Class, t *Tree) {
+	p.Trees[c].Merge(t)
 }
 
 // Total sums metrics across all storage classes.

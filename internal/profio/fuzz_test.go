@@ -1,0 +1,51 @@
+package profio
+
+import (
+	"bytes"
+	"testing"
+
+	"dcprof/internal/cct"
+)
+
+// FuzzReadProfile requires the reader to reject arbitrary, truncated, and
+// corrupted inputs with an error — never a panic, hang, or absurd
+// allocation. The seed corpus covers the corruption classes we know about:
+// truncation at interesting boundaries, out-of-range string-table indices,
+// and cyclic/forward parent indices. Run `go test -fuzz=FuzzReadProfile
+// ./internal/profio` to search beyond the corpus.
+func FuzzReadProfile(f *testing.F) {
+	var full bytes.Buffer
+	if err := WriteProfile(&full, sampleProfile(3, 17)); err != nil {
+		f.Fatal(err)
+	}
+	var empty bytes.Buffer
+	if err := WriteProfile(&empty, cct.NewProfile(0, 0, "IBS@4096")); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(full.Bytes())
+	f.Add(empty.Bytes())
+	f.Add(full.Bytes()[:7])               // truncated inside the header
+	f.Add(full.Bytes()[:full.Len()/2])    // truncated mid-tree
+	f.Add(full.Bytes()[:full.Len()-1])    // truncated by one byte
+	f.Add([]byte{})                       // empty input
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}) // bad magic
+	f.Add(imageWithBadStringIndex())
+	f.Add(imageWithCyclicParent())
+	f.Add(imageWithForwardParent())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadProfile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accidentally parseable inputs must yield structurally valid,
+		// re-encodable profiles.
+		_ = p.NumNodes()
+		_ = p.Total()
+		var out bytes.Buffer
+		if err := WriteProfile(&out, p); err != nil {
+			t.Fatalf("decoded profile failed to re-encode: %v", err)
+		}
+	})
+}

@@ -15,10 +15,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"dcprof/internal/cct"
-	"dcprof/internal/metric"
 )
 
 // Magic identifies profile files ("DCPF" = data-centric profile).
@@ -120,172 +118,6 @@ func writeTree(w *bufio.Writer, t *cct.Tree, strs *stringTable) error {
 	return err
 }
 
-// ReadProfile decodes one thread profile.
-func ReadProfile(r io.Reader) (*cct.Profile, error) {
-	br := bufio.NewReader(r)
-	if m, err := readU32(br); err != nil || m != Magic {
-		if err != nil {
-			return nil, fmt.Errorf("profio: reading magic: %w", err)
-		}
-		return nil, fmt.Errorf("profio: bad magic %#x", m)
-	}
-	if v, err := readU32(br); err != nil || v != Version {
-		if err != nil {
-			return nil, fmt.Errorf("profio: reading version: %w", err)
-		}
-		return nil, fmt.Errorf("profio: unsupported version %d", v)
-	}
-	rank, err := readUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	thread, err := readUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-
-	nStrs, err := readUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	if nStrs > 1<<24 {
-		return nil, fmt.Errorf("profio: unreasonable string table size %d", nStrs)
-	}
-	strs := make([]string, nStrs)
-	for i := range strs {
-		n, err := readUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		if n > 1<<16 {
-			return nil, fmt.Errorf("profio: unreasonable string length %d", n)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, err
-		}
-		strs[i] = string(buf)
-	}
-	str := func(i uint64) (string, error) {
-		if i >= uint64(len(strs)) {
-			return "", fmt.Errorf("profio: string index %d out of range", i)
-		}
-		return strs[i], nil
-	}
-
-	eventIdx, err := readUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	event, err := str(eventIdx)
-	if err != nil {
-		return nil, err
-	}
-
-	p := cct.NewProfile(int(rank), int(thread), event)
-	for c := 0; c < cct.NumClasses; c++ {
-		if err := readTree(br, p.Trees[c], str); err != nil {
-			return nil, fmt.Errorf("profio: tree %d: %w", c, err)
-		}
-	}
-	return p, nil
-}
-
-func readTree(br *bufio.Reader, t *cct.Tree, str func(uint64) (string, error)) error {
-	count, err := readUvarint(br)
-	if err != nil {
-		return err
-	}
-	if count == 0 {
-		return fmt.Errorf("empty node array (even the root must be present)")
-	}
-	if count > 1<<28 {
-		return fmt.Errorf("unreasonable node count %d", count)
-	}
-	nodes := make([]*cct.Node, count)
-	for i := uint64(0); i < count; i++ {
-		parent, err := readU32(br)
-		if err != nil {
-			return err
-		}
-		kind, err := br.ReadByte()
-		if err != nil {
-			return err
-		}
-		modI, err := readUvarint(br)
-		if err != nil {
-			return err
-		}
-		nameI, err := readUvarint(br)
-		if err != nil {
-			return err
-		}
-		fileI, err := readUvarint(br)
-		if err != nil {
-			return err
-		}
-		line, err := readUvarint(br)
-		if err != nil {
-			return err
-		}
-		mod, err := str(modI)
-		if err != nil {
-			return err
-		}
-		name, err := str(nameI)
-		if err != nil {
-			return err
-		}
-		file, err := str(fileI)
-		if err != nil {
-			return err
-		}
-		frame := cct.Frame{
-			Kind:   cct.Kind(kind),
-			Module: mod,
-			Name:   name,
-			File:   file,
-			Line:   int(int64(line)),
-		}
-
-		var node *cct.Node
-		switch {
-		case parent == noParent:
-			if i != 0 {
-				return fmt.Errorf("non-first node %d has no parent", i)
-			}
-			node = t.Root
-		case uint64(parent) >= i:
-			return fmt.Errorf("node %d references later/self parent %d", i, parent)
-		default:
-			node = nodes[parent].Child(frame)
-		}
-
-		nz, err := br.ReadByte()
-		if err != nil {
-			return err
-		}
-		for k := 0; k < int(nz); k++ {
-			id, err := br.ReadByte()
-			if err != nil {
-				return err
-			}
-			if int(id) >= int(metric.NumMetrics) {
-				return fmt.Errorf("metric id %d out of range", id)
-			}
-			v, err := readUvarint(br)
-			if err != nil {
-				return err
-			}
-			var vec metric.Vector
-			vec[id] = v
-			node.Metrics.Add(&vec)
-		}
-		nodes[i] = node
-	}
-	return nil
-}
-
 // EncodedSize returns the number of bytes WriteProfile would produce.
 func EncodedSize(p *cct.Profile) (int64, error) {
 	var cw countWriter
@@ -336,37 +168,6 @@ func WriteDir(dir string, profiles []*cct.Profile) (int64, error) {
 	return total, nil
 }
 
-// ReadDir loads every profile file in dir, sorted by (rank, thread).
-func ReadDir(dir string) ([]*cct.Profile, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var out []*cct.Profile
-	for _, e := range entries {
-		if e.IsDir() || filepath.Ext(e.Name()) != ".dcprof" {
-			continue
-		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
-		if err != nil {
-			return nil, err
-		}
-		p, err := ReadProfile(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", e.Name(), err)
-		}
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Rank != out[j].Rank {
-			return out[i].Rank < out[j].Rank
-		}
-		return out[i].Thread < out[j].Thread
-	})
-	return out, nil
-}
-
 // stringTable interns strings for writing.
 type stringTable struct {
 	idx  map[string]int
@@ -393,20 +194,8 @@ func writeU32(w *bufio.Writer, v uint32) {
 	w.Write(buf[:])
 }
 
-func readU32(r *bufio.Reader) (uint32, error) {
-	var buf [4]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, err
-	}
-	return binary.LittleEndian.Uint32(buf[:]), nil
-}
-
 func writeUvarint(w *bufio.Writer, v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
 	w.Write(buf[:n])
-}
-
-func readUvarint(r *bufio.Reader) (uint64, error) {
-	return binary.ReadUvarint(r)
 }

@@ -1,0 +1,356 @@
+package profio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+// Intern is a concurrency-safe string cache shared across Readers. Thread
+// profiles of one execution repeat the same module/function/file names in
+// every file; interning makes all decoded profiles share one backing copy
+// per distinct string instead of len(files) copies, which is what keeps a
+// many-thousand-file ingest within memory budget.
+type Intern struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+// NewIntern creates an empty cache.
+func NewIntern() *Intern { return &Intern{m: make(map[string]string)} }
+
+// Intern returns the canonical copy of s, storing s itself on first sight.
+func (in *Intern) Intern(s string) string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if c, ok := in.m[s]; ok {
+		return c
+	}
+	in.m[s] = s
+	return s
+}
+
+// Len reports the number of distinct strings cached.
+func (in *Intern) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.m)
+}
+
+// Reader decodes one profile incrementally: the header and string table on
+// construction, then one storage-class tree per ReadTree call. Nothing
+// beyond the tree currently being decoded is buffered, so a consumer can
+// merge each tree away as soon as it arrives instead of holding the whole
+// profile — the unit of streaming the analyzer's pipeline is built on.
+type Reader struct {
+	br           *bufio.Reader
+	rank, thread int
+	event        string
+	strs         []string
+	next         int
+	nodes        int
+}
+
+// NewReader reads the header and string table and positions the reader at
+// the first storage-class tree.
+func NewReader(r io.Reader) (*Reader, error) { return NewReaderInterned(r, nil) }
+
+// NewReaderInterned is NewReader with decoded strings canonicalized through
+// the shared cache (nil behaves like NewReader).
+func NewReaderInterned(r io.Reader, in *Intern) (*Reader, error) {
+	br := bufio.NewReader(r)
+	if m, err := readU32(br); err != nil || m != Magic {
+		if err != nil {
+			return nil, fmt.Errorf("profio: reading magic: %w", err)
+		}
+		return nil, fmt.Errorf("profio: bad magic %#x", m)
+	}
+	if v, err := readU32(br); err != nil || v != Version {
+		if err != nil {
+			return nil, fmt.Errorf("profio: reading version: %w", err)
+		}
+		return nil, fmt.Errorf("profio: unsupported version %d", v)
+	}
+	rank, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	thread, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+
+	nStrs, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nStrs > 1<<24 {
+		return nil, fmt.Errorf("profio: unreasonable string table size %d", nStrs)
+	}
+	// Grow incrementally rather than trusting the claimed count: a corrupt
+	// header must not be able to demand a huge upfront allocation.
+	strs := make([]string, 0, min(nStrs, 4096))
+	for i := uint64(0); i < nStrs; i++ {
+		n, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<16 {
+			return nil, fmt.Errorf("profio: unreasonable string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		s := string(buf)
+		if in != nil {
+			s = in.Intern(s)
+		}
+		strs = append(strs, s)
+	}
+	d := &Reader{br: br, rank: int(rank), thread: int(thread), strs: strs}
+
+	eventIdx, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	event, err := d.str(eventIdx)
+	if err != nil {
+		return nil, err
+	}
+	d.event = event
+	return d, nil
+}
+
+// Rank returns the producing MPI rank from the header.
+func (d *Reader) Rank() int { return d.rank }
+
+// Thread returns the producing thread id from the header.
+func (d *Reader) Thread() int { return d.thread }
+
+// Event returns the monitored-event description from the header.
+func (d *Reader) Event() string { return d.event }
+
+// NodesRead returns the number of CCT node records decoded so far.
+func (d *Reader) NodesRead() int { return d.nodes }
+
+func (d *Reader) str(i uint64) (string, error) {
+	if i >= uint64(len(d.strs)) {
+		return "", fmt.Errorf("profio: string index %d out of range", i)
+	}
+	return d.strs[i], nil
+}
+
+// ReadTree decodes the next storage-class tree, returning io.EOF once all
+// cct.NumClasses trees have been read.
+func (d *Reader) ReadTree() (cct.Class, *cct.Tree, error) {
+	if d.next >= cct.NumClasses {
+		return 0, nil, io.EOF
+	}
+	c := cct.Class(d.next)
+	t := cct.New()
+	n, err := readTree(d.br, t, d.str)
+	if err != nil {
+		return c, nil, fmt.Errorf("profio: tree %d: %w", d.next, err)
+	}
+	d.next++
+	d.nodes += n
+	return c, t, nil
+}
+
+// ReadRest decodes every remaining tree and returns the assembled profile.
+func (d *Reader) ReadRest() (*cct.Profile, error) {
+	p := cct.NewProfile(d.rank, d.thread, d.event)
+	for {
+		c, t, err := d.ReadTree()
+		if err == io.EOF {
+			return p, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.Trees[c] = t
+	}
+}
+
+// ReadProfile decodes one thread profile.
+func ReadProfile(r io.Reader) (*cct.Profile, error) {
+	return ReadProfileInterned(r, nil)
+}
+
+// ReadProfileInterned is ReadProfile with strings canonicalized through the
+// shared cache.
+func ReadProfileInterned(r io.Reader, in *Intern) (*cct.Profile, error) {
+	d, err := NewReaderInterned(r, in)
+	if err != nil {
+		return nil, err
+	}
+	return d.ReadRest()
+}
+
+func readTree(br *bufio.Reader, t *cct.Tree, str func(uint64) (string, error)) (int, error) {
+	count, err := readUvarint(br)
+	if err != nil {
+		return 0, err
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("empty node array (even the root must be present)")
+	}
+	if count > 1<<28 {
+		return 0, fmt.Errorf("unreasonable node count %d", count)
+	}
+	// As with the string table, never preallocate from an untrusted count:
+	// a bogus header claiming 2^28 nodes would otherwise cost gigabytes
+	// before the first record fails to decode.
+	nodes := make([]*cct.Node, 0, min(count, 4096))
+	for i := uint64(0); i < count; i++ {
+		parent, err := readU32(br)
+		if err != nil {
+			return 0, err
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		modI, err := readUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		nameI, err := readUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		fileI, err := readUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		line, err := readUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		mod, err := str(modI)
+		if err != nil {
+			return 0, err
+		}
+		name, err := str(nameI)
+		if err != nil {
+			return 0, err
+		}
+		file, err := str(fileI)
+		if err != nil {
+			return 0, err
+		}
+		frame := cct.Frame{
+			Kind:   cct.Kind(kind),
+			Module: mod,
+			Name:   name,
+			File:   file,
+			Line:   int(int64(line)),
+		}
+
+		var node *cct.Node
+		switch {
+		case parent == noParent:
+			if i != 0 {
+				return 0, fmt.Errorf("non-first node %d has no parent", i)
+			}
+			node = t.Root
+		case uint64(parent) >= i:
+			return 0, fmt.Errorf("node %d references later/self parent %d", i, parent)
+		default:
+			node = nodes[parent].Child(frame)
+		}
+
+		nz, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		for k := 0; k < int(nz); k++ {
+			id, err := br.ReadByte()
+			if err != nil {
+				return 0, err
+			}
+			if int(id) >= int(metric.NumMetrics) {
+				return 0, fmt.Errorf("metric id %d out of range", id)
+			}
+			v, err := readUvarint(br)
+			if err != nil {
+				return 0, err
+			}
+			var vec metric.Vector
+			vec[id] = v
+			node.Metrics.Add(&vec)
+		}
+		nodes = append(nodes, node)
+	}
+	return int(count), nil
+}
+
+// Files returns the profile file paths in dir sorted by name (the canonical
+// zero-padded names sort by rank, then thread).
+func Files(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".dcprof" {
+			continue
+		}
+		out = append(out, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ReadDir loads every profile file in dir, sorted by (rank, thread). All
+// profiles share one interning cache, so duplicate symbol strings across
+// files are stored once.
+func ReadDir(dir string) ([]*cct.Profile, error) {
+	files, err := Files(dir)
+	if err != nil {
+		return nil, err
+	}
+	in := NewIntern()
+	var out []*cct.Profile
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ReadProfileInterned(f, in)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Thread < out[j].Thread
+	})
+	return out, nil
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}

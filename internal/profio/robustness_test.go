@@ -1,9 +1,12 @@
 package profio
 
 import (
+	"bufio"
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
+	"time"
 
 	"dcprof/internal/cct"
 )
@@ -62,4 +65,106 @@ func TestTruncationSweep(t *testing.T) {
 
 func cctSmall() *cct.Profile {
 	return sampleProfile(0, 0)
+}
+
+// imageHeader hand-encodes a minimal valid header with a one-entry string
+// table, up to the point where the first tree begins.
+func imageHeader() (*bytes.Buffer, *bufio.Writer) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	writeU32(w, Magic)
+	writeU32(w, Version)
+	writeUvarint(w, 0) // rank
+	writeUvarint(w, 0) // thread
+	writeUvarint(w, 1) // one string
+	writeUvarint(w, 1)
+	w.WriteString("a")
+	writeUvarint(w, 0) // event index
+	return &buf, w
+}
+
+// writeNode hand-encodes one node record with no metrics.
+func writeNode(w *bufio.Writer, parent uint32, strIdx uint64) {
+	writeU32(w, parent)
+	w.WriteByte(byte(cct.KindCall))
+	writeUvarint(w, strIdx) // module
+	writeUvarint(w, strIdx) // name
+	writeUvarint(w, strIdx) // file
+	writeUvarint(w, 0)      // line
+	w.WriteByte(0)          // no metrics
+}
+
+// imageWithBadStringIndex encodes a node whose name index points past the
+// string table.
+func imageWithBadStringIndex() []byte {
+	buf, w := imageHeader()
+	writeUvarint(w, 2) // two nodes
+	writeNode(w, noParent, 0)
+	writeNode(w, 0, 99) // string index out of range
+	w.Flush()
+	return buf.Bytes()
+}
+
+// imageWithCyclicParent encodes a node that names itself as its parent —
+// the representative of the cyclic/forward parent-index corruption class.
+func imageWithCyclicParent() []byte {
+	buf, w := imageHeader()
+	writeUvarint(w, 2)
+	writeNode(w, noParent, 0)
+	writeNode(w, 1, 0) // node 1's parent is node 1: a cycle
+	w.Flush()
+	return buf.Bytes()
+}
+
+// imageWithForwardParent encodes a node whose parent index points at a
+// not-yet-decoded node.
+func imageWithForwardParent() []byte {
+	buf, w := imageHeader()
+	writeUvarint(w, 3)
+	writeNode(w, noParent, 0)
+	writeNode(w, 2, 0) // parent decoded only later
+	writeNode(w, 0, 0)
+	w.Flush()
+	return buf.Bytes()
+}
+
+// TestHugeClaimedCountFailsFast guards the fuzz-found DoS: a header
+// claiming ~2^28 nodes (just under the sanity limit) must not trigger a
+// gigabyte preallocation before the first record fails to decode.
+func TestHugeClaimedCountFailsFast(t *testing.T) {
+	buf, w := imageHeader()
+	writeUvarint(w, 1<<28-1) // absurd node count, then nothing
+	w.Flush()
+	start := time.Now()
+	if _, err := ReadProfile(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("truncated huge-count image accepted")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("rejection took %s; claimed count caused a huge allocation", d)
+	}
+}
+
+func TestCorruptStringIndexRejected(t *testing.T) {
+	_, err := ReadProfile(bytes.NewReader(imageWithBadStringIndex()))
+	if err == nil {
+		t.Fatal("out-of-range string index accepted")
+	}
+	if !strings.Contains(err.Error(), "string index") {
+		t.Errorf("error %q does not blame the string index", err)
+	}
+}
+
+func TestCyclicParentRejected(t *testing.T) {
+	for name, img := range map[string][]byte{
+		"self-cycle": imageWithCyclicParent(),
+		"forward":    imageWithForwardParent(),
+	} {
+		_, err := ReadProfile(bytes.NewReader(img))
+		if err == nil {
+			t.Fatalf("%s: cyclic/forward parent index accepted", name)
+		}
+		if !strings.Contains(err.Error(), "parent") {
+			t.Errorf("%s: error %q does not blame the parent index", name, err)
+		}
+	}
 }
