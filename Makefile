@@ -2,11 +2,13 @@ GO ?= go
 
 .PHONY: check vet build test race fuzz-smoke bench-smoke
 
-# check is the full pre-merge gate: static checks, the whole test suite,
-# the race detector over the goroutine-heavy packages (the simulator's
-# thread fan-out and the analyzer's streaming merge pipeline), and a
-# one-iteration merge benchmark smoke to catch gross regressions.
-check: vet build test race bench-smoke
+# check is the full pre-merge gate: static checks, the whole test suite
+# (including the fault-injection suite), the race detector over the
+# goroutine-heavy packages (the simulator's thread fan-out, the analyzer's
+# streaming merge pipeline, and the fault-tolerant I/O layers), a short
+# fuzz of the profile reader and salvager, and a one-iteration merge
+# benchmark smoke to catch gross regressions.
+check: vet build test race fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,11 +20,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/analysis
+	$(GO) test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio
 
-# Run the fuzz corpus seeds (no fuzzing engine) — fast regression pass.
+# Short fuzz of the reader and the salvage path (the fuzz engine accepts
+# one target per run), on top of the always-run corpus regression pass.
 fuzz-smoke:
-	$(GO) test -run=FuzzReadProfile ./internal/profio
+	$(GO) test -run='^$$' -fuzz=FuzzReadProfile -fuzztime=10s ./internal/profio
+	$(GO) test -run='^$$' -fuzz=FuzzSalvageProfile -fuzztime=10s ./internal/profio
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Merge -benchtime=1x ./internal/analysis .

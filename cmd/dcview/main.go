@@ -8,9 +8,16 @@
 //	dcview -d measurements/                      # all views, default metric
 //	dcview -d m/ -metric LATENCY -view topdown   # one view
 //	dcview -d m/ -view bottomup -rows 15
+//	dcview -d m/ -quarantine -stats              # skip damaged files, report them
+//
+// By default dcview is strict: one unreadable profile aborts the whole
+// load. -quarantine instead skips damaged files (reporting each one), and
+// -salvage additionally merges the intact, checksummed class trees that
+// can be recovered from them.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,28 +30,51 @@ import (
 
 func main() {
 	var (
-		dir     = flag.String("d", "measurements", "measurement directory")
-		metName = flag.String("metric", "", "ranking metric (default: FROM_RMEM for marked profiles, LATENCY(cy) for IBS)")
-		which   = flag.String("view", "all", "view: topdown | bottomup | vars | advice | all")
-		rows    = flag.Int("rows", 20, "max rows for table views")
-		depth   = flag.Int("depth", 12, "max depth for the top-down tree")
-		min     = flag.Float64("min", 0.005, "hide nodes below this share")
-		diffDir = flag.String("diff", "", "second measurement directory to compare against (before -> after)")
-		asJSON  = flag.Bool("json", false, "dump the merged database as JSON and exit")
-		workers = flag.Int("workers", 0, "streaming ingest/merge workers (0 = GOMAXPROCS)")
-		stats   = flag.Bool("stats", false, "print streaming merge pipeline statistics")
+		dir        = flag.String("d", "measurements", "measurement directory")
+		metName    = flag.String("metric", "", "ranking metric (default: FROM_RMEM for marked profiles, LATENCY(cy) for IBS)")
+		which      = flag.String("view", "all", "view: topdown | bottomup | vars | advice | all")
+		rows       = flag.Int("rows", 20, "max rows for table views")
+		depth      = flag.Int("depth", 12, "max depth for the top-down tree")
+		min        = flag.Float64("min", 0.005, "hide nodes below this share")
+		diffDir    = flag.String("diff", "", "second measurement directory to compare against (before -> after)")
+		asJSON     = flag.Bool("json", false, "dump the merged database as JSON and exit")
+		workers    = flag.Int("workers", 0, "streaming ingest/merge workers (0 = GOMAXPROCS)")
+		stats      = flag.Bool("stats", false, "print streaming merge pipeline statistics")
+		strict     = flag.Bool("strict", false, "abort on the first unreadable profile (the default)")
+		quarantine = flag.Bool("quarantine", false, "skip unreadable profiles and report them instead of aborting")
+		salvage    = flag.Bool("salvage", false, "like -quarantine, but also merge intact class trees recovered from damaged files")
 	)
 	flag.Parse()
 
-	db, st, err := analysis.LoadDirStreaming(*dir, *workers)
+	policy := analysis.PolicyStrict
+	switch {
+	case *quarantine && *salvage, *strict && *quarantine, *strict && *salvage:
+		fmt.Fprintln(os.Stderr, "dcview: -strict, -quarantine and -salvage are mutually exclusive")
+		os.Exit(1)
+	case *quarantine:
+		policy = analysis.PolicyQuarantine
+	case *salvage:
+		policy = analysis.PolicySalvage
+	}
+
+	load := func(dir string) (*analysis.Database, analysis.MergeStats, error) {
+		return analysis.LoadDirStreamingCtx(context.Background(), dir,
+			analysis.LoadOptions{Workers: *workers, Policy: policy})
+	}
+
+	db, st, err := load(*dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcview:", err)
 		os.Exit(1)
 	}
+	reportQuarantine(st)
 	if *stats {
 		fmt.Printf("merge stats: %d profiles, %.2f MB read, %d -> %d nodes (%.1fx coalescing), decode %s, merge %s, %d workers, peak residency %d profiles\n",
 			st.Inputs, float64(st.BytesRead)/1e6, st.InputNodes, st.MergedNodes,
 			st.CoalescingFactor(), st.DecodeWall, st.MergeWall, st.Workers, st.MaxResident)
+		for _, q := range st.Quarantined {
+			fmt.Printf("quarantined: %s (%d trees salvaged): %s\n", q.Path, q.SalvagedTrees, q.Reason)
+		}
 	}
 	if *asJSON {
 		if err := analysis.WriteJSON(os.Stdout, db); err != nil {
@@ -61,11 +91,12 @@ func main() {
 	opts := view.Options{Metric: m, MaxRows: *rows, MaxDepth: *depth, MinShare: *min}
 
 	if *diffDir != "" {
-		after, err := analysis.LoadDir(*diffDir, *workers)
+		after, ast, err := load(*diffDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcview:", err)
 			os.Exit(1)
 		}
+		reportQuarantine(ast)
 		fmt.Println(view.RenderDiff(db.Merged, after.Merged, m, *rows))
 		return
 	}
@@ -88,6 +119,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dcview: unknown view %q\n", *which)
 		os.Exit(1)
 	}
+}
+
+// reportQuarantine warns on stderr when a degraded-policy load skipped
+// files, so a clean-looking report can't silently hide missing data.
+func reportQuarantine(st analysis.MergeStats) {
+	if len(st.Quarantined) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dcview: warning: %d damaged profile(s) quarantined (run with -stats for details)\n",
+		len(st.Quarantined))
 }
 
 func pickMetric(name, event string) metric.ID {

@@ -17,6 +17,8 @@
 package dcprof
 
 import (
+	"context"
+
 	"dcprof/internal/analysis"
 	"dcprof/internal/cache"
 	"dcprof/internal/cct"
@@ -141,8 +143,28 @@ type Profile = cct.Profile
 type Database = analysis.Database
 
 // MergeStats reports streaming merge pipeline observability (bytes read,
-// node counts, per-stage wall times, peak decoded-profile residency).
+// node counts, per-stage wall times, peak decoded-profile residency,
+// quarantined files).
 type MergeStats = analysis.MergeStats
+
+// ErrorPolicy selects how the streaming ingest treats unreadable files;
+// QuarantinedFile records one file it could not (fully) use.
+type (
+	ErrorPolicy     = analysis.ErrorPolicy
+	QuarantinedFile = analysis.QuarantinedFile
+)
+
+// The ingest error policies: abort on the first damaged file, skip damaged
+// files (recording each), or additionally merge the intact class trees
+// recoverable from them.
+const (
+	PolicyStrict     = analysis.PolicyStrict
+	PolicyQuarantine = analysis.PolicyQuarantine
+	PolicySalvage    = analysis.PolicySalvage
+)
+
+// LoadOptions configures LoadMeasurementsStreamingCtx.
+type LoadOptions = analysis.LoadOptions
 
 // Merge reduces per-thread profiles with the streaming channel-fed
 // reduction (workers <= 0 uses GOMAXPROCS). The inputs are consumed; use
@@ -161,13 +183,25 @@ func LoadMeasurements(dir string, workers int) (*Database, error) {
 
 // LoadMeasurementsStreaming reads and merges a measurement directory
 // through the bounded-residency streaming pipeline, returning its
-// statistics alongside the database.
+// statistics alongside the database. It is strict: one unreadable file
+// fails the load. Use LoadMeasurementsStreamingCtx to choose a
+// fault-tolerance policy or to cancel mid-merge.
 func LoadMeasurementsStreaming(dir string, workers int) (*Database, MergeStats, error) {
 	return analysis.LoadDirStreaming(dir, workers)
 }
 
-// WriteMeasurements writes one profile file per thread into dir, returning
-// total bytes (the measurement's space overhead).
+// LoadMeasurementsStreamingCtx is LoadMeasurementsStreaming with
+// cancellation and per-file error policy (strict, quarantine, salvage).
+// Files skipped or partially recovered under a non-strict policy are
+// listed in MergeStats.Quarantined.
+func LoadMeasurementsStreamingCtx(ctx context.Context, dir string, opt LoadOptions) (*Database, MergeStats, error) {
+	return analysis.LoadDirStreamingCtx(ctx, dir, opt)
+}
+
+// WriteMeasurements durably writes one checksummed profile file per thread
+// into dir (write temp, fsync, rename), returning total bytes (the
+// measurement's space overhead). A crash mid-write can leave *.tmp debris
+// but never a corrupt file under a final profile name.
 func WriteMeasurements(dir string, profiles []*Profile) (int64, error) {
 	return profio.WriteDir(dir, profiles)
 }

@@ -40,6 +40,26 @@ type MergeStats struct {
 	// many files the measurement holds (0 for in-memory merges, where
 	// the caller already owns every profile).
 	MaxResident int
+
+	// Quarantined lists the files skipped (or only partially recovered)
+	// by a quarantine- or salvage-policy ingest, sorted by path. Empty
+	// for strict merges, which abort instead.
+	Quarantined []QuarantinedFile
+}
+
+// QuarantinedFile records one measurement file the ingest pipeline could
+// not (fully) use, and why — the per-file accounting that makes a degraded
+// Sequoia-scale merge auditable instead of silently lossy.
+type QuarantinedFile struct {
+	// Path is the full path of the damaged file.
+	Path string
+	// Reason is the first error the file produced (decode failure,
+	// checksum mismatch, truncation, injected fault, worker panic, ...).
+	Reason string
+	// SalvagedTrees counts the complete, integrity-checked class trees
+	// that were recoverable from the file. Under PolicySalvage they were
+	// merged; under PolicyQuarantine they were discarded with the file.
+	SalvagedTrees int
 }
 
 // CoalescingFactor returns InputNodes / MergedNodes (1.0 = no sharing).

@@ -5,14 +5,25 @@
 // merging, and at no point are more than ~2×workers decoded profiles
 // resident, which is what lets the analyzer ingest thousand-thread
 // measurements without holding the whole measurement in memory first.
+//
+// The pipeline is also the system's fault boundary. At the scale the
+// paper targets (one file per thread per rank) killed ranks, full
+// filesystems, and torn writes are routine, so ingestion supports three
+// error policies: fail fast (PolicyStrict), skip-and-report
+// (PolicyQuarantine), and partial recovery of the intact class trees of
+// damaged files (PolicySalvage). A context cancels the whole pipeline
+// promptly, and a panic in a decode or fold worker becomes a per-file
+// quarantine record instead of a crashed analyzer.
 
 package analysis
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,11 +32,56 @@ import (
 	"dcprof/internal/profio"
 )
 
+// ErrorPolicy selects how ingestion reacts to unreadable profile files.
+type ErrorPolicy int
+
+const (
+	// PolicyStrict aborts the merge on the first unreadable file — the
+	// right default when a measurement is expected to be complete.
+	PolicyStrict ErrorPolicy = iota
+	// PolicyQuarantine skips unreadable files entirely, records each one
+	// in MergeStats.Quarantined (path, reason, salvageable-tree count),
+	// and merges the rest. The result is exactly the merge of the intact
+	// files.
+	PolicyQuarantine
+	// PolicySalvage is PolicyQuarantine plus partial recovery: complete,
+	// checksum-valid class trees recovered from damaged files are folded
+	// into the merge as well. Damaged files still appear in Quarantined.
+	PolicySalvage
+)
+
+// String names the policy as the dcview flags spell it.
+func (p ErrorPolicy) String() string {
+	switch p {
+	case PolicyStrict:
+		return "strict"
+	case PolicyQuarantine:
+		return "quarantine"
+	case PolicySalvage:
+		return "salvage"
+	default:
+		return fmt.Sprintf("ErrorPolicy(%d)", int(p))
+	}
+}
+
+// LoadOptions configures LoadDirStreamingCtx.
+type LoadOptions struct {
+	// Workers is the decode/fold concurrency (<= 0 uses GOMAXPROCS).
+	Workers int
+	// Policy selects strict, quarantine, or salvage error handling.
+	Policy ErrorPolicy
+	// Open overrides how profile files are opened (nil uses os.Open) —
+	// the seam the fault-injection test suite hooks to script read
+	// errors, slow media, and decoder panics.
+	Open func(path string) (io.ReadCloser, error)
+}
+
 // streamItem is one decoded profile entering the merge pipeline.
 type streamItem struct {
 	p     *cct.Profile
-	bytes int64 // on-disk size (0 when merged from memory)
-	nodes int   // CCT nodes decoded (0 when unknown)
+	path  string // source file ("" when merged from memory)
+	bytes int64  // on-disk size (0 when merged from memory)
+	nodes int    // CCT nodes decoded (0 when unknown)
 }
 
 // residency tracks how many decoded profiles are simultaneously alive in
@@ -51,6 +107,39 @@ func (r *residency) dec() {
 	r.mu.Unlock()
 }
 
+// quarantineLog accumulates per-file failure records across the decode and
+// fold workers. Entries are deduplicated by path (several trees of one
+// file can fail independently) and reported sorted for determinism.
+type quarantineLog struct {
+	mu     sync.Mutex
+	byPath map[string]*QuarantinedFile
+}
+
+func newQuarantineLog() *quarantineLog {
+	return &quarantineLog{byPath: map[string]*QuarantinedFile{}}
+}
+
+func (q *quarantineLog) add(path, reason string, salvaged int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if rec, ok := q.byPath[path]; ok {
+		rec.Reason += "; " + reason
+		return
+	}
+	q.byPath[path] = &QuarantinedFile{Path: path, Reason: reason, SalvagedTrees: salvaged}
+}
+
+func (q *quarantineLog) sorted() []QuarantinedFile {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]QuarantinedFile, 0, len(q.byPath))
+	for _, rec := range q.byPath {
+		out = append(out, *rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // mergeItems is the channel-fed reduction engine behind Merge,
 // MergePreserving, MergeStream, and LoadDirStreaming.
 //
@@ -63,7 +152,13 @@ func (r *residency) dec() {
 // With preserve=false the first tree a folder receives becomes its
 // accumulator (the input profile is consumed); with preserve=true folders
 // start from fresh empty trees and the inputs are never mutated.
-func mergeItems(items <-chan streamItem, workers int, preserve bool, res *residency) (*Database, MergeStats) {
+//
+// When ctx is cancelled the split stage stops folding and drains the
+// remaining items so upstream decoders unblock. When quar is non-nil a
+// panic while folding one tree is recovered into a quarantine record for
+// the tree's source file instead of crashing the process (nil — the
+// in-memory merge paths — preserves the old panic-through behavior).
+func mergeItems(ctx context.Context, items <-chan streamItem, workers int, preserve bool, res *residency, quar *quarantineLog) (*Database, MergeStats) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -72,6 +167,7 @@ func mergeItems(items <-chan streamItem, workers int, preserve bool, res *reside
 
 	type classItem struct {
 		tree *cct.Tree
+		path string // source file, for fault attribution
 		rem  *int32 // trees of the owning profile not yet folded
 	}
 	var chans [cct.NumClasses]chan classItem
@@ -93,10 +189,14 @@ func mergeItems(items <-chan streamItem, workers int, preserve bool, res *reside
 					acc = cct.New()
 				}
 				for it := range chans[c] {
-					if acc == nil {
-						acc = it.tree
+					if quar == nil {
+						if acc == nil {
+							acc = it.tree
+						} else {
+							acc.Root.MergeFrom(it.tree.Root)
+						}
 					} else {
-						acc.Root.MergeFrom(it.tree.Root)
+						foldRecovering(&acc, it.tree, it.path, cct.Class(c), quar)
 					}
 					if atomic.AddInt32(it.rem, -1) == 0 && res != nil {
 						res.dec()
@@ -119,8 +219,19 @@ func mergeItems(items <-chan streamItem, workers int, preserve bool, res *reside
 		bestEvent    string
 		have         bool
 		lastItemSeen time.Time
+		cancelled    bool
 	)
 	for it := range items {
+		if !cancelled && ctx.Err() != nil {
+			cancelled = true
+		}
+		if cancelled {
+			// Drain without folding so blocked decoders can finish.
+			if res != nil {
+				res.dec()
+			}
+			continue
+		}
 		n++
 		st.InputNodes += it.nodes
 		st.BytesRead += it.bytes
@@ -131,7 +242,7 @@ func mergeItems(items <-chan streamItem, workers int, preserve bool, res *reside
 		}
 		rem := int32(cct.NumClasses)
 		for c, tr := range it.p.Trees {
-			chans[c] <- classItem{tr, &rem}
+			chans[c] <- classItem{tr, it.path, &rem}
 		}
 		lastItemSeen = time.Now()
 	}
@@ -154,7 +265,32 @@ func mergeItems(items <-chan streamItem, workers int, preserve bool, res *reside
 	st.MergeWall = time.Since(start)
 	st.Inputs = n
 	st.MergedNodes = merged.NumNodes()
+	if quar != nil {
+		st.Quarantined = quar.sorted()
+	}
 	return &Database{Merged: merged, Ranks: len(ranks), Threads: n, Event: bestEvent}, st
+}
+
+// foldRecovering folds one class tree into the accumulator, converting a
+// panic (a decoder bug surfacing in merge, or damaged structure the format
+// checks missed) into a quarantine record for the tree's source file. The
+// accumulator may have absorbed part of the tree before the panic — the
+// merge is best-effort for that file, which is what the quarantine record
+// documents.
+func foldRecovering(acc **cct.Tree, tree *cct.Tree, path string, c cct.Class, quar *quarantineLog) {
+	defer func() {
+		if r := recover(); r != nil {
+			if path == "" {
+				path = "(in-memory profile)"
+			}
+			quar.add(path, fmt.Sprintf("panic folding %s tree: %v", c, r), 0)
+		}
+	}()
+	if *acc == nil {
+		*acc = tree
+	} else {
+		(*acc).Root.MergeFrom(tree.Root)
+	}
 }
 
 // mergeSlice feeds an in-memory profile slice through the engine.
@@ -166,7 +302,7 @@ func mergeSlice(profiles []*cct.Profile, workers int, preserve bool) (*Database,
 		}
 		close(items)
 	}()
-	return mergeItems(items, workers, preserve, nil)
+	return mergeItems(context.Background(), items, workers, preserve, nil, nil)
 }
 
 // MergeStream merges profiles as they arrive on ch, with the same bounded
@@ -180,18 +316,38 @@ func MergeStream(ch <-chan *cct.Profile, workers int) (*Database, MergeStats) {
 		}
 		close(items)
 	}()
-	return mergeItems(items, workers, false, nil)
+	return mergeItems(context.Background(), items, workers, false, nil, nil)
 }
 
 // LoadDirStreaming reads a measurement directory written by profio.WriteDir
-// through the streaming pipeline: `workers` decoders read files
-// incrementally (sharing one string-interning cache) and feed the merge
-// stage as each profile completes. At most about 2×workers decoded
-// profiles are ever resident — MergeStats.MaxResident records the observed
-// peak — so directory size does not bound memory.
+// through the streaming pipeline with PolicyStrict and no cancellation —
+// the historical behavior. See LoadDirStreamingCtx for the full surface.
 func LoadDirStreaming(dir string, workers int) (*Database, MergeStats, error) {
+	return LoadDirStreamingCtx(context.Background(), dir, LoadOptions{Workers: workers})
+}
+
+// LoadDirStreamingCtx reads a measurement directory through the streaming
+// pipeline: `workers` decoders read files incrementally (sharing one
+// string-interning cache) and feed the merge stage as each profile
+// completes. At most about 2×workers decoded profiles are ever resident —
+// MergeStats.MaxResident records the observed peak — so directory size
+// does not bound memory.
+//
+// Failure handling follows opt.Policy: strict aborts on the first
+// unreadable file; quarantine and salvage record bad files in
+// MergeStats.Quarantined and keep going (salvage additionally folds in the
+// intact class trees recovered from damaged files). Cancelling ctx stops
+// decoding and folding promptly and returns the context's error. A panic
+// in a decode worker is treated as that file being unreadable; a panic in
+// a fold worker quarantines the offending file's tree.
+func LoadDirStreamingCtx(ctx context.Context, dir string, opt LoadOptions) (*Database, MergeStats, error) {
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	open := opt.Open
+	if open == nil {
+		open = func(path string) (io.ReadCloser, error) { return os.Open(path) }
 	}
 	files, err := profio.Files(dir)
 	if err != nil {
@@ -204,6 +360,7 @@ func LoadDirStreaming(dir string, workers int) (*Database, MergeStats, error) {
 	var (
 		res    = &residency{}
 		intern = profio.NewIntern()
+		quar   = newQuarantineLog()
 		items  = make(chan streamItem)
 		paths  = make(chan string)
 		errMu  sync.Mutex
@@ -228,58 +385,139 @@ func LoadDirStreaming(dir string, workers int) (*Database, MergeStats, error) {
 		go func() {
 			defer dwg.Done()
 			for path := range paths {
-				if failed() {
-					continue
+				if ctx.Err() != nil || failed() {
+					continue // keep draining so the feeder never blocks
 				}
-				p, size, nodes, err := decodeFile(path, intern)
-				if err != nil {
-					fail(fmt.Errorf("analysis: %s: %w", filepath.Base(path), err))
+				it, ok := decodeOne(path, intern, open, opt.Policy, fail, quar)
+				if !ok {
 					continue
 				}
 				res.inc()
-				items <- streamItem{p: p, bytes: size, nodes: nodes}
+				select {
+				case items <- it:
+				case <-ctx.Done():
+					res.dec()
+				}
 			}
 		}()
 	}
 	go func() {
+		defer close(paths)
 		for _, f := range files {
-			paths <- f
+			select {
+			case paths <- f:
+			case <-ctx.Done():
+				return
+			}
 		}
-		close(paths)
 	}()
 	go func() {
 		dwg.Wait()
 		close(items)
 	}()
 
-	db, st := mergeItems(items, workers, false, res)
+	db, st := mergeItems(ctx, items, workers, false, res, quar)
+	if err := ctx.Err(); err != nil {
+		return nil, st, fmt.Errorf("analysis: %w", err)
+	}
 	if failed() {
 		errMu.Lock()
 		defer errMu.Unlock()
 		return nil, st, first
+	}
+	if st.Inputs == 0 {
+		return nil, st, fmt.Errorf("analysis: no readable profiles in %s (%d quarantined)", dir, len(st.Quarantined))
 	}
 	st.MaxResident = res.max
 	db.MeasurementBytes = st.BytesRead
 	return db, st, nil
 }
 
-func decodeFile(path string, in *profio.Intern) (*cct.Profile, int64, int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, 0, err
+// decodeOne reads one profile file under the given error policy. It
+// returns ok=false when the file produced nothing to merge — because it
+// was quarantined, or because strict mode recorded a pipeline-aborting
+// error. Panics while opening or decoding are contained here and treated
+// exactly like decode errors, so one poisoned file cannot take down the
+// analyzer.
+func decodeOne(path string, in *profio.Intern, open func(string) (io.ReadCloser, error), policy ErrorPolicy, fail func(error), quar *quarantineLog) (it streamItem, ok bool) {
+	var (
+		p     *cct.Profile
+		nodes int
+		salv  *profio.Salvage
+		err   error
+	)
+	size, derr := func() (size int64, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic decoding profile: %v", r)
+			}
+		}()
+		f, err := open(path)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		if st, serr := statSize(f); serr == nil {
+			size = st
+		}
+		switch policy {
+		case PolicyStrict:
+			d, err := profio.NewReaderInterned(f, in)
+			if err != nil {
+				return size, err
+			}
+			p, err = d.ReadRest()
+			if err != nil {
+				return size, err
+			}
+			nodes = d.NodesRead()
+		default:
+			salv, err = profio.SalvageProfile(f, in)
+			if err != nil {
+				return size, err
+			}
+		}
+		return size, nil
+	}()
+	err = derr
+
+	switch {
+	case err != nil && policy == PolicyStrict:
+		// Full path, not the basename: multi-directory merges must be
+		// diagnosable from the error alone.
+		fail(fmt.Errorf("analysis: %s: %w", path, err))
+		return streamItem{}, false
+	case err != nil:
+		quar.add(path, err.Error(), 0)
+		return streamItem{}, false
 	}
-	defer f.Close()
+
+	if policy != PolicyStrict {
+		if !salv.Intact() {
+			reason := "damaged"
+			if len(salv.Errs) > 0 {
+				reason = salv.Errs[0].Error()
+			}
+			quar.add(path, reason, salv.Trees)
+			if policy == PolicyQuarantine || salv.Trees == 0 {
+				return streamItem{}, false
+			}
+		}
+		p = salv.Profile
+		nodes = salv.NodesRead
+	}
+	return streamItem{p: p, path: path, bytes: size, nodes: nodes}, true
+}
+
+// statSize reports the on-disk size when the opened reader is a real file.
+func statSize(r io.Reader) (int64, error) {
+	f, ok := r.(interface{ Stat() (os.FileInfo, error) })
+	if !ok {
+		return 0, fmt.Errorf("not a file")
+	}
 	fi, err := f.Stat()
 	if err != nil {
-		return nil, 0, 0, err
+		return 0, err
 	}
-	d, err := profio.NewReaderInterned(f, in)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	p, err := d.ReadRest()
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	return p, fi.Size(), d.NodesRead(), nil
+	return fi.Size(), nil
 }

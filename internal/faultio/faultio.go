@@ -1,0 +1,280 @@
+// Package faultio injects deterministic, scriptable faults into the
+// profiler's measurement and ingestion I/O paths. The failure-mode test
+// suite uses it to prove every degradation path in profio and analysis:
+// torn writes from killed ranks (crash-after-write-M via FS), truncated
+// and bit-damaged files (Truncate, FlipBit and their reader-level
+// counterparts), transient device errors (FailingReader's EIO on read k),
+// and slow media (SlowReader, for cancellation tests).
+//
+// Everything here is deterministic: faults fire at scripted byte offsets
+// or call counts, never at random, so a failing test replays exactly.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"dcprof/internal/profio"
+)
+
+// ErrInjected is returned by injected read failures, standing in for the
+// EIO a dying device or network filesystem produces.
+var ErrInjected = errors.New("faultio: injected I/O error")
+
+// ErrCrashed is returned by every filesystem operation after a simulated
+// crash point: the writing process is "dead", so nothing it would have
+// done afterward — further writes, fsyncs, renames, or cleanup removes —
+// can happen.
+var ErrCrashed = errors.New("faultio: simulated crash")
+
+// ---- Reader faults ----
+
+// TruncatedReader delivers only the first n bytes of r, then reports EOF —
+// a file whose writer died mid-write.
+func TruncatedReader(r io.Reader, n int64) io.Reader { return io.LimitReader(r, n) }
+
+// FlipBitReader passes r through, flipping bit (bit mod 8) of the byte at
+// stream offset off — in-flight or at-rest single-bit corruption.
+func FlipBitReader(r io.Reader, off int64, bit uint) io.Reader {
+	return &flipBitReader{r: r, off: off, bit: bit % 8}
+}
+
+type flipBitReader struct {
+	r   io.Reader
+	off int64
+	bit uint
+	pos int64
+}
+
+func (f *flipBitReader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if f.off >= f.pos && f.off < f.pos+int64(n) {
+		p[f.off-f.pos] ^= 1 << f.bit
+	}
+	f.pos += int64(n)
+	return n, err
+}
+
+// FailingReader passes r through until the k-th Read call (1-based), which
+// fails with ErrInjected — a transient or permanent device error partway
+// through a file.
+func FailingReader(r io.Reader, k int) io.Reader { return &failingReader{r: r, k: k} }
+
+type failingReader struct {
+	r     io.Reader
+	k     int
+	calls int
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	f.calls++
+	if f.calls >= f.k {
+		return 0, fmt.Errorf("%w (read %d)", ErrInjected, f.calls)
+	}
+	return f.r.Read(p)
+}
+
+// SlowReader sleeps d before every Read — slow media or a congested
+// parallel filesystem, the scenario cancellation must cut short.
+func SlowReader(r io.Reader, d time.Duration) io.Reader { return &slowReader{r: r, d: d} }
+
+type slowReader struct {
+	r io.Reader
+	d time.Duration
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	time.Sleep(s.d)
+	return s.r.Read(p)
+}
+
+// PanicReader panics on the first Read — a stand-in for a decoder bug the
+// ingest pipeline must convert into a per-file quarantine rather than a
+// crashed process.
+func PanicReader() io.Reader { return panicReader{} }
+
+type panicReader struct{}
+
+func (panicReader) Read([]byte) (int, error) { panic("faultio: injected reader panic") }
+
+// WithCloser bundles a fault-wrapped reader with the closer of the
+// underlying resource, for APIs that take io.ReadCloser.
+func WithCloser(r io.Reader, c io.Closer) io.ReadCloser {
+	return struct {
+		io.Reader
+		io.Closer
+	}{r, c}
+}
+
+// ---- At-rest corruption ----
+
+// Truncate cuts the file at path to n bytes, as a killed writer without a
+// durable-write protocol would leave it.
+func Truncate(path string, n int64) error { return os.Truncate(path, n) }
+
+// FlipBit flips bit (bit mod 8) of the byte at offset off in the file at
+// path — deterministic at-rest corruption.
+func FlipBit(path string, off int64, bit uint) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Overwrite replaces the file's contents wholesale (e.g. with garbage from
+// a misdirected write).
+func Overwrite(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+
+// ---- Writer crash simulation ----
+
+// FS wraps an inner profio.FS and simulates the writing process dying
+// after a scripted number of payload bytes: writes land normally until the
+// budget is exhausted, the write that crosses it lands only partially
+// (a torn write), and every operation after that — writes, syncs, renames,
+// removes — fails with ErrCrashed, exactly as if the process were gone.
+// Files and directory entries created before the crash stay behind for the
+// reader side to cope with.
+type FS struct {
+	inner profio.FS
+
+	mu        sync.Mutex
+	remaining int64
+	crashed   bool
+}
+
+// NewCrashFS returns an FS that crashes after crashAfterBytes total bytes
+// written across all files. A negative budget never crashes.
+func NewCrashFS(inner profio.FS, crashAfterBytes int64) *FS {
+	return &FS{inner: inner, remaining: crashAfterBytes}
+}
+
+// Crashed reports whether the simulated crash point has been reached.
+func (s *FS) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// consume grants up to n bytes of write budget, crashing when it runs out.
+func (s *FS) consume(n int) (granted int, crashedNow bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return 0, true
+	}
+	if s.remaining < 0 {
+		return n, false
+	}
+	if int64(n) <= s.remaining {
+		s.remaining -= int64(n)
+		return n, false
+	}
+	granted = int(s.remaining)
+	s.remaining = 0
+	s.crashed = true
+	return granted, true
+}
+
+func (s *FS) alive() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// MkdirAll implements profio.FS.
+func (s *FS) MkdirAll(path string, perm os.FileMode) error {
+	if err := s.alive(); err != nil {
+		return err
+	}
+	return s.inner.MkdirAll(path, perm)
+}
+
+// Create implements profio.FS.
+func (s *FS) Create(path string) (profio.File, error) {
+	if err := s.alive(); err != nil {
+		return nil, err
+	}
+	f, err := s.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{f: f, fs: s}, nil
+}
+
+// Rename implements profio.FS.
+func (s *FS) Rename(oldpath, newpath string) error {
+	if err := s.alive(); err != nil {
+		return err
+	}
+	return s.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements profio.FS.
+func (s *FS) Remove(path string) error {
+	if err := s.alive(); err != nil {
+		return err
+	}
+	return s.inner.Remove(path)
+}
+
+// SyncDir implements profio.FS.
+func (s *FS) SyncDir(path string) error {
+	if err := s.alive(); err != nil {
+		return err
+	}
+	return s.inner.SyncDir(path)
+}
+
+type crashFile struct {
+	f  profio.File
+	fs *FS
+}
+
+func (c *crashFile) Write(b []byte) (int, error) {
+	granted, crashed := c.fs.consume(len(b))
+	if granted > 0 {
+		n, err := c.f.Write(b[:granted])
+		if err != nil {
+			return n, err
+		}
+	}
+	if crashed {
+		return granted, ErrCrashed
+	}
+	return granted, nil
+}
+
+func (c *crashFile) Sync() error {
+	if err := c.fs.alive(); err != nil {
+		return err
+	}
+	return c.f.Sync()
+}
+
+// Close always releases the real file descriptor — the OS does that even
+// for dead processes — but reports the crash so callers cannot mistake a
+// post-crash close for a durable one.
+func (c *crashFile) Close() error {
+	err := c.f.Close()
+	if cerr := c.fs.alive(); cerr != nil {
+		return cerr
+	}
+	return err
+}

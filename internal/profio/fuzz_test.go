@@ -2,18 +2,18 @@ package profio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"dcprof/internal/cct"
 )
 
-// FuzzReadProfile requires the reader to reject arbitrary, truncated, and
-// corrupted inputs with an error — never a panic, hang, or absurd
-// allocation. The seed corpus covers the corruption classes we know about:
-// truncation at interesting boundaries, out-of-range string-table indices,
-// and cyclic/forward parent indices. Run `go test -fuzz=FuzzReadProfile
-// ./internal/profio` to search beyond the corpus.
-func FuzzReadProfile(f *testing.F) {
+// fuzzSeeds builds the shared seed corpus: intact v1 and v2 images plus
+// every corruption class we know about — truncation at interesting
+// boundaries (including every v2 section seam), flipped section and
+// footer checksums, footer-magic and record-count damage, and the
+// record-level attacks (bad string index, cyclic/forward parents).
+func fuzzSeeds(f *testing.F) {
 	var full bytes.Buffer
 	if err := WriteProfile(&full, sampleProfile(3, 17)); err != nil {
 		f.Fatal(err)
@@ -25,7 +25,7 @@ func FuzzReadProfile(f *testing.F) {
 
 	f.Add(full.Bytes())
 	f.Add(empty.Bytes())
-	f.Add(full.Bytes()[:7])               // truncated inside the header
+	f.Add(full.Bytes()[:7])               // truncated inside the preamble
 	f.Add(full.Bytes()[:full.Len()/2])    // truncated mid-tree
 	f.Add(full.Bytes()[:full.Len()-1])    // truncated by one byte
 	f.Add([]byte{})                       // empty input
@@ -34,6 +34,47 @@ func FuzzReadProfile(f *testing.F) {
 	f.Add(imageWithCyclicParent())
 	f.Add(imageWithForwardParent())
 
+	// v2 framing mutations: cut at every section seam, flip each
+	// section's trailing CRC byte, and damage the footer three ways.
+	img := full.Bytes()
+	pos := 8
+	for s := 0; s < 1+cct.NumClasses; s++ {
+		n, k := binary.Uvarint(img[pos:])
+		if k <= 0 {
+			f.Fatalf("seed image: bad section %d", s)
+		}
+		pos += k + int(n) + 4
+		f.Add(append([]byte{}, img[:pos]...)) // truncated at section seam
+		crcFlip := append([]byte{}, img...)
+		crcFlip[pos-1] ^= 0x01 // section CRC byte
+		f.Add(crcFlip)
+		payloadFlip := append([]byte{}, img...)
+		payloadFlip[pos-6] ^= 0x80 // inside section payload
+		f.Add(payloadFlip)
+	}
+	footerMagic := append([]byte{}, img...)
+	footerMagic[pos] ^= 0xff
+	f.Add(footerMagic)
+	footerCount := append([]byte{}, img...)
+	footerCount[pos+4] ^= 0x07
+	f.Add(footerCount)
+	footerCRC := append([]byte{}, img...)
+	footerCRC[len(footerCRC)-1] ^= 0x01
+	f.Add(footerCRC)
+	f.Add(append(append([]byte{}, img...), 0xaa)) // trailing garbage
+
+	// A legacy v1 image keeps the fuzzer exercising the v1 decode path.
+	v1 := append([]byte{}, img...)
+	binary.LittleEndian.PutUint32(v1[4:], Version1)
+	f.Add(v1)
+}
+
+// FuzzReadProfile requires the reader to reject arbitrary, truncated, and
+// corrupted inputs with an error — never a panic, hang, or absurd
+// allocation. Run `go test -fuzz=FuzzReadProfile ./internal/profio` to
+// search beyond the corpus.
+func FuzzReadProfile(f *testing.F) {
+	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := ReadProfile(bytes.NewReader(data))
 		if err != nil {
@@ -46,6 +87,35 @@ func FuzzReadProfile(f *testing.F) {
 		var out bytes.Buffer
 		if err := WriteProfile(&out, p); err != nil {
 			t.Fatalf("decoded profile failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzSalvageProfile holds the degraded path to the same bar as the happy
+// path: whatever the input, salvage must not panic, must keep its
+// tree accounting consistent, and anything it does recover must be a
+// structurally valid, re-encodable profile.
+func FuzzSalvageProfile(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := SalvageProfile(bytes.NewReader(data), nil)
+		if err != nil {
+			return // header unreadable — nothing salvageable
+		}
+		if s.Profile == nil {
+			t.Fatal("nil profile without error")
+		}
+		if s.Trees+s.Lost != cct.NumClasses {
+			t.Fatalf("tree accounting: %d salvaged + %d lost != %d", s.Trees, s.Lost, cct.NumClasses)
+		}
+		if s.Intact() != (s.Lost == 0 && len(s.Errs) == 0) {
+			t.Fatal("Intact() disagrees with its definition")
+		}
+		_ = s.Profile.NumNodes()
+		_ = s.Profile.Total()
+		var out bytes.Buffer
+		if err := WriteProfile(&out, s.Profile); err != nil {
+			t.Fatalf("salvaged profile failed to re-encode: %v", err)
 		}
 	})
 }

@@ -6,12 +6,33 @@
 // stores each CCT as a flat pre-order array of nodes with parent indices, a
 // deduplicated string table for symbols, and sparse varint-encoded metric
 // vectors (most nodes carry no metrics; leaves carry few distinct ones).
+//
+// Integrity is a scalability requirement too: at Sequoia-class scale (one
+// file per thread per rank) killed ranks, full filesystems, and torn writes
+// are routine, so format version 2 carries per-section CRC32 checksums and
+// a record-counting footer. Every section — the header (identification +
+// string table) and each storage-class tree — is length-prefixed and
+// checksummed independently, which lets the reader detect corruption at
+// section granularity and salvage the intact trees of a damaged file (see
+// SalvageProfile in salvage.go). Version 1 files (no checksums, no
+// sections) remain readable.
+//
+// Format v2 layout:
+//
+//	u32 magic "DCPF"            u32 version (2)
+//	section: header             — rank, thread, string table, event index
+//	section: tree ×NumClasses   — pre-order node records
+//	u32 footer magic "DCPE"     uvarint total node records   u32 CRC32(count)
+//
+// where every section is `uvarint payloadLen · payload · u32 CRC32(payload)`.
 package profio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -22,12 +43,29 @@ import (
 // Magic identifies profile files ("DCPF" = data-centric profile).
 const Magic = 0x44435046
 
-// Version is the current format version.
-const Version = 1
+// FooterMagic identifies the end-of-file footer ("DCPE" = end).
+const FooterMagic = 0x44435045
+
+// Version is the current format version (checksummed sections + footer).
+const Version = 2
+
+// Version1 is the legacy format: same record encoding, but no section
+// framing, checksums, or footer. Still readable, never written.
+const Version1 = 1
+
+// TmpSuffix is appended to a profile's final name while it is being
+// written; the rename to the final name happens only after a successful
+// fsync, so a file under a final name is always complete. Files carrying
+// the suffix are ignored by Files and ReadDir.
+const TmpSuffix = ".tmp"
 
 const noParent = ^uint32(0)
 
-// WriteProfile encodes one thread profile.
+// maxSection bounds a claimed section payload length; anything larger is
+// rejected as corrupt before any proportional allocation happens.
+const maxSection = 1 << 30
+
+// WriteProfile encodes one thread profile in format v2.
 func WriteProfile(w io.Writer, p *cct.Profile) error {
 	bw := bufio.NewWriter(w)
 	if err := writeProfile(bw, p); err != nil {
@@ -51,32 +89,70 @@ func writeProfile(w *bufio.Writer, p *cct.Profile) error {
 
 	writeU32(w, Magic)
 	writeU32(w, Version)
-	writeUvarint(w, uint64(p.Rank))
-	writeUvarint(w, uint64(p.Thread))
 
-	// String table.
-	writeUvarint(w, uint64(len(strs.list)))
+	// Each section is staged in memory so its length prefix and checksum
+	// can be emitted; sections are one tree each, so staging cost is one
+	// tree's encoding, not the profile's.
+	var payload bytes.Buffer
+	sw := bufio.NewWriter(&payload)
+
+	// Header section: identification + string table + event.
+	writeUvarint(sw, uint64(p.Rank))
+	writeUvarint(sw, uint64(p.Thread))
+	writeUvarint(sw, uint64(len(strs.list)))
 	for _, s := range strs.list {
-		writeUvarint(w, uint64(len(s)))
-		if _, err := w.WriteString(s); err != nil {
+		writeUvarint(sw, uint64(len(s)))
+		if _, err := sw.WriteString(s); err != nil {
 			return err
 		}
 	}
-	writeUvarint(w, uint64(strs.idx[p.Event]))
+	writeUvarint(sw, uint64(strs.idx[p.Event]))
+	if err := flushSection(w, sw, &payload); err != nil {
+		return err
+	}
 
-	// Trees.
+	// Tree sections.
 	if len(p.Trees) != cct.NumClasses {
 		return fmt.Errorf("profio: profile has %d trees, want %d", len(p.Trees), cct.NumClasses)
 	}
+	totalNodes := uint64(0)
 	for _, tree := range p.Trees {
-		if err := writeTree(w, tree, strs); err != nil {
+		n, err := writeTree(sw, tree, strs)
+		if err != nil {
+			return err
+		}
+		totalNodes += uint64(n)
+		if err := flushSection(w, sw, &payload); err != nil {
 			return err
 		}
 	}
+
+	// Footer: magic, total node records, checksum of the count.
+	writeU32(w, FooterMagic)
+	var cnt [binary.MaxVarintLen64]byte
+	cn := binary.PutUvarint(cnt[:], totalNodes)
+	w.Write(cnt[:cn])
+	writeU32(w, crc32.ChecksumIEEE(cnt[:cn]))
 	return nil
 }
 
-func writeTree(w *bufio.Writer, t *cct.Tree, strs *stringTable) error {
+// flushSection drains the staged payload into w as one framed, checksummed
+// section and resets the staging buffer for the next section.
+func flushSection(w *bufio.Writer, sw *bufio.Writer, payload *bytes.Buffer) error {
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	b := payload.Bytes()
+	writeUvarint(w, uint64(len(b)))
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	writeU32(w, crc32.ChecksumIEEE(b))
+	payload.Reset()
+	return nil
+}
+
+func writeTree(w *bufio.Writer, t *cct.Tree, strs *stringTable) (int, error) {
 	// Pre-order with parent indices. Walk is deterministic, so index
 	// assignment is too.
 	index := map[*cct.Node]uint32{}
@@ -87,7 +163,6 @@ func writeTree(w *bufio.Writer, t *cct.Tree, strs *stringTable) error {
 		return true
 	})
 	writeUvarint(w, uint64(count))
-	var err error
 	t.Walk(func(n *cct.Node, _ int) bool {
 		parent := noParent
 		if n.Parent() != nil {
@@ -115,7 +190,7 @@ func writeTree(w *bufio.Writer, t *cct.Tree, strs *stringTable) error {
 		}
 		return true
 	})
-	return err
+	return int(count), nil
 }
 
 // EncodedSize returns the number of bytes WriteProfile would produce.
@@ -127,11 +202,22 @@ func EncodedSize(p *cct.Profile) (int64, error) {
 	return cw.n, nil
 }
 
-type countWriter struct{ n int64 }
+// countWriter counts bytes, forwarding to w when set (nil discards). The
+// durable writer takes its byte accounting from this counter rather than
+// re-stat-ing the file it just wrote.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
 
 func (c *countWriter) Write(b []byte) (int, error) {
-	c.n += int64(len(b))
-	return len(b), nil
+	if c.w == nil {
+		c.n += int64(len(b))
+		return len(b), nil
+	}
+	m, err := c.w.Write(b)
+	c.n += int64(m)
+	return m, err
 }
 
 // FileName returns the canonical per-thread profile file name.
@@ -139,33 +225,120 @@ func FileName(rank, thread int) string {
 	return fmt.Sprintf("rank%05d-thread%05d.dcprof", rank, thread)
 }
 
+// FS abstracts the handful of filesystem operations the durable writer
+// performs. Production code uses OSFS; fault-injection tests (see
+// internal/faultio) interpose a wrapper that simulates crashes and full
+// disks at scripted points.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	Create(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	// SyncDir fsyncs the directory itself, making completed renames
+	// durable against power loss.
+	SyncDir(path string) error
+}
+
+// File is the writable-file surface the durable writer needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Create implements FS.
+func (OSFS) Create(path string) (File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // WriteDir writes one file per profile into dir (created if needed) and
 // returns the total bytes written — the measurement's space overhead.
+//
+// Writes are durable and atomic per file: each profile is written to a
+// TmpSuffix-named temp file, fsynced, then renamed to its final name, and
+// the directory is fsynced once at the end. A writer killed at any point
+// (including mid-write: full filesystem, dead rank) can therefore never
+// leave a partial file under a final profile name — readers see either the
+// complete file or nothing.
 func WriteDir(dir string, profiles []*cct.Profile) (int64, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return WriteDirFS(OSFS{}, dir, profiles)
+}
+
+// WriteDirFS is WriteDir over an explicit filesystem.
+func WriteDirFS(fsys FS, dir string, profiles []*cct.Profile) (int64, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
 	}
 	var total int64
 	for _, p := range profiles {
-		path := filepath.Join(dir, FileName(p.Rank, p.Thread))
-		f, err := os.Create(path)
+		n, err := writeOne(fsys, dir, p)
+		total += n
 		if err != nil {
 			return total, err
 		}
-		if err := WriteProfile(f, p); err != nil {
-			f.Close()
-			return total, err
-		}
-		if err := f.Close(); err != nil {
-			return total, err
-		}
-		st, err := os.Stat(path)
-		if err != nil {
-			return total, err
-		}
-		total += st.Size()
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return total, fmt.Errorf("profio: syncing %s: %w", dir, err)
 	}
 	return total, nil
+}
+
+func writeOne(fsys FS, dir string, p *cct.Profile) (int64, error) {
+	final := filepath.Join(dir, FileName(p.Rank, p.Thread))
+	tmp := final + TmpSuffix
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countWriter{w: f}
+	if err := WriteProfile(cw, p); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return 0, fmt.Errorf("profio: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return 0, fmt.Errorf("profio: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return 0, fmt.Errorf("profio: closing %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
+		return 0, fmt.Errorf("profio: publishing %s: %w", final, err)
+	}
+	return cw.n, nil
 }
 
 // stringTable interns strings for writing.

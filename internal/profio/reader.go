@@ -2,8 +2,11 @@ package profio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -13,6 +16,26 @@ import (
 	"dcprof/internal/cct"
 	"dcprof/internal/metric"
 )
+
+// ErrChecksum reports a section whose payload does not match its stored
+// CRC32 — the file is the right shape but its bytes were damaged (bit rot,
+// torn write, transport corruption). For v2 files the reader's position is
+// still at the next section boundary, so later sections remain readable.
+var ErrChecksum = errors.New("checksum mismatch")
+
+// ErrTruncated reports input that ended before a complete record — the
+// classic killed-writer artifact. Nothing after the truncation point is
+// recoverable.
+var ErrTruncated = errors.New("truncated")
+
+// wrapEOF converts the io-level end-of-input errors into ErrTruncated so
+// callers can classify failures with errors.Is.
+func wrapEOF(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w (%v)", ErrTruncated, err)
+	}
+	return err
+}
 
 // Intern is a concurrency-safe string cache shared across Readers. Thread
 // profiles of one execution repeat the same module/function/file names in
@@ -50,13 +73,24 @@ func (in *Intern) Len() int {
 // beyond the tree currently being decoded is buffered, so a consumer can
 // merge each tree away as soon as it arrives instead of holding the whole
 // profile — the unit of streaming the analyzer's pipeline is built on.
+//
+// For v2 input every section's checksum is verified before its records are
+// trusted. A checksum or decode failure inside one tree section is
+// recoverable: the reader is already positioned at the next section, so
+// further ReadTree calls continue with the following tree (the salvage
+// path). A truncation or framing failure is terminal — Broken reports it —
+// because the stream offset of later sections is unknowable.
 type Reader struct {
 	br           *bufio.Reader
+	version      uint32
 	rank, thread int
 	event        string
 	strs         []string
 	next         int
 	nodes        int
+	treeErrs     int
+	footerDone   bool
+	terminal     error // sticky stream-level failure; nil if resync possible
 }
 
 // NewReader reads the header and string table and positions the reader at
@@ -69,31 +103,54 @@ func NewReaderInterned(r io.Reader, in *Intern) (*Reader, error) {
 	br := bufio.NewReader(r)
 	if m, err := readU32(br); err != nil || m != Magic {
 		if err != nil {
-			return nil, fmt.Errorf("profio: reading magic: %w", err)
+			return nil, fmt.Errorf("profio: reading magic: %w", wrapEOF(err))
 		}
 		return nil, fmt.Errorf("profio: bad magic %#x", m)
 	}
-	if v, err := readU32(br); err != nil || v != Version {
-		if err != nil {
-			return nil, fmt.Errorf("profio: reading version: %w", err)
+	v, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("profio: reading version: %w", wrapEOF(err))
+	}
+	d := &Reader{br: br, version: v}
+	switch v {
+	case Version1:
+		if err := d.parseHeader(br, in); err != nil {
+			return nil, err
 		}
+	case Version:
+		payload, err := readSection(br, "header")
+		if err != nil {
+			return nil, fmt.Errorf("profio: %w", err)
+		}
+		hr := bufio.NewReader(bytes.NewReader(payload))
+		if err := d.parseHeader(hr, in); err != nil {
+			return nil, err
+		}
+		if _, err := hr.ReadByte(); err != io.EOF {
+			return nil, fmt.Errorf("profio: header: trailing bytes in section")
+		}
+	default:
 		return nil, fmt.Errorf("profio: unsupported version %d", v)
 	}
+	return d, nil
+}
+
+// parseHeader decodes rank, thread, string table, and event description.
+func (d *Reader) parseHeader(br *bufio.Reader, in *Intern) error {
 	rank, err := readUvarint(br)
 	if err != nil {
-		return nil, err
+		return wrapEOF(err)
 	}
 	thread, err := readUvarint(br)
 	if err != nil {
-		return nil, err
+		return wrapEOF(err)
 	}
-
 	nStrs, err := readUvarint(br)
 	if err != nil {
-		return nil, err
+		return wrapEOF(err)
 	}
 	if nStrs > 1<<24 {
-		return nil, fmt.Errorf("profio: unreasonable string table size %d", nStrs)
+		return fmt.Errorf("profio: unreasonable string table size %d", nStrs)
 	}
 	// Grow incrementally rather than trusting the claimed count: a corrupt
 	// header must not be able to demand a huge upfront allocation.
@@ -101,14 +158,14 @@ func NewReaderInterned(r io.Reader, in *Intern) (*Reader, error) {
 	for i := uint64(0); i < nStrs; i++ {
 		n, err := readUvarint(br)
 		if err != nil {
-			return nil, err
+			return wrapEOF(err)
 		}
 		if n > 1<<16 {
-			return nil, fmt.Errorf("profio: unreasonable string length %d", n)
+			return fmt.Errorf("profio: unreasonable string length %d", n)
 		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, err
+			return wrapEOF(err)
 		}
 		s := string(buf)
 		if in != nil {
@@ -116,18 +173,45 @@ func NewReaderInterned(r io.Reader, in *Intern) (*Reader, error) {
 		}
 		strs = append(strs, s)
 	}
-	d := &Reader{br: br, rank: int(rank), thread: int(thread), strs: strs}
+	d.rank, d.thread, d.strs = int(rank), int(thread), strs
 
 	eventIdx, err := readUvarint(br)
 	if err != nil {
-		return nil, err
+		return wrapEOF(err)
 	}
 	event, err := d.str(eventIdx)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	d.event = event
-	return d, nil
+	return nil
+}
+
+// readSection reads one `len · payload · crc` frame and verifies the
+// checksum. The payload buffer grows with the bytes actually present, so a
+// corrupt length claiming gigabytes costs nothing before the stream runs
+// dry. On a checksum failure the stream position is past the section — the
+// caller may resync; on any other failure the position is undefined.
+func readSection(br *bufio.Reader, what string) ([]byte, error) {
+	n, err := readUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%s: reading section length: %w", what, wrapEOF(err))
+	}
+	if n > maxSection {
+		return nil, fmt.Errorf("%s: unreasonable section size %d", what, n)
+	}
+	var buf bytes.Buffer
+	if m, err := io.CopyN(&buf, br, int64(n)); err != nil {
+		return nil, fmt.Errorf("%s: %w after %d/%d payload bytes", what, ErrTruncated, m, n)
+	}
+	stored, err := readU32(br)
+	if err != nil {
+		return nil, fmt.Errorf("%s: reading checksum: %w", what, wrapEOF(err))
+	}
+	if got := crc32.ChecksumIEEE(buf.Bytes()); got != stored {
+		return nil, fmt.Errorf("%s: %w: computed %08x, stored %08x", what, ErrChecksum, got, stored)
+	}
+	return buf.Bytes(), nil
 }
 
 // Rank returns the producing MPI rank from the header.
@@ -142,6 +226,15 @@ func (d *Reader) Event() string { return d.event }
 // NodesRead returns the number of CCT node records decoded so far.
 func (d *Reader) NodesRead() int { return d.nodes }
 
+// Version returns the format version being decoded (Version1 or Version).
+func (d *Reader) Version() uint32 { return d.version }
+
+// Broken reports whether the stream hit a terminal failure — truncation or
+// framing damage past which no further section can be located. After a
+// merely-corrupt v2 section (checksum or record-level failure) Broken stays
+// false and ReadTree continues with the next tree.
+func (d *Reader) Broken() bool { return d.terminal != nil }
+
 func (d *Reader) str(i uint64) (string, error) {
 	if i >= uint64(len(d.strs)) {
 		return "", fmt.Errorf("profio: string index %d out of range", i)
@@ -150,20 +243,124 @@ func (d *Reader) str(i uint64) (string, error) {
 }
 
 // ReadTree decodes the next storage-class tree, returning io.EOF once all
-// cct.NumClasses trees have been read.
+// cct.NumClasses trees have been read and (for v2) the footer validated.
+//
+// A v2 tree section that is present but damaged yields an error for that
+// class only; the next ReadTree call proceeds to the following class. A v1
+// decode failure or a v2 truncation is terminal: the same error is
+// returned from every subsequent call.
 func (d *Reader) ReadTree() (cct.Class, *cct.Tree, error) {
+	if d.terminal != nil {
+		return 0, nil, d.terminal
+	}
 	if d.next >= cct.NumClasses {
+		if d.version == Version && !d.footerDone {
+			d.footerDone = true
+			if err := d.readFooter(); err != nil {
+				return 0, nil, err
+			}
+		}
 		return 0, nil, io.EOF
 	}
 	c := cct.Class(d.next)
-	t := cct.New()
-	n, err := readTree(d.br, t, d.str)
+
+	if d.version == Version1 {
+		t := cct.New()
+		n, err := readTree(d.br, t, d.str)
+		if err != nil {
+			// v1 has no framing: the offset of the next tree is unknown.
+			d.terminal = fmt.Errorf("profio: tree %d: %w", d.next, wrapEOF(err))
+			return c, nil, d.terminal
+		}
+		d.next++
+		d.nodes += n
+		return c, t, nil
+	}
+
+	payload, err := readSection(d.br, fmt.Sprintf("tree %d", d.next))
 	if err != nil {
-		return c, nil, fmt.Errorf("profio: tree %d: %w", d.next, err)
+		if errors.Is(err, ErrChecksum) {
+			// Position is at the next section: recoverable.
+			d.next++
+			d.treeErrs++
+			return c, nil, fmt.Errorf("profio: %w", err)
+		}
+		d.terminal = fmt.Errorf("profio: %w", err)
+		d.treeErrs++
+		return c, nil, d.terminal
+	}
+	// The payload passed its checksum; decode it. A record-level failure
+	// here means the writer produced it damaged (or a CRC collision) —
+	// either way only this tree is lost.
+	t := cct.New()
+	pr := bufio.NewReader(bytes.NewReader(payload))
+	n, err := readTree(pr, t, d.str)
+	if err == nil {
+		if _, e := pr.ReadByte(); e != io.EOF {
+			err = fmt.Errorf("trailing bytes in tree section")
+		}
+	}
+	if err != nil {
+		d.next++
+		d.treeErrs++
+		return c, nil, fmt.Errorf("profio: tree %d: %w", int(c), err)
 	}
 	d.next++
 	d.nodes += n
 	return c, t, nil
+}
+
+// readFooter validates the v2 end-of-file footer: magic, checksummed total
+// node count, and absence of trailing bytes. The count is only compared to
+// the decoded total when every tree section decoded cleanly — a salvaged
+// file legitimately decodes fewer nodes than the writer recorded.
+func (d *Reader) readFooter() error {
+	m, err := readU32(d.br)
+	if err != nil {
+		return fmt.Errorf("profio: footer: reading magic: %w", wrapEOF(err))
+	}
+	if m != FooterMagic {
+		return fmt.Errorf("profio: footer: bad magic %#x", m)
+	}
+	// Checksum covers the exact varint bytes of the count.
+	var raw []byte
+	count, err := func() (uint64, error) {
+		var v uint64
+		for shift := uint(0); ; shift += 7 {
+			b, err := d.br.ReadByte()
+			if err != nil {
+				return 0, wrapEOF(err)
+			}
+			raw = append(raw, b)
+			if shift >= 64 {
+				return 0, fmt.Errorf("count varint overflows")
+			}
+			v |= uint64(b&0x7f) << shift
+			if b < 0x80 {
+				return v, nil
+			}
+		}
+	}()
+	if err != nil {
+		return fmt.Errorf("profio: footer: %w", err)
+	}
+	stored, err := readU32(d.br)
+	if err != nil {
+		return fmt.Errorf("profio: footer: reading checksum: %w", wrapEOF(err))
+	}
+	if got := crc32.ChecksumIEEE(raw); got != stored {
+		return fmt.Errorf("profio: footer: %w: computed %08x, stored %08x", ErrChecksum, got, stored)
+	}
+	if d.treeErrs == 0 && count != uint64(d.nodes) {
+		return fmt.Errorf("profio: footer: record count %d, decoded %d", count, d.nodes)
+	}
+	switch _, err := d.br.ReadByte(); {
+	case err == nil:
+		return fmt.Errorf("profio: trailing data after footer")
+	case err != io.EOF:
+		return fmt.Errorf("profio: after footer: %w", err)
+	}
+	return nil
 }
 
 // ReadRest decodes every remaining tree and returns the assembled profile.
@@ -295,7 +492,9 @@ func readTree(br *bufio.Reader, t *cct.Tree, str func(uint64) (string, error)) (
 }
 
 // Files returns the profile file paths in dir sorted by name (the canonical
-// zero-padded names sort by rank, then thread).
+// zero-padded names sort by rank, then thread). In-flight temp files from a
+// killed writer carry TmpSuffix as their extension, so they are never
+// listed.
 func Files(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {

@@ -1,0 +1,91 @@
+package profio
+
+// Salvage: best-effort decoding of damaged profile files. A killed rank or
+// a full filesystem at Sequoia scale routinely leaves truncated or
+// bit-damaged per-thread files; rather than discard such a file outright,
+// the analyzer can recover every storage-class tree that is complete and
+// checksum-valid and fold just those into the merge (the PolicySalvage
+// ingest mode in internal/analysis).
+
+import (
+	"io"
+
+	"dcprof/internal/cct"
+)
+
+// Salvage is the outcome of a best-effort decode of one profile file.
+type Salvage struct {
+	// Profile holds the recovered data: salvaged class trees in their
+	// slots, empty trees for the lost classes. Identification fields come
+	// from the header, which must be intact for any salvage to happen.
+	Profile *cct.Profile
+	// Trees counts complete, integrity-checked class trees recovered.
+	Trees int
+	// Lost counts class trees that could not be recovered.
+	Lost int
+	// Errs holds one error per damaged section (plus the footer, when its
+	// validation failed). Empty means the file was fully intact.
+	Errs []error
+	// NodesRead is the number of CCT node records decoded from the
+	// salvaged trees.
+	NodesRead int
+}
+
+// Intact reports whether the file decoded completely with every integrity
+// check passing — i.e. salvage degenerated into a normal read.
+func (s *Salvage) Intact() bool { return s.Lost == 0 && len(s.Errs) == 0 }
+
+// SalvageProfile decodes as much of a possibly damaged profile as the
+// format's integrity metadata can vouch for. It returns an error only when
+// the header (identification + string table) is unreadable — without the
+// string table no tree can be decoded, so nothing is salvageable.
+//
+// For v2 files each tree section is independently framed and checksummed,
+// so a damaged section loses only its own class; later sections are still
+// recovered. Truncation loses everything from the cut onward. For v1 files
+// (no framing) the trees preceding the first failure are recovered and the
+// rest counted lost; v1 trees carry no checksums, so "recovered" there
+// means "decoded cleanly", a weaker guarantee.
+func SalvageProfile(r io.Reader, in *Intern) (*Salvage, error) {
+	d, err := NewReaderInterned(r, in)
+	if err != nil {
+		return nil, err
+	}
+	return d.Salvage()
+}
+
+// Salvage drains the reader's remaining trees in best-effort mode. It can
+// be called instead of ReadRest after NewReader; mixing it with prior
+// ReadTree calls salvages only the classes not yet read.
+func (d *Reader) Salvage() (*Salvage, error) {
+	s := &Salvage{Profile: cct.NewProfile(d.rank, d.thread, d.event)}
+	for {
+		before := d.next
+		c, t, err := d.ReadTree()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.Errs = append(s.Errs, err)
+			if d.Broken() {
+				// The stream is unframed or cut: d.next still names the
+				// tree the failure surfaced on, and every class from it
+				// onward is gone.
+				s.Lost += cct.NumClasses - d.next
+				break
+			}
+			if d.next > before {
+				// A tree section was present but damaged; the reader
+				// resynced past it, so only that class is lost.
+				s.Lost++
+			}
+			// Otherwise the error was footer validation — trees already
+			// accounted for; the next call returns io.EOF.
+			continue
+		}
+		s.Profile.Trees[c] = t
+		s.Trees++
+	}
+	s.NodesRead = d.nodes
+	return s, nil
+}

@@ -5,5 +5,7 @@ set -ex
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/sim ./internal/analysis
+go test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio
+go test -run='^$' -fuzz=FuzzReadProfile -fuzztime=10s ./internal/profio
+go test -run='^$' -fuzz=FuzzSalvageProfile -fuzztime=10s ./internal/profio
 go test -run='^$' -bench=Merge -benchtime=1x ./internal/analysis .
