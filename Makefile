@@ -20,7 +20,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio
+	$(GO) test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler
+	$(GO) test -race ./internal/telemetry/...
 
 # Short fuzz of the reader and the salvage path (the fuzz engine accepts
 # one target per run), on top of the always-run corpus regression pass.
@@ -30,3 +31,5 @@ fuzz-smoke:
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Merge -benchtime=1x ./internal/analysis .
+	DCPROF_BENCH_TELEMETRY="$(CURDIR)/BENCH_telemetry.json" \
+		$(GO) test -run='^TestTelemetryOverheadGate$$' -count=1 ./internal/analysis

@@ -6,23 +6,32 @@
 //	dcbench -exp table2      # one experiment
 //	dcbench -quick           # unit-test-sized runs
 //	dcbench -list            # list experiment ids
+//	dcbench -trace traces/   # also write <id>.trace.json per experiment
+//
+// -trace writes one Chrome trace-event file per experiment (open in
+// chrome://tracing or https://ui.perfetto.dev): the experiment span, each
+// benchmark run it triggered, and instants for runs served from the memo
+// cache.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"dcprof/internal/experiments"
+	"dcprof/internal/telemetry/spanlog"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
-		quick = flag.Bool("quick", false, "use unit-test-sized configurations")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
+		quick    = flag.Bool("quick", false, "use unit-test-sized configurations")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		traceDir = flag.String("trace", "", "write a Chrome trace-event JSON file per experiment into this directory")
 	)
 	flag.Parse()
 
@@ -52,16 +61,52 @@ func main() {
 		}
 	}
 
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "dcbench:", err)
+			os.Exit(1)
+		}
+	}
+
 	ctx := experiments.NewContext()
 	total := time.Now()
 	for _, e := range todo {
+		var spans *spanlog.Log
+		if *traceDir != "" {
+			spans = spanlog.New()
+			ctx.SetSpans(spans)
+		}
 		start := time.Now()
+		expDone := spans.Span("experiment "+e.ID, "experiment", 0, 0,
+			map[string]any{"title": e.Title, "scale": scale.String()})
 		table := e.Run(ctx, scale)
+		expDone()
 		fmt.Println(table.Render())
 		fmt.Printf("paper reference: %s   [%s scale, %.1fs]\n\n",
 			e.Paper, scale, time.Since(start).Seconds())
+		if spans != nil {
+			path := filepath.Join(*traceDir, e.ID+".trace.json")
+			if err := writeTrace(path, spans); err != nil {
+				fmt.Fprintln(os.Stderr, "dcbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace: %s (%d events)\n\n", path, spans.Len())
+		}
 	}
 	if len(todo) > 1 {
 		fmt.Printf("%d experiments in %.1fs\n", len(todo), time.Since(total).Seconds())
 	}
+}
+
+// writeTrace dumps one experiment's span log as a trace-event document.
+func writeTrace(path string, spans *spanlog.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := spans.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dcprof/internal/apps/amg"
 	"dcprof/internal/apps/bench"
@@ -32,6 +33,7 @@ import (
 	"dcprof/internal/pmu"
 	"dcprof/internal/profiler"
 	"dcprof/internal/profio"
+	"dcprof/internal/telemetry"
 )
 
 func main() {
@@ -42,10 +44,17 @@ func main() {
 		period  = flag.Uint64("period", 0, "sampling period (0: per-app default)")
 		quick   = flag.Bool("quick", false, "use the unit-test-sized configuration")
 		outDir  = flag.String("o", "measurements", "output measurement directory")
+		telFile = flag.String("telemetry", "", "write a JSON self-observability snapshot (instruments + overhead) to this file on exit")
 	)
 	flag.Parse()
 
-	res, err := run(*app, *variant, *event, *period, *quick)
+	start := time.Now()
+	var tel *telemetry.Registry
+	if *telFile != "" {
+		tel = telemetry.Default()
+	}
+
+	res, err := run(*app, *variant, *event, *period, *quick, tel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcprof:", err)
 		os.Exit(1)
@@ -61,6 +70,14 @@ func main() {
 		100*float64(res.OverheadCycles)/float64(res.Cycles))
 	fmt.Printf("wrote %d thread profiles (%.2f MB, durable checksummed v2) to %s\n",
 		len(res.Profiles), float64(bytes)/1e6, *outDir)
+
+	if *telFile != "" {
+		if err := writeTelemetry(*telFile, *outDir, res, bytes, time.Since(start)); err != nil {
+			fmt.Fprintln(os.Stderr, "dcprof:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote telemetry snapshot to %s\n", *telFile)
+	}
 	fmt.Printf("view with: dcview -d %s\n", *outDir)
 }
 
@@ -96,11 +113,12 @@ func profCfg(app, event string, period uint64) (profiler.Config, error) {
 	return cfg, nil
 }
 
-func run(app, variant, event string, period uint64, quick bool) (*bench.Result, error) {
+func run(app, variant, event string, period uint64, quick bool, tel *telemetry.Registry) (*bench.Result, error) {
 	pc, err := profCfg(app, event, period)
 	if err != nil {
 		return nil, err
 	}
+	pc.Telemetry = tel
 	if quick && period == 0 {
 		// Unit-test-sized runs retire far fewer events; keep sample counts
 		// usable by shortening the period proportionally.

@@ -7,7 +7,7 @@ import (
 
 func TestRunEveryAppQuick(t *testing.T) {
 	for _, app := range []string{"amg", "sweep3d", "lulesh", "streamcluster", "nw"} {
-		res, err := run(app, "original", "", 0, true)
+		res, err := run(app, "original", "", 0, true, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", app, err)
 		}
@@ -28,23 +28,23 @@ func TestRunOptimizedVariants(t *testing.T) {
 		"streamcluster": "parallel-init",
 		"nw":            "optimized",
 	} {
-		if _, err := run(app, variant, "", 0, true); err != nil {
+		if _, err := run(app, variant, "", 0, true, nil); err != nil {
 			t.Errorf("%s/%s: %v", app, variant, err)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := run("", "original", "", 0, true); err == nil {
+	if _, err := run("", "original", "", 0, true, nil); err == nil {
 		t.Error("missing app accepted")
 	}
-	if _, err := run("nosuch", "original", "", 0, true); err == nil {
+	if _, err := run("nosuch", "original", "", 0, true, nil); err == nil {
 		t.Error("bogus app accepted")
 	}
-	if _, err := run("amg", "bogus-variant", "", 0, true); err == nil {
+	if _, err := run("amg", "bogus-variant", "", 0, true, nil); err == nil {
 		t.Error("bogus variant accepted")
 	}
-	if _, err := run("amg", "original", "bogus-event", 0, true); err == nil {
+	if _, err := run("amg", "original", "bogus-event", 0, true, nil); err == nil {
 		t.Error("bogus event accepted")
 	}
 }

@@ -9,17 +9,24 @@
 //	dcview -d m/ -metric LATENCY -view topdown   # one view
 //	dcview -d m/ -view bottomup -rows 15
 //	dcview -d m/ -quarantine -stats              # skip damaged files, report them
+//	dcview -d m/ -stats -json                    # machine-readable merge stats
 //
 // By default dcview is strict: one unreadable profile aborts the whole
 // load. -quarantine instead skips damaged files (reporting each one), and
 // -salvage additionally merges the intact, checksummed class trees that
 // can be recovered from them.
+//
+// Exit codes: 0 success, 1 load/analysis failure, 2 usage error. All
+// diagnostics go to stderr; stdout carries only report output, so JSON
+// modes stay pipeable.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,6 +34,19 @@ import (
 	"dcprof/internal/metric"
 	"dcprof/internal/view"
 )
+
+// Exit codes.
+const (
+	exitLoadError = 1
+	exitUsage     = 2
+)
+
+// fatal is the single error-reporting path: dcview-prefixed message on
+// stderr, then exit with the given code.
+func fatal(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dcview: "+format+"\n", args...)
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -49,8 +69,7 @@ func main() {
 	policy := analysis.PolicyStrict
 	switch {
 	case *quarantine && *salvage, *strict && *quarantine, *strict && *salvage:
-		fmt.Fprintln(os.Stderr, "dcview: -strict, -quarantine and -salvage are mutually exclusive")
-		os.Exit(1)
+		fatal(exitUsage, "-strict, -quarantine and -salvage are mutually exclusive")
 	case *quarantine:
 		policy = analysis.PolicyQuarantine
 	case *salvage:
@@ -64,10 +83,17 @@ func main() {
 
 	db, st, err := load(*dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dcview:", err)
-		os.Exit(1)
+		fatal(exitLoadError, "%v", err)
 	}
 	reportQuarantine(st)
+	if *stats && *asJSON {
+		// Machine-readable pipeline stats on stdout; quarantine warnings
+		// already went to stderr above.
+		if err := writeStatsJSON(os.Stdout, st); err != nil {
+			fatal(exitLoadError, "%v", err)
+		}
+		return
+	}
 	if *stats {
 		fmt.Printf("merge stats: %d profiles, %.2f MB read, %d -> %d nodes (%.1fx coalescing), decode %s, merge %s, %d workers, peak residency %d profiles\n",
 			st.Inputs, float64(st.BytesRead)/1e6, st.InputNodes, st.MergedNodes,
@@ -78,8 +104,7 @@ func main() {
 	}
 	if *asJSON {
 		if err := analysis.WriteJSON(os.Stdout, db); err != nil {
-			fmt.Fprintln(os.Stderr, "dcview:", err)
-			os.Exit(1)
+			fatal(exitLoadError, "%v", err)
 		}
 		return
 	}
@@ -93,8 +118,7 @@ func main() {
 	if *diffDir != "" {
 		after, ast, err := load(*diffDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dcview:", err)
-			os.Exit(1)
+			fatal(exitLoadError, "%v", err)
 		}
 		reportQuarantine(ast)
 		fmt.Println(view.RenderDiff(db.Merged, after.Merged, m, *rows))
@@ -116,9 +140,16 @@ func main() {
 		fmt.Println(view.RenderBottomUp(db.Merged, opts))
 		fmt.Println(view.RenderAdvice(db.Merged, *rows))
 	default:
-		fmt.Fprintf(os.Stderr, "dcview: unknown view %q\n", *which)
-		os.Exit(1)
+		fatal(exitUsage, "unknown view %q", *which)
 	}
+}
+
+// writeStatsJSON renders the merge statistics as indented JSON — the
+// -stats -json contract consumed by scripts and the golden-file test.
+func writeStatsJSON(w io.Writer, st analysis.MergeStats) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st.Report())
 }
 
 // reportQuarantine warns on stderr when a degraded-policy load skipped
@@ -143,11 +174,10 @@ func pickMetric(name, event string) metric.ID {
 			return id
 		}
 	}
-	fmt.Fprintf(os.Stderr, "dcview: unknown metric %q; available:", name)
+	avail := make([]string, 0, len(metric.IDs()))
 	for _, id := range metric.IDs() {
-		fmt.Fprintf(os.Stderr, " %s", id.Name())
+		avail = append(avail, id.Name())
 	}
-	fmt.Fprintln(os.Stderr)
-	os.Exit(1)
+	fatal(exitUsage, "unknown metric %q; available: %s", name, strings.Join(avail, " "))
 	return 0
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dcprof/internal/analysis"
+)
+
+// TestStatsJSONGolden pins the -stats -json output format: downstream
+// tooling parses these field names, so any change here is a contract
+// change and must update the golden file deliberately
+// (UPDATE_GOLDEN=1 go test ./cmd/dcview).
+func TestStatsJSONGolden(t *testing.T) {
+	st := analysis.MergeStats{
+		Inputs:      128,
+		InputNodes:  40960,
+		MergedNodes: 512,
+		Workers:     4,
+		BytesRead:   1 << 20,
+		DecodeWall:  1234567 * time.Microsecond,
+		MergeWall:   1300000 * time.Microsecond,
+		MaxResident: 9,
+		Quarantined: []analysis.QuarantinedFile{
+			{Path: "m/rank00002.dcprof", Reason: "section heap: checksum mismatch", SalvagedTrees: 3},
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := writeStatsJSON(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "stats_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-stats -json output changed:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestStatsJSONEmptyQuarantine: a clean load must render quarantined as an
+// empty array, not null — consumers index it unconditionally.
+func TestStatsJSONEmptyQuarantine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeStatsJSON(&buf, analysis.MergeStats{Inputs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"quarantined": []`)) {
+		t.Errorf("empty quarantine list not rendered as []:\n%s", buf.Bytes())
+	}
+}

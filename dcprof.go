@@ -29,6 +29,8 @@ import (
 	"dcprof/internal/profiler"
 	"dcprof/internal/profio"
 	"dcprof/internal/sim"
+	"dcprof/internal/telemetry"
+	"dcprof/internal/telemetry/spanlog"
 	"dcprof/internal/view"
 )
 
@@ -205,6 +207,33 @@ func LoadMeasurementsStreamingCtx(ctx context.Context, dir string, opt LoadOptio
 func WriteMeasurements(dir string, profiles []*Profile) (int64, error) {
 	return profio.WriteDir(dir, profiles)
 }
+
+// ---- Telemetry ----
+
+// Telemetry is a concurrency-safe registry of counters, gauges and
+// histograms. Attach one via ProfilerConfig.Telemetry (profiler
+// instruments) or LoadOptions.Telemetry (merge pipeline instruments); a
+// nil registry disables instrumentation at one branch per site.
+type Telemetry = telemetry.Registry
+
+// TelemetrySnapshot is a point-in-time copy of a registry's instruments,
+// JSON-marshalable and mergeable into another registry with Absorb.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// NewTelemetry creates an empty registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// DefaultTelemetry returns the process-wide registry. The profile I/O
+// layer always accounts here (names under "profio.").
+func DefaultTelemetry() *Telemetry { return telemetry.Default() }
+
+// SpanLog collects timestamped spans and renders them as a Chrome
+// trace-event JSON document (chrome://tracing, ui.perfetto.dev). Attach
+// one via LoadOptions.Spans to trace the ingest/merge pipeline.
+type SpanLog = spanlog.Log
+
+// NewSpanLog creates an empty span log.
+func NewSpanLog() *SpanLog { return spanlog.New() }
 
 // ---- Metrics ----
 

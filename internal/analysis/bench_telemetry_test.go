@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+	"dcprof/internal/profio"
+	"dcprof/internal/telemetry"
+	"dcprof/internal/telemetry/spanlog"
+)
+
+// denseProfiles builds n thread profiles with realistically sized CCTs
+// (hundreds of nodes each), so the gate measures telemetry against real
+// decode/merge work rather than against fixture setup.
+func denseProfiles(seed int64, n int) []*cct.Profile {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*cct.Profile, 0, n)
+	for th := 0; th < n; th++ {
+		p := cct.NewProfile(0, th, "IBS@4096")
+		for i := 0; i < 400; i++ {
+			var v metric.Vector
+			v[metric.Samples] = uint64(rng.Intn(10) + 1)
+			v[metric.Latency] = uint64(rng.Intn(1000))
+			fn := fmt.Sprintf("f%d", rng.Intn(40))
+			path := []cct.Frame{
+				{Kind: cct.KindCall, Module: "exe", Name: "main", File: "main.c"},
+				{Kind: cct.KindCall, Module: "exe", Name: fn, File: fn + ".c"},
+				{Kind: cct.KindStmt, Module: "exe", Name: fn, File: fn + ".c", Line: rng.Intn(40)},
+			}
+			p.Trees[cct.Class(rng.Intn(cct.NumClasses))].AddSample(path, &v)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestTelemetryOverheadGate measures streaming-merge wall time with
+// telemetry off (no caller registry or span log) and on (both attached),
+// writes the comparison as JSON, and fails if instrumentation costs more
+// than the gate allows. Opt-in via DCPROF_BENCH_TELEMETRY=<output file>
+// (check.sh sets it): wall-clock gates are too noisy for the default
+// `go test ./...` tier.
+func TestTelemetryOverheadGate(t *testing.T) {
+	out := os.Getenv("DCPROF_BENCH_TELEMETRY")
+	if out == "" {
+		t.Skip("set DCPROF_BENCH_TELEMETRY=<output file> to run the telemetry overhead gate")
+	}
+
+	const gate = 1.05 // telemetry on must stay within 5% of off
+
+	ps := denseProfiles(11, 128) // realistic per-file tree sizes
+	dir := filepath.Join(t.TempDir(), "m")
+	if _, err := profio.WriteDir(dir, ps); err != nil {
+		t.Fatal(err)
+	}
+
+	// Best-of-N: the minimum is the least-noise estimate of the true cost
+	// of each configuration on this machine.
+	const rounds = 7
+	measure := func(instrumented bool) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < rounds; i++ {
+			opt := LoadOptions{Workers: 4}
+			if instrumented {
+				opt.Telemetry = telemetry.New()
+				opt.Spans = spanlog.New()
+			}
+			t0 := time.Now()
+			if _, _, err := LoadDirStreamingCtx(context.Background(), dir, opt); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	// Interleave a warmup of each before timing, so page cache and JIT-ish
+	// effects (map growth, GC steady state) hit both configurations.
+	measure(false)
+	measure(true)
+	off := measure(false)
+	on := measure(true)
+	ratio := float64(on) / float64(off)
+
+	rep := struct {
+		OffNS     int64   `json:"telemetry_off_ns"`
+		OnNS      int64   `json:"telemetry_on_ns"`
+		Ratio     float64 `json:"ratio"`
+		Gate      float64 `json:"gate"`
+		Pass      bool    `json:"pass"`
+		Inputs    int     `json:"inputs"`
+		BestOf    int     `json:"best_of"`
+		Timestamp string  `json:"timestamp"`
+	}{
+		OffNS: off.Nanoseconds(), OnNS: on.Nanoseconds(),
+		Ratio: ratio, Gate: gate, Pass: ratio <= gate,
+		Inputs: len(ps), BestOf: rounds,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("telemetry off %v, on %v, ratio %.3f (gate %.2f), report %s", off, on, ratio, gate, out)
+	if ratio > gate {
+		t.Errorf("telemetry-on merge is %.1f%% slower than off (gate %.0f%%)", 100*(ratio-1), 100*(gate-1))
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"dcprof/internal/faultio"
 	"dcprof/internal/metric"
 	"dcprof/internal/profio"
+	"dcprof/internal/telemetry"
 )
 
 // renderDB is the deterministic byte rendering fault tests compare merge
@@ -327,7 +328,7 @@ func TestFoldPanicQuarantined(t *testing.T) {
 	close(items)
 
 	quar := newQuarantineLog()
-	db, _ := mergeItems(context.Background(), items, 1, false, nil, quar)
+	db, _ := mergeItems(context.Background(), items, 1, false, telemetry.New(), nil, quar, nil)
 	if db == nil {
 		t.Fatal("merge returned nil database")
 	}

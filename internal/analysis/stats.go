@@ -62,6 +62,52 @@ type QuarantinedFile struct {
 	SalvagedTrees int
 }
 
+// StatsReport is the machine-readable rendering of MergeStats, with stable
+// snake_case field names and stage walls in integer microseconds so
+// downstream tooling never parses Go duration strings.
+type StatsReport struct {
+	Inputs           int                 `json:"inputs"`
+	InputNodes       int                 `json:"input_nodes"`
+	MergedNodes      int                 `json:"merged_nodes"`
+	CoalescingFactor float64             `json:"coalescing_factor"`
+	Workers          int                 `json:"workers"`
+	BytesRead        int64               `json:"bytes_read"`
+	DecodeWallUS     int64               `json:"decode_wall_us"`
+	MergeWallUS      int64               `json:"merge_wall_us"`
+	MaxResident      int                 `json:"max_resident"`
+	Quarantined      []QuarantinedReport `json:"quarantined"`
+}
+
+// QuarantinedReport is the JSON form of one QuarantinedFile.
+type QuarantinedReport struct {
+	Path          string `json:"path"`
+	Reason        string `json:"reason"`
+	SalvagedTrees int    `json:"salvaged_trees"`
+}
+
+// Report converts the stats to their JSON form. Quarantined is always a
+// (possibly empty) array, never null.
+func (s MergeStats) Report() StatsReport {
+	r := StatsReport{
+		Inputs:           s.Inputs,
+		InputNodes:       s.InputNodes,
+		MergedNodes:      s.MergedNodes,
+		CoalescingFactor: s.CoalescingFactor(),
+		Workers:          s.Workers,
+		BytesRead:        s.BytesRead,
+		DecodeWallUS:     s.DecodeWall.Microseconds(),
+		MergeWallUS:      s.MergeWall.Microseconds(),
+		MaxResident:      s.MaxResident,
+		Quarantined:      make([]QuarantinedReport, 0, len(s.Quarantined)),
+	}
+	for _, q := range s.Quarantined {
+		r.Quarantined = append(r.Quarantined, QuarantinedReport{
+			Path: q.Path, Reason: q.Reason, SalvagedTrees: q.SalvagedTrees,
+		})
+	}
+	return r
+}
+
 // CoalescingFactor returns InputNodes / MergedNodes (1.0 = no sharing).
 func (s MergeStats) CoalescingFactor() float64 {
 	if s.MergedNodes == 0 {

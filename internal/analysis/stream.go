@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -30,6 +31,8 @@ import (
 
 	"dcprof/internal/cct"
 	"dcprof/internal/profio"
+	"dcprof/internal/telemetry"
+	"dcprof/internal/telemetry/spanlog"
 )
 
 // ErrorPolicy selects how ingestion reacts to unreadable profile files.
@@ -74,6 +77,17 @@ type LoadOptions struct {
 	// the seam the fault-injection test suite hooks to script read
 	// errors, slow media, and decoder panics.
 	Open func(path string) (io.ReadCloser, error)
+	// Telemetry, when non-nil, receives the load's instrument totals
+	// (names under "analysis.") absorbed once at completion. The pipeline
+	// itself always accounts into a private per-load registry — the same
+	// registry MergeStats is a view over — so sharing a process-wide
+	// registry here never skews a later load's statistics.
+	Telemetry *telemetry.Registry
+	// Spans, when non-nil, receives Chrome trace-event spans for every
+	// pipeline stage: one span per file decode (per worker row), one per
+	// class folder, and the whole-merge span, plus instant markers for
+	// quarantine decisions.
+	Spans *spanlog.Log
 }
 
 // streamItem is one decoded profile entering the merge pipeline.
@@ -84,28 +98,25 @@ type streamItem struct {
 	nodes int    // CCT nodes decoded (0 when unknown)
 }
 
-// residency tracks how many decoded profiles are simultaneously alive in
-// the pipeline — the bounded-memory guarantee the streaming path exists
-// to provide.
-type residency struct {
-	mu       sync.Mutex
-	cur, max int
-}
-
-func (r *residency) inc() {
-	r.mu.Lock()
-	r.cur++
-	if r.cur > r.max {
-		r.max = r.cur
-	}
-	r.mu.Unlock()
-}
-
-func (r *residency) dec() {
-	r.mu.Lock()
-	r.cur--
-	r.mu.Unlock()
-}
+// Instrument names the merge pipeline accounts under. Decoded-profile
+// residency (the bounded-memory guarantee the streaming path exists to
+// provide) and fold-queue depth are gauges with tracked maxima; the rest
+// are counters. MergeStats is a view over these — there is no second
+// bookkeeping path.
+const (
+	instProfilesMerged  = "analysis.profiles.merged"
+	instNodesInput      = "analysis.nodes.input"
+	instNodesMerged     = "analysis.nodes.merged"
+	instBytesRead       = "analysis.bytes.read"
+	instResidency       = "analysis.pipeline.residency"
+	instFoldQueue       = "analysis.pipeline.fold_queue"
+	instFoldPanics      = "analysis.fold.panics"
+	instQuarFiles       = "analysis.quarantine.files"
+	instQuarSalvaged    = "analysis.quarantine.salvaged_trees"
+	instFilesDiscovered = "analysis.files.discovered"
+	instDecodeWallUS    = "analysis.wall.decode_us"
+	instMergeWallUS     = "analysis.wall.merge_us"
+)
 
 // quarantineLog accumulates per-file failure records across the decode and
 // fold workers. Entries are deduplicated by path (several trees of one
@@ -158,12 +169,24 @@ func (q *quarantineLog) sorted() []QuarantinedFile {
 // panic while folding one tree is recovered into a quarantine record for
 // the tree's source file instead of crashing the process (nil — the
 // in-memory merge paths — preserves the old panic-through behavior).
-func mergeItems(ctx context.Context, items <-chan streamItem, workers int, preserve bool, res *residency, quar *quarantineLog) (*Database, MergeStats) {
+//
+// reg is the per-merge telemetry registry every stage accounts into and
+// the returned MergeStats is a view over; callers create a fresh one per
+// merge. res is the decoded-profile residency gauge (nil for in-memory
+// merges, where the caller already owns every profile); spans, when
+// non-nil, receives per-stage trace events.
+func mergeItems(ctx context.Context, items <-chan streamItem, workers int, preserve bool, reg *telemetry.Registry, res *telemetry.Gauge, quar *quarantineLog, spans *spanlog.Log) (*Database, MergeStats) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
-	st := MergeStats{Workers: workers}
+	var (
+		inputs     = reg.Counter(instProfilesMerged)
+		inputNodes = reg.Counter(instNodesInput)
+		bytesRead  = reg.Counter(instBytesRead)
+		foldQueue  = reg.Gauge(instFoldQueue)
+		foldPanics = reg.Counter(instFoldPanics)
+	)
 
 	type classItem struct {
 		tree *cct.Tree
@@ -184,11 +207,14 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 			fwg.Add(1)
 			go func(c, k int) {
 				defer fwg.Done()
+				defer spans.Span(fmt.Sprintf("fold %s[%d]", cct.Class(c), k), "merge",
+					0, foldTidBase+c*perClass+k, nil)()
 				var acc *cct.Tree
 				if preserve {
 					acc = cct.New()
 				}
 				for it := range chans[c] {
+					foldQueue.Add(-1)
 					if quar == nil {
 						if acc == nil {
 							acc = it.tree
@@ -196,10 +222,10 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 							acc.Root.MergeFrom(it.tree.Root)
 						}
 					} else {
-						foldRecovering(&acc, it.tree, it.path, cct.Class(c), quar)
+						foldRecovering(&acc, it.tree, it.path, cct.Class(c), quar, foldPanics)
 					}
-					if atomic.AddInt32(it.rem, -1) == 0 && res != nil {
-						res.dec()
+					if atomic.AddInt32(it.rem, -1) == 0 {
+						res.Add(-1)
 					}
 				}
 				if acc == nil {
@@ -213,7 +239,6 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 	// Split stage: runs inline, recording identity while fanning trees out.
 	var (
 		ranks        = map[int]bool{}
-		n            int
 		bestRank     int
 		bestThread   int
 		bestEvent    string
@@ -227,14 +252,12 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 		}
 		if cancelled {
 			// Drain without folding so blocked decoders can finish.
-			if res != nil {
-				res.dec()
-			}
+			res.Add(-1)
 			continue
 		}
-		n++
-		st.InputNodes += it.nodes
-		st.BytesRead += it.bytes
+		inputs.Inc()
+		inputNodes.Add(uint64(it.nodes))
+		bytesRead.Add(uint64(it.bytes))
 		ranks[it.p.Rank] = true
 		if !have || it.p.Rank < bestRank || (it.p.Rank == bestRank && it.p.Thread < bestThread) {
 			bestRank, bestThread, bestEvent = it.p.Rank, it.p.Thread, it.p.Event
@@ -242,18 +265,21 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 		}
 		rem := int32(cct.NumClasses)
 		for c, tr := range it.p.Trees {
+			foldQueue.Add(1)
 			chans[c] <- classItem{tr, it.path, &rem}
 		}
 		lastItemSeen = time.Now()
 	}
+	decodeWall := time.Duration(0)
 	if have {
-		st.DecodeWall = lastItemSeen.Sub(start)
+		decodeWall = lastItemSeen.Sub(start)
 	}
 	for c := range chans {
 		close(chans[c])
 	}
 	fwg.Wait()
 
+	reduceDone := spans.Span("reduce accumulators", "merge", 0, 0, nil)
 	merged := cct.NewProfile(bestRank, bestThread, bestEvent)
 	for c := 0; c < cct.NumClasses; c++ {
 		acc := accs[c][0]
@@ -262,13 +288,49 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 		}
 		merged.Trees[c] = acc
 	}
-	st.MergeWall = time.Since(start)
-	st.Inputs = n
-	st.MergedNodes = merged.NumNodes()
+	reduceDone()
+	mergeWall := time.Since(start)
+	spans.Complete("merge pipeline", "merge", 0, 0, start, mergeWall,
+		map[string]any{"workers": workers})
+
+	// Publish the remaining roll-ups, then build MergeStats as a pure view
+	// over the registry.
+	reg.Gauge(instNodesMerged).Set(int64(merged.NumNodes()))
+	reg.Gauge(instDecodeWallUS).Set(decodeWall.Microseconds())
+	reg.Gauge(instMergeWallUS).Set(mergeWall.Microseconds())
+	var quarantined []QuarantinedFile
 	if quar != nil {
-		st.Quarantined = quar.sorted()
+		quarantined = quar.sorted()
+		salvaged := 0
+		for _, q := range quarantined {
+			salvaged += q.SalvagedTrees
+		}
+		reg.Counter(instQuarFiles).Add(uint64(len(quarantined)))
+		reg.Counter(instQuarSalvaged).Add(uint64(salvaged))
 	}
-	return &Database{Merged: merged, Ranks: len(ranks), Threads: n, Event: bestEvent}, st
+	st := statsView(reg, workers, quarantined)
+	return &Database{Merged: merged, Ranks: len(ranks), Threads: st.Inputs, Event: bestEvent}, st
+}
+
+// foldTidBase offsets folder goroutines' trace rows past the decode
+// workers' (tid 1..workers), so viewers show the two stages separately.
+const foldTidBase = 100
+
+// statsView assembles MergeStats by reading the per-merge registry — the
+// struct is presentation, the registry is the single source of truth.
+func statsView(reg *telemetry.Registry, workers int, quarantined []QuarantinedFile) MergeStats {
+	s := reg.Snapshot()
+	return MergeStats{
+		Workers:     workers,
+		Inputs:      int(s.Counters[instProfilesMerged]),
+		InputNodes:  int(s.Counters[instNodesInput]),
+		MergedNodes: int(s.Gauges[instNodesMerged].Value),
+		BytesRead:   int64(s.Counters[instBytesRead]),
+		DecodeWall:  time.Duration(s.Gauges[instDecodeWallUS].Value) * time.Microsecond,
+		MergeWall:   time.Duration(s.Gauges[instMergeWallUS].Value) * time.Microsecond,
+		MaxResident: int(s.Gauges[instResidency].Max),
+		Quarantined: quarantined,
+	}
 }
 
 // foldRecovering folds one class tree into the accumulator, converting a
@@ -277,13 +339,14 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 // accumulator may have absorbed part of the tree before the panic — the
 // merge is best-effort for that file, which is what the quarantine record
 // documents.
-func foldRecovering(acc **cct.Tree, tree *cct.Tree, path string, c cct.Class, quar *quarantineLog) {
+func foldRecovering(acc **cct.Tree, tree *cct.Tree, path string, c cct.Class, quar *quarantineLog, panics *telemetry.Counter) {
 	defer func() {
 		if r := recover(); r != nil {
 			if path == "" {
 				path = "(in-memory profile)"
 			}
 			quar.add(path, fmt.Sprintf("panic folding %s tree: %v", c, r), 0)
+			panics.Inc()
 		}
 	}()
 	if *acc == nil {
@@ -302,7 +365,7 @@ func mergeSlice(profiles []*cct.Profile, workers int, preserve bool) (*Database,
 		}
 		close(items)
 	}()
-	return mergeItems(context.Background(), items, workers, preserve, nil, nil)
+	return mergeItems(context.Background(), items, workers, preserve, telemetry.New(), nil, nil, nil)
 }
 
 // MergeStream merges profiles as they arrive on ch, with the same bounded
@@ -316,7 +379,7 @@ func MergeStream(ch <-chan *cct.Profile, workers int) (*Database, MergeStats) {
 		}
 		close(items)
 	}()
-	return mergeItems(context.Background(), items, workers, false, nil, nil)
+	return mergeItems(context.Background(), items, workers, false, telemetry.New(), nil, nil, nil)
 }
 
 // LoadDirStreaming reads a measurement directory written by profio.WriteDir
@@ -349,6 +412,16 @@ func LoadDirStreamingCtx(ctx context.Context, dir string, opt LoadOptions) (*Dat
 	if open == nil {
 		open = func(path string) (io.ReadCloser, error) { return os.Open(path) }
 	}
+	reg := telemetry.New()
+	if opt.Telemetry != nil {
+		// Publish the private per-load accounting into the caller's
+		// registry whichever way the load ends.
+		defer func() { opt.Telemetry.Absorb(reg.Snapshot()) }()
+	}
+	spans := opt.Spans
+	loadDone := spans.Span("load "+dir, "ingest", 0, 0, map[string]any{"workers": workers})
+	defer loadDone()
+
 	files, err := profio.Files(dir)
 	if err != nil {
 		return nil, MergeStats{}, fmt.Errorf("analysis: %w", err)
@@ -356,9 +429,10 @@ func LoadDirStreamingCtx(ctx context.Context, dir string, opt LoadOptions) (*Dat
 	if len(files) == 0 {
 		return nil, MergeStats{}, fmt.Errorf("analysis: no profiles in %s", dir)
 	}
+	reg.Counter(instFilesDiscovered).Add(uint64(len(files)))
 
 	var (
-		res    = &residency{}
+		res    = reg.Gauge(instResidency)
 		intern = profio.NewIntern()
 		quar   = newQuarantineLog()
 		items  = make(chan streamItem)
@@ -382,24 +456,28 @@ func LoadDirStreamingCtx(ctx context.Context, dir string, opt LoadOptions) (*Dat
 	var dwg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		dwg.Add(1)
-		go func() {
+		go func(w int) {
 			defer dwg.Done()
 			for path := range paths {
 				if ctx.Err() != nil || failed() {
 					continue // keep draining so the feeder never blocks
 				}
+				decodeDone := spans.Span("decode "+filepath.Base(path), "ingest",
+					0, w+1, nil)
 				it, ok := decodeOne(path, intern, open, opt.Policy, fail, quar)
+				decodeDone()
 				if !ok {
+					spans.Instant("quarantine "+filepath.Base(path), "ingest", 0, w+1, nil)
 					continue
 				}
-				res.inc()
+				res.Add(1)
 				select {
 				case items <- it:
 				case <-ctx.Done():
-					res.dec()
+					res.Add(-1)
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		defer close(paths)
@@ -416,7 +494,7 @@ func LoadDirStreamingCtx(ctx context.Context, dir string, opt LoadOptions) (*Dat
 		close(items)
 	}()
 
-	db, st := mergeItems(ctx, items, workers, false, res, quar)
+	db, st := mergeItems(ctx, items, workers, false, reg, res, quar, spans)
 	if err := ctx.Err(); err != nil {
 		return nil, st, fmt.Errorf("analysis: %w", err)
 	}
@@ -428,7 +506,6 @@ func LoadDirStreamingCtx(ctx context.Context, dir string, opt LoadOptions) (*Dat
 	if st.Inputs == 0 {
 		return nil, st, fmt.Errorf("analysis: no readable profiles in %s (%d quarantined)", dir, len(st.Quarantined))
 	}
-	st.MaxResident = res.max
 	db.MeasurementBytes = st.BytesRead
 	return db, st, nil
 }

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"dcprof/internal/faultio"
+	"dcprof/internal/profio"
+	"dcprof/internal/telemetry"
+	"dcprof/internal/telemetry/spanlog"
+)
+
+// TestLoadTelemetryAbsorbed: a load with LoadOptions.Telemetry set must
+// publish its private accounting into the caller's registry, and the
+// published counters must agree with the MergeStats view returned
+// alongside the database.
+func TestLoadTelemetryAbsorbed(t *testing.T) {
+	ps := randomProfiles(7, 2, 8) // 16 profiles
+	dir := filepath.Join(t.TempDir(), "m")
+	if _, err := profio.WriteDir(dir, ps); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.New()
+	db, st, err := LoadDirStreamingCtx(context.Background(), dir, LoadOptions{Workers: 2, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db == nil {
+		t.Fatal("nil database")
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters[instFilesDiscovered]; got != 16 {
+		t.Errorf("%s = %d, want 16", instFilesDiscovered, got)
+	}
+	if got := s.Counters[instProfilesMerged]; int(got) != st.Inputs {
+		t.Errorf("%s = %d, stats say %d", instProfilesMerged, got, st.Inputs)
+	}
+	if got := s.Counters[instNodesInput]; int(got) != st.InputNodes {
+		t.Errorf("%s = %d, stats say %d", instNodesInput, got, st.InputNodes)
+	}
+	if got := s.Counters[instBytesRead]; int64(got) != st.BytesRead {
+		t.Errorf("%s = %d, stats say %d", instBytesRead, got, st.BytesRead)
+	}
+	if got := s.Gauges[instNodesMerged].Value; int(got) != st.MergedNodes {
+		t.Errorf("%s = %d, stats say %d", instNodesMerged, got, st.MergedNodes)
+	}
+	if got := s.Gauges[instResidency].Max; int(got) != st.MaxResident {
+		t.Errorf("%s max = %d, stats say %d", instResidency, got, st.MaxResident)
+	}
+	if got := s.Gauges[instResidency].Value; got != 0 {
+		t.Errorf("%s = %d after load, want 0 (all items folded)", instResidency, got)
+	}
+	if s.Counters[instQuarFiles] != 0 {
+		t.Errorf("quarantine counter %d on a clean load", s.Counters[instQuarFiles])
+	}
+}
+
+// TestLoadTelemetryQuarantine: a quarantining load must count the
+// quarantined file in the registry.
+func TestLoadTelemetryQuarantine(t *testing.T) {
+	ps := randomProfiles(9, 1, 4)
+	dir := filepath.Join(t.TempDir(), "m")
+	if _, err := profio.WriteDir(dir, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultio.Truncate(filepath.Join(dir, profio.FileName(0, 1)), 40); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.New()
+	_, st, err := LoadDirStreamingCtx(context.Background(), dir, LoadOptions{
+		Workers: 2, Policy: PolicyQuarantine, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters[instQuarFiles]; int(got) != len(st.Quarantined) || got == 0 {
+		t.Errorf("%s = %d, stats quarantined %d files", instQuarFiles, got, len(st.Quarantined))
+	}
+}
+
+// TestLoadSpans: a load with a span log attached must record the
+// load/decode/fold/reduce/pipeline stages as a valid trace-event document.
+func TestLoadSpans(t *testing.T) {
+	ps := randomProfiles(5, 1, 6)
+	dir := filepath.Join(t.TempDir(), "m")
+	if _, err := profio.WriteDir(dir, ps); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := spanlog.New()
+	if _, _, err := LoadDirStreamingCtx(context.Background(), dir, LoadOptions{Workers: 2, Spans: spans}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]bool{"load": false, "decode": false, "fold": false, "merge pipeline": false}
+	for _, ev := range spans.Events() {
+		for prefix := range want {
+			if len(ev.Name) >= len(prefix) && ev.Name[:len(prefix)] == prefix {
+				want[prefix] = true
+			}
+		}
+	}
+	for prefix, seen := range want {
+		if !seen {
+			t.Errorf("no span named %q* recorded", prefix)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := spans.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace document is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != spans.Len() {
+		t.Errorf("document has %d events, log has %d", len(doc.TraceEvents), spans.Len())
+	}
+}

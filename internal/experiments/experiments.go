@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"dcprof/internal/apps/bench"
+	"dcprof/internal/telemetry/spanlog"
 )
 
 // Scale selects run sizes.
@@ -110,8 +111,9 @@ type Experiment struct {
 // Context memoizes benchmark runs so experiments sharing a run (e.g. fig4
 // and fig5 both profile AMG) execute it once.
 type Context struct {
-	mu   sync.Mutex
-	runs map[string]*bench.Result
+	mu    sync.Mutex
+	runs  map[string]*bench.Result
+	spans *spanlog.Log
 }
 
 // NewContext creates an empty run cache.
@@ -119,15 +121,37 @@ func NewContext() *Context {
 	return &Context{runs: make(map[string]*bench.Result)}
 }
 
+// SetSpans attaches (or detaches, with nil) a span log: each memoized
+// benchmark run is recorded as a complete span, each cache hit as an
+// instant, so a trace of one experiment shows which runs it paid for and
+// which it inherited.
+func (c *Context) SetSpans(l *spanlog.Log) {
+	c.mu.Lock()
+	c.spans = l
+	c.mu.Unlock()
+}
+
+// log returns the current span log (possibly nil; spanlog no-ops on nil).
+func (c *Context) log() *spanlog.Log {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spans
+}
+
 // memo runs fn once per key.
 func (c *Context) memo(key string, fn func() *bench.Result) *bench.Result {
 	c.mu.Lock()
 	if r, ok := c.runs[key]; ok {
+		l := c.spans
 		c.mu.Unlock()
+		l.Instant("memo "+key, "bench", 0, 0, nil)
 		return r
 	}
+	l := c.spans
 	c.mu.Unlock()
+	done := l.Span("run "+key, "bench", 0, 0, nil)
 	r := fn()
+	done()
 	c.mu.Lock()
 	c.runs[key] = r
 	c.mu.Unlock()

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"dcprof/internal/pmu"
+	"dcprof/internal/telemetry"
 )
 
 // Mode selects the PMU mechanism.
@@ -71,6 +72,14 @@ type Config struct {
 	// extension for programs whose data structures are built from many
 	// small allocations. The unwind cost is paid only on tracked ones.
 	SmallAllocSamplePeriod uint64
+
+	// Telemetry, when non-nil, receives the profiler's self-observability
+	// instruments (names under "profiler."): samples taken/dropped, skid
+	// corrections, the unwind-depth histogram, trampoline hit rate,
+	// heap-map lookups, and allocation-tracking decisions. Nil disables
+	// instrument updates entirely; the remaining cost is one nil check per
+	// site, which the BENCH_telemetry gate keeps within noise.
+	Telemetry *telemetry.Registry
 
 	// Overhead model, in cycles.
 	SampleBaseCycles  uint64 // per-sample fixed handler cost

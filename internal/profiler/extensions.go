@@ -21,7 +21,7 @@ import (
 // Stack variables are thread-local: only the owning thread's samples
 // resolve them.
 func (p *Profiler) RegisterStackVar(t *sim.Thread, name string, addr mem.Addr, size uint64) {
-	t.ChargeOverhead(p.cfg.WrapCycles)
+	p.charge(t, p.cfg.WrapCycles)
 	ts := p.state(t)
 	fn := t.Func()
 	module := ""
@@ -40,7 +40,7 @@ func (p *Profiler) RegisterStackVar(t *sim.Thread, name string, addr mem.Addr, s
 
 // UnregisterStackVar removes a registration when the frame dies.
 func (p *Profiler) UnregisterStackVar(t *sim.Thread, addr mem.Addr) {
-	t.ChargeOverhead(p.cfg.WrapCycles)
+	p.charge(t, p.cfg.WrapCycles)
 	ts := p.state(t)
 	ts.stackVars.RemoveContaining(uint64(addr))
 }

@@ -52,6 +52,10 @@ type Profiler struct {
 	// trace, when non-nil, records every memory sample MemProf-style (see
 	// EnableTrace and the tracecmp experiment).
 	trace *Trace
+
+	// tel holds the self-observability instruments (all nil when
+	// Config.Telemetry is nil — every update degrades to one branch).
+	tel instruments
 }
 
 // tstate is the per-thread measurement state.
@@ -82,9 +86,18 @@ func Attach(p *sim.Process, cfg Config) *Profiler {
 		proc:         p,
 		states:       make(map[*sim.Thread]*tstate),
 		staticPrefix: make(map[*loadmap.StaticVar][]cct.Frame),
+		tel:          newInstruments(cfg.Telemetry),
 	}
 	p.SetHooks(prof)
 	return prof
+}
+
+// charge bills profiler-induced cycles to the thread and mirrors them into
+// the overhead counter, keeping the simulated and telemetry views of
+// measurement cost in lockstep.
+func (p *Profiler) charge(t *sim.Thread, cycles uint64) {
+	t.ChargeOverhead(cycles)
+	p.tel.overheadCycles.Add(cycles)
 }
 
 // Config returns the profiler's configuration.
@@ -105,7 +118,7 @@ func (p *Profiler) ThreadStart(t *sim.Thread) {
 		sampler = pmu.NewIBS(p.cfg.Period, ts.handle)
 	}
 	t.SetSampler(sampler)
-	t.ChargeOverhead(p.cfg.ThreadSetupCycles)
+	p.charge(t, p.cfg.ThreadSetupCycles)
 
 	p.statesMu.Lock()
 	p.states[t] = ts
@@ -135,7 +148,7 @@ func (p *Profiler) Label(t *sim.Thread, name string) {
 
 // OnAlloc implements sim.Hooks: the malloc-family wrapper.
 func (p *Profiler) OnAlloc(t *sim.Thread, addr mem.Addr, size uint64, kind sim.AllocKind) {
-	t.ChargeOverhead(p.cfg.WrapCycles)
+	p.charge(t, p.cfg.WrapCycles)
 	ts := p.state(t)
 	label := ts.pendingLabel
 	ts.pendingLabel = ""
@@ -146,6 +159,7 @@ func (p *Profiler) OnAlloc(t *sim.Thread, addr mem.Addr, size uint64, kind sim.A
 		p.statesMu.Lock()
 		p.skippedAllocs++
 		p.statesMu.Unlock()
+		p.tel.allocSkipped.Inc()
 		return
 	}
 
@@ -160,8 +174,14 @@ func (p *Profiler) OnAlloc(t *sim.Thread, addr mem.Addr, size uint64, kind sim.A
 		if known > len(ts.cache) {
 			known = len(ts.cache)
 		}
+		if known > 0 {
+			p.tel.trampHits.Inc()
+			p.tel.trampFramesSaved.Add(uint64(known))
+		} else {
+			p.tel.trampMisses.Inc()
+		}
 	}
-	t.ChargeOverhead(p.cfg.contextCost() + p.cfg.AllocUnwindBase +
+	p.charge(t, p.cfg.contextCost()+p.cfg.AllocUnwindBase+
 		p.cfg.UnwindFrameCycles*uint64(depth-known))
 
 	// Rebuild the cached converted stack: reuse the known prefix, convert
@@ -191,34 +211,45 @@ func (p *Profiler) OnAlloc(t *sim.Thread, addr mem.Addr, size uint64, kind sim.A
 	}
 	p.trackedAllocs++
 	p.blocksMu.Unlock()
+	p.tel.allocTracked.Inc()
+	p.tel.liveBlocks.Add(1)
 }
 
 // OnFree implements sim.Hooks: frees are always wrapped (cheaply — no
 // calling context is collected for them) so stale ranges never
 // mis-attribute later samples.
 func (p *Profiler) OnFree(t *sim.Thread, addr mem.Addr, size uint64) {
-	t.ChargeOverhead(p.cfg.WrapCycles)
+	p.charge(t, p.cfg.WrapCycles)
 	p.blocksMu.Lock()
-	p.blocks.RemoveAt(uint64(addr))
+	_, tracked := p.blocks.RemoveAt(uint64(addr))
 	p.blocksMu.Unlock()
+	if tracked {
+		p.tel.liveBlocks.Add(-1)
+	}
 }
 
 // handle is the PMU interrupt handler, running on the sampled thread.
 func (ts *tstate) handle(s *pmu.Sample) {
 	t := ts.t
-	cfg := &ts.prof.cfg
+	prof := ts.prof
+	cfg := &prof.cfg
 	frames := t.Frames()
 	depth := len(frames)
-	t.ChargeOverhead(cfg.SampleBaseCycles + cfg.UnwindFrameCycles*uint64(depth))
+	prof.charge(t, cfg.SampleBaseCycles+cfg.UnwindFrameCycles*uint64(depth))
+	prof.tel.samplesTaken.Inc()
+	prof.tel.unwindDepth.Observe(uint64(depth))
 
 	ts.recordTrace(s)
 
 	ip := s.PreciseIP
 	if cfg.UseSkidIP {
 		ip = s.SkidIP
+	} else if s.SkidIP != s.PreciseIP {
+		prof.tel.samplesSkid.Inc()
 	}
 	leaf, ok := ts.leafFor(ip)
 	if !ok {
+		prof.tel.samplesDropped.Inc()
 		return // IP in unloaded module; drop, as the real tool must
 	}
 
@@ -266,7 +297,9 @@ func (p *Profiler) classify(ea mem.Addr) (cct.Class, []cct.Frame) {
 	p.blocksMu.RLock()
 	blk, ok := p.blocks.Lookup(uint64(ea))
 	p.blocksMu.RUnlock()
+	p.tel.heapLookups.Inc()
 	if ok {
+		p.tel.heapHits.Inc()
 		return cct.ClassHeap, blk.prefix
 	}
 	if sv, found := p.proc.LoadMap.FindStatic(ea); found {

@@ -1,0 +1,131 @@
+package profiler
+
+import (
+	"testing"
+
+	"dcprof/internal/mem"
+	"dcprof/internal/telemetry"
+)
+
+// TestTelemetryInstruments drives a deterministic workload through an
+// instrumented profiler and checks the registry against ground truth the
+// workload makes exact.
+func TestTelemetryInstruments(t *testing.T) {
+	reg := telemetry.New()
+	cfg := DefaultConfig()
+	cfg.Period = 1 // sample every instruction for exact counts
+	cfg.Telemetry = reg
+	f := newFixture(t, cfg)
+
+	f.th.At(5)
+	big := f.th.Malloc(64 * 1024) // tracked: above the 4 KiB threshold
+	f.th.Malloc(128)              // skipped: below threshold
+	f.th.Call(f.work)
+	f.th.At(12)
+	const loads = 50
+	for i := 0; i < loads; i++ {
+		f.th.Load(big+mem.Addr(i*64), 8)
+	}
+	f.th.Ret()
+	f.th.Free(big)
+	f.finish()
+
+	s := reg.Snapshot()
+	if got := s.Counters["profiler.samples.taken"]; got < loads {
+		t.Errorf("samples.taken = %d, want >= %d", got, loads)
+	}
+	if got := s.Counters["profiler.alloc.tracked"]; got != 1 {
+		t.Errorf("alloc.tracked = %d, want 1", got)
+	}
+	if got := s.Counters["profiler.alloc.skipped_small"]; got != 1 {
+		t.Errorf("alloc.skipped_small = %d, want 1", got)
+	}
+	if got := s.Counters["profiler.heapmap.lookups"]; got < loads {
+		t.Errorf("heapmap.lookups = %d, want >= %d", got, loads)
+	}
+	if got := s.Counters["profiler.heapmap.hits"]; got < loads {
+		t.Errorf("heapmap.hits = %d, want >= %d (every load hit the block)", got, loads)
+	}
+	if lb := s.Gauges["profiler.heapmap.live_blocks"]; lb.Value != 0 || lb.Max != 1 {
+		t.Errorf("live_blocks = %d (max %d), want 0 (max 1)", lb.Value, lb.Max)
+	}
+	h, ok := s.Histograms["profiler.unwind.depth"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("unwind.depth histogram missing or empty: %+v", h)
+	}
+	if h.Count != s.Counters["profiler.samples.taken"] {
+		t.Errorf("unwind.depth count %d != samples.taken %d", h.Count, s.Counters["profiler.samples.taken"])
+	}
+	if got := s.Counters["profiler.overhead.cycles"]; got == 0 {
+		t.Error("overhead.cycles = 0, want the charged cycle mirror to be nonzero")
+	}
+}
+
+// TestTelemetryOverheadMirrorsCharges: the overhead.cycles counter must
+// equal the simulated cycles actually charged to application threads, so
+// the paper's overhead table can be recomputed from telemetry alone.
+func TestTelemetryOverheadMirrorsCharges(t *testing.T) {
+	reg := telemetry.New()
+	cfg := DefaultConfig()
+	cfg.Period = 3
+	cfg.Telemetry = reg
+	f := newFixture(t, cfg)
+
+	f.th.At(5)
+	b := f.th.Malloc(32 * 1024)
+	for i := 0; i < 200; i++ {
+		f.th.Load(b+mem.Addr(i*32), 8)
+	}
+	f.th.Free(b)
+	f.finish()
+
+	var charged uint64
+	for _, th := range f.proc.Threads() {
+		charged += th.Overhead()
+	}
+	got := reg.Snapshot().Counters["profiler.overhead.cycles"]
+	if got != charged {
+		t.Errorf("overhead.cycles = %d, threads were charged %d", got, charged)
+	}
+}
+
+// TestTelemetryTrampoline: with the trampoline on, repeated allocations at
+// the same depth must shorten unwinds and count hits.
+func TestTelemetryTrampoline(t *testing.T) {
+	reg := telemetry.New()
+	cfg := DefaultConfig()
+	cfg.Period = 1 << 30 // no PMU samples; isolate allocation unwinds
+	cfg.Telemetry = reg
+	f := newFixture(t, cfg)
+
+	f.th.At(5)
+	f.th.Call(f.work)
+	f.th.At(12)
+	for i := 0; i < 10; i++ {
+		f.th.Malloc(8 * 1024)
+	}
+	f.finish()
+
+	s := reg.Snapshot()
+	if hits := s.Counters["profiler.trampoline.hits"]; hits == 0 {
+		t.Errorf("trampoline.hits = 0 after 10 same-path allocations")
+	}
+	if saved := s.Counters["profiler.trampoline.frames_saved"]; saved == 0 {
+		t.Errorf("trampoline.frames_saved = 0, want > 0")
+	}
+}
+
+// TestTelemetryNilConfigIsInert: with Config.Telemetry nil, profiling must
+// work and record nothing anywhere.
+func TestTelemetryNilConfigIsInert(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Period = 1
+	f := newFixture(t, cfg)
+	f.th.At(5)
+	b := f.th.Malloc(16 * 1024)
+	f.th.Load(b, 8)
+	f.finish()
+	if got := f.mergedProfile(); got == nil {
+		t.Fatal("nil profile from uninstrumented profiler")
+	}
+}

@@ -1,0 +1,84 @@
+package profiler
+
+import (
+	"bytes"
+	"testing"
+
+	"dcprof/internal/mem"
+	"dcprof/internal/sim"
+)
+
+// TestTraceConcurrentWritersExact drives one traced profiler from a real
+// parallel region (each sim thread on its own goroutine, as
+// Process.Parallel runs them) and checks exactness, not just absence of
+// crashes: every thread's loads appear in the trace exactly once, and the
+// encoded size is exactly records × record-size. Run under -race this is
+// the concurrency proof for the Trace writer path.
+func TestTraceConcurrentWritersExact(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Period = 1 // sample every instruction: per-thread load counts are exact
+	f := newFixture(t, cfg)
+	tr := f.prof.EnableTrace()
+
+	const (
+		nThreads = 4
+		loads    = 200
+		blockSz  = 64 * 1024
+	)
+	var (
+		blocks [nThreads]mem.Addr
+		ids    [nThreads]int
+	)
+	f.th.At(5)
+	f.proc.Parallel(f.th, f.work, nThreads, func(th *sim.Thread, tid int) {
+		th.At(12)
+		b := th.Malloc(blockSz)
+		blocks[tid] = b
+		ids[tid] = th.ID
+		for i := 0; i < loads; i++ {
+			th.Load(b+mem.Addr((i%512)*64), 8)
+		}
+		// No Free here: freed ranges can be reallocated to another thread
+		// mid-region, which would make the disjoint-blocks accounting below
+		// ambiguous. Blocks die with the process.
+	})
+	f.finish()
+
+	recs := tr.Records()
+	if tr.Len() != len(recs) {
+		t.Fatalf("Len() = %d but Records() returned %d", tr.Len(), len(recs))
+	}
+
+	// Exact per-thread accounting: each thread's block is private, so the
+	// records landing in blocks[tid] must be exactly that thread's loads,
+	// recorded under that thread's id.
+	perThread := make(map[int]int, nThreads)
+	for _, r := range recs {
+		for tid := 0; tid < nThreads; tid++ {
+			if r.EA >= blocks[tid] && r.EA < blocks[tid]+blockSz {
+				perThread[tid]++
+				if r.Thread != ids[tid] {
+					t.Fatalf("record in thread %d's block attributed to thread %d", ids[tid], r.Thread)
+				}
+			}
+		}
+	}
+	for tid := 0; tid < nThreads; tid++ {
+		if perThread[tid] != loads {
+			t.Errorf("thread %d: %d records in its block, want exactly %d", tid, perThread[tid], loads)
+		}
+	}
+
+	// Exact encoded size: Bytes(), WriteTo's return, and the actual output
+	// length must all agree.
+	var sink bytes.Buffer
+	n, err := tr.WriteTo(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(recs)) * TraceRecordBytes
+	if tr.Bytes() != want || n != want || int64(sink.Len()) != want {
+		t.Errorf("encoded sizes disagree: Bytes()=%d WriteTo=%d sink=%d want=%d",
+			tr.Bytes(), n, sink.Len(), want)
+	}
+}

@@ -149,6 +149,7 @@ func flushSection(w *bufio.Writer, sw *bufio.Writer, payload *bytes.Buffer) erro
 	}
 	writeU32(w, crc32.ChecksumIEEE(b))
 	payload.Reset()
+	telWriteSections.Inc()
 	return nil
 }
 
@@ -338,6 +339,8 @@ func writeOne(fsys FS, dir string, p *cct.Profile) (int64, error) {
 		fsys.Remove(tmp)
 		return 0, fmt.Errorf("profio: publishing %s: %w", final, err)
 	}
+	telWriteProfiles.Inc()
+	telWriteBytes.Add(uint64(cw.n))
 	return cw.n, nil
 }
 

@@ -32,6 +32,7 @@ var ErrTruncated = errors.New("truncated")
 // callers can classify failures with errors.Is.
 func wrapEOF(err error) error {
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		telTruncations.Inc()
 		return fmt.Errorf("%w (%v)", ErrTruncated, err)
 	}
 	return err
@@ -202,15 +203,20 @@ func readSection(br *bufio.Reader, what string) ([]byte, error) {
 	}
 	var buf bytes.Buffer
 	if m, err := io.CopyN(&buf, br, int64(n)); err != nil {
+		telReadBytes.Add(uint64(m))
+		telTruncations.Inc()
 		return nil, fmt.Errorf("%s: %w after %d/%d payload bytes", what, ErrTruncated, m, n)
 	}
+	telReadBytes.Add(n + 4) // payload + stored checksum
 	stored, err := readU32(br)
 	if err != nil {
 		return nil, fmt.Errorf("%s: reading checksum: %w", what, wrapEOF(err))
 	}
 	if got := crc32.ChecksumIEEE(buf.Bytes()); got != stored {
+		telCRCFailures.Inc()
 		return nil, fmt.Errorf("%s: %w: computed %08x, stored %08x", what, ErrChecksum, got, stored)
 	}
+	telReadSections.Inc()
 	return buf.Bytes(), nil
 }
 
@@ -349,6 +355,7 @@ func (d *Reader) readFooter() error {
 		return fmt.Errorf("profio: footer: reading checksum: %w", wrapEOF(err))
 	}
 	if got := crc32.ChecksumIEEE(raw); got != stored {
+		telCRCFailures.Inc()
 		return fmt.Errorf("profio: footer: %w: computed %08x, stored %08x", ErrChecksum, got, stored)
 	}
 	if d.treeErrs == 0 && count != uint64(d.nodes) {
@@ -369,6 +376,7 @@ func (d *Reader) ReadRest() (*cct.Profile, error) {
 	for {
 		c, t, err := d.ReadTree()
 		if err == io.EOF {
+			telReadProfiles.Inc()
 			return p, nil
 		}
 		if err != nil {
@@ -488,6 +496,7 @@ func readTree(br *bufio.Reader, t *cct.Tree, str func(uint64) (string, error)) (
 		}
 		nodes = append(nodes, node)
 	}
+	telReadNodes.Add(count)
 	return int(count), nil
 }
 

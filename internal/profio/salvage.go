@@ -87,5 +87,10 @@ func (d *Reader) Salvage() (*Salvage, error) {
 		s.Trees++
 	}
 	s.NodesRead = d.nodes
+	if !s.Intact() {
+		telSalvageFiles.Inc()
+		telSalvageRecovered.Add(uint64(s.Trees))
+		telSalvageLost.Add(uint64(s.Lost))
+	}
 	return s, nil
 }

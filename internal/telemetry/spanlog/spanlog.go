@@ -1,0 +1,145 @@
+// Package spanlog records pipeline stage spans and emits them in the
+// Chrome trace-event JSON format, so any trace viewer that understands it
+// (chrome://tracing, Perfetto, speedscope) can render the profiler's own
+// timeline — which stage of an ingest ran when, on which worker, for how
+// long. The schedviz lesson applies: a profiling tool that emits a
+// standard timeline format gets a visualizer for free.
+//
+// Only the "X" (complete), "i" (instant), and "C" (counter) phases of the
+// format are produced; that subset is enough for stage timelines and is
+// accepted by every viewer. Timestamps are microseconds relative to the
+// log's creation, so traces start near t=0 regardless of wall clock.
+package spanlog
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one trace event in Chrome's JSON schema. Field names follow the
+// format specification, not Go convention.
+type Event struct {
+	// Name labels the event; Cat groups related events ("decode", "merge").
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	// Ph is the phase: "X" complete, "i" instant, "C" counter.
+	Ph string `json:"ph"`
+	// Ts is the start timestamp and Dur the duration, both in microseconds.
+	Ts  int64 `json:"ts"`
+	Dur int64 `json:"dur,omitempty"`
+	// Pid and Tid place the event on the viewer's process/thread rows.
+	Pid int `json:"pid"`
+	Tid int `json:"tid"`
+	// Args carries free-form metadata shown when the event is selected.
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Log is a concurrency-safe trace-event accumulator. The zero value is not
+// usable; call New. A nil *Log is a valid "tracing off" log: every method
+// no-ops, so instrumented code needs no conditionals.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	base   time.Time
+}
+
+// New creates an empty log whose timestamps are relative to now.
+func New() *Log { return &Log{base: time.Now()} }
+
+// now returns the log-relative timestamp in microseconds.
+func (l *Log) now() int64 { return time.Since(l.base).Microseconds() }
+
+// Complete records a finished span from start to start+dur on the given
+// pid/tid row. No-op on nil.
+func (l *Log) Complete(name, cat string, pid, tid int, start time.Time, dur time.Duration, args map[string]any) {
+	if l == nil {
+		return
+	}
+	ts := start.Sub(l.base).Microseconds()
+	if ts < 0 {
+		ts = 0
+	}
+	us := dur.Microseconds()
+	if us < 1 {
+		us = 1 // zero-width spans vanish in viewers
+	}
+	l.append(Event{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: us, Pid: pid, Tid: tid, Args: args})
+}
+
+// Span starts a span now and returns a function that completes it; use
+// with defer. No-op on nil.
+func (l *Log) Span(name, cat string, pid, tid int, args map[string]any) func() {
+	if l == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { l.Complete(name, cat, pid, tid, start, time.Since(start), args) }
+}
+
+// Instant records a point-in-time marker (a quarantine decision, a CRC
+// failure). No-op on nil.
+func (l *Log) Instant(name, cat string, pid, tid int, args map[string]any) {
+	if l == nil {
+		return
+	}
+	l.append(Event{Name: name, Cat: cat, Ph: "i", Ts: l.now(), Pid: pid, Tid: tid, Args: args})
+}
+
+// Counter records a sampled counter value; viewers draw these as stacked
+// area tracks (queue depths over time). No-op on nil.
+func (l *Log) Counter(name string, pid int, values map[string]any) {
+	if l == nil {
+		return
+	}
+	l.append(Event{Name: name, Ph: "C", Ts: l.now(), Pid: pid, Args: values})
+}
+
+func (l *Log) append(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the recorded events sorted by timestamp (ties
+// keep insertion order), the order WriteTo emits.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	l.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	return out
+}
+
+// document is the top-level trace file shape viewers expect.
+type document struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteJSON emits the log as one trace-event JSON document.
+func (l *Log) WriteJSON(w io.Writer) error {
+	events := l.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(document{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,126 @@
+package spanlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCompleteAndWrite(t *testing.T) {
+	l := New()
+	start := time.Now()
+	l.Complete("decode", "ingest", 1, 3, start, 5*time.Millisecond, map[string]any{"file": "a.dcprof"})
+	l.Instant("quarantine", "ingest", 1, 3, nil)
+	l.Counter("queue", 1, map[string]any{"depth": 4})
+
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Dur  int64          `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 || doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("doc = %+v", doc)
+	}
+	var sawX, sawI, sawC bool
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			sawX = true
+			if e.Name != "decode" || e.Dur < 4000 || e.Pid != 1 || e.Tid != 3 {
+				t.Errorf("complete event = %+v", e)
+			}
+			if e.Args["file"] != "a.dcprof" {
+				t.Errorf("args = %v", e.Args)
+			}
+		case "i":
+			sawI = true
+		case "C":
+			sawC = true
+		}
+	}
+	if !sawX || !sawI || !sawC {
+		t.Errorf("missing phases: X=%v i=%v C=%v", sawX, sawI, sawC)
+	}
+}
+
+func TestSpanDefer(t *testing.T) {
+	l := New()
+	func() {
+		defer l.Span("stage", "cat", 0, 1, nil)()
+		time.Sleep(2 * time.Millisecond)
+	}()
+	events := l.Events()
+	if len(events) != 1 || events[0].Ph != "X" || events[0].Dur < 1000 {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestEventsSortedByTs(t *testing.T) {
+	l := New()
+	base := time.Now()
+	l.Complete("late", "", 0, 0, base.Add(10*time.Millisecond), time.Millisecond, nil)
+	l.Complete("early", "", 0, 0, base, time.Millisecond, nil)
+	ev := l.Events()
+	if len(ev) != 2 || ev[0].Name != "early" || ev[1].Name != "late" {
+		t.Fatalf("events not sorted: %+v", ev)
+	}
+}
+
+func TestNilLogNoops(t *testing.T) {
+	var l *Log
+	l.Complete("a", "", 0, 0, time.Now(), time.Second, nil)
+	l.Instant("b", "", 0, 0, nil)
+	l.Counter("c", 0, nil)
+	l.Span("d", "", 0, 0, nil)()
+	if l.Len() != 0 || l.Events() != nil {
+		t.Error("nil log should record nothing")
+	}
+}
+
+func TestEmptyLogWritesValidDocument(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Errorf("traceEvents missing or wrong type: %s", buf.String())
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := New()
+	const goroutines, per = 16, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Complete("e", "c", 0, g, time.Now(), time.Microsecond, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != goroutines*per {
+		t.Errorf("len = %d, want %d", l.Len(), goroutines*per)
+	}
+}

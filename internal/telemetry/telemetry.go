@@ -1,0 +1,409 @@
+// Package telemetry is the profiler's self-observability layer: a
+// dependency-free, concurrency-safe registry of counters, gauges, and
+// bounded histograms that the measurement, ingestion, and I/O layers
+// update on their hot paths and the tools snapshot on exit.
+//
+// The paper's headline claim is that data-centric profiling stays cheap
+// (<3% time, ~7% space, §6); this package is what lets the reproduction
+// measure its *own* cost rather than assert it. The design follows the
+// same discipline the profiler itself uses:
+//
+//   - Write path: lock-free. Every instrument stripes its state over a
+//     small array of cache-line-padded atomic cells; a writer picks a
+//     stripe from a per-goroutine hint, so concurrent simulated threads
+//     (goroutines) almost never contend on the same cache line.
+//   - Read path: snapshot-on-read. Snapshot() folds the stripes into
+//     plain values; readers never block writers.
+//   - Registration: get-or-create under a mutex, intended to happen once
+//     per instrument at attach/open time, never per event.
+//
+// All instrument methods are nil-receiver safe: a layer whose telemetry
+// is not wired holds nil instruments and pays one predictable branch per
+// site, which keeps "telemetry off" within noise of not having the calls
+// at all (the BENCH_telemetry gate in scripts/check.sh enforces <5%).
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// stripes is the number of independent cells each instrument's write path
+// is spread over. A power of two a little above typical core counts keeps
+// the stripe-pick mask cheap and false sharing rare without bloating every
+// instrument (each stripe is one cache line).
+var stripes = nextPow2(runtime.GOMAXPROCS(0))
+
+func nextPow2(n int) int {
+	p := 4
+	for p < n {
+		p <<= 1
+	}
+	if p > 64 {
+		p = 64
+	}
+	return p
+}
+
+// cell is one padded stripe: the value plus enough padding to keep two
+// stripes out of one 64-byte cache line.
+type cell struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// stripeHint derives a stable-ish per-goroutine stripe index from the
+// address of a stack variable. Goroutine stacks are disjoint, so distinct
+// goroutines land on distinct stripes with high probability; the hint is
+// allowed to change (stack growth moves it), correctness never depends on
+// it — any stripe is valid, the hint only spreads contention.
+func stripeHint() int {
+	var b byte
+	p := pointerOf(&b)
+	return int((p >> 6) ^ (p >> 16)) & (stripes - 1)
+}
+
+// Counter is a monotonically increasing striped counter.
+type Counter struct {
+	name  string
+	cells []cell
+}
+
+// Add increments the counter by n. Safe for concurrent use; no-op on nil.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.cells[stripeHint()].v.Add(n)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value folds the stripes into the counter's current total.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var t uint64
+	for i := range c.cells {
+		t += c.cells[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is an instantaneous level (queue depth, live blocks) that also
+// tracks the maximum level it ever reached — the number capacity planning
+// wants — without the reader having to poll.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+	max  atomic.Int64
+}
+
+// Add moves the gauge by delta (negative to decrease) and updates the
+// tracked maximum. No-op on nil.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	now := g.v.Add(delta)
+	for {
+		m := g.max.Load()
+		if now <= m || g.max.CompareAndSwap(m, now) {
+			return
+		}
+	}
+}
+
+// Set replaces the gauge's level, updating the maximum.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the highest level observed since creation.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram is a bounded histogram over explicit upper bounds: an
+// observation lands in the first bucket whose bound is >= the value, or in
+// the implicit overflow bucket. Bucket counts and the running sum are
+// striped like counters, so Observe is lock-free.
+type Histogram struct {
+	name   string
+	bounds []uint64
+	// counts is laid out bucket-major: counts[b*stripes+s].
+	counts []cell
+	sum    []cell
+	n      []cell
+}
+
+// Observe records one value. Safe for concurrent use; no-op on nil.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	s := stripeHint()
+	b := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[b*stripes+s].v.Add(1)
+	h.sum[s].v.Add(v)
+	h.n[s].v.Add(1)
+}
+
+// HistogramValue is a folded histogram snapshot.
+type HistogramValue struct {
+	// Bounds are the bucket upper bounds; Counts has len(Bounds)+1 entries,
+	// the last being the overflow bucket.
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	// Count and Sum aggregate every observation (Mean = Sum/Count).
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+}
+
+// Mean returns the average observed value (0 when empty).
+func (v HistogramValue) Mean() float64 {
+	if v.Count == 0 {
+		return 0
+	}
+	return float64(v.Sum) / float64(v.Count)
+}
+
+// value folds the stripes.
+func (h *Histogram) value() HistogramValue {
+	out := HistogramValue{
+		Bounds: append([]uint64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for b := range out.Counts {
+		for s := 0; s < stripes; s++ {
+			out.Counts[b] += h.counts[b*stripes+s].v.Load()
+		}
+	}
+	for s := 0; s < stripes; s++ {
+		out.Sum += h.sum[s].v.Load()
+		out.Count += h.n[s].v.Load()
+	}
+	return out
+}
+
+// GaugeValue is a folded gauge snapshot.
+type GaugeValue struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// Registry is a named set of instruments. The zero value is not usable;
+// call New. A nil *Registry is a valid "telemetry off" registry: its
+// lookup methods return nil instruments, whose methods no-op.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gaugs map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		ctrs:  map[string]*Counter{},
+		gaugs: map[string]*Gauge{},
+		hists: map[string]*Histogram{},
+	}
+}
+
+// defaultRegistry is the process-wide registry free functions (package
+// profio's always-on accounting) and the CLIs share.
+var defaultRegistry = New()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{name: name, cells: make([]cell, stripes)}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gaugs[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gaugs[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (later calls may pass nil bounds). Bounds must
+// be sorted ascending.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not sorted", name))
+		}
+		h = &Histogram{
+			name:   name,
+			bounds: append([]uint64(nil), bounds...),
+			counts: make([]cell, (len(bounds)+1)*stripes),
+			sum:    make([]cell, stripes),
+			n:      make([]cell, stripes),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Pow2Bounds returns n power-of-two bucket bounds starting at 1 (1, 2, 4,
+// ...), the natural shape for depth and size distributions.
+func Pow2Bounds(n int) []uint64 {
+	out := make([]uint64, n)
+	b := uint64(1)
+	for i := range out {
+		out[i] = b
+		b <<= 1
+	}
+	return out
+}
+
+// Snapshot is a point-in-time fold of every instrument, stable under JSON
+// (maps marshal with sorted keys).
+type Snapshot struct {
+	Counters   map[string]uint64         `json:"counters,omitempty"`
+	Gauges     map[string]GaugeValue     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot folds every registered instrument. Writers may keep writing
+// concurrently; each instrument's fold is internally consistent enough for
+// reporting (counters monotone, histogram count >= sum of any prefix seen).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]GaugeValue{},
+		Histograms: map[string]HistogramValue{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	ctrs := make([]*Counter, 0, len(r.ctrs))
+	for _, c := range r.ctrs {
+		ctrs = append(ctrs, c)
+	}
+	gaugs := make([]*Gauge, 0, len(r.gaugs))
+	for _, g := range r.gaugs {
+		gaugs = append(gaugs, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+	for _, c := range ctrs {
+		s.Counters[c.name] = c.Value()
+	}
+	for _, g := range gaugs {
+		s.Gauges[g.name] = GaugeValue{Value: g.Value(), Max: g.Max()}
+	}
+	for _, h := range hists {
+		s.Histograms[h.name] = h.value()
+	}
+	return s
+}
+
+// NumInstruments returns how many distinct instruments the snapshot holds.
+func (s Snapshot) NumInstruments() int {
+	return len(s.Counters) + len(s.Gauges) + len(s.Histograms)
+}
+
+// Absorb folds another snapshot into r: counters add, gauges take the
+// other's value as a delta-less Set (max merges), histograms add
+// bucket-wise. It is how a per-operation registry (one streaming load, one
+// benchmark run) publishes into a process-wide one without the hot path
+// ever writing to two registries.
+func (r *Registry) Absorb(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		g := r.Gauge(name)
+		g.Set(v.Value)
+		// Carry the absorbed maximum even if the level since dropped.
+		for {
+			m := g.max.Load()
+			if v.Max <= m || g.max.CompareAndSwap(m, v.Max) {
+				break
+			}
+		}
+	}
+	for name, v := range s.Histograms {
+		h := r.Histogram(name, v.Bounds)
+		for b, n := range v.Counts {
+			if n == 0 || b*stripes >= len(h.counts) {
+				continue
+			}
+			h.counts[b*stripes].v.Add(n)
+		}
+		h.sum[0].v.Add(v.Sum)
+		h.n[0].v.Add(v.Count)
+	}
+}
+
+// WriteJSON writes the snapshot as indented, key-sorted JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

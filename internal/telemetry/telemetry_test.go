@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("x.y")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if r.Counter("x.y") != c {
+		t.Error("same name should return the same counter")
+	}
+}
+
+func TestCounterConcurrentExact(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	const goroutines, per = 32, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Errorf("counter = %d, want %d (striped adds lost updates)", got, goroutines*per)
+	}
+}
+
+func TestGaugeTracksMax(t *testing.T) {
+	r := New()
+	g := r.Gauge("depth")
+	g.Add(3)
+	g.Add(4)
+	g.Add(-5)
+	if g.Value() != 2 || g.Max() != 7 {
+		t.Errorf("gauge = %d max %d, want 2 max 7", g.Value(), g.Max())
+	}
+	g.Set(1)
+	if g.Value() != 1 || g.Max() != 7 {
+		t.Errorf("after Set: gauge = %d max %d, want 1 max 7", g.Value(), g.Max())
+	}
+}
+
+func TestGaugeConcurrentMax(t *testing.T) {
+	r := New()
+	g := r.Gauge("g")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if g.Max() < 1 || g.Max() > 16 {
+		t.Errorf("max = %d, want within [1,16]", g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", []uint64{1, 2, 4, 8})
+	for _, v := range []uint64{0, 1, 2, 3, 5, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	hv := s.Histograms["h"]
+	want := []uint64{2, 1, 1, 1, 1} // <=1:{0,1} <=2:{2} <=4:{3} <=8:{5} over:{100}
+	if len(hv.Counts) != len(want) {
+		t.Fatalf("counts len = %d, want %d", len(hv.Counts), len(want))
+	}
+	for i := range want {
+		if hv.Counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, hv.Counts[i], want[i])
+		}
+	}
+	if hv.Count != 6 || hv.Sum != 111 {
+		t.Errorf("count/sum = %d/%d, want 6/111", hv.Count, hv.Sum)
+	}
+	if m := hv.Mean(); m < 18 || m > 19 {
+		t.Errorf("mean = %v, want 111/6", m)
+	}
+}
+
+func TestHistogramConcurrentExact(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", Pow2Bounds(10))
+	const goroutines, per = 16, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(i % 7))
+			}
+		}(g)
+	}
+	wg.Wait()
+	hv := r.Snapshot().Histograms["h"]
+	if hv.Count != goroutines*per {
+		t.Errorf("count = %d, want %d", hv.Count, goroutines*per)
+	}
+	var total uint64
+	for _, c := range hv.Counts {
+		total += c
+	}
+	if total != hv.Count {
+		t.Errorf("bucket sum %d != count %d", total, hv.Count)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Add(1)
+	r.Counter("a").Inc()
+	r.Gauge("b").Add(1)
+	r.Gauge("b").Set(2)
+	r.Histogram("c", Pow2Bounds(4)).Observe(9)
+	if r.Counter("a").Value() != 0 || r.Gauge("b").Value() != 0 || r.Gauge("b").Max() != 0 {
+		t.Error("nil instruments should read zero")
+	}
+	if n := r.Snapshot().NumInstruments(); n != 0 {
+		t.Errorf("nil registry snapshot has %d instruments", n)
+	}
+	r.Absorb(Snapshot{Counters: map[string]uint64{"x": 1}})
+}
+
+func TestSnapshotJSONStable(t *testing.T) {
+	r := New()
+	r.Counter("b.second").Add(2)
+	r.Counter("a.first").Add(1)
+	r.Gauge("g").Set(5)
+	r.Histogram("h", []uint64{10}).Observe(3)
+	var buf1, buf2 bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Error("snapshot JSON not deterministic")
+	}
+	if !strings.Contains(buf1.String(), `"a.first": 1`) {
+		t.Errorf("unexpected JSON: %s", buf1.String())
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf1.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if round.Counters["b.second"] != 2 || round.Gauges["g"].Value != 5 {
+		t.Errorf("round-trip mismatch: %+v", round)
+	}
+}
+
+func TestAbsorb(t *testing.T) {
+	src := New()
+	src.Counter("c").Add(10)
+	src.Gauge("g").Set(4)
+	src.Gauge("g").Set(2)
+	src.Histogram("h", []uint64{1, 4}).Observe(3)
+	src.Histogram("h", nil).Observe(100)
+
+	dst := New()
+	dst.Counter("c").Add(5)
+	dst.Absorb(src.Snapshot())
+	dst.Absorb(src.Snapshot()) // absorbing twice doubles counters
+
+	s := dst.Snapshot()
+	if s.Counters["c"] != 25 {
+		t.Errorf("absorbed counter = %d, want 25", s.Counters["c"])
+	}
+	if s.Gauges["g"].Max != 4 {
+		t.Errorf("absorbed gauge max = %d, want 4", s.Gauges["g"].Max)
+	}
+	h := s.Histograms["h"]
+	if h.Count != 4 || h.Sum != 206 {
+		t.Errorf("absorbed histogram count/sum = %d/%d, want 4/206", h.Count, h.Sum)
+	}
+	if h.Counts[1] != 2 || h.Counts[2] != 2 {
+		t.Errorf("absorbed buckets = %v", h.Counts)
+	}
+}
+
+func TestPow2Bounds(t *testing.T) {
+	b := Pow2Bounds(5)
+	want := []uint64{1, 2, 4, 8, 16}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("Pow2Bounds(5) = %v", b)
+		}
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := New().Counter("bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() == 0 {
+		b.Fatal("no adds")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("bench", Pow2Bounds(16))
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			h.Observe(i % 1000)
+			i++
+		}
+	})
+}

@@ -5,7 +5,12 @@ set -ex
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio
+go test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler
+go test -race ./internal/telemetry/...
 go test -run='^$' -fuzz=FuzzReadProfile -fuzztime=10s ./internal/profio
 go test -run='^$' -fuzz=FuzzSalvageProfile -fuzztime=10s ./internal/profio
 go test -run='^$' -bench=Merge -benchtime=1x ./internal/analysis .
+# Telemetry must be near-free: merge throughput with instruments and spans
+# attached is gated at <5% over uninstrumented, report in BENCH_telemetry.json.
+DCPROF_BENCH_TELEMETRY="$(pwd)/BENCH_telemetry.json" \
+	go test -run='^TestTelemetryOverheadGate$' -count=1 ./internal/analysis
