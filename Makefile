@@ -33,3 +33,5 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=Merge -benchtime=1x ./internal/analysis .
 	DCPROF_BENCH_TELEMETRY="$(CURDIR)/BENCH_telemetry.json" \
 		$(GO) test -run='^TestTelemetryOverheadGate$$' -count=1 ./internal/analysis
+	DCPROF_BENCH_HOTPATH="$(CURDIR)/BENCH_hotpath.json" \
+		$(GO) test -run='^TestHotPathBenchGate$$' -count=1 -timeout=30m ./internal/profiler

@@ -104,7 +104,16 @@ func (f Frame) String() string {
 	}
 }
 
-// Node is one CCT node.
+// nodeInline is the fanout kept in the node itself before falling back to
+// a map. Most CCT interior nodes have a handful of children (call sites of
+// one function), so child lookup on the sample hot path is usually a short
+// integer scan with no hashing at all.
+const nodeInline = 4
+
+// Node is one CCT node. Children are keyed by interned FrameID — path
+// insertion and merge compare integers, never strings. The resolved Frame
+// is kept on the node too, so display and deterministic ordering
+// (Children, Walk, the on-disk encoding) are unchanged by interning.
 type Node struct {
 	// Frame identifies the node within its parent.
 	Frame Frame
@@ -112,36 +121,79 @@ type Node struct {
 	// directly to this node; usually only leaves have nonzero metrics).
 	Metrics metric.Vector
 
-	parent   *Node
-	children map[Frame]*Node
+	parent *Node
+	id     FrameID
+
+	// First nodeInline children live inline; the rest spill to a map.
+	nInline   uint8
+	inlineIDs [nodeInline]FrameID
+	inline    [nodeInline]*Node
+	children  map[FrameID]*Node
 }
 
 // Parent returns the node's parent (nil at the root).
 func (n *Node) Parent() *Node { return n.parent }
 
+// ID returns the node's interned frame ID (in the default interner).
+func (n *Node) ID() FrameID { return n.id }
+
 // Child returns the child with the given frame, creating it if absent.
 func (n *Node) Child(f Frame) *Node {
-	if c, ok := n.children[f]; ok {
+	return n.ChildID(InternFrame(f))
+}
+
+// ChildID returns the child with the given interned frame, creating it if
+// absent — the allocation-free hot path of InsertPathIDs.
+func (n *Node) ChildID(id FrameID) *Node {
+	for i := uint8(0); i < n.nInline; i++ {
+		if n.inlineIDs[i] == id {
+			return n.inline[i]
+		}
+	}
+	if c, ok := n.children[id]; ok {
+		return c
+	}
+	c := &Node{Frame: FrameByID(id), parent: n, id: id}
+	if n.nInline < nodeInline {
+		n.inlineIDs[n.nInline] = id
+		n.inline[n.nInline] = c
+		n.nInline++
 		return c
 	}
 	if n.children == nil {
-		n.children = make(map[Frame]*Node)
+		n.children = make(map[FrameID]*Node)
 	}
-	c := &Node{Frame: f, parent: n}
-	n.children[f] = c
+	n.children[id] = c
 	return c
+}
+
+// lookupID returns the child with the given interned frame if it exists.
+func (n *Node) lookupID(id FrameID) (*Node, bool) {
+	for i := uint8(0); i < n.nInline; i++ {
+		if n.inlineIDs[i] == id {
+			return n.inline[i], true
+		}
+	}
+	c, ok := n.children[id]
+	return c, ok
 }
 
 // Lookup returns the child with the given frame if it exists.
 func (n *Node) Lookup(f Frame) (*Node, bool) {
-	c, ok := n.children[f]
-	return c, ok
+	id, ok := DefaultInterner().LookupID(f)
+	if !ok {
+		return nil, false // a frame never interned keys no node anywhere
+	}
+	return n.lookupID(id)
 }
 
 // Children returns the node's children sorted deterministically (by kind,
 // module, name, file, line).
 func (n *Node) Children() []*Node {
-	out := make([]*Node, 0, len(n.children))
+	out := make([]*Node, 0, n.NumChildren())
+	for i := uint8(0); i < n.nInline; i++ {
+		out = append(out, n.inline[i])
+	}
 	for _, c := range n.children {
 		out = append(out, c)
 	}
@@ -165,7 +217,18 @@ func frameLess(a, b Frame) bool {
 }
 
 // NumChildren returns the number of children.
-func (n *Node) NumChildren() int { return len(n.children) }
+func (n *Node) NumChildren() int { return int(n.nInline) + len(n.children) }
+
+// eachChild calls fn on every child in unspecified order, without the sort
+// (or allocation) Children pays for determinism.
+func (n *Node) eachChild(fn func(*Node)) {
+	for i := uint8(0); i < n.nInline; i++ {
+		fn(n.inline[i])
+	}
+	for _, c := range n.children {
+		fn(c)
+	}
+}
 
 // Path returns the frames from the root (exclusive) down to n.
 func (n *Node) Path() []Frame {
@@ -188,7 +251,8 @@ type Tree struct {
 
 // New creates an empty tree.
 func New() *Tree {
-	return &Tree{Root: &Node{Frame: Frame{Kind: KindRoot}}}
+	root := Frame{Kind: KindRoot}
+	return &Tree{Root: &Node{Frame: root, id: InternFrame(root)}}
 }
 
 // InsertPath walks (creating as needed) the path of frames from the root
@@ -201,9 +265,28 @@ func (t *Tree) InsertPath(path []Frame) *Node {
 	return n
 }
 
+// InsertPathIDs is InsertPath over pre-interned frames — the profiler's
+// sample path, which converts each live stack frame to its FrameID once
+// and reuses the IDs across samples.
+func (t *Tree) InsertPathIDs(path []FrameID) *Node {
+	n := t.Root
+	for _, id := range path {
+		n = n.ChildID(id)
+	}
+	return n
+}
+
 // AddSample attributes a metric vector to the node at the given path.
 func (t *Tree) AddSample(path []Frame, v *metric.Vector) *Node {
 	n := t.InsertPath(path)
+	n.Metrics.Add(v)
+	return n
+}
+
+// AddSampleIDs attributes a metric vector to the node at the given
+// pre-interned path.
+func (t *Tree) AddSampleIDs(path []FrameID, v *metric.Vector) *Node {
+	n := t.InsertPathIDs(path)
 	n.Metrics.Add(v)
 	return n
 }
@@ -216,8 +299,13 @@ func (t *Tree) Merge(o *Tree) {
 
 func mergeNode(dst, src *Node) {
 	dst.Metrics.Add(&src.Metrics)
-	for f, sc := range src.children {
-		mergeNode(dst.Child(f), sc)
+	// Integer-keyed descent: both trees share the process-global interner,
+	// so a child's FrameID addresses the same frame in either tree.
+	for i := uint8(0); i < src.nInline; i++ {
+		mergeNode(dst.ChildID(src.inlineIDs[i]), src.inline[i])
+	}
+	for id, sc := range src.children {
+		mergeNode(dst.ChildID(id), sc)
 	}
 }
 
@@ -270,10 +358,10 @@ func (t *Tree) Total() metric.Vector {
 // all descendants'.
 func (n *Node) Inclusive() metric.Vector {
 	v := n.Metrics
-	for _, c := range n.children {
+	n.eachChild(func(c *Node) {
 		cv := c.Inclusive()
 		v.Add(&cv)
-	}
+	})
 	return v
 }
 

@@ -1,0 +1,176 @@
+// Package heapmap provides an interval map from non-overlapping half-open
+// address ranges to values, optimized for the profiler's read/write
+// asymmetry: every memory sample performs one lookup, while mutation only
+// happens on malloc/free — orders of magnitude rarer.
+//
+// Readers never block and never see a lock: Lookup binary-searches an
+// immutable snapshot published through an atomic pointer. Writers copy the
+// sorted entry slice under a mutex and republish it (copy-on-write), so a
+// mutation costs O(n) in live ranges — the same bound the previous
+// RWMutex-guarded ivmap paid — but samplers on other threads are never
+// serialized against it, and snapshot identity gives per-thread caches a
+// free invalidation rule: any mutation republishes, so a cache that still
+// holds the current snapshot pointer is provably current (no stale hit
+// after a free or an address-reusing realloc).
+package heapmap
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// entry is one [lo, hi) range and its value.
+type entry[V any] struct {
+	lo, hi uint64
+	v      V
+}
+
+// snapshot is one immutable published state: entries sorted by lo,
+// pairwise disjoint.
+type snapshot[V any] struct {
+	entries []entry[V]
+}
+
+// lookup returns the entry containing addr.
+func (s *snapshot[V]) lookup(addr uint64) (entry[V], bool) {
+	es := s.entries
+	i := sort.Search(len(es), func(i int) bool { return es[i].lo > addr }) - 1
+	if i >= 0 && addr < es[i].hi {
+		return es[i], true
+	}
+	return entry[V]{}, false
+}
+
+// Map maps non-overlapping half-open intervals to values. The zero value
+// is an empty map ready for use. Reads are lock-free; mutations serialize
+// on an internal mutex.
+type Map[V any] struct {
+	mu       sync.Mutex
+	snap     atomic.Pointer[snapshot[V]]
+	rebuilds atomic.Uint64
+}
+
+// Insert adds [lo, hi) -> v, rebuilding and republishing the snapshot. It
+// returns an error if the interval is empty or overlaps an existing one.
+func (m *Map[V]) Insert(lo, hi uint64, v V) error {
+	if lo >= hi {
+		return fmt.Errorf("heapmap: empty interval [%#x, %#x)", lo, hi)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var cur []entry[V]
+	if s := m.snap.Load(); s != nil {
+		cur = s.entries
+	}
+	i := sort.Search(len(cur), func(i int) bool { return cur[i].lo > lo })
+	if i > 0 && cur[i-1].hi > lo {
+		p := cur[i-1]
+		return fmt.Errorf("heapmap: [%#x, %#x) overlaps existing [%#x, %#x)", lo, hi, p.lo, p.hi)
+	}
+	if i < len(cur) && cur[i].lo < hi {
+		nx := cur[i]
+		return fmt.Errorf("heapmap: [%#x, %#x) overlaps existing [%#x, %#x)", lo, hi, nx.lo, nx.hi)
+	}
+	next := make([]entry[V], 0, len(cur)+1)
+	next = append(next, cur[:i]...)
+	next = append(next, entry[V]{lo: lo, hi: hi, v: v})
+	next = append(next, cur[i:]...)
+	m.snap.Store(&snapshot[V]{entries: next})
+	m.rebuilds.Add(1)
+	return nil
+}
+
+// RemoveAt removes the interval whose lower bound is exactly lo, returning
+// its value. It reports false (and republishes nothing) if no interval
+// starts at lo.
+func (m *Map[V]) RemoveAt(lo uint64) (V, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var zero V
+	s := m.snap.Load()
+	if s == nil {
+		return zero, false
+	}
+	cur := s.entries
+	i := sort.Search(len(cur), func(i int) bool { return cur[i].lo > lo }) - 1
+	if i < 0 || cur[i].lo != lo {
+		return zero, false
+	}
+	v := cur[i].v
+	next := make([]entry[V], 0, len(cur)-1)
+	next = append(next, cur[:i]...)
+	next = append(next, cur[i+1:]...)
+	m.snap.Store(&snapshot[V]{entries: next})
+	m.rebuilds.Add(1)
+	return v, true
+}
+
+// Lookup returns the value of the interval containing addr. Lock-free.
+func (m *Map[V]) Lookup(addr uint64) (V, bool) {
+	s := m.snap.Load()
+	if s == nil {
+		var zero V
+		return zero, false
+	}
+	e, ok := s.lookup(addr)
+	return e.v, ok
+}
+
+// Cache is a 1-entry per-reader lookup cache exploiting sample locality:
+// consecutive samples usually land in the same block. It is validated by
+// snapshot identity, so any Insert/RemoveAt anywhere invalidates every
+// cache automatically. Each reader owns its Cache; it must not be shared.
+type Cache[V any] struct {
+	snap   *snapshot[V]
+	lo, hi uint64
+	v      V
+}
+
+// LookupCached is Lookup through the reader's cache. The third result
+// reports whether the hit came from the cache (for telemetry).
+func (m *Map[V]) LookupCached(addr uint64, c *Cache[V]) (V, bool, bool) {
+	s := m.snap.Load()
+	if s == nil {
+		var zero V
+		return zero, false, false
+	}
+	if c.snap == s && c.lo <= addr && addr < c.hi {
+		return c.v, true, true
+	}
+	e, ok := s.lookup(addr)
+	if !ok {
+		var zero V
+		return zero, false, false
+	}
+	c.snap, c.lo, c.hi, c.v = s, e.lo, e.hi, e.v
+	return e.v, true, false
+}
+
+// Len returns the number of live intervals. Lock-free.
+func (m *Map[V]) Len() int {
+	s := m.snap.Load()
+	if s == nil {
+		return 0
+	}
+	return len(s.entries)
+}
+
+// Rebuilds returns how many times the snapshot has been rebuilt and
+// republished (one per successful mutation).
+func (m *Map[V]) Rebuilds() uint64 { return m.rebuilds.Load() }
+
+// Each calls fn on every interval in ascending order against the current
+// snapshot. fn returning false stops the iteration.
+func (m *Map[V]) Each(fn func(lo, hi uint64, v V) bool) {
+	s := m.snap.Load()
+	if s == nil {
+		return
+	}
+	for _, e := range s.entries {
+		if !fn(e.lo, e.hi, e.v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package heapmap
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestInsertLookupBoundaries(t *testing.T) {
+	var m Map[int]
+	if err := m.Insert(100, 200, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(200, 300, 2); err != nil {
+		t.Fatal(err) // adjacent ranges are legal: [lo, hi) half-open
+	}
+	if err := m.Insert(50, 60, 3); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr uint64
+		want int
+		ok   bool
+	}{
+		{100, 1, true}, {199, 1, true}, {200, 2, true}, {299, 2, true},
+		{300, 0, false}, {99, 0, false}, {50, 3, true}, {60, 0, false}, {0, 0, false},
+	}
+	for _, c := range cases {
+		v, ok := m.Lookup(c.addr)
+		if ok != c.ok || v != c.want {
+			t.Errorf("Lookup(%d) = %d,%v, want %d,%v", c.addr, v, ok, c.want, c.ok)
+		}
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	var m Map[int]
+	if err := m.Insert(10, 10, 0); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("empty interval: got %v", err)
+	}
+	if err := m.Insert(100, 200, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][2]uint64{{150, 160}, {90, 101}, {199, 250}, {100, 200}, {50, 300}} {
+		if err := m.Insert(c[0], c[1], 9); err == nil || !strings.Contains(err.Error(), "overlaps") {
+			t.Fatalf("Insert(%d,%d): want overlap error, got %v", c[0], c[1], err)
+		}
+	}
+	// Failed mutations must not republish (caches stay valid).
+	if m.Rebuilds() != 1 {
+		t.Fatalf("Rebuilds = %d, want 1 (failed inserts must not rebuild)", m.Rebuilds())
+	}
+}
+
+func TestRemoveAt(t *testing.T) {
+	var m Map[string]
+	m.Insert(10, 20, "a")
+	m.Insert(30, 40, "b")
+	if v, ok := m.RemoveAt(30); !ok || v != "b" {
+		t.Fatalf("RemoveAt(30) = %q,%v", v, ok)
+	}
+	if _, ok := m.Lookup(35); ok {
+		t.Fatal("removed range still found")
+	}
+	if _, ok := m.RemoveAt(30); ok {
+		t.Fatal("double remove reported ok")
+	}
+	if _, ok := m.RemoveAt(15); ok {
+		t.Fatal("RemoveAt mid-range must require the exact lower bound")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+// TestLookupCached covers the per-reader cache: a repeat hit is served from
+// the cache, and any mutation — including a free+realloc reusing the same
+// address for a different block — invalidates it via snapshot identity.
+func TestLookupCached(t *testing.T) {
+	var m Map[string]
+	var c Cache[string]
+	m.Insert(100, 200, "old")
+
+	v, ok, cached := m.LookupCached(150, &c)
+	if !ok || cached || v != "old" {
+		t.Fatalf("first lookup = %q,%v,cached=%v", v, ok, cached)
+	}
+	v, ok, cached = m.LookupCached(150, &c)
+	if !ok || !cached || v != "old" {
+		t.Fatalf("repeat lookup = %q,%v,cached=%v, want cache hit", v, ok, cached)
+	}
+
+	// Realloc address reuse: same range, new identity.
+	m.RemoveAt(100)
+	m.Insert(100, 200, "new")
+	v, ok, cached = m.LookupCached(150, &c)
+	if !ok || cached || v != "new" {
+		t.Fatalf("post-realloc lookup = %q,%v,cached=%v, want fresh %q", v, ok, cached, "new")
+	}
+
+	// Plain free: the cached range is gone; the cache must not resurrect it.
+	m.RemoveAt(100)
+	if _, ok, _ := m.LookupCached(150, &c); ok {
+		t.Fatal("cache served a freed block")
+	}
+
+	if m.Rebuilds() != 4 {
+		t.Fatalf("Rebuilds = %d, want 4", m.Rebuilds())
+	}
+}
+
+func TestEach(t *testing.T) {
+	var m Map[int]
+	m.Insert(30, 40, 3)
+	m.Insert(10, 20, 1)
+	m.Insert(20, 30, 2)
+	var got []int
+	m.Each(func(lo, hi uint64, v int) bool { got = append(got, v); return true })
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Each order = %v, want ascending [1 2 3]", got)
+	}
+	got = got[:0]
+	m.Each(func(lo, hi uint64, v int) bool { got = append(got, v); return v != 2 })
+	if len(got) != 2 {
+		t.Fatalf("Each early stop visited %d, want 2", len(got))
+	}
+}
+
+// TestConcurrentReadersDuringMutation runs cached lookups from several
+// goroutines while a writer continuously churns ranges (run under -race).
+// Readers must only ever observe values consistent with the range they hit.
+func TestConcurrentReadersDuringMutation(t *testing.T) {
+	var m Map[uint64]
+	const ranges = 64
+	for i := uint64(0); i < ranges; i++ {
+		if err := m.Insert(i*100, i*100+100, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var c Cache[uint64]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				addr := uint64((i*7+g)%ranges)*100 + 50
+				if v, ok, _ := m.LookupCached(addr, &c); ok && v != addr/100 {
+					panic("reader observed a value from the wrong range")
+				}
+			}
+		}(g)
+	}
+	// Writer: churn the odd ranges.
+	for round := 0; round < 200; round++ {
+		for i := uint64(1); i < ranges; i += 2 {
+			if _, ok := m.RemoveAt(i * 100); !ok {
+				t.Fatal("remove lost a range")
+			}
+			if err := m.Insert(i*100, i*100+100, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if m.Len() != ranges {
+		t.Fatalf("Len = %d, want %d", m.Len(), ranges)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dcprof/internal/ivmap"
 	"dcprof/internal/mem"
@@ -206,7 +207,14 @@ type Map struct {
 	mu      sync.RWMutex
 	modules []*Module
 	nextIdx int
+	// gen counts module-set changes (Load/Unload). Consumers caching IP
+	// resolutions (which can go stale when a module is unloaded, or start
+	// resolving when one is loaded) revalidate against it.
+	gen atomic.Uint64
 }
+
+// Gen returns the module-set generation, bumped by every Load and Unload.
+func (lm *Map) Gen() uint64 { return lm.gen.Load() }
 
 // NewMap creates an empty load map.
 func NewMap() *Map { return &Map{} }
@@ -219,6 +227,7 @@ func (lm *Map) Load(name string) *Module {
 	m := NewModule(name, lm.nextIdx)
 	lm.nextIdx++
 	lm.modules = append(lm.modules, m)
+	lm.gen.Add(1)
 	return m
 }
 
@@ -229,6 +238,7 @@ func (lm *Map) Unload(m *Module) bool {
 	for i, mod := range lm.modules {
 		if mod == m {
 			lm.modules = append(lm.modules[:i], lm.modules[i+1:]...)
+			lm.gen.Add(1)
 			return true
 		}
 	}

@@ -77,42 +77,50 @@ type Sampler interface {
 	Flush()
 }
 
-// delivery holds the skid machinery shared by both samplers.
+// delivery holds the skid machinery shared by both samplers. The pending
+// sample is stored by value and handlers receive a pointer into the
+// sampler's own scratch slot: queuing and delivering a sample performs no
+// heap allocation, keeping the steady-state sample path at 0 allocs/op.
+// Handlers must not retain the *Sample past the call.
 type delivery struct {
-	handler Handler
-	pending *Sample
+	handler    Handler
+	pending    Sample
+	hasPending bool
 	// Samples counts delivered samples.
 	samples uint64
+	// scratch is the slot handed to the handler.
+	scratch Sample
 }
 
 // deliverLater queues s for delivery at the next retirement.
 func (d *delivery) deliverLater(s Sample) {
 	// If a sample is already pending (period shorter than the skid window),
 	// deliver it immediately rather than losing it.
-	if d.pending != nil {
+	if d.hasPending {
 		d.deliver(d.pending.PreciseIP)
 	}
-	d.pending = &s
+	d.pending = s
+	d.hasPending = true
 }
 
 // deliver fires the pending sample, stamping the interrupt IP.
 func (d *delivery) deliver(skidIP uint64) {
-	if d.pending == nil {
+	if !d.hasPending {
 		return
 	}
-	s := d.pending
-	d.pending = nil
-	s.SkidIP = skidIP
+	d.scratch = d.pending
+	d.hasPending = false
+	d.scratch.SkidIP = skidIP
 	d.samples++
 	if d.handler != nil {
-		d.handler(s)
+		d.handler(&d.scratch)
 	}
 }
 
 func (d *delivery) observe(ip uint64) { d.deliver(ip) }
 
 func (d *delivery) flush() {
-	if d.pending != nil {
+	if d.hasPending {
 		d.deliver(d.pending.PreciseIP)
 	}
 }

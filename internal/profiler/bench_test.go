@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dcprof/internal/cache"
+	"dcprof/internal/heapmap"
 	"dcprof/internal/machine"
 	"dcprof/internal/mem"
 	"dcprof/internal/sim"
@@ -26,6 +27,7 @@ func benchSetup(cfg Config, depth int) (*Profiler, *sim.Thread) {
 
 // BenchmarkSamplePath measures the full per-sample cost: PMU delivery,
 // unwind, classification against a populated heap map, CCT insertion.
+// Steady state must run at 0 allocs/op (the hot-path gate enforces it).
 func BenchmarkSamplePath(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.Period = 1 // every access samples
@@ -35,10 +37,45 @@ func BenchmarkSamplePath(b *testing.B) {
 		bufs = append(bufs, th.Malloc(8192))
 	}
 	_ = prof
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		th.Load(bufs[i%len(bufs)], 8)
 	}
+}
+
+// BenchmarkSamplePathParallel drives N concurrent sampling threads — each
+// animating its own simulated thread inside one parallel region — against
+// a large shared live-heap map. Before the copy-on-write heap map, every
+// sample serialized on the process-global blocksMu; now the only shared
+// state on the path is read via atomic snapshots, so threads scale.
+func BenchmarkSamplePathParallel(b *testing.B) {
+	const nThreads = 8
+	cfg := DefaultConfig()
+	cfg.Period = 1
+	node := sim.NewNode(machine.Power7Node(), cache.DefaultConfig())
+	p := sim.NewProcess(node, 0, 0, nThreads, nil)
+	prof := Attach(p, cfg)
+	exe := p.LoadMap.Load("exe")
+	fMain := exe.AddFunc("main", "main.c", 1)
+	fRegion := exe.AddFunc("region", "main.c", 40)
+	th := p.Start()
+	th.Call(fMain)
+	th.At(5)
+	var bufs []mem.Addr
+	for i := 0; i < 2048; i++ {
+		bufs = append(bufs, th.Malloc(8192))
+	}
+	_ = prof
+	perThread := b.N/nThreads + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	p.Parallel(th, fRegion, nThreads, func(t *sim.Thread, tid int) {
+		t.At(42)
+		for i := 0; i < perThread; i++ {
+			t.Load(bufs[(i*nThreads+tid)%len(bufs)], 8)
+		}
+	})
 }
 
 // BenchmarkAllocPathTrampoline vs NoTrampoline: the §4.1.3 unwind
@@ -65,9 +102,8 @@ func benchAllocPath(b *testing.B, trampoline bool) {
 func BenchmarkAllocPathTrampoline(b *testing.B)   { benchAllocPath(b, true) }
 func BenchmarkAllocPathNoTrampoline(b *testing.B) { benchAllocPath(b, false) }
 
-// BenchmarkClassify measures address classification against a large live
-// heap map — the per-sample lookup the paper keeps on the fast path.
-func BenchmarkClassify(b *testing.B) {
+// classifyBench populates a profiler with a large live heap.
+func classifyBench(b *testing.B) (*Profiler, []mem.Addr) {
 	cfg := DefaultConfig()
 	cfg.Period = 1 << 30
 	prof, th := benchSetup(cfg, 4)
@@ -75,8 +111,35 @@ func BenchmarkClassify(b *testing.B) {
 	for i := 0; i < 4096; i++ {
 		bufs = append(bufs, th.Malloc(8192))
 	}
+	return prof, bufs
+}
+
+// BenchmarkClassify measures address classification against a large live
+// heap map — the per-sample lookup the paper keeps on the fast path.
+func BenchmarkClassify(b *testing.B) {
+	prof, bufs := classifyBench(b)
+	var c heapmap.Cache[*heapBlock]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		prof.classify(bufs[i%len(bufs)] + 16)
+		prof.classify(bufs[i%len(bufs)]+16, &c)
 	}
+}
+
+// BenchmarkClassifyParallel runs the classification path from GOMAXPROCS
+// goroutines at once. With the lock-free snapshot map this scales near
+// linearly; with the old RWMutex-guarded map every goroutine serialized on
+// the read lock's shared cache line.
+func BenchmarkClassifyParallel(b *testing.B) {
+	prof, bufs := classifyBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var c heapmap.Cache[*heapBlock]
+		i := 0
+		for pb.Next() {
+			prof.classify(bufs[i%len(bufs)]+16, &c)
+			i++
+		}
+	})
 }

@@ -28,7 +28,7 @@ func (p *Profiler) RegisterStackVar(t *sim.Thread, name string, addr mem.Addr, s
 	if fn != nil {
 		module = fn.Module.Name
 	}
-	prefix := []cct.Frame{{Kind: cct.KindStackVar, Module: module, Name: name}}
+	prefix := []cct.FrameID{cct.InternFrame(cct.Frame{Kind: cct.KindStackVar, Module: module, Name: name})}
 	// Ranges may be re-registered as frames come and go; replace quietly.
 	ts.stackVars.RemoveContaining(uint64(addr))
 	if err := ts.stackVars.Insert(uint64(addr), uint64(addr)+size, prefix); err != nil {
@@ -47,7 +47,7 @@ func (p *Profiler) UnregisterStackVar(t *sim.Thread, addr mem.Addr) {
 
 // stackVarPrefix resolves an effective address against the thread's own
 // registered stack variables.
-func (ts *tstate) stackVarPrefix(ea mem.Addr) ([]cct.Frame, bool) {
+func (ts *tstate) stackVarPrefix(ea mem.Addr) ([]cct.FrameID, bool) {
 	if ts.stackVars.Len() == 0 {
 		return nil, false
 	}
@@ -57,14 +57,12 @@ func (ts *tstate) stackVarPrefix(ea mem.Addr) ([]cct.Frame, bool) {
 // trackSmallAlloc decides whether a below-threshold allocation should be
 // tracked anyway under the small-allocation sampling extension (§7:
 // "monitoring some of them"): every SmallAllocSamplePeriod-th small
-// allocation is tracked, amortizing the unwind cost across the rest.
+// allocation is tracked, amortizing the unwind cost across the rest. The
+// counter is atomic, so concurrent small allocations on many threads never
+// serialize on a lock just to be skipped.
 func (p *Profiler) trackSmallAlloc() bool {
 	if p.cfg.SmallAllocSamplePeriod == 0 {
 		return false
 	}
-	p.statesMu.Lock()
-	p.smallAllocSeen++
-	hit := p.smallAllocSeen%p.cfg.SmallAllocSamplePeriod == 0
-	p.statesMu.Unlock()
-	return hit
+	return p.smallAllocSeen.Add(1)%p.cfg.SmallAllocSamplePeriod == 0
 }

@@ -3,9 +3,11 @@ package profiler
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dcprof/internal/cache"
 	"dcprof/internal/cct"
+	"dcprof/internal/heapmap"
 	"dcprof/internal/ivmap"
 	"dcprof/internal/loadmap"
 	"dcprof/internal/mem"
@@ -16,10 +18,11 @@ import (
 
 // heapBlock is the tracked state of one live heap allocation: its
 // allocation call path (ending in the allocation statement, the allocator
-// entry point, and the "heap data accesses" mark), precomputed so the
-// sample hot path can prepend it with a single slice reference.
+// entry point, and the "heap data accesses" mark), pre-interned so the
+// sample hot path can prepend it with a single slice reference and no
+// string hashing.
 type heapBlock struct {
-	prefix []cct.Frame // immutable once created
+	prefix []cct.FrameID // immutable once created
 	size   uint64
 }
 
@@ -29,25 +32,33 @@ type Profiler struct {
 	proc *sim.Process
 
 	// blocks maps live tracked heap ranges to their allocation contexts.
-	// Written by allocating threads, read by every sampling thread.
-	blocksMu sync.RWMutex
-	blocks   ivmap.Map[*heapBlock]
+	// Written by allocating threads, read by every sampling thread;
+	// lookups are lock-free against a copy-on-write snapshot, so samplers
+	// never block behind an allocating thread (or each other).
+	blocks heapmap.Map[*heapBlock]
 
 	// states holds per-thread profiler state (thread-local CCTs; no locks
 	// on the sample path, as in the paper).
 	statesMu sync.Mutex
 	states   map[*sim.Thread]*tstate
 
-	// staticPrefix caches the one-frame variable prefix per static symbol.
-	staticPrefixMu sync.Mutex
-	staticPrefix   map[*loadmap.StaticVar][]cct.Frame
+	// staticPrefix caches the one-frame interned prefix per static symbol.
+	// sync.Map: read-mostly, written once per distinct symbol.
+	staticPrefix sync.Map // *loadmap.StaticVar -> []cct.FrameID
 
-	// trackedAllocs / skippedAllocs count tracking decisions (stats).
-	trackedAllocs uint64
-	skippedAllocs uint64
+	// trackedAllocs / skippedAllocs count tracking decisions (stats);
+	// atomics, so allocation wrappers never serialize on unrelated locks.
+	trackedAllocs atomic.Uint64
+	skippedAllocs atomic.Uint64
 	// smallAllocSeen counts below-threshold allocations for the sampling
 	// extension.
-	smallAllocSeen uint64
+	smallAllocSeen atomic.Uint64
+
+	// allocKindIDs holds the interned allocator-entry frames (malloc,
+	// calloc, realloc), resolved once at Attach.
+	allocKindIDs [3]cct.FrameID
+	// plainHeapMark is the interned unlabeled heap-data separator.
+	plainHeapMark cct.FrameID
 
 	// trace, when non-nil, records every memory sample MemProf-style (see
 	// EnableTrace and the tracecmp experiment).
@@ -67,12 +78,55 @@ type tstate struct {
 	pendingLabel string
 	// stackVars maps registered stack-variable ranges to their dummy-node
 	// prefixes (§7 extension). Thread-local: no locking.
-	stackVars ivmap.Map[[]cct.Frame]
-	// cache holds the converted frames of the stack prefix covered by the
-	// trampoline, so consecutive allocation unwinds reuse it.
-	cache []cct.Frame
+	stackVars ivmap.Map[[]cct.FrameID]
+
+	// stackIDs mirrors the thread's live stack as interned FrameIDs; the
+	// bottom ConvCacheDepth frames are known current (same invalidation
+	// rule as the trampoline, tracked separately so refreshing on samples
+	// does not perturb the simulated trampoline state or its charges).
+	stackIDs []cct.FrameID
+	// stackEpoch increments whenever stackIDs changes; the last-node cache
+	// keys on it to prove the calling context is unchanged.
+	stackEpoch uint64
+
+	// frameIDs memoizes live-frame -> FrameID conversion per (function,
+	// call line). Function symbol data is immutable, so entries never go
+	// stale.
+	frameIDs map[frameKey]cct.FrameID
+	// leafIDs memoizes IP -> statement-frame resolution. Unlike frameIDs
+	// it can go stale (module load/unload changes what an IP resolves to),
+	// so it is revalidated against the load map's generation.
+	leafIDs map[uint64]leafEntry
+	leafGen uint64
+
+	// Last-node cache: consecutive samples at the same (class, variable
+	// prefix, calling context, leaf) skip InsertPath entirely.
+	lastNode   *cct.Node
+	lastClass  cct.Class
+	lastLeaf   cct.FrameID
+	lastEpoch  uint64
+	lastPrefix []cct.FrameID
+
+	// blockCache is the thread's 1-entry heap-map cache (sample locality:
+	// consecutive samples usually land in the same block).
+	blockCache heapmap.Cache[*heapBlock]
+
 	// pathBuf is scratch for building sample paths without allocating.
-	pathBuf []cct.Frame
+	pathBuf []cct.FrameID
+}
+
+// frameKey identifies a converted call frame: the function symbol is
+// canonical per load, and the call line completes the CCT identity.
+type frameKey struct {
+	fn   *loadmap.Function
+	line int
+}
+
+// leafEntry caches one IP resolution, including the negative case
+// (unloaded module) so repeatedly-sampled dead IPs stay cheap.
+type leafEntry struct {
+	id cct.FrameID
+	ok bool
 }
 
 // Attach wraps the process's runtime events with profiler instrumentation.
@@ -82,12 +136,17 @@ func Attach(p *sim.Process, cfg Config) *Profiler {
 		cfg.Period = DefaultConfig().Period
 	}
 	prof := &Profiler{
-		cfg:          cfg,
-		proc:         p,
-		states:       make(map[*sim.Thread]*tstate),
-		staticPrefix: make(map[*loadmap.StaticVar][]cct.Frame),
-		tel:          newInstruments(cfg.Telemetry),
+		cfg:    cfg,
+		proc:   p,
+		states: make(map[*sim.Thread]*tstate),
+		tel:    newInstruments(cfg.Telemetry),
 	}
+	for _, k := range []sim.AllocKind{sim.AllocMalloc, sim.AllocCalloc, sim.AllocRealloc} {
+		prof.allocKindIDs[k] = cct.InternFrame(cct.Frame{
+			Kind: cct.KindCall, Module: "libc", Name: k.String(), File: "stdlib.h",
+		})
+	}
+	prof.plainHeapMark = cct.InternFrame(cct.Frame{Kind: cct.KindHeapData})
 	p.SetHooks(prof)
 	return prof
 }
@@ -107,9 +166,12 @@ func (p *Profiler) Config() Config { return p.cfg }
 // creates its CCTs.
 func (p *Profiler) ThreadStart(t *sim.Thread) {
 	ts := &tstate{
-		prof:    p,
-		t:       t,
-		profile: cct.NewProfile(p.proc.Rank, t.ID, p.cfg.EventString()),
+		prof:     p,
+		t:        t,
+		profile:  cct.NewProfile(p.proc.Rank, t.ID, p.cfg.EventString()),
+		frameIDs: make(map[frameKey]cct.FrameID),
+		leafIDs:  make(map[uint64]leafEntry),
+		leafGen:  t.Proc.LoadMap.Gen(),
 	}
 	var sampler pmu.Sampler
 	if p.cfg.Mode == ModeMarked {
@@ -146,6 +208,44 @@ func (p *Profiler) Label(t *sim.Thread, name string) {
 	p.state(t).pendingLabel = name
 }
 
+// frameIDFor converts one live stack frame to its interned CCT identity,
+// memoized per thread.
+func (ts *tstate) frameIDFor(f sim.Frame) cct.FrameID {
+	k := frameKey{fn: f.Fn, line: f.CallLine}
+	if id, ok := ts.frameIDs[k]; ok {
+		return id
+	}
+	id := cct.InternFrame(cct.Frame{
+		Kind:   cct.KindCall,
+		Module: f.Fn.Module.Name,
+		Name:   f.Fn.Name,
+		File:   f.Fn.File,
+		Line:   f.CallLine,
+	})
+	ts.frameIDs[k] = id
+	ts.prof.tel.internerFrames.Set(int64(cct.DefaultInterner().Len()))
+	return id
+}
+
+// syncStack refreshes stackIDs to mirror the live stack, converting only
+// the frames above the unchanged bottom prefix, and reports whether the
+// calling context is byte-identical to the last synced one.
+func (ts *tstate) syncStack(frames []sim.Frame) {
+	known := ts.t.ConvCacheDepth()
+	if known > len(ts.stackIDs) {
+		known = len(ts.stackIDs)
+	}
+	if known == len(frames) && known == len(ts.stackIDs) {
+		return // unchanged since last sync: epoch stays put
+	}
+	ts.stackEpoch++
+	ts.stackIDs = ts.stackIDs[:known]
+	for i := known; i < len(frames); i++ {
+		ts.stackIDs = append(ts.stackIDs, ts.frameIDFor(frames[i]))
+	}
+	ts.t.SetConvCacheDepth(len(frames))
+}
+
 // OnAlloc implements sim.Hooks: the malloc-family wrapper.
 func (p *Profiler) OnAlloc(t *sim.Thread, addr mem.Addr, size uint64, kind sim.AllocKind) {
 	p.charge(t, p.cfg.WrapCycles)
@@ -156,24 +256,20 @@ func (p *Profiler) OnAlloc(t *sim.Thread, addr mem.Addr, size uint64, kind sim.A
 		return
 	}
 	if p.cfg.SizeThreshold > 0 && size < p.cfg.SizeThreshold && !p.trackSmallAlloc() {
-		p.statesMu.Lock()
-		p.skippedAllocs++
-		p.statesMu.Unlock()
+		p.skippedAllocs.Add(1)
 		p.tel.allocSkipped.Inc()
 		return
 	}
 
 	// Unwind the allocation calling context. With the trampoline, only the
 	// suffix above the marked frame must be walked; without it, the whole
-	// stack is unwound every time.
+	// stack is unwound every time. The charge models the simulated unwind;
+	// the host-side conversion reuse is tracked separately by syncStack.
 	frames := t.Frames()
 	depth := len(frames)
 	known := 0
 	if p.cfg.UseTrampoline {
 		known = t.TrampolineDepth()
-		if known > len(ts.cache) {
-			known = len(ts.cache)
-		}
 		if known > 0 {
 			p.tel.trampHits.Inc()
 			p.tel.trampFramesSaved.Add(uint64(known))
@@ -183,48 +279,50 @@ func (p *Profiler) OnAlloc(t *sim.Thread, addr mem.Addr, size uint64, kind sim.A
 	}
 	p.charge(t, p.cfg.contextCost()+p.cfg.AllocUnwindBase+
 		p.cfg.UnwindFrameCycles*uint64(depth-known))
-
-	// Rebuild the cached converted stack: reuse the known prefix, convert
-	// the suffix.
-	ts.cache = ts.cache[:known]
-	for i := known; i < depth; i++ {
-		ts.cache = append(ts.cache, callFrame(frames[i]))
-	}
+	ts.syncStack(frames)
 	t.SetTrampolineDepth(depth)
 
 	// Allocation context = stack + allocation statement + allocator entry
 	// + heap-data mark. Copied so it stays immutable.
-	prefix := make([]cct.Frame, 0, depth+3)
-	prefix = append(prefix, ts.cache...)
-	prefix = append(prefix, stmtFrameAt(t))
-	prefix = append(prefix, cct.Frame{Kind: cct.KindCall, Module: "libc", Name: kind.String(), File: "stdlib.h"})
-	prefix = append(prefix, cct.Frame{Kind: cct.KindHeapData, Name: label})
+	stmtID, okStmt := ts.leafID(t.IP())
+	if !okStmt {
+		// Allocating from a function that resolves to no module cannot
+		// happen while the function executes; keep a defensive identity.
+		stmtID = cct.InternFrame(stmtFrameAt(t))
+	}
+	mark := p.plainHeapMark
+	if label != "" {
+		mark = cct.InternFrame(cct.Frame{Kind: cct.KindHeapData, Name: label})
+	}
+	prefix := make([]cct.FrameID, 0, depth+3)
+	prefix = append(prefix, ts.stackIDs...)
+	prefix = append(prefix, stmtID, p.allocKindIDs[kind], mark)
 
 	blk := &heapBlock{prefix: prefix, size: size}
-	p.blocksMu.Lock()
 	// A racing free of an overlapping stale range cannot happen (allocator
 	// hands out disjoint live ranges), so Insert only fails on profiler
 	// bookkeeping bugs.
 	if err := p.blocks.Insert(uint64(addr), uint64(addr)+size, blk); err != nil {
-		p.blocksMu.Unlock()
 		panic("profiler: heap map corrupt: " + err.Error())
 	}
-	p.trackedAllocs++
-	p.blocksMu.Unlock()
+	p.trackedAllocs.Add(1)
 	p.tel.allocTracked.Inc()
 	p.tel.liveBlocks.Add(1)
+	p.tel.heapRebuilds.Inc()
+	p.tel.internerFrames.Set(int64(cct.DefaultInterner().Len()))
 }
 
 // OnFree implements sim.Hooks: frees are always wrapped (cheaply — no
 // calling context is collected for them) so stale ranges never
-// mis-attribute later samples.
+// mis-attribute later samples. Removing the block republishes the heap-map
+// snapshot, which atomically invalidates every thread's last-block cache —
+// address reuse after free/realloc cannot hit a stale entry.
 func (p *Profiler) OnFree(t *sim.Thread, addr mem.Addr, size uint64) {
 	p.charge(t, p.cfg.WrapCycles)
-	p.blocksMu.Lock()
 	_, tracked := p.blocks.RemoveAt(uint64(addr))
-	p.blocksMu.Unlock()
 	if tracked {
 		p.tel.liveBlocks.Add(-1)
+		p.tel.heapRebuilds.Inc()
 	}
 }
 
@@ -247,16 +345,17 @@ func (ts *tstate) handle(s *pmu.Sample) {
 	} else if s.SkidIP != s.PreciseIP {
 		prof.tel.samplesSkid.Inc()
 	}
-	leaf, ok := ts.leafFor(ip)
+	leaf, ok := ts.leafID(ip)
 	if !ok {
 		prof.tel.samplesDropped.Inc()
 		return // IP in unloaded module; drop, as the real tool must
 	}
+	ts.syncStack(frames)
 
 	var v metric.Vector
 	v[metric.Samples] = 1
 	if !s.IsMem {
-		ts.record(cct.ClassNonMem, nil, frames, leaf, &v)
+		ts.record(cct.ClassNonMem, nil, leaf, &v)
 		return
 	}
 	mi := &s.Mem
@@ -269,73 +368,96 @@ func (ts *tstate) handle(s *pmu.Sample) {
 		v[metric.Stores] = 1
 	}
 
-	class, varPrefix := ts.prof.classify(mi.EA)
+	class, varPrefix := prof.classify(mi.EA, &ts.blockCache)
 	if class == cct.ClassUnknown {
 		if prefix, ok := ts.stackVarPrefix(mi.EA); ok {
 			varPrefix = prefix
 		}
 	}
-	ts.record(class, varPrefix, frames, leaf, &v)
+	ts.record(class, varPrefix, leaf, &v)
 }
 
-// record builds prefix ++ stack ++ leaf in the thread's scratch buffer and
-// attributes the vector in the class's tree.
-func (ts *tstate) record(class cct.Class, prefix []cct.Frame, frames []sim.Frame, leaf cct.Frame, v *metric.Vector) {
+// samePrefix reports whether two immutable prefix slices are the same
+// slice (variable prefixes are shared, never rebuilt, so identity implies
+// equality).
+func samePrefix(a, b []cct.FrameID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// record attributes the vector at prefix ++ stack ++ leaf in the class's
+// tree. Steady state — same storage class, same variable, same calling
+// context, same statement as the previous sample — adds the vector to the
+// cached node directly, skipping path insertion.
+func (ts *tstate) record(class cct.Class, prefix []cct.FrameID, leaf cct.FrameID, v *metric.Vector) {
+	if n := ts.lastNode; n != nil && class == ts.lastClass && leaf == ts.lastLeaf &&
+		ts.stackEpoch == ts.lastEpoch && samePrefix(prefix, ts.lastPrefix) {
+		ts.prof.tel.lastNodeHits.Inc()
+		n.Metrics.Add(v)
+		return
+	}
+	ts.prof.tel.lastNodeMisses.Inc()
 	buf := ts.pathBuf[:0]
 	buf = append(buf, prefix...)
-	for _, f := range frames {
-		buf = append(buf, callFrame(f))
-	}
+	buf = append(buf, ts.stackIDs...)
 	buf = append(buf, leaf)
 	ts.pathBuf = buf
-	ts.profile.Trees[class].AddSample(buf, v)
+	n := ts.profile.Trees[class].AddSampleIDs(buf, v)
+	ts.lastNode, ts.lastClass, ts.lastLeaf = n, class, leaf
+	ts.lastEpoch, ts.lastPrefix = ts.stackEpoch, prefix
 }
 
 // classify resolves an effective address to its storage class and, for heap
-// and static data, the variable prefix to hang the access path under.
-func (p *Profiler) classify(ea mem.Addr) (cct.Class, []cct.Frame) {
-	p.blocksMu.RLock()
-	blk, ok := p.blocks.Lookup(uint64(ea))
-	p.blocksMu.RUnlock()
+// and static data, the interned variable prefix to hang the access path
+// under. The heap lookup is lock-free; cache is the calling thread's
+// 1-entry locality cache (pass a scratch Cache when classifying outside a
+// sampling thread).
+func (p *Profiler) classify(ea mem.Addr, cache *heapmap.Cache[*heapBlock]) (cct.Class, []cct.FrameID) {
+	blk, ok, cached := p.blocks.LookupCached(uint64(ea), cache)
 	p.tel.heapLookups.Inc()
 	if ok {
+		if cached {
+			p.tel.blockCacheHits.Inc()
+		}
 		p.tel.heapHits.Inc()
 		return cct.ClassHeap, blk.prefix
 	}
 	if sv, found := p.proc.LoadMap.FindStatic(ea); found {
-		p.staticPrefixMu.Lock()
-		fr, cached := p.staticPrefix[sv]
-		if !cached {
-			fr = []cct.Frame{{Kind: cct.KindStaticVar, Module: sv.Module.Name, Name: sv.Name}}
-			p.staticPrefix[sv] = fr
+		if fr, ok := p.staticPrefix.Load(sv); ok {
+			return cct.ClassStatic, fr.([]cct.FrameID)
 		}
-		p.staticPrefixMu.Unlock()
-		return cct.ClassStatic, fr
+		fr := []cct.FrameID{cct.InternFrame(cct.Frame{
+			Kind: cct.KindStaticVar, Module: sv.Module.Name, Name: sv.Name,
+		})}
+		actual, _ := p.staticPrefix.LoadOrStore(sv, fr)
+		return cct.ClassStatic, actual.([]cct.FrameID)
 	}
 	return cct.ClassUnknown, nil
 }
 
-// leafFor resolves a sampled IP to its statement frame. The unwinder's leaf
-// is adjusted to the PMU's precise IP (or deliberately the skid IP under
-// the ablation flag); an IP that no longer resolves (module unloaded)
-// reports false.
-func (ts *tstate) leafFor(ip uint64) (cct.Frame, bool) {
-	mod, fn, line, ok := ts.t.Proc.LoadMap.ResolveIP(ip)
-	if !ok {
-		return cct.Frame{}, false
+// leafID resolves a sampled IP to its interned statement frame, memoized
+// per thread and revalidated against the load map generation (an unload
+// makes cached resolutions stale; a load can make negative entries stale).
+func (ts *tstate) leafID(ip uint64) (cct.FrameID, bool) {
+	lm := ts.t.Proc.LoadMap
+	if g := lm.Gen(); g != ts.leafGen {
+		clear(ts.leafIDs)
+		ts.leafGen = g
 	}
-	return cct.Frame{Kind: cct.KindStmt, Module: mod.Name, Name: fn.Name, File: fn.File, Line: line}, true
-}
-
-// callFrame converts a live stack frame to its CCT identity.
-func callFrame(f sim.Frame) cct.Frame {
-	return cct.Frame{
-		Kind:   cct.KindCall,
-		Module: f.Fn.Module.Name,
-		Name:   f.Fn.Name,
-		File:   f.Fn.File,
-		Line:   f.CallLine,
+	if e, ok := ts.leafIDs[ip]; ok {
+		return e.id, e.ok
 	}
+	mod, fn, line, ok := lm.ResolveIP(ip)
+	var id cct.FrameID
+	if ok {
+		id = cct.InternFrame(cct.Frame{
+			Kind: cct.KindStmt, Module: mod.Name, Name: fn.Name, File: fn.File, Line: line,
+		})
+	}
+	ts.leafIDs[ip] = leafEntry{id: id, ok: ok}
+	return id, ok
 }
 
 // stmtFrameAt is the statement frame for the thread's current position
@@ -378,10 +500,5 @@ func (p *Profiler) Profiles() []*cct.Profile {
 
 // Stats reports allocation-tracking decisions.
 func (p *Profiler) Stats() (tracked, skipped uint64, liveTracked int) {
-	p.blocksMu.RLock()
-	live := p.blocks.Len()
-	p.blocksMu.RUnlock()
-	p.statesMu.Lock()
-	defer p.statesMu.Unlock()
-	return p.trackedAllocs, p.skippedAllocs, live
+	return p.trackedAllocs.Load(), p.skippedAllocs.Load(), p.blocks.Len()
 }

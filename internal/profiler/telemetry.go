@@ -26,9 +26,21 @@ type instruments struct {
 	trampMisses      *telemetry.Counter
 	trampFramesSaved *telemetry.Counter
 	// heapLookups counts effective-address classifications against the
-	// heap map; heapHits those that landed in a tracked block.
-	heapLookups *telemetry.Counter
-	heapHits    *telemetry.Counter
+	// heap map; heapHits those that landed in a tracked block;
+	// blockCacheHits the hits served by the thread's 1-entry last-block
+	// cache without touching the shared snapshot's search.
+	heapLookups    *telemetry.Counter
+	heapHits       *telemetry.Counter
+	blockCacheHits *telemetry.Counter
+	// heapRebuilds counts heap-map snapshot rebuilds (one per tracked
+	// alloc/free) — the copy-on-write cost that buys lock-free lookups.
+	heapRebuilds *telemetry.Counter
+	// lastNodeHits counts samples attributed by the last-node cache
+	// without any CCT descent; lastNodeMisses those that walked the tree.
+	lastNodeHits   *telemetry.Counter
+	lastNodeMisses *telemetry.Counter
+	// internerFrames is the size of the process-global frame interner.
+	internerFrames *telemetry.Gauge
 	// allocTracked / allocSkipped count allocation-tracking decisions;
 	// allocSkipped is the 4 KiB-threshold fast path.
 	allocTracked *telemetry.Counter
@@ -53,6 +65,11 @@ func newInstruments(reg *telemetry.Registry) instruments {
 		trampFramesSaved: reg.Counter("profiler.trampoline.frames_saved"),
 		heapLookups:      reg.Counter("profiler.heapmap.lookups"),
 		heapHits:         reg.Counter("profiler.heapmap.hits"),
+		blockCacheHits:   reg.Counter("profiler.heapmap.cache_hits"),
+		heapRebuilds:     reg.Counter("profiler.heapmap.snapshot_rebuilds"),
+		lastNodeHits:     reg.Counter("profiler.sample.lastnode_hits"),
+		lastNodeMisses:   reg.Counter("profiler.sample.lastnode_misses"),
+		internerFrames:   reg.Gauge("profiler.cct.interner_frames"),
 		allocTracked:     reg.Counter("profiler.alloc.tracked"),
 		allocSkipped:     reg.Counter("profiler.alloc.skipped_small"),
 		overheadCycles:   reg.Counter("profiler.overhead.cycles"),

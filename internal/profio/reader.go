@@ -92,6 +92,21 @@ type Reader struct {
 	treeErrs     int
 	footerDone   bool
 	terminal     error // sticky stream-level failure; nil if resync possible
+
+	// frameIDs memoizes string-table-index tuples to interned FrameIDs, so
+	// each distinct frame in a file touches the process-global interner
+	// once; every further node record with the same tuple resolves by one
+	// integer-keyed map probe. Valid across trees of one file (the string
+	// table is per-file).
+	frameIDs map[frameRef]cct.FrameID
+}
+
+// frameRef is a frame as the wire encodes it: kind plus string-table
+// indices. Two records with equal refs decode to the same frame.
+type frameRef struct {
+	kind            byte
+	mod, name, file uint64
+	line            uint64
 }
 
 // NewReader reads the header and string table and positions the reader at
@@ -272,7 +287,7 @@ func (d *Reader) ReadTree() (cct.Class, *cct.Tree, error) {
 
 	if d.version == Version1 {
 		t := cct.New()
-		n, err := readTree(d.br, t, d.str)
+		n, err := d.readTree(d.br, t)
 		if err != nil {
 			// v1 has no framing: the offset of the next tree is unknown.
 			d.terminal = fmt.Errorf("profio: tree %d: %w", d.next, wrapEOF(err))
@@ -300,7 +315,7 @@ func (d *Reader) ReadTree() (cct.Class, *cct.Tree, error) {
 	// either way only this tree is lost.
 	t := cct.New()
 	pr := bufio.NewReader(bytes.NewReader(payload))
-	n, err := readTree(pr, t, d.str)
+	n, err := d.readTree(pr, t)
 	if err == nil {
 		if _, e := pr.ReadByte(); e != io.EOF {
 			err = fmt.Errorf("trailing bytes in tree section")
@@ -401,7 +416,8 @@ func ReadProfileInterned(r io.Reader, in *Intern) (*cct.Profile, error) {
 	return d.ReadRest()
 }
 
-func readTree(br *bufio.Reader, t *cct.Tree, str func(uint64) (string, error)) (int, error) {
+func (d *Reader) readTree(br *bufio.Reader, t *cct.Tree) (int, error) {
+	str := d.str
 	count, err := readUvarint(br)
 	if err != nil {
 		return 0, err
@@ -441,24 +457,35 @@ func readTree(br *bufio.Reader, t *cct.Tree, str func(uint64) (string, error)) (
 		if err != nil {
 			return 0, err
 		}
-		mod, err := str(modI)
-		if err != nil {
-			return 0, err
-		}
-		name, err := str(nameI)
-		if err != nil {
-			return 0, err
-		}
-		file, err := str(fileI)
-		if err != nil {
-			return 0, err
-		}
-		frame := cct.Frame{
-			Kind:   cct.Kind(kind),
-			Module: mod,
-			Name:   name,
-			File:   file,
-			Line:   int(int64(line)),
+		// Intern each distinct (kind, indices, line) tuple once per file;
+		// repeats — the overwhelmingly common case, since symbol frames
+		// recur across the whole tree — skip string resolution entirely.
+		ref := frameRef{kind: kind, mod: modI, name: nameI, file: fileI, line: line}
+		id, known := d.frameIDs[ref]
+		if !known {
+			mod, err := str(modI)
+			if err != nil {
+				return 0, err
+			}
+			name, err := str(nameI)
+			if err != nil {
+				return 0, err
+			}
+			file, err := str(fileI)
+			if err != nil {
+				return 0, err
+			}
+			id = cct.InternFrame(cct.Frame{
+				Kind:   cct.Kind(kind),
+				Module: mod,
+				Name:   name,
+				File:   file,
+				Line:   int(int64(line)),
+			})
+			if d.frameIDs == nil {
+				d.frameIDs = make(map[frameRef]cct.FrameID)
+			}
+			d.frameIDs[ref] = id
 		}
 
 		var node *cct.Node
@@ -471,7 +498,7 @@ func readTree(br *bufio.Reader, t *cct.Tree, str func(uint64) (string, error)) (
 		case uint64(parent) >= i:
 			return 0, fmt.Errorf("node %d references later/self parent %d", i, parent)
 		default:
-			node = nodes[parent].Child(frame)
+			node = nodes[parent].ChildID(id)
 		}
 
 		nz, err := br.ReadByte()

@@ -57,6 +57,12 @@ type Thread struct {
 	// the profiler last marked the stack with its trampoline (§4.1.3). Ret
 	// lowers it; the profiler raises it after an unwind.
 	trampDepth int
+	// convDepth tracks the same invalidation rule for the profiler's
+	// host-side converted-frame cache. It is kept separate from trampDepth
+	// so the profiler can refresh its conversion cache on every sample
+	// without touching the simulated trampoline state (whose depth feeds
+	// the charged-cycle model).
+	convDepth int
 }
 
 func newThread(p *Process, id, hw int) *Thread {
@@ -121,6 +127,18 @@ func (t *Thread) SetTrampolineDepth(d int) {
 	t.trampDepth = d
 }
 
+// ConvCacheDepth returns how many bottom frames the profiler's converted
+// stack cache still covers (lowered by Ret exactly like the trampoline).
+func (t *Thread) ConvCacheDepth() int { return t.convDepth }
+
+// SetConvCacheDepth marks the bottom d frames as converted by the profiler.
+func (t *Thread) SetConvCacheDepth(d int) {
+	if d < 0 || d > len(t.stack) {
+		panic(fmt.Sprintf("sim: conversion cache depth %d outside stack of %d frames", d, len(t.stack)))
+	}
+	t.convDepth = d
+}
+
 // Call enters fn. The current statement becomes fn's first line.
 func (t *Thread) Call(fn *loadmap.Function) {
 	if len(t.stack) > 0 {
@@ -147,6 +165,9 @@ func (t *Thread) Ret() {
 	t.stack = t.stack[:len(t.stack)-1]
 	if t.trampDepth > len(t.stack) {
 		t.trampDepth = len(t.stack)
+	}
+	if t.convDepth > len(t.stack) {
+		t.convDepth = len(t.stack)
 	}
 	t.curLine = f.savedLine
 	t.curIP = f.savedIP
@@ -354,6 +375,7 @@ func (t *Thread) resetFor(stack []Frame, line int, ip uint64, clock uint64) {
 	t.curLine = line
 	t.curIP = ip
 	t.trampDepth = 0
+	t.convDepth = 0
 	if t.clock < clock {
 		t.clock = clock
 	}

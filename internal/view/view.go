@@ -156,12 +156,14 @@ type AccessStat struct {
 
 // TopAccesses ranks the statements below a variable's anchor node. The
 // grand total used for shares is passed in (profile-wide metric total).
+// Aggregation keys on interned FrameIDs (a FrameID and its Frame are in
+// bijection), so grouping hashes integers instead of string tuples.
 func TopAccesses(anchor *cct.Node, m metric.ID, grand uint64) []AccessStat {
-	agg := map[cct.Frame]uint64{}
+	agg := map[cct.FrameID]uint64{}
 	var walk func(n *cct.Node)
 	walk = func(n *cct.Node) {
 		if n.Frame.Kind == cct.KindStmt && n.Metrics[m] > 0 {
-			agg[n.Frame] += n.Metrics[m]
+			agg[n.ID()] += n.Metrics[m]
 		}
 		for _, c := range n.Children() {
 			walk(c)
@@ -171,7 +173,8 @@ func TopAccesses(anchor *cct.Node, m metric.ID, grand uint64) []AccessStat {
 		walk(c)
 	}
 	out := make([]AccessStat, 0, len(agg))
-	for f, v := range agg {
+	for id, v := range agg {
+		f := cct.FrameByID(id)
 		s := AccessStat{Func: f.Name, File: f.File, Line: f.Line, Value: v}
 		if grand > 0 {
 			s.Share = float64(v) / float64(grand)

@@ -14,3 +14,8 @@ go test -run='^$' -bench=Merge -benchtime=1x ./internal/analysis .
 # attached is gated at <5% over uninstrumented, report in BENCH_telemetry.json.
 DCPROF_BENCH_TELEMETRY="$(pwd)/BENCH_telemetry.json" \
 	go test -run='^TestTelemetryOverheadGate$' -count=1 ./internal/analysis
+# Sample-path perf gate: steady-state attribution must not allocate and must
+# stay >= 1.5x over the string-keyed legacy replica (and within 10% of the
+# committed speedup), report in BENCH_hotpath.json.
+DCPROF_BENCH_HOTPATH="$(pwd)/BENCH_hotpath.json" \
+	go test -run='^TestHotPathBenchGate$' -count=1 -timeout=30m ./internal/profiler
