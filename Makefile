@@ -6,8 +6,8 @@ GO ?= go
 # (including the fault-injection suite), the race detector over the
 # goroutine-heavy packages (the simulator's thread fan-out, the analyzer's
 # streaming merge pipeline, and the fault-tolerant I/O layers), a short
-# fuzz of the profile reader and salvager, and a one-iteration merge
-# benchmark smoke to catch gross regressions.
+# fuzz of the profile reader, salvager, and the daemon's upload ingest,
+# and a one-iteration merge benchmark smoke to catch gross regressions.
 check: vet build test race fuzz-smoke bench-smoke
 
 vet:
@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler
+	$(GO) test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler ./internal/server
 	$(GO) test -race ./internal/telemetry/...
 
 # Short fuzz of the reader and the salvage path (the fuzz engine accepts
@@ -28,6 +28,7 @@ race:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadProfile -fuzztime=10s ./internal/profio
 	$(GO) test -run='^$$' -fuzz=FuzzSalvageProfile -fuzztime=10s ./internal/profio
+	$(GO) test -run='^$$' -fuzz=FuzzHandleUpload -fuzztime=10s ./internal/server
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Merge -benchtime=1x ./internal/analysis .

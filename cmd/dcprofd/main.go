@@ -1,0 +1,88 @@
+// Command dcprofd is the continuous-profiling daemon: it accepts profile
+// uploads over HTTP, organizes them into named collections under a data
+// directory, and serves the data-centric views as JSON with an LRU cache
+// of merged CCTs so repeat queries never re-merge.
+//
+// Usage:
+//
+//	dcprofd -addr :8080 -data ./collections
+//
+//	# upload a measurement's profiles into a collection
+//	for f in measurements/*.dcprof; do
+//	    curl -sS --data-binary @"$f" http://localhost:8080/collections/amg-run1/profiles
+//	done
+//
+//	# query the merged views
+//	curl -sS 'http://localhost:8080/collections/amg-run1/topdown?metric=LATENCY(cy)'
+//	curl -sS 'http://localhost:8080/collections/amg-run1/bottomup?rows=10'
+//	curl -sS 'http://localhost:8080/collections/amg-run2/diff?base=amg-run1'
+//	curl -sS 'http://localhost:8080/collections/amg-run1/stats'
+//	curl -sS 'http://localhost:8080/debug/telemetry?prefix=server.'
+//
+// Shutdown is graceful: SIGINT/SIGTERM stop accepting connections and
+// wait (bounded) for in-flight requests. All diagnostics go to stderr.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dcprof/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		data    = flag.String("data", "collections", "data directory holding the collections")
+		entries = flag.Int("cache-entries", 64, "max cached merged views (LRU)")
+		workers = flag.Int("workers", 0, "merge workers per load (0 = GOMAXPROCS)")
+		maxUp   = flag.Int64("max-upload-mb", 1024, "max accepted upload size in MiB")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		DataDir:        *data,
+		CacheEntries:   *entries,
+		Workers:        *workers,
+		MaxUploadBytes: *maxUp << 20,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcprofd: %v\n", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "dcprofd: serving %s on %s\n", *data, *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "dcprofd: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "dcprofd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

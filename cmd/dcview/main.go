@@ -10,6 +10,12 @@
 //	dcview -d m/ -view bottomup -rows 15
 //	dcview -d m/ -quarantine -stats              # skip damaged files, report them
 //	dcview -d m/ -stats -json                    # machine-readable merge stats
+//	dcview -d m/ -view topdown -json             # top-down report as JSON
+//	dcview -d m/ -view bottomup -json            # allocation-site report as JSON
+//
+// The -view topdown/-view bottomup JSON reports use the same serializers
+// as dcprofd's query endpoints, so offline and served output for the same
+// data are byte-identical.
 //
 // By default dcview is strict: one unreadable profile aborts the whole
 // load. -quarantine instead skips damaged files (reporting each one), and
@@ -23,10 +29,8 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strings"
 
@@ -89,7 +93,7 @@ func main() {
 	if *stats && *asJSON {
 		// Machine-readable pipeline stats on stdout; quarantine warnings
 		// already went to stderr above.
-		if err := writeStatsJSON(os.Stdout, st); err != nil {
+		if err := analysis.WriteStatsReport(os.Stdout, st); err != nil {
 			fatal(exitLoadError, "%v", err)
 		}
 		return
@@ -102,8 +106,33 @@ func main() {
 			fmt.Printf("quarantined: %s (%d trees salvaged): %s\n", q.Path, q.SalvagedTrees, q.Reason)
 		}
 	}
+	m := pickMetric(*metName, db.Event)
+	opts := view.Options{Metric: m, MaxRows: *rows, MaxDepth: *depth, MinShare: *min}
+
 	if *asJSON {
-		if err := analysis.WriteJSON(os.Stdout, db); err != nil {
+		// -json with a specific view emits that view's report through the
+		// same writers the dcprofd query endpoints use, so the offline and
+		// served JSON surfaces are byte-identical for identical data.
+		// -json alone (view "all") keeps the historical full-database dump.
+		var err error
+		switch {
+		case *diffDir != "":
+			after, ast, lerr := load(*diffDir)
+			if lerr != nil {
+				fatal(exitLoadError, "%v", lerr)
+			}
+			reportQuarantine(ast)
+			err = view.WriteDiffJSON(os.Stdout, db.Merged, after.Merged, m, *rows)
+		case *which == "topdown":
+			err = view.WriteTopDownJSON(os.Stdout, db.Merged, opts)
+		case *which == "bottomup":
+			err = view.WriteBottomUpJSON(os.Stdout, db.Merged, opts)
+		case *which == "all":
+			err = analysis.WriteJSON(os.Stdout, db)
+		default:
+			fatal(exitUsage, "-json supports views topdown, bottomup, all (got %q)", *which)
+		}
+		if err != nil {
 			fatal(exitLoadError, "%v", err)
 		}
 		return
@@ -111,9 +140,6 @@ func main() {
 	fmt.Printf("measurement: %d profiles (%d ranks), event %s, %.2f MB on disk\n\n",
 		db.Threads, db.Ranks, db.Event, float64(db.MeasurementBytes)/1e6)
 	fmt.Println(view.RenderDerived(db.Merged))
-
-	m := pickMetric(*metName, db.Event)
-	opts := view.Options{Metric: m, MaxRows: *rows, MaxDepth: *depth, MinShare: *min}
 
 	if *diffDir != "" {
 		after, ast, err := load(*diffDir)
@@ -144,14 +170,6 @@ func main() {
 	}
 }
 
-// writeStatsJSON renders the merge statistics as indented JSON — the
-// -stats -json contract consumed by scripts and the golden-file test.
-func writeStatsJSON(w io.Writer, st analysis.MergeStats) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(st.Report())
-}
-
 // reportQuarantine warns on stderr when a degraded-policy load skipped
 // files, so a clean-looking report can't silently hide missing data.
 func reportQuarantine(st analysis.MergeStats) {
@@ -164,15 +182,10 @@ func reportQuarantine(st analysis.MergeStats) {
 
 func pickMetric(name, event string) metric.ID {
 	if name == "" {
-		if strings.HasPrefix(event, "IBS") {
-			return metric.Latency
-		}
-		return metric.FromRMEM
+		return metric.Default(event)
 	}
-	for _, id := range metric.IDs() {
-		if strings.EqualFold(id.Name(), name) {
-			return id
-		}
+	if id, ok := metric.ByName(name); ok {
+		return id
 	}
 	avail := make([]string, 0, len(metric.IDs()))
 	for _, id := range metric.IDs() {

@@ -8,12 +8,15 @@ import (
 	"time"
 
 	"dcprof/internal/analysis"
+	"dcprof/internal/analysis/statstest"
 )
 
 // TestStatsJSONGolden pins the -stats -json output format: downstream
 // tooling parses these field names, so any change here is a contract
 // change and must update the golden file deliberately
-// (UPDATE_GOLDEN=1 go test ./cmd/dcview).
+// (UPDATE_GOLDEN=1 go test ./cmd/dcview). Schema assertions live in the
+// shared statstest.RoundTrip helper, which the dcprofd /stats endpoint
+// test also uses — the two JSON surfaces cannot drift independently.
 func TestStatsJSONGolden(t *testing.T) {
 	st := analysis.MergeStats{
 		Inputs:      128,
@@ -30,8 +33,13 @@ func TestStatsJSONGolden(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := writeStatsJSON(&buf, st); err != nil {
+	if err := analysis.WriteStatsReport(&buf, st); err != nil {
 		t.Fatal(err)
+	}
+
+	rep := statstest.RoundTrip(t, buf.Bytes())
+	if rep.Inputs != 128 || rep.MaxResident != 9 || len(rep.Quarantined) != 1 {
+		t.Errorf("parsed report lost values: %+v", rep)
 	}
 
 	golden := filepath.Join("testdata", "stats_golden.json")
@@ -56,10 +64,11 @@ func TestStatsJSONGolden(t *testing.T) {
 // empty array, not null — consumers index it unconditionally.
 func TestStatsJSONEmptyQuarantine(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeStatsJSON(&buf, analysis.MergeStats{Inputs: 1}); err != nil {
+	if err := analysis.WriteStatsReport(&buf, analysis.MergeStats{Inputs: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Contains(buf.Bytes(), []byte(`"quarantined": []`)) {
 		t.Errorf("empty quarantine list not rendered as []:\n%s", buf.Bytes())
 	}
+	statstest.RoundTrip(t, buf.Bytes())
 }

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"encoding/json"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -106,6 +108,38 @@ func (s MergeStats) Report() StatsReport {
 		})
 	}
 	return r
+}
+
+// MergeStats converts a parsed report back to its MergeStats form — the
+// inverse of Report for every field the report carries. Round-tripping
+// stats through Report / MergeStats / Report is lossless, which is what
+// lets the JSON-surface tests prove schema and struct agree.
+func (r StatsReport) MergeStats() MergeStats {
+	s := MergeStats{
+		Inputs:      r.Inputs,
+		InputNodes:  r.InputNodes,
+		MergedNodes: r.MergedNodes,
+		Workers:     r.Workers,
+		BytesRead:   r.BytesRead,
+		DecodeWall:  time.Duration(r.DecodeWallUS) * time.Microsecond,
+		MergeWall:   time.Duration(r.MergeWallUS) * time.Microsecond,
+		MaxResident: r.MaxResident,
+	}
+	for _, q := range r.Quarantined {
+		s.Quarantined = append(s.Quarantined, QuarantinedFile{
+			Path: q.Path, Reason: q.Reason, SalvagedTrees: q.SalvagedTrees,
+		})
+	}
+	return s
+}
+
+// WriteStatsReport renders the merge statistics as indented JSON — the
+// single serialization behind both `dcview -stats -json` and the serving
+// layer's /stats endpoint, so the two surfaces cannot drift.
+func WriteStatsReport(w io.Writer, st MergeStats) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st.Report())
 }
 
 // CoalescingFactor returns InputNodes / MergedNodes (1.0 = no sharing).

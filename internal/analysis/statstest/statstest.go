@@ -1,0 +1,55 @@
+// Package statstest is test support for the two JSON surfaces that render
+// analysis.MergeStats — `dcview -stats -json` and dcprofd's /stats
+// endpoint. Both of their tests pass raw response bytes through RoundTrip,
+// which asserts the one schema both must follow, so the surfaces cannot
+// drift apart without a test failing.
+package statstest
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dcprof/internal/analysis"
+)
+
+// RoundTrip decodes data as a StatsReport under a strict schema check and
+// proves the decode is lossless: every key in the JSON must be a known
+// report field (unknown keys fail — the schema grew without the struct),
+// and re-encoding the parsed report must reproduce the document exactly
+// (a dropped or retyped field fails — the struct grew without the schema).
+// It returns the parsed report for caller-side value assertions.
+func RoundTrip(t testing.TB, data []byte) analysis.StatsReport {
+	t.Helper()
+
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep analysis.StatsReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("stats JSON does not match the StatsReport schema: %v\n%s", err, data)
+	}
+
+	var back bytes.Buffer
+	if err := analysis.WriteStatsReport(&back, rep.MergeStats()); err != nil {
+		t.Fatalf("re-encoding stats report: %v", err)
+	}
+	if !bytes.Equal(normalize(t, data), normalize(t, back.Bytes())) {
+		t.Fatalf("stats JSON round-trip not lossless:\n--- original ---\n%s--- re-encoded ---\n%s", data, back.Bytes())
+	}
+	return rep
+}
+
+// normalize re-indents a JSON document so byte comparison ignores only
+// whitespace differences between producers.
+func normalize(t testing.TB, data []byte) []byte {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

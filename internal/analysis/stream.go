@@ -404,6 +404,24 @@ func LoadDirStreaming(dir string, workers int) (*Database, MergeStats, error) {
 // in a decode worker is treated as that file being unreadable; a panic in
 // a fold worker quarantines the offending file's tree.
 func LoadDirStreamingCtx(ctx context.Context, dir string, opt LoadOptions) (*Database, MergeStats, error) {
+	files, err := profio.Files(dir)
+	if err != nil {
+		return nil, MergeStats{}, fmt.Errorf("analysis: %w", err)
+	}
+	if len(files) == 0 {
+		return nil, MergeStats{}, fmt.Errorf("analysis: no profiles in %s", dir)
+	}
+	return LoadFilesStreamingCtx(ctx, dir, files, opt)
+}
+
+// LoadFilesStreamingCtx is the merge-by-handle entry point: it runs the
+// same streaming pipeline as LoadDirStreamingCtx over an explicit list of
+// profile file paths instead of a directory scan. Callers that already
+// know exactly which files constitute a dataset — the profiling service
+// merging the snapshot of a collection pinned at a content generation —
+// use this so a file landing mid-merge can never leak into the result.
+// label names the dataset in spans and error messages.
+func LoadFilesStreamingCtx(ctx context.Context, label string, files []string, opt LoadOptions) (*Database, MergeStats, error) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -419,15 +437,11 @@ func LoadDirStreamingCtx(ctx context.Context, dir string, opt LoadOptions) (*Dat
 		defer func() { opt.Telemetry.Absorb(reg.Snapshot()) }()
 	}
 	spans := opt.Spans
-	loadDone := spans.Span("load "+dir, "ingest", 0, 0, map[string]any{"workers": workers})
+	loadDone := spans.Span("load "+label, "ingest", 0, 0, map[string]any{"workers": workers})
 	defer loadDone()
 
-	files, err := profio.Files(dir)
-	if err != nil {
-		return nil, MergeStats{}, fmt.Errorf("analysis: %w", err)
-	}
 	if len(files) == 0 {
-		return nil, MergeStats{}, fmt.Errorf("analysis: no profiles in %s", dir)
+		return nil, MergeStats{}, fmt.Errorf("analysis: no profiles in %s", label)
 	}
 	reg.Counter(instFilesDiscovered).Add(uint64(len(files)))
 
@@ -504,7 +518,7 @@ func LoadDirStreamingCtx(ctx context.Context, dir string, opt LoadOptions) (*Dat
 		return nil, st, first
 	}
 	if st.Inputs == 0 {
-		return nil, st, fmt.Errorf("analysis: no readable profiles in %s (%d quarantined)", dir, len(st.Quarantined))
+		return nil, st, fmt.Errorf("analysis: no readable profiles in %s (%d quarantined)", label, len(st.Quarantined))
 	}
 	db.MeasurementBytes = st.BytesRead
 	return db, st, nil

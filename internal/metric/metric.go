@@ -9,7 +9,10 @@
 // millions of thread profiles cheaply.
 package metric
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // ID indexes a metric within a Vector.
 type ID int
@@ -62,6 +65,28 @@ func (id ID) Name() string {
 	default:
 		return fmt.Sprintf("METRIC(%d)", int(id))
 	}
+}
+
+// ByName resolves a display name (case-insensitive) back to its ID — the
+// shared lookup behind dcview's -metric flag and the serving layer's
+// ?metric= query parameter.
+func ByName(name string) (ID, bool) {
+	for _, id := range IDs() {
+		if strings.EqualFold(id.Name(), name) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// Default picks the conventional ranking metric for a monitored event:
+// measured latency for IBS-style sampling, remote-memory accesses for
+// marked-event profiles.
+func Default(event string) ID {
+	if strings.HasPrefix(event, "IBS") {
+		return Latency
+	}
+	return FromRMEM
 }
 
 // IDs returns all metric ids in order.

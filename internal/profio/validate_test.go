@@ -1,0 +1,109 @@
+package profio
+
+import (
+	"bytes"
+	"testing"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+func validateTestProfile() *cct.Profile {
+	p := cct.NewProfile(3, 7, "IBS@4096")
+	var v metric.Vector
+	v[metric.Samples] = 5
+	v[metric.Latency] = 900
+	p.Trees[cct.ClassHeap].AddSample([]cct.Frame{
+		{Kind: cct.KindCall, Module: "exe", Name: "main", File: "main.c"},
+		{Kind: cct.KindStmt, Module: "exe", Name: "main", File: "main.c", Line: 12},
+	}, &v)
+	p.Trees[cct.ClassStatic].AddSample([]cct.Frame{
+		{Kind: cct.KindStaticVar, Module: "exe", Name: "grid", File: "main.c"},
+	}, &v)
+	return p
+}
+
+func TestValidateProfileIntact(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, validateTestProfile()); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	info, err := ValidateV2Profile(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("intact profile rejected: %v", err)
+	}
+	if info.Rank != 3 || info.Thread != 7 || info.Event != "IBS@4096" {
+		t.Errorf("identity = %d/%d/%q, want 3/7/IBS@4096", info.Rank, info.Thread, info.Event)
+	}
+	if info.Version != Version {
+		t.Errorf("version = %d, want %d", info.Version, Version)
+	}
+	if info.Nodes == 0 {
+		t.Error("no nodes counted")
+	}
+	if info.Bytes != int64(len(enc)) {
+		t.Errorf("bytes = %d, want stream length %d", info.Bytes, len(enc))
+	}
+}
+
+// Every single-bit flip anywhere in the stream must be rejected — the
+// property that makes accept-at-ingest a real guarantee, not a smoke test.
+func TestValidateProfileRejectsEveryBitFlip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, validateTestProfile()); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	for off := range enc {
+		for bit := uint(0); bit < 8; bit++ {
+			damaged := append([]byte(nil), enc...)
+			damaged[off] ^= 1 << bit
+			if _, err := ValidateV2Profile(bytes.NewReader(damaged)); err == nil {
+				t.Fatalf("flip of byte %d bit %d accepted", off, bit)
+			}
+		}
+	}
+}
+
+func TestValidateProfileRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, validateTestProfile()); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	for _, cut := range []int{0, 1, 4, len(enc) / 2, len(enc) - 1} {
+		if _, err := ValidateV2Profile(bytes.NewReader(enc[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage after a complete profile is equally invalid.
+	if _, err := ValidateV2Profile(bytes.NewReader(append(append([]byte(nil), enc...), 0xAB))); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestValidateProfileRejectsGarbage(t *testing.T) {
+	for _, in := range [][]byte{nil, {0}, []byte("not a profile at all"), bytes.Repeat([]byte{0xFF}, 64)} {
+		if _, err := ValidateProfile(bytes.NewReader(in)); err == nil {
+			t.Errorf("garbage %q accepted", in)
+		}
+	}
+}
+
+// A valid v1 stream passes generic validation but not the v2-only gate:
+// without per-section CRCs the service could never distinguish at-rest
+// damage from writer output.
+func TestValidateV2RejectsVersion1(t *testing.T) {
+	enc := encodeV1(t, validateTestProfile())
+	info, err := ValidateProfile(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("valid v1 stream failed generic validation: %v", err)
+	}
+	if info.Version != Version1 {
+		t.Errorf("version = %d, want %d", info.Version, Version1)
+	}
+	if _, err := ValidateV2Profile(bytes.NewReader(enc)); err == nil {
+		t.Error("v1 stream accepted by v2-only validator")
+	}
+}

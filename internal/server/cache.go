@@ -1,0 +1,168 @@
+package server
+
+// Merged-view cache: the reason the service is fast for the common case.
+// Merging a collection is the expensive operation (linear in the
+// collection's bytes); queries against an unchanged collection are the
+// overwhelmingly common case, so merged databases are cached under an LRU
+// bound and keyed by (collection, content generation). The generation
+// advances on every accepted upload, which invalidates exactly that
+// collection's entry — no TTLs, no global flushes, and a cached view can
+// never be served against content it was not merged from.
+//
+// Misses are deduplicated singleflight-style: when N queries race on a
+// cold (collection, generation), one performs the merge and the rest
+// block on its result — a query storm after an upload costs one merge,
+// not N. This is the schedviz storage-service shape (LRU-cached fs
+// storage behind a thin request layer) applied to CCT merges.
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+
+	"dcprof/internal/analysis"
+	"dcprof/internal/telemetry"
+)
+
+// viewEntry is one cached merged view.
+type viewEntry struct {
+	name  string // collection name — the LRU/map key
+	gen   uint64 // content generation the merge saw
+	db    *analysis.Database
+	stats analysis.MergeStats
+}
+
+// mergeCall is one in-flight merge other queries can wait on.
+type mergeCall struct {
+	done  chan struct{}
+	entry *viewEntry
+	err   error
+}
+
+// viewCache is the bounded (collection → merged view) cache.
+type viewCache struct {
+	mu       sync.Mutex
+	max      int
+	byName   map[string]*list.Element // of *viewEntry
+	lru      *list.List               // front = most recent
+	inflight map[string]*mergeCall    // keyed name@generation
+
+	hits, misses, evictions, merges *telemetry.Counter
+}
+
+func newViewCache(max int, reg *telemetry.Registry) *viewCache {
+	if max <= 0 {
+		max = 64
+	}
+	return &viewCache{
+		max:       max,
+		byName:    map[string]*list.Element{},
+		lru:       list.New(),
+		inflight:  map[string]*mergeCall{},
+		hits:      reg.Counter("server.cache.hits"),
+		misses:    reg.Counter("server.cache.misses"),
+		evictions: reg.Counter("server.cache.evictions"),
+		merges:    reg.Counter("server.merges"),
+	}
+}
+
+// get returns the merged view for the collection at exactly generation
+// gen, merging (once, however many queries race here) when the cache has
+// no current entry. merge runs without the cache lock held.
+func (c *viewCache) get(name string, gen uint64, merge func() (*analysis.Database, analysis.MergeStats, error)) (*viewEntry, error) {
+	key := flightKey(name, gen)
+	c.mu.Lock()
+	if elem, ok := c.byName[name]; ok {
+		e := elem.Value.(*viewEntry)
+		if e.gen == gen {
+			c.lru.MoveToFront(elem)
+			c.hits.Inc()
+			c.mu.Unlock()
+			return e, nil
+		}
+		// Stale generation: leave the entry in place — an in-flight query
+		// against the old snapshot may still legitimately use it — and fall
+		// through to the miss path; insert() will replace it.
+	}
+	c.misses.Inc()
+	if call, ok := c.inflight[key]; ok {
+		// Someone is already merging this exact (collection, generation):
+		// wait for their result instead of merging again.
+		c.mu.Unlock()
+		<-call.done
+		return call.entry, call.err
+	}
+	call := &mergeCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	c.merges.Inc()
+	db, stats, err := merge()
+	if err == nil {
+		call.entry = &viewEntry{name: name, gen: gen, db: db, stats: stats}
+	}
+	call.err = err
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.insert(call.entry)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.entry, call.err
+}
+
+// insert stores the entry, replacing any entry for the same collection
+// and evicting the least-recently-used entry past the bound. Called with
+// the lock held.
+func (c *viewCache) insert(e *viewEntry) {
+	if elem, ok := c.byName[e.name]; ok {
+		c.lru.Remove(elem)
+		delete(c.byName, e.name)
+	}
+	c.byName[e.name] = c.lru.PushFront(e)
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		old := oldest.Value.(*viewEntry)
+		c.lru.Remove(oldest)
+		delete(c.byName, old.name)
+		c.evictions.Inc()
+	}
+}
+
+// invalidate drops the collection's entry, whatever its generation. The
+// upload path does not call this — generation keying already fences new
+// queries off stale entries — but explicit deletion endpoints would.
+func (c *viewCache) invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if elem, ok := c.byName[name]; ok {
+		c.lru.Remove(elem)
+		delete(c.byName, name)
+	}
+}
+
+// peek returns the cached entry for the collection if one exists at any
+// generation, without touching recency — metadata reporting uses it to
+// attach the last merge's quarantine report.
+func (c *viewCache) peek(name string) *viewEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if elem, ok := c.byName[name]; ok {
+		return elem.Value.(*viewEntry)
+	}
+	return nil
+}
+
+// len reports the number of cached entries.
+func (c *viewCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+func flightKey(name string, gen uint64) string {
+	// name cannot contain '@' (ValidateName), so the key is unambiguous.
+	return name + "@" + strconv.FormatUint(gen, 10)
+}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/faultio"
+	"dcprof/internal/profio"
+	"dcprof/internal/view"
+)
+
+// TestCrashMidUploadLeavesNoPartial simulates the process dying while an
+// upload streams to disk: the request fails as a storage error, no
+// partial file lands under a final .dcprof name, and a restarted service
+// over the same directory serves exactly the intact subset.
+func TestCrashMidUploadLeavesNoPartial(t *testing.T) {
+	dataDir := t.TempDir()
+	good := []*cct.Profile{synthProfile(0, 0, 100), synthProfile(0, 1, 200)}
+
+	// Phase 1: healthy service accepts two profiles.
+	srv1, err := New(Config{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	for _, p := range good {
+		mustUpload(t, ts1, "run", encodeProfile(t, p))
+	}
+	ts1.Close()
+
+	// Phase 2: the filesystem "crashes" a few bytes into the next upload's
+	// temp-file write. The budget is far smaller than one encoded profile,
+	// so the tee write fails mid-stream.
+	crashFS := faultio.NewCrashFS(profio.OSFS{}, 32)
+	srv2, err := New(Config{DataDir: dataDir, FS: crashFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	resp := post(t, ts2, "run", encodeProfile(t, synthProfile(1, 0, 300)))
+	resp.Body.Close()
+	ts2.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("upload through crashed fs: status %d, want 500", resp.StatusCode)
+	}
+
+	// No partial profile may be visible under a final name; at worst an
+	// ignored .tmp remains (the crashed fs also fails the cleanup Remove).
+	files, err := profio.Files(filepath.Join(dataDir, "run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(good) {
+		t.Fatalf("after crashed upload: %d published profiles, want %d", len(files), len(good))
+	}
+	entries, err := os.ReadDir(filepath.Join(dataDir, "run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".dcprof") || e.Name() == metaFile || strings.HasSuffix(e.Name(), profio.TmpSuffix) {
+			continue
+		}
+		t.Errorf("unexpected file after crash: %s", e.Name())
+	}
+
+	// Phase 3: restart over the same directory — the intact subset serves,
+	// byte-identical to an offline merge of the two accepted profiles.
+	srv3, err := New(Config{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts3 := httptest.NewServer(srv3.Handler())
+	defer ts3.Close()
+
+	var meta Metadata
+	if err := json.Unmarshal(mustGet(t, ts3, "/collections/run"), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Profiles != len(good) {
+		t.Fatalf("post-crash metadata: %d profiles, want %d", meta.Profiles, len(good))
+	}
+
+	served := mustGet(t, ts3, "/collections/run/topdown")
+	db := offlineMerge(t, good)
+	var offline bytes.Buffer
+	if err := view.WriteTopDownJSON(&offline, db.Merged, defaultOptions(db.Event)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, offline.Bytes()) {
+		t.Error("post-crash served view differs from offline merge of the intact subset")
+	}
+}
+
+// TestCrashDuringCollectionCreate crashes inside the very first upload to
+// a new collection — during directory/metadata creation — and verifies a
+// restart does not adopt a half-created collection as queryable garbage.
+func TestCrashDuringCollectionCreate(t *testing.T) {
+	dataDir := t.TempDir()
+
+	// Budget 0: the first metadata byte written crashes the fs.
+	crashFS := faultio.NewCrashFS(profio.OSFS{}, 0)
+	srv1, err := New(Config{DataDir: dataDir, FS: crashFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	resp := post(t, ts1, "fresh", encodeProfile(t, synthProfile(0, 0, 1)))
+	resp.Body.Close()
+	ts1.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("create through crashed fs: status %d, want 500", resp.StatusCode)
+	}
+
+	// Restart: whatever skeleton the crash left behind must adopt as an
+	// empty collection (404 on queries) or not exist at all — never a
+	// published profile.
+	srv2, err := New(Config{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if status, _ := get(t, ts2, "/collections/fresh/topdown"); status != http.StatusNotFound {
+		t.Errorf("half-created collection serves views: status %d, want 404", status)
+	}
+
+	// And the directory is still usable: a healthy upload to the same name
+	// succeeds and serves.
+	mustUpload(t, ts2, "fresh", encodeProfile(t, synthProfile(0, 0, 5)))
+	mustGet(t, ts2, "/collections/fresh/topdown")
+}
+
+// TestAtRestCorruptionQuarantined damages one published file after
+// acceptance: the merge must quarantine it (PolicyQuarantine), keep
+// serving the healthy remainder, and surface the quarantine in /stats
+// and the collection metadata.
+func TestAtRestCorruptionQuarantined(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	good := []*cct.Profile{synthProfile(0, 0, 100), synthProfile(0, 1, 200)}
+	for _, p := range good {
+		mustUpload(t, ts, "run", encodeProfile(t, p))
+	}
+	victim := mustUpload(t, ts, "run", encodeProfile(t, synthProfile(1, 0, 300)))
+
+	// Flip a bit in the victim's published bytes — at-rest damage, after
+	// ingest validation passed.
+	path := filepath.Join(srv.store.get("run").dir, victim.File)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	served := mustGet(t, ts, "/collections/run/topdown")
+	db := offlineMerge(t, good)
+	var offline bytes.Buffer
+	if err := view.WriteTopDownJSON(&offline, db.Merged, defaultOptions(db.Event)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, offline.Bytes()) {
+		t.Error("quarantined merge differs from offline merge of the healthy subset")
+	}
+
+	var meta metadataResponse
+	if err := json.Unmarshal(mustGet(t, ts, "/collections/run"), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Quarantined) != 1 || filepath.Base(meta.Quarantined[0].Path) != victim.File {
+		t.Errorf("metadata quarantine = %+v, want the damaged file %s", meta.Quarantined, victim.File)
+	}
+}

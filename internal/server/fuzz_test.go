@@ -1,0 +1,50 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzHandleUpload throws arbitrary bodies at the ingest path. The
+// invariants: the handler never panics, answers only 201 (valid v2
+// payload) or 400 (rejected), and a rejected upload never lands a
+// profile file in the collection.
+func FuzzHandleUpload(f *testing.F) {
+	valid := encodeProfile(f, synthProfile(0, 0, 100))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x20
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("definitely not a profile"))
+
+	srv, err := New(Config{DataDir: f.TempDir()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		before := fileCount(t, srv, "fuzz")
+		req := httptest.NewRequest(http.MethodPost, "/collections/fuzz/profiles", bytes.NewReader(data))
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+
+		after := fileCount(t, srv, "fuzz")
+		switch rr.Code {
+		case http.StatusCreated:
+			if after != before+1 {
+				t.Fatalf("201 but file count %d -> %d", before, after)
+			}
+		case http.StatusBadRequest:
+			if after != before {
+				t.Fatalf("rejected upload landed a file: %d -> %d", before, after)
+			}
+		default:
+			t.Fatalf("status %d for fuzzed upload: %s", rr.Code, rr.Body.String())
+		}
+	})
+}

@@ -1,0 +1,379 @@
+// Package server is the continuous-profiling service: a long-running
+// daemon that accepts profile uploads over HTTP, organizes them into
+// named collections on durable storage, and serves the data-centric
+// views (top-down, bottom-up, diff) plus merge statistics and telemetry
+// as JSON — the refactor that turns the one-shot CLI library into a
+// system many users query concurrently.
+//
+// The shape follows the schedviz storage/api split: a storage layer
+// (collection.go — durable validated uploads over the profio FS seam)
+// and a cache layer (cache.go — LRU of merged CCTs, singleflight misses)
+// behind a thin request/response HTTP surface in this file. Query
+// responses render through the same internal/view JSON writers dcview
+// uses, so served and offline reports are byte-identical for the same
+// data.
+//
+// Endpoints:
+//
+//	POST /collections/{name}/profiles     upload one v2 profile (body = file bytes)
+//	GET  /collections                     list collections
+//	GET  /collections/{name}              collection metadata (+ last merge's quarantine)
+//	GET  /collections/{name}/topdown      top-down view JSON   (?metric=&depth=&min=&rows=)
+//	GET  /collections/{name}/bottomup     bottom-up view JSON  (?metric=&rows=)
+//	GET  /collections/{name}/diff?base=B  per-variable diff of collection B -> {name}
+//	GET  /collections/{name}/stats        merge pipeline statistics JSON
+//	GET  /debug/telemetry                 telemetry snapshot    (?prefix=server.)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dcprof/internal/analysis"
+	"dcprof/internal/metric"
+	"dcprof/internal/profio"
+	"dcprof/internal/telemetry"
+	"dcprof/internal/view"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DataDir is the root under which collection directories live.
+	DataDir string
+	// CacheEntries bounds the merged-view LRU cache (<=0 uses 64).
+	CacheEntries int
+	// Workers is the merge concurrency per load (<=0 uses GOMAXPROCS).
+	Workers int
+	// MaxUploadBytes bounds one upload body (<=0 uses 1 GiB).
+	MaxUploadBytes int64
+	// FS overrides the filesystem the storage layer writes through (nil
+	// uses the real one) — the seam fault-injection tests crash.
+	FS profio.FS
+	// Registry receives the server's instruments and every merge's
+	// analysis accounting (nil creates a private registry). /debug/telemetry
+	// snapshots it.
+	Registry *telemetry.Registry
+}
+
+// Server is the continuous-profiling service.
+type Server struct {
+	cfg   Config
+	store *store
+	cache *viewCache
+	reg   *telemetry.Registry
+
+	uploadsAccepted *telemetry.Counter
+	uploadsRejected *telemetry.Counter
+	uploadBytes     *telemetry.Counter
+}
+
+// New opens (or creates) the data directory, adopts every collection
+// already on disk, and returns the service.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 1 << 30
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	st, err := openStore(cfg.DataDir, cfg.FS)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:             cfg,
+		store:           st,
+		cache:           newViewCache(cfg.CacheEntries, reg),
+		reg:             reg,
+		uploadsAccepted: reg.Counter("server.uploads.accepted"),
+		uploadsRejected: reg.Counter("server.uploads.rejected"),
+		uploadBytes:     reg.Counter("server.uploads.bytes"),
+	}, nil
+}
+
+// Registry returns the registry the server accounts into.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /collections/{name}/profiles", s.instrument("upload", s.handleUpload))
+	mux.HandleFunc("GET /collections", s.instrument("list", s.handleList))
+	mux.HandleFunc("GET /collections/{name}", s.instrument("metadata", s.handleMetadata))
+	mux.HandleFunc("GET /collections/{name}/topdown", s.instrument("topdown", s.handleTopDown))
+	mux.HandleFunc("GET /collections/{name}/bottomup", s.instrument("bottomup", s.handleBottomUp))
+	mux.HandleFunc("GET /collections/{name}/diff", s.instrument("diff", s.handleDiff))
+	mux.HandleFunc("GET /collections/{name}/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /debug/telemetry", s.instrument("telemetry", s.handleTelemetry))
+	return mux
+}
+
+// statusWriter remembers the status code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint request, error, and
+// latency instruments under "server.http.<endpoint>.*".
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.reg.Counter("server.http." + endpoint + ".requests")
+	errs := s.reg.Counter("server.http." + endpoint + ".errors")
+	// Power-of-two µs buckets up to ~4s cover sub-ms cache hits and
+	// multi-second cold merges in one shape.
+	lat := s.reg.Histogram("server.http."+endpoint+".latency_us", telemetry.Pow2Bounds(22))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		reqs.Inc()
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+		lat.Observe(uint64(time.Since(start).Microseconds()))
+	}
+}
+
+// httpError writes a JSON error document with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleUpload accepts one profile file as the request body. The payload
+// is CRC-validated while it streams to a durable temp file; only a fully
+// valid v2 profile is renamed into the collection (creating it on first
+// upload) and advances its generation.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	col, err := s.store.getOrCreate(name)
+	if err != nil {
+		if ValidateName(name) != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	res, err := col.upload(s.storeFS(), body)
+	if err != nil {
+		s.uploadsRejected.Inc()
+		if isReject(err) {
+			httpError(w, http.StatusBadRequest, "invalid profile: %v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	s.uploadsAccepted.Inc()
+	s.uploadBytes.Add(uint64(res.Bytes))
+	writeJSON(w, http.StatusCreated, res)
+}
+
+func (s *Server) storeFS() profio.FS {
+	if s.cfg.FS != nil {
+		return s.cfg.FS
+	}
+	return profio.OSFS{}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"collections": s.store.list()})
+}
+
+// metadataResponse is a collection's metadata plus the quarantine report
+// of its most recent cached merge (if any) — the per-collection health
+// surface.
+type metadataResponse struct {
+	Metadata
+	// Quarantined lists files the last merge skipped; null when the
+	// collection has not been merged since the entry was cached.
+	Quarantined []analysis.QuarantinedReport `json:"quarantined,omitempty"`
+	// MergedGeneration is the generation the quarantine report describes.
+	MergedGeneration uint64 `json:"merged_generation,omitempty"`
+}
+
+func (s *Server) handleMetadata(w http.ResponseWriter, r *http.Request) {
+	col := s.store.get(r.PathValue("name"))
+	if col == nil {
+		httpError(w, http.StatusNotFound, "no collection %q", r.PathValue("name"))
+		return
+	}
+	resp := metadataResponse{Metadata: col.metadata()}
+	if e := s.cache.peek(col.name); e != nil {
+		resp.Quarantined = e.stats.Report().Quarantined
+		resp.MergedGeneration = e.gen
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// view resolves the collection and returns its merged database at the
+// current content generation, through the cache (singleflight on miss).
+func (s *Server) view(ctx context.Context, name string) (*viewEntry, int, error) {
+	col := s.store.get(name)
+	if col == nil {
+		return nil, http.StatusNotFound, fmt.Errorf("no collection %q", name)
+	}
+	gen, files, err := col.snapshot()
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	if len(files) == 0 {
+		return nil, http.StatusNotFound, fmt.Errorf("collection %q has no profiles", name)
+	}
+	e, err := s.cache.get(name, gen, func() (*analysis.Database, analysis.MergeStats, error) {
+		// Quarantine policy: ingest validation means on-disk damage is
+		// at-rest corruption after acceptance; one rotten file must degrade
+		// that file's contribution, not the collection's availability. The
+		// quarantine report is surfaced in /stats and metadata.
+		return analysis.LoadFilesStreamingCtx(ctx, "collection "+name, files, analysis.LoadOptions{
+			Workers:   s.cfg.Workers,
+			Policy:    analysis.PolicyQuarantine,
+			Telemetry: s.reg,
+		})
+	})
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	return e, http.StatusOK, nil
+}
+
+// queryOptions parses the shared view query parameters, defaulting to the
+// same values dcview's flags default to.
+func queryOptions(r *http.Request, event string) (view.Options, error) {
+	o := view.Options{
+		MaxRows:  view.DefaultMaxRows,
+		MaxDepth: view.DefaultMaxDepth,
+		MinShare: view.DefaultMinShare,
+		Metric:   metric.Default(event),
+	}
+	q := r.URL.Query()
+	if name := q.Get("metric"); name != "" {
+		id, ok := metric.ByName(name)
+		if !ok {
+			return o, fmt.Errorf("unknown metric %q", name)
+		}
+		o.Metric = id
+	}
+	if v := q.Get("rows"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return o, fmt.Errorf("bad rows %q", v)
+		}
+		o.MaxRows = n
+	}
+	if v := q.Get("depth"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return o, fmt.Errorf("bad depth %q", v)
+		}
+		o.MaxDepth = n
+	}
+	if v := q.Get("min"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			return o, fmt.Errorf("bad min %q", v)
+		}
+		o.MinShare = f
+	}
+	return o, nil
+}
+
+func (s *Server) handleTopDown(w http.ResponseWriter, r *http.Request) {
+	e, status, err := s.view(r.Context(), r.PathValue("name"))
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	o, err := queryOptions(r, e.db.Event)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	view.WriteTopDownJSON(w, e.db.Merged, o)
+}
+
+func (s *Server) handleBottomUp(w http.ResponseWriter, r *http.Request) {
+	e, status, err := s.view(r.Context(), r.PathValue("name"))
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	o, err := queryOptions(r, e.db.Event)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	view.WriteBottomUpJSON(w, e.db.Merged, o)
+}
+
+// handleDiff serves the per-variable comparison base -> {name}: "what
+// moved after the optimization this collection holds profiles of".
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	base := r.URL.Query().Get("base")
+	if base == "" {
+		httpError(w, http.StatusBadRequest, "missing ?base= collection")
+		return
+	}
+	before, status, err := s.view(r.Context(), base)
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	after, status, err := s.view(r.Context(), r.PathValue("name"))
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	o, err := queryOptions(r, after.db.Event)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	view.WriteDiffJSON(w, before.db.Merged, after.db.Merged, o.Metric, o.MaxRows)
+}
+
+// handleStats serves the merge pipeline statistics of the collection's
+// current merged view — rendered by the same writer as `dcview -stats
+// -json`, so the two surfaces share one schema.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	e, status, err := s.view(r.Context(), r.PathValue("name"))
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	analysis.WriteStatsReport(w, e.stats)
+}
+
+// handleTelemetry snapshots the server's registry — server instruments
+// plus the absorbed per-merge analysis accounting — optionally filtered
+// to one name prefix.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot().Filter(r.URL.Query().Get("prefix"))
+	w.Header().Set("Content-Type", "application/json")
+	snap.WriteJSON(w)
+}

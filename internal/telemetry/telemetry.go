@@ -29,6 +29,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -358,6 +359,37 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[h.name] = h.value()
 	}
 	return s
+}
+
+// Filter returns the subset of the snapshot whose instrument names start
+// with prefix — how a snapshot endpoint scopes its answer to one layer
+// ("server.", "analysis.", "profio.") without the registry having to keep
+// per-layer registries. An empty prefix returns the snapshot unchanged.
+func (s Snapshot) Filter(prefix string) Snapshot {
+	if prefix == "" {
+		return s
+	}
+	out := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]GaugeValue{},
+		Histograms: map[string]HistogramValue{},
+	}
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range s.Gauges {
+		if strings.HasPrefix(name, prefix) {
+			out.Gauges[name] = v
+		}
+	}
+	for name, v := range s.Histograms {
+		if strings.HasPrefix(name, prefix) {
+			out.Histograms[name] = v
+		}
+	}
+	return out
 }
 
 // NumInstruments returns how many distinct instruments the snapshot holds.

@@ -237,3 +237,29 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		}
 	})
 }
+
+func TestSnapshotFilter(t *testing.T) {
+	r := New()
+	r.Counter("server.cache.hits").Add(3)
+	r.Counter("analysis.profiles.merged").Add(7)
+	r.Gauge("server.cache.entries").Set(2)
+	r.Histogram("server.http.topdown.latency_us", Pow2Bounds(4)).Observe(5)
+	s := r.Snapshot()
+
+	f := s.Filter("server.")
+	if len(f.Counters) != 1 || f.Counters["server.cache.hits"] != 3 {
+		t.Errorf("filtered counters = %v", f.Counters)
+	}
+	if len(f.Gauges) != 1 || f.Gauges["server.cache.entries"].Value != 2 {
+		t.Errorf("filtered gauges = %v", f.Gauges)
+	}
+	if len(f.Histograms) != 1 {
+		t.Errorf("filtered histograms = %v", f.Histograms)
+	}
+	if got := s.Filter(""); got.NumInstruments() != s.NumInstruments() {
+		t.Errorf("empty prefix dropped instruments: %d != %d", got.NumInstruments(), s.NumInstruments())
+	}
+	if got := s.Filter("nomatch."); got.NumInstruments() != 0 {
+		t.Errorf("nomatch prefix kept %d instruments", got.NumInstruments())
+	}
+}

@@ -1,0 +1,235 @@
+package view
+
+// Machine-readable report forms of the data-centric views. These are the
+// single JSON serialization for each view: `dcview -json -view topdown`
+// and the profiling service's GET /collections/{name}/topdown both render
+// through WriteTopDownJSON (likewise bottomup and diff), so the offline
+// and served surfaces are byte-identical by construction and cannot
+// drift. Field names are stable snake_case; values that are durations or
+// counts stay integers so consumers never parse formatted strings.
+
+import (
+	"encoding/json"
+	"io"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+// Default rendering bounds, shared by the dcview flag defaults and the
+// serving layer's query-parameter defaults so the two surfaces agree when
+// the caller does not say otherwise.
+const (
+	DefaultMaxRows  = 20
+	DefaultMaxDepth = 12
+	DefaultMinShare = 0.005
+)
+
+// TopDownReport is the JSON form of the top-down contextual view.
+type TopDownReport struct {
+	Event  string `json:"event"`
+	Metric string `json:"metric"`
+	// Total is the metric's profile-wide total across all storage classes.
+	Total uint64 `json:"total"`
+	// Classes lists each storage class with a non-zero total, in class
+	// order, with its pruned context tree beneath.
+	Classes []TopDownClass `json:"classes"`
+}
+
+// TopDownClass is one storage class's subtree in the report.
+type TopDownClass struct {
+	Class string  `json:"class"`
+	Value uint64  `json:"value"`
+	Share float64 `json:"share"`
+	// Children is the pruned context tree under the class root; always an
+	// array (possibly empty), never null.
+	Children []*TopDownNode `json:"children"`
+}
+
+// TopDownNode is one CCT node in the report.
+type TopDownNode struct {
+	Kind   string `json:"kind"`
+	Name   string `json:"name,omitempty"`
+	Module string `json:"module,omitempty"`
+	File   string `json:"file,omitempty"`
+	Line   int    `json:"line,omitempty"`
+	// Value is the node's inclusive metric value; Share is Value over the
+	// profile-wide total.
+	Value    uint64         `json:"value"`
+	Share    float64        `json:"share"`
+	Children []*TopDownNode `json:"children,omitempty"`
+}
+
+// TopDownJSON builds the top-down report, pruned by the same MaxDepth and
+// MinShare rules RenderTopDown applies. Node order matches Children()'s
+// deterministic frame order, so two merges of the same inputs — in any
+// arrival order — serialize identically.
+func TopDownJSON(p *cct.Profile, o Options) *TopDownReport {
+	grand := MetricTotal(p, o.Metric)
+	rep := &TopDownReport{
+		Event:   p.Event,
+		Metric:  o.Metric.Name(),
+		Total:   grand,
+		Classes: []TopDownClass{},
+	}
+	if grand == 0 {
+		return rep
+	}
+	for c, tree := range p.Trees {
+		classTotal := tree.Total()[o.Metric]
+		if classTotal == 0 {
+			continue
+		}
+		cls := TopDownClass{
+			Class:    cct.Class(c).String(),
+			Value:    classTotal,
+			Share:    float64(classTotal) / float64(grand),
+			Children: []*TopDownNode{},
+		}
+		cls.Children = topDownChildren(tree.Root, 1, grand, o)
+		rep.Classes = append(rep.Classes, cls)
+	}
+	return rep
+}
+
+func topDownChildren(n *cct.Node, depth int, grand uint64, o Options) []*TopDownNode {
+	out := []*TopDownNode{}
+	if o.MaxDepth > 0 && depth > o.MaxDepth {
+		return out
+	}
+	for _, c := range n.Children() {
+		inc := c.Inclusive()[o.Metric]
+		if inc == 0 {
+			continue
+		}
+		share := float64(inc) / float64(grand)
+		if share < o.MinShare {
+			continue
+		}
+		out = append(out, &TopDownNode{
+			Kind:     c.Frame.Kind.String(),
+			Name:     c.Frame.Name,
+			Module:   c.Frame.Module,
+			File:     c.Frame.File,
+			Line:     c.Frame.Line,
+			Value:    inc,
+			Share:    share,
+			Children: topDownChildren(c, depth+1, grand, o),
+		})
+	}
+	return out
+}
+
+// BottomUpReport is the JSON form of the bottom-up (allocation-site) view.
+type BottomUpReport struct {
+	Event  string `json:"event"`
+	Metric string `json:"metric"`
+	Total  uint64 `json:"total"`
+	// Sites lists allocation call sites by descending value, bounded by
+	// Options.MaxRows; always an array, never null.
+	Sites []BottomUpSite `json:"sites"`
+}
+
+// BottomUpSite is one allocation call site in the report.
+type BottomUpSite struct {
+	Func      string  `json:"func,omitempty"`
+	File      string  `json:"file,omitempty"`
+	Line      int     `json:"line,omitempty"`
+	Allocator string  `json:"allocator"`
+	Variables int     `json:"variables"`
+	Value     uint64  `json:"value"`
+	Share     float64 `json:"share"`
+}
+
+// BottomUpJSON builds the bottom-up report over the same aggregation
+// BottomUp computes, bounded by Options.MaxRows (0 = unlimited) and
+// skipping zero-valued sites like the text renderer does.
+func BottomUpJSON(p *cct.Profile, o Options) *BottomUpReport {
+	rep := &BottomUpReport{
+		Event:  p.Event,
+		Metric: o.Metric.Name(),
+		Total:  MetricTotal(p, o.Metric),
+		Sites:  []BottomUpSite{},
+	}
+	for _, s := range BottomUp(p, o.Metric) {
+		if s.Value == 0 {
+			continue
+		}
+		if o.MaxRows > 0 && len(rep.Sites) >= o.MaxRows {
+			break
+		}
+		rep.Sites = append(rep.Sites, BottomUpSite{
+			Func: s.Func, File: s.File, Line: s.Line, Allocator: s.Allocator,
+			Variables: s.Variables, Value: s.Value, Share: s.Share,
+		})
+	}
+	return rep
+}
+
+// DiffReport is the JSON form of the per-variable profile comparison.
+type DiffReport struct {
+	Metric      string `json:"metric"`
+	BeforeTotal uint64 `json:"before_total"`
+	AfterTotal  uint64 `json:"after_total"`
+	// Rows is sorted by |share change| descending, bounded by MaxRows;
+	// always an array, never null.
+	Rows []DiffRow `json:"rows"`
+}
+
+// DiffRow is one variable's movement between the two profiles.
+type DiffRow struct {
+	Variable    string  `json:"variable"`
+	Class       string  `json:"class"`
+	BeforeValue uint64  `json:"before_value"`
+	AfterValue  uint64  `json:"after_value"`
+	BeforeShare float64 `json:"before_share"`
+	AfterShare  float64 `json:"after_share"`
+	DeltaShare  float64 `json:"delta_share"`
+}
+
+// DiffJSON builds the diff report (before -> after), bounded by maxRows
+// (0 = unlimited).
+func DiffJSON(before, after *cct.Profile, m metric.ID, maxRows int) *DiffReport {
+	rep := &DiffReport{
+		Metric:      m.Name(),
+		BeforeTotal: MetricTotal(before, m),
+		AfterTotal:  MetricTotal(after, m),
+		Rows:        []DiffRow{},
+	}
+	for _, d := range DiffVariables(before, after, m) {
+		if maxRows > 0 && len(rep.Rows) >= maxRows {
+			break
+		}
+		rep.Rows = append(rep.Rows, DiffRow{
+			Variable:    d.Variable,
+			Class:       d.Class.String(),
+			BeforeValue: d.BeforeValue,
+			AfterValue:  d.AfterValue,
+			BeforeShare: d.BeforeShare,
+			AfterShare:  d.AfterShare,
+			DeltaShare:  d.DeltaShare(),
+		})
+	}
+	return rep
+}
+
+// WriteTopDownJSON writes the top-down report as indented JSON.
+func WriteTopDownJSON(w io.Writer, p *cct.Profile, o Options) error {
+	return writeJSON(w, TopDownJSON(p, o))
+}
+
+// WriteBottomUpJSON writes the bottom-up report as indented JSON.
+func WriteBottomUpJSON(w io.Writer, p *cct.Profile, o Options) error {
+	return writeJSON(w, BottomUpJSON(p, o))
+}
+
+// WriteDiffJSON writes the diff report as indented JSON.
+func WriteDiffJSON(w io.Writer, before, after *cct.Profile, m metric.ID, maxRows int) error {
+	return writeJSON(w, DiffJSON(before, after, m, maxRows))
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

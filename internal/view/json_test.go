@@ -1,0 +1,164 @@
+package view
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+func jsonTestProfile() *cct.Profile {
+	p := cct.NewProfile(0, 0, "IBS@4096")
+	var v metric.Vector
+	v[metric.Samples] = 4
+	v[metric.Latency] = 400
+	heapPath := []cct.Frame{
+		{Kind: cct.KindCall, Module: "exe", Name: "main", File: "main.c"},
+		{Kind: cct.KindStmt, Module: "exe", Name: "main", File: "main.c", Line: 10},
+		{Kind: cct.KindCall, Module: "libc", Name: "malloc"},
+		{Kind: cct.KindHeapData, Name: "grid"},
+		{Kind: cct.KindStmt, Module: "exe", Name: "smooth", File: "sm.c", Line: 42},
+	}
+	p.Trees[cct.ClassHeap].AddSample(heapPath, &v)
+	p.Trees[cct.ClassStatic].AddSample([]cct.Frame{
+		{Kind: cct.KindStaticVar, Module: "exe", Name: "lut", File: "main.c"},
+		{Kind: cct.KindStmt, Module: "exe", Name: "init", File: "main.c", Line: 3},
+	}, &v)
+	return p
+}
+
+func TestTopDownJSONShape(t *testing.T) {
+	p := jsonTestProfile()
+	o := Options{Metric: metric.Latency, MaxDepth: DefaultMaxDepth, MinShare: 0}
+	rep := TopDownJSON(p, o)
+	if rep.Total != 800 {
+		t.Errorf("total = %d, want 800", rep.Total)
+	}
+	if len(rep.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(rep.Classes))
+	}
+	var shares float64
+	for _, c := range rep.Classes {
+		shares += c.Share
+		if len(c.Children) == 0 {
+			t.Errorf("class %s has no children", c.Class)
+		}
+	}
+	if shares < 0.999 || shares > 1.001 {
+		t.Errorf("class shares sum to %f", shares)
+	}
+
+	// Depth pruning: MaxDepth 1 keeps only the class roots' direct children.
+	shallow := TopDownJSON(p, Options{Metric: metric.Latency, MaxDepth: 1})
+	for _, c := range shallow.Classes {
+		for _, n := range c.Children {
+			if len(n.Children) != 0 {
+				t.Errorf("MaxDepth=1 left grandchildren under %s", n.Name)
+			}
+		}
+	}
+}
+
+// The report must render deterministically and with stable snake_case
+// keys — consumers (and the byte-identical serving contract) depend on it.
+func TestTopDownJSONDeterministic(t *testing.T) {
+	o := Options{Metric: metric.Latency}
+	var a, b bytes.Buffer
+	if err := WriteTopDownJSON(&a, jsonTestProfile(), o); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTopDownJSON(&b, jsonTestProfile(), o); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of equal profiles differ")
+	}
+	for _, key := range []string{`"event"`, `"metric"`, `"total"`, `"classes"`, `"share"`, `"value"`} {
+		if !strings.Contains(a.String(), key) {
+			t.Errorf("report missing key %s:\n%s", key, a.String())
+		}
+	}
+}
+
+func TestTopDownJSONEmptyProfile(t *testing.T) {
+	p := cct.NewProfile(0, 0, "IBS@4096")
+	var buf bytes.Buffer
+	if err := WriteTopDownJSON(&buf, p, Options{Metric: metric.Latency}); err != nil {
+		t.Fatal(err)
+	}
+	// Classes must be [], not null.
+	if !strings.Contains(buf.String(), `"classes": []`) {
+		t.Errorf("empty profile classes not []:\n%s", buf.String())
+	}
+}
+
+func TestBottomUpJSON(t *testing.T) {
+	p := jsonTestProfile()
+	rep := BottomUpJSON(p, Options{Metric: metric.Latency, MaxRows: DefaultMaxRows})
+	if len(rep.Sites) != 1 {
+		t.Fatalf("sites = %d, want 1", len(rep.Sites))
+	}
+	s := rep.Sites[0]
+	if s.Allocator != "malloc" || s.Func != "main" || s.Variables != 1 {
+		t.Errorf("site = %+v", s)
+	}
+	if s.Value != 400 {
+		t.Errorf("site value = %d, want 400 (heap tree only)", s.Value)
+	}
+
+	// MaxRows bounds the table.
+	if got := BottomUpJSON(p, Options{Metric: metric.Latency, MaxRows: 0}); len(got.Sites) != 1 {
+		t.Errorf("unlimited rows = %d", len(got.Sites))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBottomUpJSON(&buf, cct.NewProfile(0, 0, "x"), Options{Metric: metric.Latency}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"sites": []`) {
+		t.Errorf("empty bottom-up sites not []:\n%s", buf.String())
+	}
+}
+
+func TestDiffJSON(t *testing.T) {
+	before, after := jsonTestProfile(), jsonTestProfile()
+	var v metric.Vector
+	v[metric.Latency] = 1200
+	after.Trees[cct.ClassStatic].AddSample([]cct.Frame{
+		{Kind: cct.KindStaticVar, Module: "exe", Name: "lut", File: "main.c"},
+		{Kind: cct.KindStmt, Module: "exe", Name: "init", File: "main.c", Line: 3},
+	}, &v)
+
+	rep := DiffJSON(before, after, metric.Latency, 0)
+	if rep.BeforeTotal != 800 || rep.AfterTotal != 2000 {
+		t.Errorf("totals = %d -> %d", rep.BeforeTotal, rep.AfterTotal)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// lut moved most: it must sort first, and delta must be consistent.
+	if rep.Rows[0].Variable != "lut" {
+		t.Errorf("top row = %q, want lut", rep.Rows[0].Variable)
+	}
+	for _, r := range rep.Rows {
+		if got := r.AfterShare - r.BeforeShare; got != r.DeltaShare {
+			t.Errorf("row %s delta %f != after-before %f", r.Variable, r.DeltaShare, got)
+		}
+	}
+
+	// Round-trips through encoding/json without loss of the row shape.
+	var buf bytes.Buffer
+	if err := WriteDiffJSON(&buf, before, after, metric.Latency, 1); err != nil {
+		t.Fatal(err)
+	}
+	var back DiffReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != 1 || back.Rows[0].Variable != "lut" {
+		t.Errorf("round-trip rows = %+v", back.Rows)
+	}
+}

@@ -5,10 +5,11 @@ set -ex
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler
+go test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler ./internal/server
 go test -race ./internal/telemetry/...
 go test -run='^$' -fuzz=FuzzReadProfile -fuzztime=10s ./internal/profio
 go test -run='^$' -fuzz=FuzzSalvageProfile -fuzztime=10s ./internal/profio
+go test -run='^$' -fuzz=FuzzHandleUpload -fuzztime=10s ./internal/server
 go test -run='^$' -bench=Merge -benchtime=1x ./internal/analysis .
 # Telemetry must be near-free: merge throughput with instruments and spans
 # attached is gated at <5% over uninstrumented, report in BENCH_telemetry.json.
