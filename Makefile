@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke bench-smoke
+.PHONY: check vet build test race chaos-smoke fuzz-smoke bench-smoke
 
 # check is the full pre-merge gate: static checks, the whole test suite
 # (including the fault-injection suite), the race detector over the
@@ -8,7 +8,7 @@ GO ?= go
 # streaming merge pipeline, and the fault-tolerant I/O layers), a short
 # fuzz of the profile reader, salvager, and the daemon's upload ingest,
 # and a one-iteration merge benchmark smoke to catch gross regressions.
-check: vet build test race fuzz-smoke bench-smoke
+check: vet build test race chaos-smoke fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,8 +20,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler ./internal/server
+	$(GO) test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler ./internal/server ./internal/push
 	$(GO) test -race ./internal/telemetry/...
+
+# Chaos smoke: the dcpush client through a scripted faulty transport
+# (drops, shed 503s, timeouts, resets, lost responses) against a live
+# dcprofd — every profile must land exactly once and the served view
+# must match a cleanly-fed server byte for byte.
+chaos-smoke:
+	$(GO) test -race -run='^TestChaosPushSmoke$$' -count=1 ./internal/push
 
 # Short fuzz of the reader and the salvage path (the fuzz engine accepts
 # one target per run), on top of the always-run corpus regression pass.
@@ -29,6 +36,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadProfile -fuzztime=10s ./internal/profio
 	$(GO) test -run='^$$' -fuzz=FuzzSalvageProfile -fuzztime=10s ./internal/profio
 	$(GO) test -run='^$$' -fuzz=FuzzHandleUpload -fuzztime=10s ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzUploadIdempotency -fuzztime=10s ./internal/server
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Merge -benchtime=1x ./internal/analysis .

@@ -7,10 +7,14 @@
 //
 //	dcprofd -addr :8080 -data ./collections
 //
-//	# upload a measurement's profiles into a collection
-//	for f in measurements/*.dcprof; do
-//	    curl -sS --data-binary @"$f" http://localhost:8080/collections/amg-run1/profiles
-//	done
+//	# upload a measurement's profiles into a collection (dcpush retries
+//	# through overload and resumes interrupted batches; plain curl works
+//	# too — uploads are idempotent by content digest either way)
+//	dcpush -server http://localhost:8080 -collection amg-run1 measurements/
+//
+//	# liveness and readiness (429/503 shed responses carry Retry-After)
+//	curl -sS http://localhost:8080/healthz
+//	curl -sS http://localhost:8080/readyz
 //
 //	# query the merged views
 //	curl -sS 'http://localhost:8080/collections/amg-run1/topdown?metric=LATENCY(cy)'
@@ -39,19 +43,31 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		data    = flag.String("data", "collections", "data directory holding the collections")
-		entries = flag.Int("cache-entries", 64, "max cached merged views (LRU)")
-		workers = flag.Int("workers", 0, "merge workers per load (0 = GOMAXPROCS)")
-		maxUp   = flag.Int64("max-upload-mb", 1024, "max accepted upload size in MiB")
+		addr       = flag.String("addr", ":8080", "listen address")
+		data       = flag.String("data", "collections", "data directory holding the collections")
+		entries    = flag.Int("cache-entries", 64, "max cached merged views (LRU)")
+		workers    = flag.Int("workers", 0, "merge workers per load (0 = GOMAXPROCS)")
+		maxUp      = flag.Int64("max-upload-mb", 1024, "max accepted upload size in MiB")
+		maxUploads = flag.Int("max-uploads", 64, "max concurrent uploads before shedding 429")
+		maxMerges  = flag.Int("max-merges", 4, "max concurrent view merges before shedding 503")
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline (0 = none)")
+		colQuota   = flag.Int64("collection-quota-mb", 0, "per-collection disk quota in MiB (0 = unlimited)")
+		totalQuota = flag.Int64("total-quota-mb", 0, "total disk quota in MiB across collections (0 = unlimited)")
+		probeEvery = flag.Duration("probe-interval", 5*time.Second, "min interval between read-only recovery probes")
 	)
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
-		DataDir:        *data,
-		CacheEntries:   *entries,
-		Workers:        *workers,
-		MaxUploadBytes: *maxUp << 20,
+		DataDir:               *data,
+		CacheEntries:          *entries,
+		Workers:               *workers,
+		MaxUploadBytes:        *maxUp << 20,
+		MaxInflightUploads:    *maxUploads,
+		MaxConcurrentMerges:   *maxMerges,
+		RequestTimeout:        *reqTimeout,
+		MaxCollectionBytes:    *colQuota << 20,
+		MaxTotalBytes:         *totalQuota << 20,
+		ReadonlyProbeInterval: *probeEvery,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dcprofd: %v\n", err)

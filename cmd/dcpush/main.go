@@ -1,0 +1,73 @@
+// Command dcpush uploads a measurement directory's profiles to a
+// dcprofd collection, retrying through server overload (429/503 with
+// Retry-After), transient errors, and network faults. Uploads are
+// idempotent server-side (keyed by content digest), so an interrupted
+// batch is safe to re-run: dcpush first asks the collection which
+// digests it already holds and skips those files.
+//
+// Usage:
+//
+//	dcpush -server http://localhost:8080 -collection amg-run1 measurements/
+//
+// The summary is printed as JSON on stdout; the exit status is 1 when
+// any file could not be delivered.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dcprof/internal/push"
+)
+
+func main() {
+	var (
+		serverURL  = flag.String("server", "http://localhost:8080", "dcprofd base URL")
+		collection = flag.String("collection", "", "target collection name (required)")
+		attempts   = flag.Int("attempts", 8, "max attempts per file")
+		base       = flag.Duration("backoff", 100*time.Millisecond, "initial retry backoff")
+		maxBackoff = flag.Duration("max-backoff", 5*time.Second, "retry backoff ceiling")
+		perFile    = flag.Duration("file-timeout", 2*time.Minute, "per-file deadline, retries included (0 = none)")
+		total      = flag.Duration("timeout", 0, "whole-batch deadline (0 = none)")
+		quiet      = flag.Bool("q", false, "suppress per-file progress on stderr")
+	)
+	flag.Parse()
+	if *collection == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dcpush -collection NAME [-server URL] DIR")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opt := push.Options{
+		Server:         *serverURL,
+		Collection:     *collection,
+		MaxAttempts:    *attempts,
+		BaseBackoff:    *base,
+		MaxBackoff:     *maxBackoff,
+		PerFileTimeout: *perFile,
+		TotalTimeout:   *total,
+	}
+	if !*quiet {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dcpush: "+format+"\n", args...)
+		}
+	}
+
+	sum, err := push.Push(ctx, flag.Arg(0), opt)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(sum)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpush: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,108 @@
+package faultio
+
+// Disk-exhaustion injection. Unlike the crash FS (the writer dies), a
+// full disk leaves the process alive but failing every allocation of new
+// blocks — creates and writes return ENOSPC while renames, removes, and
+// reads keep working, which is exactly the regime a long-running service
+// must degrade through (reject uploads, keep serving queries) and recover
+// from once space frees up.
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"syscall"
+
+	"dcprof/internal/profio"
+)
+
+// errDiskFull wraps syscall.ENOSPC so errors.Is(err, syscall.ENOSPC)
+// holds on every injected failure, the same check real write errors
+// satisfy through *os.PathError.
+func errDiskFull(op, path string) error {
+	return fmt.Errorf("faultio: %s %s: %w", op, path, syscall.ENOSPC)
+}
+
+// ENOSPCFS wraps an inner profio.FS with a toggleable "disk full" state.
+// While full, operations that need new blocks — MkdirAll, Create, and
+// every Write/Sync on files created through it — fail with an error
+// wrapping syscall.ENOSPC. Rename and Remove still succeed (they release
+// or relink existing blocks), so cleanup paths behave as they do on a
+// really-full filesystem. Clearing the state restores normal service:
+// the seam a recovery-probe test flips both ways.
+type ENOSPCFS struct {
+	inner profio.FS
+	full  atomic.Bool
+}
+
+// NewENOSPCFS returns an ENOSPCFS over inner (nil uses the real
+// filesystem), initially not full.
+func NewENOSPCFS(inner profio.FS) *ENOSPCFS {
+	if inner == nil {
+		inner = profio.OSFS{}
+	}
+	return &ENOSPCFS{inner: inner}
+}
+
+// SetFull flips the injected disk-full state.
+func (s *ENOSPCFS) SetFull(full bool) { s.full.Store(full) }
+
+// Full reports the injected state.
+func (s *ENOSPCFS) Full() bool { return s.full.Load() }
+
+// MkdirAll implements profio.FS.
+func (s *ENOSPCFS) MkdirAll(path string, perm os.FileMode) error {
+	if s.full.Load() {
+		return errDiskFull("mkdir", path)
+	}
+	return s.inner.MkdirAll(path, perm)
+}
+
+// Create implements profio.FS.
+func (s *ENOSPCFS) Create(path string) (profio.File, error) {
+	if s.full.Load() {
+		return nil, errDiskFull("create", path)
+	}
+	f, err := s.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &enospcFile{f: f, fs: s, path: path}, nil
+}
+
+// Rename implements profio.FS. Renames relink existing blocks, so they
+// succeed even while the disk is full.
+func (s *ENOSPCFS) Rename(oldpath, newpath string) error { return s.inner.Rename(oldpath, newpath) }
+
+// Remove implements profio.FS. Removes free space, so they always work.
+func (s *ENOSPCFS) Remove(path string) error { return s.inner.Remove(path) }
+
+// SyncDir implements profio.FS.
+func (s *ENOSPCFS) SyncDir(path string) error {
+	if s.full.Load() {
+		return errDiskFull("syncdir", path)
+	}
+	return s.inner.SyncDir(path)
+}
+
+type enospcFile struct {
+	f    profio.File
+	fs   *ENOSPCFS
+	path string
+}
+
+func (e *enospcFile) Write(p []byte) (int, error) {
+	if e.fs.full.Load() {
+		return 0, errDiskFull("write", e.path)
+	}
+	return e.f.Write(p)
+}
+
+func (e *enospcFile) Sync() error {
+	if e.fs.full.Load() {
+		return errDiskFull("sync", e.path)
+	}
+	return e.f.Sync()
+}
+
+func (e *enospcFile) Close() error { return e.f.Close() }

@@ -1,0 +1,162 @@
+package faultio
+
+// Network-fault injection for HTTP clients. FlakyTransport wraps an
+// http.RoundTripper with a deterministic script of per-request faults —
+// connection drops before and after the server acts, synthesized 5xx
+// shed responses, resets mid request body, and client-side timeouts —
+// so an upload client's retry loop can be driven through every failure
+// mode a flaky network produces, replayably. The nastiest case for an
+// uploader, FaultDropResponse, lets the request reach the server and
+// take effect but loses the response: a client that blindly re-sends
+// will double-count unless the server deduplicates.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// HTTPFault is one scripted behavior for one request.
+type HTTPFault int
+
+const (
+	// FaultPass forwards the request untouched.
+	FaultPass HTTPFault = iota
+	// FaultDrop fails the request before it reaches the server — a
+	// connection refused or dropped during dialing. The server never
+	// observes the request.
+	FaultDrop
+	// FaultDropResponse forwards the request — the server fully processes
+	// it — then loses the response. The client cannot tell this from
+	// FaultDrop, which is the whole point: only an idempotent server makes
+	// the retry safe.
+	FaultDropResponse
+	// Fault5xx synthesizes a 503 with a Retry-After header without
+	// contacting the server — a load balancer or the server's own
+	// admission control shedding the request.
+	Fault5xx
+	// FaultResetMidBody lets the request start, then resets the
+	// connection partway through the request body: the server sees a
+	// truncated payload, the client an aborted request.
+	FaultResetMidBody
+	// FaultTimeout fails the request with a timeout-flavored net error
+	// without contacting the server.
+	FaultTimeout
+)
+
+// FlakyTransport applies a scripted fault sequence to successive
+// requests: request i suffers script[i]; requests past the script pass
+// through cleanly. Safe for concurrent use; requests consume script
+// entries in arrival order.
+type FlakyTransport struct {
+	// RetryAfterSeconds is the Retry-After value on Fault5xx responses.
+	RetryAfterSeconds int
+
+	inner http.RoundTripper
+
+	mu       sync.Mutex
+	script   []HTTPFault
+	requests int
+	faults   int
+}
+
+// NewFlakyTransport wraps inner (nil uses http.DefaultTransport) with
+// the given fault script.
+func NewFlakyTransport(inner http.RoundTripper, script ...HTTPFault) *FlakyTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &FlakyTransport{inner: inner, script: script, RetryAfterSeconds: 1}
+}
+
+// Requests reports how many requests have been attempted through the
+// transport; Faults how many of them were faulted.
+func (t *FlakyTransport) Requests() int { t.mu.Lock(); defer t.mu.Unlock(); return t.requests }
+
+// Faults reports how many requests were injected with a fault.
+func (t *FlakyTransport) Faults() int { t.mu.Lock(); defer t.mu.Unlock(); return t.faults }
+
+// next consumes the fault scripted for this request.
+func (t *FlakyTransport) next() HTTPFault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.requests++
+	if len(t.script) == 0 {
+		return FaultPass
+	}
+	f := t.script[0]
+	t.script = t.script[1:]
+	if f != FaultPass {
+		t.faults++
+	}
+	return f
+}
+
+// timeoutError is a net.Error with Timeout() true, the shape
+// http.Client deadline failures have.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultio: injected client timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// RoundTrip implements http.RoundTripper.
+func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch t.next() {
+	case FaultDrop:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w (connection dropped)", ErrInjected)
+	case FaultTimeout:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, timeoutError{}
+	case Fault5xx:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		h := http.Header{}
+		h.Set("Retry-After", strconv.Itoa(t.RetryAfterSeconds))
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     h,
+			Body:       http.NoBody,
+			Request:    req,
+		}, nil
+	case FaultResetMidBody:
+		if req.Body == nil {
+			return nil, fmt.Errorf("%w (connection reset)", ErrInjected)
+		}
+		// The second Read of the body fails, so the server receives at
+		// most one buffer's worth of the payload before the "reset".
+		clone := req.Clone(req.Context())
+		clone.Body = WithCloser(FailingReader(req.Body, 2), req.Body)
+		resp, err := t.inner.RoundTrip(clone)
+		if err == nil {
+			// The truncated request went through anyway (tiny body fit in
+			// one read); surface the reset the client would still see.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return nil, fmt.Errorf("%w (connection reset mid-body)", ErrInjected)
+	case FaultDropResponse:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w (connection dropped awaiting response)", ErrInjected)
+	default:
+		return t.inner.RoundTrip(req)
+	}
+}

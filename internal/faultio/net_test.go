@@ -1,0 +1,189 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"dcprof/internal/profio"
+)
+
+// TestFlakyTransportScript drives one request per scripted fault against
+// a counting server and checks each fault's contract: who saw the
+// request, what the client got back.
+func TestFlakyTransportScript(t *testing.T) {
+	var hits atomic.Int64
+	var lastBody atomic.Value // string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		raw, _ := io.ReadAll(r.Body)
+		lastBody.Store(string(raw))
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	ft := NewFlakyTransport(nil, FaultDrop, Fault5xx, FaultTimeout, FaultDropResponse, FaultPass)
+	client := &http.Client{Transport: ft}
+	post := func() (*http.Response, error) {
+		return client.Post(ts.URL, "application/octet-stream", strings.NewReader("payload"))
+	}
+
+	// FaultDrop: client error, server untouched.
+	if _, err := post(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("drop: err = %v, want ErrInjected", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("drop reached the server")
+	}
+
+	// Fault5xx: synthesized 503 with Retry-After, server untouched.
+	resp, err := post()
+	if err != nil {
+		t.Fatalf("5xx: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("5xx: status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("5xx reached the server")
+	}
+
+	// FaultTimeout: a net.Error with Timeout() true, server untouched.
+	_, err = post()
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("timeout: err = %v, want net.Error with Timeout()", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("timeout reached the server")
+	}
+
+	// FaultDropResponse: the server fully processes the request, the
+	// client still sees an error — the retry-hazard case.
+	if _, err := post(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("drop-response: err = %v, want ErrInjected", err)
+	}
+	if hits.Load() != 1 || lastBody.Load() != "payload" {
+		t.Fatalf("drop-response: server saw %d requests, body %q", hits.Load(), lastBody.Load())
+	}
+
+	// FaultPass and script exhaustion: clean requests.
+	for i := 0; i < 2; i++ {
+		resp, err := post()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("pass %d: %v %v", i, err, resp)
+		}
+		resp.Body.Close()
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server hits = %d, want 3", hits.Load())
+	}
+	if ft.Requests() != 6 || ft.Faults() != 4 {
+		t.Fatalf("transport counted %d requests / %d faults, want 6 / 4", ft.Requests(), ft.Faults())
+	}
+}
+
+// TestFlakyTransportResetMidBody checks the reset delivers at most a
+// truncated body to the server and an error to the client.
+func TestFlakyTransportResetMidBody(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		raw, _ := io.ReadAll(r.Body)
+		got.Store(len(raw))
+	}))
+	defer ts.Close()
+
+	client := &http.Client{Transport: NewFlakyTransport(nil, FaultResetMidBody)}
+	full := bytes.Repeat([]byte("x"), 1<<20)
+	_, err := client.Post(ts.URL, "application/octet-stream", bytes.NewReader(full))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("reset: err = %v, want ErrInjected", err)
+	}
+	if n, ok := got.Load().(int); ok && n >= len(full) {
+		t.Fatalf("server received the full %d-byte body through a reset", n)
+	}
+}
+
+// TestENOSPCFS checks the disk-full seam: writes and creates fail with
+// an error satisfying errors.Is(err, syscall.ENOSPC) while full, cleanup
+// renames/removes keep working, and clearing the state restores service.
+func TestENOSPCFS(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewENOSPCFS(nil)
+
+	// Healthy: a file writes and publishes.
+	f, err := fs.Create(dir + "/a.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.SetFull(true)
+	if _, err := fs.Create(dir + "/b.tmp"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("create while full: %v, want ENOSPC", err)
+	}
+	if err := fs.MkdirAll(dir+"/sub", 0o755); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("mkdir while full: %v, want ENOSPC", err)
+	}
+	// A file created before the disk filled fails its writes too.
+	g, err := profio.OSFS{}.Create(dir + "/pre.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	// Rename and remove still work — they free or relink, not allocate.
+	if err := fs.Rename(dir+"/a.tmp", dir+"/a.final"); err != nil {
+		t.Fatalf("rename while full: %v", err)
+	}
+	if err := fs.Remove(dir + "/pre.tmp"); err != nil {
+		t.Fatalf("remove while full: %v", err)
+	}
+
+	fs.SetFull(false)
+	h, err := fs.Create(dir + "/c.tmp")
+	if err != nil {
+		t.Fatalf("create after recovery: %v", err)
+	}
+	if _, err := h.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+}
+
+// TestENOSPCFileWhileFull checks a file handle created healthy starts
+// failing once the disk fills — the mid-upload ENOSPC case.
+func TestENOSPCFileWhileFull(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewENOSPCFS(nil)
+	f, err := fs.Create(dir + "/mid.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFull(true)
+	if _, err := f.Write([]byte("second")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write while full: %v, want ENOSPC", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("sync while full: %v, want ENOSPC", err)
+	}
+}

@@ -1,0 +1,429 @@
+// Package push implements the batch upload client behind dcpush: it
+// walks a measurement directory and delivers every profile to a dcprofd
+// collection, surviving the failures a shared profile server actually
+// produces — shed requests (429/503 with Retry-After), transient 5xx,
+// network drops and timeouts, disk-full (507), and its own restarts.
+//
+// Reliability comes from two halves that only work together:
+//
+//   - The server's uploads are idempotent by content digest, so the
+//     client may retry blindly: a POST whose response was lost but whose
+//     bytes landed answers 200 on the retry instead of double-counting.
+//   - The client resumes by asking the collection for its digest list
+//     first and skipping files the server already holds, so a re-run of
+//     an interrupted batch sends only the remainder.
+//
+// Retries use capped exponential backoff with jitter, honoring a
+// server-provided Retry-After (seconds or HTTP-date) over the computed
+// delay. Client faults (400) and quota exhaustion (507) are permanent:
+// retrying cannot help, so the file is recorded as failed and the batch
+// moves on.
+package push
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"dcprof/internal/profio"
+	"dcprof/internal/telemetry"
+)
+
+// Options configures a push. Zero values get sane defaults; the seams
+// (Client, Sleep, Jitter, Now) exist so the fault-injection tests run a
+// full retry schedule in microseconds.
+type Options struct {
+	// Server is the dcprofd base URL, e.g. "http://localhost:7070".
+	Server string
+	// Collection names the target collection.
+	Collection string
+
+	// Client issues the HTTP requests. Defaults to http.DefaultClient;
+	// tests wire a faultio.FlakyTransport here.
+	Client *http.Client
+
+	// MaxAttempts bounds tries per file (first attempt included).
+	// Default 8.
+	MaxAttempts int
+	// BaseBackoff is the delay after the first failure; it doubles per
+	// attempt up to MaxBackoff. Defaults 100ms and 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// PerFileTimeout bounds one file's attempts (all retries included);
+	// TotalTimeout bounds the whole batch. Zero disables either.
+	PerFileTimeout time.Duration
+	TotalTimeout   time.Duration
+
+	// Jitter perturbs a computed backoff delay. Defaults to uniform in
+	// [d/2, d); tests pin it to the identity.
+	Jitter func(d time.Duration) time.Duration
+	// Sleep waits between attempts. Defaults to a context-aware sleep;
+	// tests substitute a recorder so no real time passes.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	// Registry receives push.* telemetry. Nil means a private registry.
+	Registry *telemetry.Registry
+	// Logf, when set, receives one line per notable event (skip, retry,
+	// failure). Nil silences progress.
+	Logf func(format string, args ...any)
+}
+
+// FileResult records the outcome for one profile file.
+type FileResult struct {
+	File     string `json:"file"`
+	Digest   string `json:"digest"`
+	Bytes    int64  `json:"bytes"`
+	Attempts int    `json:"attempts,omitempty"`
+	// Status is "uploaded", "duplicate", "resumed", or "failed".
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Summary is the batch outcome dcpush prints.
+type Summary struct {
+	Collection string       `json:"collection"`
+	Files      int          `json:"files"`
+	Uploaded   int          `json:"uploaded"`
+	Resumed    int          `json:"resumed"`
+	Duplicates int          `json:"duplicates"`
+	Failed     int          `json:"failed"`
+	Retries    int          `json:"retries"`
+	Bytes      int64        `json:"bytes"`
+	Results    []FileResult `json:"results,omitempty"`
+}
+
+// uploadResult mirrors the server's UploadResult fields the client needs.
+type uploadResult struct {
+	File      string `json:"file"`
+	Digest    string `json:"digest"`
+	Duplicate bool   `json:"duplicate"`
+}
+
+// permanentError marks a failure no retry can fix (400, 507).
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+// retryableError carries a failure worth another attempt, plus the
+// server's Retry-After wish when it sent one.
+type retryableError struct {
+	err        error
+	retryAfter time.Duration // 0 = none advertised
+}
+
+func (e retryableError) Error() string { return e.err.Error() }
+func (e retryableError) Unwrap() error { return e.err }
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// withDefaults fills the zero values.
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.Jitter == nil {
+		o.Jitter = func(d time.Duration) time.Duration {
+			if d <= 1 {
+				return d
+			}
+			return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+		}
+	}
+	if o.Sleep == nil {
+		o.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	if o.Registry == nil {
+		o.Registry = telemetry.New()
+	}
+	return o
+}
+
+// Push uploads every profile in dir to the configured collection and
+// returns the per-file outcomes. The error is non-nil when the batch is
+// incomplete — any file failed permanently, exhausted its attempts, or a
+// deadline expired — but the Summary is always populated as far as the
+// batch got.
+func Push(ctx context.Context, dir string, opt Options) (Summary, error) {
+	opt = opt.withDefaults()
+	sum := Summary{Collection: opt.Collection}
+	if opt.Server == "" || opt.Collection == "" {
+		return sum, errors.New("push: Server and Collection are required")
+	}
+	if opt.TotalTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.TotalTimeout)
+		defer cancel()
+	}
+
+	files, err := profio.Files(dir)
+	if err != nil {
+		return sum, fmt.Errorf("push: %w", err)
+	}
+	sum.Files = len(files)
+	opt.Registry.Counter("push.files").Add(uint64(len(files)))
+
+	// Resume surface: digests the collection already holds. A missing
+	// collection (404) simply means nothing to skip.
+	have, err := remoteDigests(ctx, opt)
+	if err != nil {
+		return sum, err
+	}
+
+	retries := opt.Registry.Counter("push.retries")
+	var firstErr error
+	for _, path := range files {
+		res := pushFile(ctx, path, have, opt, &sum)
+		sum.Results = append(sum.Results, res)
+		sum.Retries += maxInt(0, res.Attempts-1)
+		retries.Add(uint64(maxInt(0, res.Attempts-1)))
+		if res.Status == "failed" && firstErr == nil {
+			firstErr = fmt.Errorf("push: %s: %s", filepath.Base(res.File), res.Error)
+		}
+		if ctx.Err() != nil {
+			// The batch deadline expired: remaining files are not
+			// attempted, and the summary says how far we got.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("push: %w", ctx.Err())
+			}
+			break
+		}
+	}
+	return sum, firstErr
+}
+
+// pushFile delivers one file: hash, resume-skip, then the retry loop.
+func pushFile(ctx context.Context, path string, have map[string]bool, opt Options, sum *Summary) FileResult {
+	res := FileResult{File: path}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		res.Status = "failed"
+		res.Error = err.Error()
+		sum.Failed++
+		opt.Registry.Counter("push.failed").Inc()
+		return res
+	}
+	res.Bytes = int64(len(data))
+	d := sha256.Sum256(data)
+	res.Digest = hex.EncodeToString(d[:])
+
+	if have[res.Digest] {
+		res.Status = "resumed"
+		sum.Resumed++
+		opt.Registry.Counter("push.resumed").Inc()
+		opt.logf("skip %s: server already holds %s", filepath.Base(path), res.Digest[:12])
+		return res
+	}
+
+	if opt.PerFileTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.PerFileTimeout)
+		defer cancel()
+	}
+
+	var lastErr error
+	for attempt := 1; attempt <= opt.MaxAttempts; attempt++ {
+		res.Attempts = attempt
+		dup, err := postOnce(ctx, data, opt)
+		if err == nil {
+			if dup {
+				res.Status = "duplicate"
+				sum.Duplicates++
+				opt.Registry.Counter("push.duplicates").Inc()
+			} else {
+				res.Status = "uploaded"
+				sum.Uploaded++
+				sum.Bytes += res.Bytes
+				opt.Registry.Counter("push.uploaded").Inc()
+				opt.Registry.Counter("push.bytes").Add(uint64(len(data)))
+			}
+			return res
+		}
+		lastErr = err
+
+		var perm permanentError
+		if errors.As(err, &perm) || ctx.Err() != nil {
+			break
+		}
+		delay := backoff(opt, attempt)
+		var retry retryableError
+		if errors.As(err, &retry) && retry.retryAfter > 0 {
+			delay = retry.retryAfter
+		}
+		opt.logf("retry %s in %v after attempt %d: %v", filepath.Base(path), delay, attempt, err)
+		if opt.Sleep(ctx, delay) != nil {
+			break // deadline expired mid-backoff
+		}
+	}
+	res.Status = "failed"
+	res.Error = lastErr.Error()
+	sum.Failed++
+	opt.Registry.Counter("push.failed").Inc()
+	opt.logf("give up on %s after %d attempts: %v", filepath.Base(path), res.Attempts, lastErr)
+	return res
+}
+
+// postOnce performs a single upload attempt and classifies the outcome:
+// (false, nil) uploaded, (true, nil) duplicate, error otherwise —
+// permanentError when retrying cannot help.
+func postOnce(ctx context.Context, data []byte, opt Options) (dup bool, err error) {
+	url := strings.TrimSuffix(opt.Server, "/") + "/collections/" + opt.Collection + "/profiles"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return false, permanentError{err}
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := opt.Client.Do(req)
+	if err != nil {
+		return false, retryableError{err: err}
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+
+	switch resp.StatusCode {
+	case http.StatusCreated:
+		return false, nil
+	case http.StatusOK:
+		var ur uploadResult
+		if json.Unmarshal(body, &ur) == nil && ur.Duplicate {
+			return true, nil
+		}
+		return false, nil
+	case http.StatusBadRequest, http.StatusInsufficientStorage:
+		// Client fault or disk/quota exhaustion: retrying the same bytes
+		// cannot succeed.
+		return false, permanentError{fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))}
+	default:
+		return false, retryableError{
+			err:        fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body))),
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	}
+}
+
+// remoteDigests fetches the collection's digest list; a missing
+// collection yields an empty set. The fetch itself retries like an
+// upload — a freshly shedding server must not fail the whole batch.
+func remoteDigests(ctx context.Context, opt Options) (map[string]bool, error) {
+	url := strings.TrimSuffix(opt.Server, "/") + "/collections/" + opt.Collection + "/digests"
+	var lastErr error
+	for attempt := 1; attempt <= opt.MaxAttempts; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, fmt.Errorf("push: %w", err)
+		}
+		resp, err := opt.Client.Do(req)
+		if err != nil {
+			lastErr = err
+		} else {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				var payload struct {
+					Digests []string `json:"digests"`
+				}
+				if err := json.Unmarshal(body, &payload); err != nil {
+					return nil, fmt.Errorf("push: digest list: %w", err)
+				}
+				have := make(map[string]bool, len(payload.Digests))
+				for _, d := range payload.Digests {
+					have[d] = true
+				}
+				return have, nil
+			case resp.StatusCode == http.StatusNotFound:
+				return map[string]bool{}, nil
+			case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+				lastErr = fmt.Errorf("digest list: status %d", resp.StatusCode)
+				if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 {
+					if opt.Sleep(ctx, ra) != nil {
+						return nil, fmt.Errorf("push: %w", ctx.Err())
+					}
+					continue
+				}
+			default:
+				return nil, fmt.Errorf("push: digest list: status %d", resp.StatusCode)
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("push: %w", ctx.Err())
+		}
+		if opt.Sleep(ctx, backoff(opt, attempt)) != nil {
+			return nil, fmt.Errorf("push: %w", ctx.Err())
+		}
+	}
+	return nil, fmt.Errorf("push: %w", lastErr)
+}
+
+// backoff computes the jittered, capped exponential delay after attempt n.
+func backoff(opt Options, attempt int) time.Duration {
+	d := opt.BaseBackoff
+	for i := 1; i < attempt && d < opt.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > opt.MaxBackoff {
+		d = opt.MaxBackoff
+	}
+	return opt.Jitter(d)
+}
+
+// parseRetryAfter understands both Retry-After forms: delta-seconds and
+// an HTTP-date. Unparseable or absent values yield zero.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

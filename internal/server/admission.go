@@ -1,0 +1,157 @@
+package server
+
+// Admission control and degraded-mode state: the pieces that keep the
+// service answering — with bounded, observable degradation — when it is
+// overloaded or its disk is full, instead of queueing unboundedly or
+// erroring opaquely.
+//
+// Two token semaphores bound the expensive work: one over in-flight
+// upload bodies, one over concurrent merges. Both are try-acquire only;
+// when a token is unavailable the request is shed immediately with a
+// Retry-After so well-behaved clients (dcpush) back off instead of
+// piling onto a saturated server.
+//
+// The health tracker owns read-only mode. A write failing with ENOSPC
+// (or EDQUOT) flips the server read-only: uploads are rejected with 503,
+// queries keep serving from the intact on-disk state. Recovery is
+// automatic: a rate-limited probe write runs whenever read-only state is
+// consulted — every rejected upload and every /readyz poll — so the
+// orchestrator's readiness polling doubles as the recovery clock and no
+// background goroutine or restart is needed.
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"dcprof/internal/profio"
+	"dcprof/internal/telemetry"
+)
+
+// semaphore is a counting try-acquire semaphore whose occupancy is
+// mirrored in a telemetry gauge (Value = in-flight now, Max = high
+// water).
+type semaphore struct {
+	tokens   chan struct{}
+	inflight *telemetry.Gauge
+}
+
+func newSemaphore(n int, inflight *telemetry.Gauge) *semaphore {
+	return &semaphore{tokens: make(chan struct{}, n), inflight: inflight}
+}
+
+// tryAcquire takes a token if one is free, never blocking.
+func (s *semaphore) tryAcquire() bool {
+	select {
+	case s.tokens <- struct{}{}:
+		s.inflight.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *semaphore) release() {
+	<-s.tokens
+	s.inflight.Add(-1)
+}
+
+// saturated reports whether no token is currently free.
+func (s *semaphore) saturated() bool { return len(s.tokens) == cap(s.tokens) }
+
+// isDiskFull reports whether err is an out-of-space failure — the
+// condition that flips the server read-only.
+func isDiskFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}
+
+// probeFile is written (and removed) in the data root to test
+// writability during read-only recovery.
+const probeFile = ".readyz-probe" + profio.TmpSuffix
+
+// health tracks whether the data directory accepts writes.
+type health struct {
+	fs         profio.FS
+	dir        string
+	probeEvery time.Duration
+
+	mu        sync.Mutex
+	readonly  bool
+	lastProbe time.Time
+
+	entered   *telemetry.Counter
+	recovered *telemetry.Counter
+	probes    *telemetry.Counter
+	gauge     *telemetry.Gauge // 1 while read-only
+}
+
+func newHealth(fs profio.FS, dir string, probeEvery time.Duration, reg *telemetry.Registry) *health {
+	return &health{
+		fs:         fs,
+		dir:        dir,
+		probeEvery: probeEvery,
+		entered:    reg.Counter("server.readonly.entered"),
+		recovered:  reg.Counter("server.readonly.recovered"),
+		probes:     reg.Counter("server.readonly.probes"),
+		gauge:      reg.Gauge("server.readonly"),
+	}
+}
+
+// degrade flips the server read-only. Idempotent.
+func (h *health) degrade() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.readonly {
+		h.readonly = true
+		h.lastProbe = time.Now()
+		h.entered.Inc()
+		h.gauge.Set(1)
+	}
+}
+
+// writable reports whether uploads may proceed, probing for recovery
+// (at most once per probeEvery) when the server is read-only.
+func (h *health) writable() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.readonly {
+		return true
+	}
+	if h.probeEvery > 0 && time.Since(h.lastProbe) < h.probeEvery {
+		return false
+	}
+	h.lastProbe = time.Now()
+	h.probes.Inc()
+	if h.probe() {
+		h.readonly = false
+		h.recovered.Inc()
+		h.gauge.Set(0)
+		return true
+	}
+	return false
+}
+
+// probe attempts one small durable write in the data root. Called with
+// the lock held; the write is tiny and the probe is rate-limited, so
+// holding the lock across it is fine.
+func (h *health) probe() bool {
+	path := filepath.Join(h.dir, probeFile)
+	f, err := h.fs.Create(path)
+	if err != nil {
+		return false
+	}
+	_, werr := f.Write([]byte("probe\n"))
+	serr := f.Sync()
+	cerr := f.Close()
+	h.fs.Remove(path)
+	return werr == nil && serr == nil && cerr == nil
+}
+
+// readOnly reports the current mode without probing.
+func (h *health) readOnly() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.readonly
+}

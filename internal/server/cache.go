@@ -10,19 +10,33 @@ package server
 // never be served against content it was not merged from.
 //
 // Misses are deduplicated singleflight-style: when N queries race on a
-// cold (collection, generation), one performs the merge and the rest
-// block on its result — a query storm after an upload costs one merge,
-// not N. This is the schedviz storage-service shape (LRU-cached fs
-// storage behind a thin request layer) applied to CCT merges.
+// cold (collection, generation), one merge runs and the rest block on its
+// result — a query storm after an upload costs one merge, not N. The
+// merge runs on its own goroutine under its own context, reference-
+// counted by the waiting requests: a waiter whose request context ends
+// (client disconnect, per-request deadline) detaches immediately, and
+// only when the LAST waiter detaches is the merge itself canceled. A
+// canceled or failed merge is never cached and its in-flight slot is
+// removed, so the next query starts a fresh merge — cancellation can
+// neither poison the cache nor wedge the key. This is the schedviz
+// storage-service shape (LRU-cached fs storage behind a thin request
+// layer) applied to CCT merges, hardened for hostile clients.
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"strconv"
 	"sync"
 
 	"dcprof/internal/analysis"
 	"dcprof/internal/telemetry"
 )
+
+// errMergeSaturated is returned by get when a new merge would be needed
+// but the merge admission semaphore has no free token. The HTTP layer
+// maps it to 503 + Retry-After.
+var errMergeSaturated = errors.New("server: merge capacity saturated")
 
 // viewEntry is one cached merged view.
 type viewEntry struct {
@@ -32,11 +46,15 @@ type viewEntry struct {
 	stats analysis.MergeStats
 }
 
-// mergeCall is one in-flight merge other queries can wait on.
+// mergeCall is one in-flight merge queries wait on. refs counts the
+// waiting requests (guarded by the cache mutex); cancel stops the merge
+// and fires when refs drops to zero.
 type mergeCall struct {
-	done  chan struct{}
-	entry *viewEntry
-	err   error
+	done   chan struct{}
+	cancel context.CancelFunc
+	refs   int
+	entry  *viewEntry
+	err    error
 }
 
 // viewCache is the bounded (collection → merged view) cache.
@@ -47,7 +65,7 @@ type viewCache struct {
 	lru      *list.List               // front = most recent
 	inflight map[string]*mergeCall    // keyed name@generation
 
-	hits, misses, evictions, merges *telemetry.Counter
+	hits, misses, evictions, merges, canceled *telemetry.Counter
 }
 
 func newViewCache(max int, reg *telemetry.Registry) *viewCache {
@@ -63,13 +81,17 @@ func newViewCache(max int, reg *telemetry.Registry) *viewCache {
 		misses:    reg.Counter("server.cache.misses"),
 		evictions: reg.Counter("server.cache.evictions"),
 		merges:    reg.Counter("server.merges"),
+		canceled:  reg.Counter("server.merges.canceled"),
 	}
 }
 
 // get returns the merged view for the collection at exactly generation
 // gen, merging (once, however many queries race here) when the cache has
-// no current entry. merge runs without the cache lock held.
-func (c *viewCache) get(name string, gen uint64, merge func() (*analysis.Database, analysis.MergeStats, error)) (*viewEntry, error) {
+// no current entry. A needed merge takes a token from adm (when non-nil)
+// or fails fast with errMergeSaturated — joining an already-running merge
+// never requires a token. The merge runs detached from any single
+// request's context; ctx only governs how long this caller waits.
+func (c *viewCache) get(ctx context.Context, name string, gen uint64, adm *semaphore, merge func(context.Context) (*analysis.Database, analysis.MergeStats, error)) (*viewEntry, error) {
 	key := flightKey(name, gen)
 	c.mu.Lock()
 	if elem, ok := c.byName[name]; ok {
@@ -85,32 +107,57 @@ func (c *viewCache) get(name string, gen uint64, merge func() (*analysis.Databas
 		// through to the miss path; insert() will replace it.
 	}
 	c.misses.Inc()
-	if call, ok := c.inflight[key]; ok {
-		// Someone is already merging this exact (collection, generation):
-		// wait for their result instead of merging again.
+	call, ok := c.inflight[key]
+	if !ok {
+		// This request would start a new merge: admission applies.
+		if adm != nil && !adm.tryAcquire() {
+			c.mu.Unlock()
+			return nil, errMergeSaturated
+		}
+		mctx, cancel := context.WithCancel(context.Background())
+		call = &mergeCall{done: make(chan struct{}), cancel: cancel}
+		c.inflight[key] = call
+		c.merges.Inc()
+		go func() {
+			db, stats, err := merge(mctx)
+			if adm != nil {
+				adm.release()
+			}
+			cancel()
+			c.mu.Lock()
+			delete(c.inflight, key)
+			call.err = err
+			if err == nil {
+				call.entry = &viewEntry{name: name, gen: gen, db: db, stats: stats}
+				c.insert(call.entry)
+			} else if errors.Is(err, context.Canceled) {
+				c.canceled.Inc()
+			}
+			c.mu.Unlock()
+			close(call.done)
+		}()
+	}
+	call.refs++
+	c.mu.Unlock()
+
+	select {
+	case <-call.done:
+		c.mu.Lock()
+		call.refs--
 		c.mu.Unlock()
-		<-call.done
 		return call.entry, call.err
+	case <-ctx.Done():
+		// This waiter is gone; the merge keeps running for the others and
+		// is canceled only when the last one detaches. (A cancel racing
+		// merge completion is harmless — the result still caches.)
+		c.mu.Lock()
+		call.refs--
+		if call.refs == 0 {
+			call.cancel()
+		}
+		c.mu.Unlock()
+		return nil, ctx.Err()
 	}
-	call := &mergeCall{done: make(chan struct{})}
-	c.inflight[key] = call
-	c.mu.Unlock()
-
-	c.merges.Inc()
-	db, stats, err := merge()
-	if err == nil {
-		call.entry = &viewEntry{name: name, gen: gen, db: db, stats: stats}
-	}
-	call.err = err
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if err == nil {
-		c.insert(call.entry)
-	}
-	c.mu.Unlock()
-	close(call.done)
-	return call.entry, call.err
 }
 
 // insert stores the entry, replacing any entry for the same collection

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dcprof/internal/analysis"
@@ -132,25 +135,135 @@ func TestLRUEvictionNeverStale(t *testing.T) {
 func TestCacheStaleGenerationMiss(t *testing.T) {
 	srv, _ := newTestServer(t, nil)
 	c := srv.cache
+	ctx := context.Background()
 
-	calls := 0
-	merge := func() (*analysis.Database, analysis.MergeStats, error) {
-		calls++
+	var calls atomic.Int64
+	merge := func(context.Context) (*analysis.Database, analysis.MergeStats, error) {
+		calls.Add(1)
 		return &analysis.Database{}, analysis.MergeStats{}, nil
 	}
-	if _, err := c.get("x", 1, merge); err != nil || calls != 1 {
-		t.Fatalf("cold get: calls=%d err=%v", calls, err)
+	if _, err := c.get(ctx, "x", 1, nil, merge); err != nil || calls.Load() != 1 {
+		t.Fatalf("cold get: calls=%d err=%v", calls.Load(), err)
 	}
-	if _, err := c.get("x", 1, merge); err != nil || calls != 1 {
-		t.Fatalf("same-generation get merged again: calls=%d err=%v", calls, err)
+	if _, err := c.get(ctx, "x", 1, nil, merge); err != nil || calls.Load() != 1 {
+		t.Fatalf("same-generation get merged again: calls=%d err=%v", calls.Load(), err)
 	}
-	if _, err := c.get("x", 2, merge); err != nil || calls != 2 {
-		t.Fatalf("new-generation get did not merge: calls=%d err=%v", calls, err)
+	if _, err := c.get(ctx, "x", 2, nil, merge); err != nil || calls.Load() != 2 {
+		t.Fatalf("new-generation get did not merge: calls=%d err=%v", calls.Load(), err)
 	}
 	if e := c.peek("x"); e == nil || e.gen != 2 {
 		t.Fatalf("cached entry = %+v, want generation 2", e)
 	}
 	if got := c.len(); got != 1 {
 		t.Errorf("cache holds %d entries for one collection, want 1", got)
+	}
+}
+
+// TestCacheCancellationNotPoisoned is the disconnect-mid-merge
+// regression: a client abandoning a cold query must cancel the merge
+// (once no one else waits on it), must NOT leave a poisoned cache entry
+// or a wedged in-flight slot, and the next query must merge fresh and
+// succeed immediately.
+func TestCacheCancellationNotPoisoned(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	c := srv.cache
+
+	var calls atomic.Int64
+	started := make(chan struct{})
+	merge := func(mctx context.Context) (*analysis.Database, analysis.MergeStats, error) {
+		if calls.Add(1) == 1 {
+			close(started)
+			// A slow merge: it finishes only by cancellation.
+			<-mctx.Done()
+			return nil, analysis.MergeStats{}, mctx.Err()
+		}
+		return &analysis.Database{}, analysis.MergeStats{}, nil
+	}
+
+	// The doomed client: starts the merge, then disconnects.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.get(ctx, "x", 1, nil, merge)
+		errc <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned get returned %v, want context.Canceled", err)
+	}
+
+	// The canceled merge must not have been cached...
+	waitFor(t, func() bool { return counter(srv, "server.merges.canceled") == 1 })
+	if e := c.peek("x"); e != nil {
+		t.Fatalf("canceled merge left a cache entry: %+v", e)
+	}
+	// ...and the next query must not block or inherit the failure.
+	e, err := c.get(context.Background(), "x", 1, nil, merge)
+	if err != nil || e == nil {
+		t.Fatalf("query after canceled merge: entry=%v err=%v", e, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("merge ran %d times, want 2 (canceled + fresh)", calls.Load())
+	}
+	if c.len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.len())
+	}
+}
+
+// TestCacheCancelOneWaiterKeepsMerge checks reference counting: with two
+// waiters on one in-flight merge, one disconnecting must not cancel the
+// merge for the survivor.
+func TestCacheCancelOneWaiterKeepsMerge(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	c := srv.cache
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	merge := func(mctx context.Context) (*analysis.Database, analysis.MergeStats, error) {
+		close(started)
+		select {
+		case <-release:
+			return &analysis.Database{}, analysis.MergeStats{}, nil
+		case <-mctx.Done():
+			return nil, analysis.MergeStats{}, mctx.Err()
+		}
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.get(leaderCtx, "x", 1, nil, merge)
+		leaderErr <- err
+	}()
+	<-started
+
+	survivor := make(chan error, 1)
+	go func() {
+		e, err := c.get(context.Background(), "x", 1, nil, merge)
+		if err == nil && e == nil {
+			err = errors.New("nil entry without error")
+		}
+		survivor <- err
+	}()
+	// Wait until the survivor has joined the in-flight call, then kill
+	// the leader.
+	waitFor(t, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		call := c.inflight[flightKey("x", 1)]
+		return call != nil && call.refs == 2
+	})
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader got %v, want context.Canceled", err)
+	}
+	// The merge must still be running for the survivor; release it.
+	close(release)
+	if err := <-survivor; err != nil {
+		t.Fatalf("surviving waiter got %v, want the merged view", err)
+	}
+	if got := counter(srv, "server.merges.canceled"); got != 0 {
+		t.Fatalf("merge canceled %d times despite a surviving waiter", got)
 	}
 }

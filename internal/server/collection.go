@@ -9,6 +9,8 @@ package server
 // exactly the intact subset.
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,11 +20,13 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dcprof/internal/profio"
+	"dcprof/internal/telemetry"
 )
 
 // metaFile is the per-collection metadata document's name. It is not a
@@ -75,6 +79,10 @@ type collection struct {
 	seq      uint64 // next upload sequence number; also the generation
 	profiles int
 	bytes    int64
+	// digests maps the SHA-256 of each published file's bytes to its
+	// base name — the idempotency index. Rebuilt from the files at adopt
+	// time, so a retried upload is a no-op across restarts too.
+	digests map[string]string
 }
 
 // persistedMeta is what lands in collection.json: only what a directory
@@ -91,24 +99,31 @@ type store struct {
 	root string
 	fs   profio.FS
 
+	// total is the byte total of every published profile across all
+	// collections — what the total disk quota is enforced against.
+	total atomic.Int64
+
+	tmpSwept *telemetry.Counter
+
 	mu   sync.Mutex
 	cols map[string]*collection
 }
 
 // openStore scans the data root, adopting every existing collection
 // directory. The root is created if missing.
-func openStore(root string, fsys profio.FS) (*store, error) {
+func openStore(root string, fsys profio.FS, reg *telemetry.Registry) (*store, error) {
 	if fsys == nil {
 		fsys = profio.OSFS{}
 	}
 	if err := fsys.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("server: creating data root: %w", err)
 	}
-	s := &store{root: root, fs: fsys, cols: map[string]*collection{}}
+	s := &store{root: root, fs: fsys, cols: map[string]*collection{}, tmpSwept: reg.Counter("server.tmp.swept")}
 	entries, err := os.ReadDir(root)
 	if err != nil {
 		return nil, fmt.Errorf("server: scanning data root: %w", err)
 	}
+	s.sweepTmp(root)
 	for _, e := range entries {
 		if !e.IsDir() || ValidateName(e.Name()) != nil {
 			continue
@@ -118,18 +133,42 @@ func openStore(root string, fsys profio.FS) (*store, error) {
 			return nil, err
 		}
 		s.cols[e.Name()] = col
+		s.total.Add(col.bytes)
 	}
 	return s, nil
+}
+
+// sweepTmp removes orphaned temp files from dir — the litter a process
+// killed mid-upload (or mid-metadata-write) leaves behind. Temp files
+// are invisible to readers, but they hold disk the quota accounting
+// cannot see, so startup reclaims them. Failures are ignored: a file
+// that cannot be removed now stays invisible and is retried next start.
+func (s *store) sweepTmp(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), profio.TmpSuffix) {
+			continue
+		}
+		if s.fs.Remove(filepath.Join(dir, e.Name())) == nil {
+			s.tmpSwept.Inc()
+		}
+	}
 }
 
 // adopt rebuilds one collection's in-memory state from its directory: the
 // creation time from collection.json (or the present, for a bare
 // directory of profiles), counts and byte totals from the intact profile
-// files, and the next sequence number from the highest assigned one — so
-// names never collide across restarts and the generation keeps advancing.
+// files, the next sequence number from the highest assigned one — so
+// names never collide across restarts and the generation keeps advancing —
+// and the content-digest index that makes retried uploads no-ops. Orphaned
+// temp files from a crash mid-upload are swept first.
 func (s *store) adopt(name string) (*collection, error) {
 	dir := filepath.Join(s.root, name)
-	col := &collection{name: name, dir: dir, created: time.Now().UTC()}
+	s.sweepTmp(dir)
+	col := &collection{name: name, dir: dir, created: time.Now().UTC(), digests: map[string]string{}}
 	if raw, err := os.ReadFile(filepath.Join(dir, metaFile)); err == nil {
 		var m persistedMeta
 		if jerr := json.Unmarshal(raw, &m); jerr == nil && !m.Created.IsZero() {
@@ -150,8 +189,27 @@ func (s *store) adopt(name string) (*collection, error) {
 				col.seq = n + 1
 			}
 		}
+		if d, err := fileDigest(f); err == nil {
+			col.digests[d] = filepath.Base(f)
+		}
 	}
 	return col, nil
+}
+
+// fileDigest hashes a published file's bytes — the same digest the
+// upload path computes over the streamed body, since accepted bytes land
+// verbatim.
+func fileDigest(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // get returns the named collection, or nil.
@@ -176,7 +234,7 @@ func (s *store) getOrCreate(name string) (*collection, error) {
 	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: creating collection %s: %w", name, err)
 	}
-	col := &collection{name: name, dir: dir, created: time.Now().UTC()}
+	col := &collection{name: name, dir: dir, created: time.Now().UTC(), digests: map[string]string{}}
 	if err := s.writeMeta(col); err != nil {
 		return nil, err
 	}
@@ -273,6 +331,50 @@ type UploadResult struct {
 	Nodes      int    `json:"nodes"`
 	Bytes      int64  `json:"bytes"`
 	Generation uint64 `json:"generation"`
+	// Digest is the SHA-256 of the payload bytes — the idempotency key a
+	// client can use to resume an interrupted batch.
+	Digest string `json:"digest"`
+	// Duplicate marks an upload whose bytes the collection already holds:
+	// File names the existing file, nothing landed, and the generation
+	// did not advance. The HTTP layer answers 200 instead of 201.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// errOverQuota marks an upload rejected because it would push the
+// collection (or the server) past its configured disk quota. The HTTP
+// layer maps it to 507 Insufficient Storage.
+var errOverQuota = errors.New("server: disk quota exceeded")
+
+// quotaReader delivers at most remaining bytes, then fails the read with
+// errOverQuota and remembers it tripped — so the upload path can tell "a
+// payload too big for the remaining quota" from a genuinely damaged one.
+// A negative remaining means unlimited.
+type quotaReader struct {
+	r         io.Reader
+	remaining int64
+	exceeded  bool
+}
+
+func (q *quotaReader) Read(p []byte) (int, error) {
+	if q.remaining < 0 {
+		return q.r.Read(p)
+	}
+	if q.remaining == 0 {
+		// Distinguish a payload that ends exactly at the quota (EOF here)
+		// from one that crosses it (bytes remain).
+		var probe [1]byte
+		if n, _ := q.r.Read(probe[:]); n > 0 {
+			q.exceeded = true
+			return 0, errOverQuota
+		}
+		return 0, io.EOF
+	}
+	if int64(len(p)) > q.remaining {
+		p = p[:q.remaining]
+	}
+	n, err := q.r.Read(p)
+	q.remaining -= int64(n)
+	return n, err
 }
 
 // errReject marks upload failures that are the client's fault (damaged or
@@ -303,12 +405,16 @@ func (t *trackingFile) Write(p []byte) (int, error) {
 
 // upload streams one profile payload into the collection. The body is
 // validated (full v2 decode, every CRC checked) while it streams into a
-// temp file; only a payload that validates end-to-end is fsynced and
-// renamed to a final .dcprof name, and only then does the collection's
-// generation advance. Rejections and storage failures leave at most a
-// .tmp file behind, which readers ignore and a later upload of the same
-// sequence number would overwrite.
-func (c *collection) upload(fsys profio.FS, body io.Reader) (UploadResult, error) {
+// temp file and a SHA-256; only a payload that validates end-to-end is
+// fsynced and renamed to a final .dcprof name, and only then does the
+// collection's generation advance. A payload whose digest the collection
+// already holds is a duplicate — the temp file is discarded and the
+// existing file's identity returned, so a client retrying a lost
+// response can never land the same samples twice. quotaRemaining bounds
+// the accepted payload size (negative = unlimited); crossing it fails
+// with errOverQuota. Rejections and storage failures leave at most a
+// .tmp file behind, which readers ignore and startup sweeps.
+func (c *collection) upload(fsys profio.FS, body io.Reader, quotaRemaining int64) (UploadResult, error) {
 	// Reserve a distinct temp name per attempt: sequence numbers are only
 	// claimed at publish time (a rejected upload must not consume one), so
 	// the attempt counter is what keeps concurrent uploads' temp files
@@ -319,16 +425,22 @@ func (c *collection) upload(fsys profio.FS, body io.Reader) (UploadResult, error
 	if err != nil {
 		return UploadResult{}, fmt.Errorf("server: creating %s: %w", tmp, err)
 	}
+	qr := &quotaReader{r: body, remaining: quotaRemaining}
 	tf := &trackingFile{f: f}
-	info, verr := profio.ValidateV2Profile(io.TeeReader(body, tf))
+	hash := sha256.New()
+	info, verr := profio.ValidateV2Profile(io.TeeReader(qr, io.MultiWriter(tf, hash)))
 	if verr != nil || tf.err != nil {
 		f.Close()
 		fsys.Remove(tmp)
-		if tf.err != nil {
+		switch {
+		case tf.err != nil:
 			// Storage, not payload: surface as an internal failure.
 			return UploadResult{}, fmt.Errorf("server: writing %s: %w", tmp, tf.err)
+		case qr.exceeded:
+			return UploadResult{}, fmt.Errorf("%w (collection %s)", errOverQuota, c.name)
+		default:
+			return UploadResult{}, errReject{verr}
 		}
-		return UploadResult{}, errReject{verr}
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -339,13 +451,33 @@ func (c *collection) upload(fsys profio.FS, body io.Reader) (UploadResult, error
 		fsys.Remove(tmp)
 		return UploadResult{}, fmt.Errorf("server: closing %s: %w", tmp, err)
 	}
+	digest := hex.EncodeToString(hash.Sum(nil))
 
 	// Claim the sequence number and publish. The rename is the commit
 	// point: once it succeeds the collection's content has changed, so the
 	// generation must advance even if the directory sync afterwards fails —
 	// a cached view keyed on the old generation would otherwise be served
-	// against the new content.
+	// against the new content. The digest check shares the same critical
+	// section, so two racing identical uploads serialize: the first
+	// publishes, the second observes the digest and discards its temp.
 	c.mu.Lock()
+	if existing, ok := c.digests[digest]; ok {
+		gen := c.seq
+		c.mu.Unlock()
+		fsys.Remove(tmp)
+		return UploadResult{
+			Collection: c.name,
+			File:       existing,
+			Rank:       info.Rank,
+			Thread:     info.Thread,
+			Event:      info.Event,
+			Nodes:      info.Nodes,
+			Bytes:      tf.written,
+			Generation: gen,
+			Digest:     digest,
+			Duplicate:  true,
+		}, nil
+	}
 	seq := c.seq
 	final := filepath.Join(c.dir, fmt.Sprintf("u%08d-rank%05d-thread%05d.dcprof", seq, info.Rank, info.Thread))
 	if err := fsys.Rename(tmp, final); err != nil {
@@ -356,6 +488,7 @@ func (c *collection) upload(fsys profio.FS, body io.Reader) (UploadResult, error
 	c.seq = seq + 1
 	c.profiles++
 	c.bytes += tf.written
+	c.digests[digest] = filepath.Base(final)
 	gen := c.seq
 	c.mu.Unlock()
 	if err := fsys.SyncDir(c.dir); err != nil {
@@ -371,7 +504,21 @@ func (c *collection) upload(fsys profio.FS, body io.Reader) (UploadResult, error
 		Nodes:      info.Nodes,
 		Bytes:      tf.written,
 		Generation: gen,
+		Digest:     digest,
 	}, nil
+}
+
+// digestList returns the collection's content digests, sorted — the
+// resume surface dcpush asks before re-sending a measurement directory.
+func (c *collection) digestList() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.digests))
+	for d := range c.digests {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // isReject reports whether err is a payload rejection (client fault).

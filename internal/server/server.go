@@ -22,13 +22,25 @@
 //	GET  /collections/{name}/bottomup     bottom-up view JSON  (?metric=&rows=)
 //	GET  /collections/{name}/diff?base=B  per-variable diff of collection B -> {name}
 //	GET  /collections/{name}/stats        merge pipeline statistics JSON
+//	GET  /collections/{name}/digests      content digests (the dcpush resume surface)
+//	GET  /healthz                         liveness (always 200 while the process serves)
+//	GET  /readyz                          readiness (503 when read-only or saturated)
 //	GET  /debug/telemetry                 telemetry snapshot    (?prefix=server.)
+//
+// Degradation contract: saturated admission sheds with 429 (uploads) or
+// 503 (merges) plus Retry-After; a full disk flips the server read-only
+// (uploads 503, queries fine) until a recovery probe sees writes work
+// again; per-request deadlines cancel abandoned merges; and retried
+// uploads are idempotent by content digest, answering 200 against the
+// already-stored file.
 package server
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -50,9 +62,31 @@ type Config struct {
 	Workers int
 	// MaxUploadBytes bounds one upload body (<=0 uses 1 GiB).
 	MaxUploadBytes int64
+	// MaxInflightUploads bounds concurrently-streaming upload bodies;
+	// excess requests are shed with 429 + Retry-After (<=0 uses 64).
+	MaxInflightUploads int
+	// MaxConcurrentMerges bounds merges running at once; a query needing
+	// a fresh merge past the bound is shed with 503 + Retry-After —
+	// queries joining an in-flight merge are never shed (<=0 uses 4).
+	MaxConcurrentMerges int
+	// RequestTimeout is the per-request deadline, propagated through the
+	// request context into the merge pipeline (<=0 disables).
+	RequestTimeout time.Duration
+	// MaxCollectionBytes bounds one collection's published bytes; an
+	// upload that would cross it is rejected with 507 (<=0 unlimited).
+	MaxCollectionBytes int64
+	// MaxTotalBytes bounds published bytes across all collections
+	// (<=0 unlimited).
+	MaxTotalBytes int64
+	// ReadonlyProbeInterval rate-limits recovery probes while the server
+	// is read-only (0 uses 5s; negative probes on every check — tests).
+	ReadonlyProbeInterval time.Duration
 	// FS overrides the filesystem the storage layer writes through (nil
-	// uses the real one) — the seam fault-injection tests crash.
+	// uses the real one) — the seam fault-injection tests crash or fill.
 	FS profio.FS
+	// OpenProfile overrides how merge reads profile files (nil uses
+	// os.Open) — the seam chaos tests slow down or fail.
+	OpenProfile func(path string) (io.ReadCloser, error)
 	// Registry receives the server's instruments and every merge's
 	// analysis accounting (nil creates a private registry). /debug/telemetry
 	// snapshots it.
@@ -61,14 +95,24 @@ type Config struct {
 
 // Server is the continuous-profiling service.
 type Server struct {
-	cfg   Config
-	store *store
-	cache *viewCache
-	reg   *telemetry.Registry
+	cfg    Config
+	store  *store
+	cache  *viewCache
+	reg    *telemetry.Registry
+	health *health
 
-	uploadsAccepted *telemetry.Counter
-	uploadsRejected *telemetry.Counter
-	uploadBytes     *telemetry.Counter
+	uploadSem *semaphore
+	mergeSem  *semaphore
+
+	uploadsAccepted  *telemetry.Counter
+	uploadsRejected  *telemetry.Counter
+	uploadsDuplicate *telemetry.Counter
+	uploadBytes      *telemetry.Counter
+	shed             *telemetry.Counter
+	shedUploads      *telemetry.Counter
+	shedMerges       *telemetry.Counter
+	shedReadonly     *telemetry.Counter
+	quotaRejected    *telemetry.Counter
 }
 
 // New opens (or creates) the data directory, adopts every collection
@@ -77,22 +121,40 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = 1 << 30
 	}
+	if cfg.MaxInflightUploads <= 0 {
+		cfg.MaxInflightUploads = 64
+	}
+	if cfg.MaxConcurrentMerges <= 0 {
+		cfg.MaxConcurrentMerges = 4
+	}
+	if cfg.ReadonlyProbeInterval == 0 {
+		cfg.ReadonlyProbeInterval = 5 * time.Second
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = telemetry.New()
 	}
-	st, err := openStore(cfg.DataDir, cfg.FS)
+	st, err := openStore(cfg.DataDir, cfg.FS, reg)
 	if err != nil {
 		return nil, err
 	}
 	return &Server{
-		cfg:             cfg,
-		store:           st,
-		cache:           newViewCache(cfg.CacheEntries, reg),
-		reg:             reg,
-		uploadsAccepted: reg.Counter("server.uploads.accepted"),
-		uploadsRejected: reg.Counter("server.uploads.rejected"),
-		uploadBytes:     reg.Counter("server.uploads.bytes"),
+		cfg:              cfg,
+		store:            st,
+		cache:            newViewCache(cfg.CacheEntries, reg),
+		reg:              reg,
+		health:           newHealth(st.fs, cfg.DataDir, cfg.ReadonlyProbeInterval, reg),
+		uploadSem:        newSemaphore(cfg.MaxInflightUploads, reg.Gauge("server.admission.uploads.inflight")),
+		mergeSem:         newSemaphore(cfg.MaxConcurrentMerges, reg.Gauge("server.admission.merges.inflight")),
+		uploadsAccepted:  reg.Counter("server.uploads.accepted"),
+		uploadsRejected:  reg.Counter("server.uploads.rejected"),
+		uploadsDuplicate: reg.Counter("server.uploads.duplicates"),
+		uploadBytes:      reg.Counter("server.uploads.bytes"),
+		shed:             reg.Counter("server.shed"),
+		shedUploads:      reg.Counter("server.shed.uploads"),
+		shedMerges:       reg.Counter("server.shed.merges"),
+		shedReadonly:     reg.Counter("server.shed.readonly"),
+		quotaRejected:    reg.Counter("server.uploads.quota_rejected"),
 	}, nil
 }
 
@@ -109,6 +171,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /collections/{name}/bottomup", s.instrument("bottomup", s.handleBottomUp))
 	mux.HandleFunc("GET /collections/{name}/diff", s.instrument("diff", s.handleDiff))
 	mux.HandleFunc("GET /collections/{name}/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /collections/{name}/digests", s.instrument("digests", s.handleDigests))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/telemetry", s.instrument("telemetry", s.handleTelemetry))
 	return mux
 }
@@ -134,6 +199,13 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	lat := s.reg.Histogram("server.http."+endpoint+".latency_us", telemetry.Pow2Bounds(22))
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		if s.cfg.RequestTimeout > 0 {
+			// The deadline rides the request context into everything the
+			// handler does — including, for queries, the merge pipeline.
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		reqs.Inc()
@@ -142,6 +214,15 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		}
 		lat.Observe(uint64(time.Since(start).Microseconds()))
 	}
+}
+
+// shedWith rejects the request with a Retry-After hint and counts the
+// shed in both the per-reason counter and the total.
+func (s *Server) shedWith(w http.ResponseWriter, reason *telemetry.Counter, status int, retryAfterSec int, format string, args ...any) {
+	s.shed.Inc()
+	reason.Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	httpError(w, status, format, args...)
 }
 
 // httpError writes a JSON error document with the given status.
@@ -159,35 +240,141 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// handleUpload accepts one profile file as the request body. The payload
-// is CRC-validated while it streams to a durable temp file; only a fully
-// valid v2 profile is renamed into the collection (creating it on first
-// upload) and advances its generation.
+// handleUpload accepts one profile file as the request body. Admission
+// first: the in-flight-upload semaphore sheds excess concurrency with
+// 429, and a read-only server (disk full) sheds with 503 — both carry
+// Retry-After so dcpush backs off instead of hammering. The payload is
+// then CRC-validated while it streams to a durable temp file under the
+// remaining disk quota; only a fully valid v2 profile is renamed into
+// the collection (creating it on first upload) and advances its
+// generation. A payload the collection already holds (by content digest)
+// is answered 200 against the existing file — retries are idempotent.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if !s.uploadSem.tryAcquire() {
+		s.shedWith(w, s.shedUploads, http.StatusTooManyRequests, 1, "upload capacity saturated (%d in flight)", s.cfg.MaxInflightUploads)
+		return
+	}
+	defer s.uploadSem.release()
+	if !s.health.writable() {
+		s.shedWith(w, s.shedReadonly, http.StatusServiceUnavailable, 5, "server is read-only (data dir not writable); uploads rejected, queries still served")
+		return
+	}
+
 	name := r.PathValue("name")
 	col, err := s.store.getOrCreate(name)
 	if err != nil {
-		if ValidateName(name) != nil {
+		switch {
+		case ValidateName(name) != nil:
 			httpError(w, http.StatusBadRequest, "%v", err)
-		} else {
+		case isDiskFull(err):
+			s.health.degrade()
+			httpError(w, http.StatusInsufficientStorage, "%v", err)
+		default:
 			httpError(w, http.StatusInternalServerError, "%v", err)
 		}
 		return
 	}
+
+	quota := s.quotaRemaining(col)
+	if quota == 0 {
+		s.uploadsRejected.Inc()
+		s.quotaRejected.Inc()
+		httpError(w, http.StatusInsufficientStorage, "collection %s is at its disk quota", name)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
-	res, err := col.upload(s.storeFS(), body)
+	res, err := col.upload(s.storeFS(), body, quota)
 	if err != nil {
 		s.uploadsRejected.Inc()
-		if isReject(err) {
+		switch {
+		case isReject(err):
 			httpError(w, http.StatusBadRequest, "invalid profile: %v", err)
-		} else {
+		case errors.Is(err, errOverQuota):
+			s.quotaRejected.Inc()
+			httpError(w, http.StatusInsufficientStorage, "%v", err)
+		case isDiskFull(err):
+			// The disk itself is full: degrade to read-only (recovery
+			// probes will restore service) and tell the client storage is
+			// the problem, not its payload.
+			s.health.degrade()
+			httpError(w, http.StatusInsufficientStorage, "%v", err)
+		case r.Context().Err() != nil:
+			httpError(w, http.StatusRequestTimeout, "request canceled or timed out: %v", err)
+		default:
 			httpError(w, http.StatusInternalServerError, "%v", err)
 		}
+		return
+	}
+	if res.Duplicate {
+		s.uploadsDuplicate.Inc()
+		writeJSON(w, http.StatusOK, res)
 		return
 	}
 	s.uploadsAccepted.Inc()
 	s.uploadBytes.Add(uint64(res.Bytes))
+	s.store.total.Add(res.Bytes)
 	writeJSON(w, http.StatusCreated, res)
+}
+
+// quotaRemaining computes how many more payload bytes the collection may
+// accept under the per-collection and total quotas: -1 when unlimited,
+// 0 when already at (or past) a quota.
+func (s *Server) quotaRemaining(col *collection) int64 {
+	remaining := int64(-1)
+	if s.cfg.MaxCollectionBytes > 0 {
+		remaining = max(s.cfg.MaxCollectionBytes-col.metadata().Bytes, 0)
+	}
+	if s.cfg.MaxTotalBytes > 0 {
+		totalRem := max(s.cfg.MaxTotalBytes-s.store.total.Load(), 0)
+		if remaining < 0 || totalRem < remaining {
+			remaining = totalRem
+		}
+	}
+	return remaining
+}
+
+// handleDigests lists the collection's content digests — what dcpush
+// consults to skip files the server already holds when resuming an
+// interrupted batch.
+func (s *Server) handleDigests(w http.ResponseWriter, r *http.Request) {
+	col := s.store.get(r.PathValue("name"))
+	if col == nil {
+		httpError(w, http.StatusNotFound, "no collection %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"collection": col.name,
+		"digests":    col.digestList(),
+	})
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP. Always
+// 200 — a read-only or saturated server is still alive.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 only when the server can do useful work
+// for new traffic — data dir writable (not read-only; checking probes
+// for recovery when due), and admission not saturated. 503 carries the
+// reasons, so an orchestrator's probe log says why traffic was held.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if !s.health.writable() {
+		reasons = append(reasons, "read-only: data directory is not writable")
+	}
+	if s.uploadSem.saturated() {
+		reasons = append(reasons, "upload admission saturated")
+	}
+	if s.mergeSem.saturated() {
+		reasons = append(reasons, "merge admission saturated")
+	}
+	if len(reasons) > 0 {
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reasons": reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 func (s *Server) storeFS() profio.FS {
@@ -228,7 +415,8 @@ func (s *Server) handleMetadata(w http.ResponseWriter, r *http.Request) {
 }
 
 // view resolves the collection and returns its merged database at the
-// current content generation, through the cache (singleflight on miss).
+// current content generation, through the cache (singleflight on miss,
+// admission on fresh merges, cancellation via the request context).
 func (s *Server) view(ctx context.Context, name string) (*viewEntry, int, error) {
 	col := s.store.get(name)
 	if col == nil {
@@ -241,21 +429,45 @@ func (s *Server) view(ctx context.Context, name string) (*viewEntry, int, error)
 	if len(files) == 0 {
 		return nil, http.StatusNotFound, fmt.Errorf("collection %q has no profiles", name)
 	}
-	e, err := s.cache.get(name, gen, func() (*analysis.Database, analysis.MergeStats, error) {
+	e, err := s.cache.get(ctx, name, gen, s.mergeSem, func(mctx context.Context) (*analysis.Database, analysis.MergeStats, error) {
 		// Quarantine policy: ingest validation means on-disk damage is
 		// at-rest corruption after acceptance; one rotten file must degrade
 		// that file's contribution, not the collection's availability. The
-		// quarantine report is surfaced in /stats and metadata.
-		return analysis.LoadFilesStreamingCtx(ctx, "collection "+name, files, analysis.LoadOptions{
+		// quarantine report is surfaced in /stats and metadata. mctx is the
+		// merge's own context: it outlives this request while other queries
+		// still wait, and dies when the last of them disconnects.
+		return analysis.LoadFilesStreamingCtx(mctx, "collection "+name, files, analysis.LoadOptions{
 			Workers:   s.cfg.Workers,
 			Policy:    analysis.PolicyQuarantine,
 			Telemetry: s.reg,
+			Open:      s.cfg.OpenProfile,
 		})
 	})
 	if err != nil {
-		return nil, http.StatusInternalServerError, err
+		switch {
+		case errors.Is(err, errMergeSaturated):
+			return nil, http.StatusServiceUnavailable, err
+		case errors.Is(err, context.DeadlineExceeded):
+			return nil, http.StatusGatewayTimeout, fmt.Errorf("merge of %q timed out: %w", name, err)
+		case errors.Is(err, context.Canceled):
+			// 499: nginx's "client closed request" — nobody is listening,
+			// but the status keeps the access log honest.
+			return nil, 499, err
+		default:
+			return nil, http.StatusInternalServerError, err
+		}
 	}
 	return e, http.StatusOK, nil
+}
+
+// viewError writes a query failure, attaching Retry-After and shed
+// accounting when the failure is merge-admission saturation.
+func (s *Server) viewError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusServiceUnavailable {
+		s.shedWith(w, s.shedMerges, status, 2, "%v", err)
+		return
+	}
+	httpError(w, status, "%v", err)
 }
 
 // queryOptions parses the shared view query parameters, defaulting to the
@@ -302,7 +514,7 @@ func queryOptions(r *http.Request, event string) (view.Options, error) {
 func (s *Server) handleTopDown(w http.ResponseWriter, r *http.Request) {
 	e, status, err := s.view(r.Context(), r.PathValue("name"))
 	if err != nil {
-		httpError(w, status, "%v", err)
+		s.viewError(w, status, err)
 		return
 	}
 	o, err := queryOptions(r, e.db.Event)
@@ -317,7 +529,7 @@ func (s *Server) handleTopDown(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBottomUp(w http.ResponseWriter, r *http.Request) {
 	e, status, err := s.view(r.Context(), r.PathValue("name"))
 	if err != nil {
-		httpError(w, status, "%v", err)
+		s.viewError(w, status, err)
 		return
 	}
 	o, err := queryOptions(r, e.db.Event)
@@ -339,12 +551,12 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	}
 	before, status, err := s.view(r.Context(), base)
 	if err != nil {
-		httpError(w, status, "%v", err)
+		s.viewError(w, status, err)
 		return
 	}
 	after, status, err := s.view(r.Context(), r.PathValue("name"))
 	if err != nil {
-		httpError(w, status, "%v", err)
+		s.viewError(w, status, err)
 		return
 	}
 	o, err := queryOptions(r, after.db.Event)
@@ -362,7 +574,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	e, status, err := s.view(r.Context(), r.PathValue("name"))
 	if err != nil {
-		httpError(w, status, "%v", err)
+		s.viewError(w, status, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

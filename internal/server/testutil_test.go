@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"dcprof/internal/cct"
 	"dcprof/internal/metric"
@@ -118,6 +119,18 @@ func mustGet(t testing.TB, ts *httptest.Server, path string) []byte {
 // counter reads one counter from the server's registry.
 func counter(srv *Server, name string) uint64 {
 	return srv.Registry().Snapshot().Counters[name]
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t testing.TB, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // fileCount counts published profile files in the collection's directory.
