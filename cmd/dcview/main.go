@@ -12,6 +12,9 @@
 //	dcview -d m/ -stats -json                    # machine-readable merge stats
 //	dcview -d m/ -view topdown -json             # top-down report as JSON
 //	dcview -d m/ -view bottomup -json            # allocation-site report as JSON
+//	dcview -d m/ -window 65536:1048576           # views clipped to a sim-cycle range
+//	dcview -d m/ -phases                         # detected execution phases
+//	dcview -d m/ -window-diff 3:12               # compare two time windows
 //
 // The -view topdown/-view bottomup JSON reports use the same serializers
 // as dcprofd's query endpoints, so offline and served output for the same
@@ -36,6 +39,7 @@ import (
 
 	"dcprof/internal/analysis"
 	"dcprof/internal/metric"
+	"dcprof/internal/temporal"
 	"dcprof/internal/view"
 )
 
@@ -67,8 +71,47 @@ func main() {
 		strict     = flag.Bool("strict", false, "abort on the first unreadable profile (the default)")
 		quarantine = flag.Bool("quarantine", false, "skip unreadable profiles and report them instead of aborting")
 		salvage    = flag.Bool("salvage", false, "like -quarantine, but also merge intact class trees recovered from damaged files")
+		window     = flag.String("window", "", "restrict views to the sim-cycle range t0:t1 (requires temporal sidecars)")
+		phases     = flag.Bool("phases", false, "print detected execution phases (requires temporal sidecars)")
+		windowDiff = flag.String("window-diff", "", "compare two time windows w1:w2 (requires temporal sidecars)")
 	)
 	flag.Parse()
+
+	// Every malformed flag value is a usage error (exit 2), diagnosed
+	// before any loading starts.
+	if *rows < 0 {
+		fatal(exitUsage, "-rows must be >= 0 (got %d)", *rows)
+	}
+	if *depth < 0 {
+		fatal(exitUsage, "-depth must be >= 0 (got %d)", *depth)
+	}
+	if *min < 0 || *min > 1 {
+		fatal(exitUsage, "-min must be within [0, 1] (got %g)", *min)
+	}
+	var (
+		winT0, winT1 uint64
+		dw1, dw2     uint64
+		err          error
+	)
+	if *window != "" {
+		if winT0, winT1, err = temporal.ParseWindowSpec(*window); err != nil {
+			fatal(exitUsage, "-window: %v", err)
+		}
+	}
+	if *windowDiff != "" {
+		if dw1, dw2, err = temporal.ParseWindowPair(*windowDiff); err != nil {
+			fatal(exitUsage, "-window-diff: %v", err)
+		}
+	}
+	temporalModes := 0
+	for _, on := range []bool{*window != "", *phases, *windowDiff != "", *diffDir != ""} {
+		if on {
+			temporalModes++
+		}
+	}
+	if temporalModes > 1 {
+		fatal(exitUsage, "-window, -phases, -window-diff and -diff are mutually exclusive")
+	}
 
 	policy := analysis.PolicyStrict
 	switch {
@@ -108,6 +151,47 @@ func main() {
 	}
 	m := pickMetric(*metName, db.Event)
 	opts := view.Options{Metric: m, MaxRows: *rows, MaxDepth: *depth, MinShare: *min}
+
+	if *phases {
+		ph, err := analysis.Phases(db)
+		if err != nil {
+			fatal(exitLoadError, "%v", err)
+		}
+		if *asJSON {
+			if err := view.WritePhasesJSON(os.Stdout, db.Event, db.Temporal.Width(), ph); err != nil {
+				fatal(exitLoadError, "%v", err)
+			}
+			return
+		}
+		fmt.Println(view.RenderPhases(db.Event, db.Temporal.Width(), ph))
+		return
+	}
+	if *windowDiff != "" {
+		wd, err := analysis.Diff(db, dw1, dw2)
+		if err != nil {
+			fatal(exitLoadError, "%v", err)
+		}
+		if *asJSON {
+			if err := view.WriteDiffJSON(os.Stdout, wd.P1, wd.P2, m, *rows); err != nil {
+				fatal(exitLoadError, "%v", err)
+			}
+			return
+		}
+		fmt.Printf("window diff: window %d -> window %d (width %d cycles)\n",
+			wd.W1, wd.W2, wd.Width)
+		fmt.Println(view.RenderDiff(wd.P1, wd.P2, m, *rows))
+		return
+	}
+	if *window != "" {
+		// Views below render the clipped profile; everything that reads
+		// db.Merged — including `-json -view all` — sees only the windows
+		// overlapping [t0, t1).
+		clipped, err := analysis.Clip(db, winT0, winT1)
+		if err != nil {
+			fatal(exitLoadError, "%v", err)
+		}
+		db.Merged = clipped
+	}
 
 	if *asJSON {
 		// -json with a specific view emits that view's report through the

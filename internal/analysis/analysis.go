@@ -13,6 +13,7 @@ package analysis
 
 import (
 	"dcprof/internal/cct"
+	"dcprof/internal/temporal"
 )
 
 // Database is the merged analysis result.
@@ -26,6 +27,11 @@ type Database struct {
 	// MeasurementBytes is the total size of the on-disk measurement data
 	// when the database was loaded from files (0 when merged in memory).
 	MeasurementBytes int64
+	// Temporal indexes the per-thread time-series sidecars merged into
+	// per-window partial profiles. Nil when no input profile carried a
+	// sidecar (temporal profiling off, or pre-sidecar files) — the
+	// cumulative views above are unaffected either way.
+	Temporal *temporal.Index
 }
 
 // Merge reduces the profiles into a database using up to `workers`

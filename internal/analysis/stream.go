@@ -33,6 +33,7 @@ import (
 	"dcprof/internal/profio"
 	"dcprof/internal/telemetry"
 	"dcprof/internal/telemetry/spanlog"
+	"dcprof/internal/temporal"
 )
 
 // ErrorPolicy selects how ingestion reacts to unreadable profile files.
@@ -116,6 +117,8 @@ const (
 	instFilesDiscovered = "analysis.files.discovered"
 	instDecodeWallUS    = "analysis.wall.decode_us"
 	instMergeWallUS     = "analysis.wall.merge_us"
+	instTemporalSeries  = "analysis.temporal.series"
+	instTemporalDropped = "analysis.temporal.dropped"
 )
 
 // quarantineLog accumulates per-file failure records across the decode and
@@ -245,6 +248,7 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 		have         bool
 		lastItemSeen time.Time
 		cancelled    bool
+		tix          = temporal.NewIndex()
 	)
 	for it := range items {
 		if !cancelled && ctx.Err() != nil {
@@ -262,6 +266,13 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 		if !have || it.p.Rank < bestRank || (it.p.Rank == bestRank && it.p.Thread < bestThread) {
 			bestRank, bestThread, bestEvent = it.p.Rank, it.p.Thread, it.p.Event
 			have = true
+		}
+		// Fold the profile's temporal sidecar BEFORE fanning its trees out:
+		// the index walks node parent chains, and folders adopt and mutate
+		// trees concurrently once they are on the class channels. The fold
+		// copies everything it needs, so it holds no node references after.
+		if err := tix.AddSeries(it.p); err != nil && quar != nil {
+			quar.add(it.path, fmt.Sprintf("temporal sidecar dropped: %v", err), 0)
 		}
 		rem := int32(cct.NumClasses)
 		for c, tr := range it.p.Trees {
@@ -308,8 +319,14 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 		reg.Counter(instQuarFiles).Add(uint64(len(quarantined)))
 		reg.Counter(instQuarSalvaged).Add(uint64(salvaged))
 	}
+	reg.Counter(instTemporalSeries).Add(uint64(tix.Series))
+	reg.Counter(instTemporalDropped).Add(uint64(tix.Dropped))
 	st := statsView(reg, workers, quarantined)
-	return &Database{Merged: merged, Ranks: len(ranks), Threads: st.Inputs, Event: bestEvent}, st
+	db := &Database{Merged: merged, Ranks: len(ranks), Threads: st.Inputs, Event: bestEvent}
+	if tix.NumWindows() > 0 {
+		db.Temporal = tix
+	}
+	return db, st
 }
 
 // foldTidBase offsets folder goroutines' trace rows past the decode
@@ -521,6 +538,7 @@ func LoadFilesStreamingCtx(ctx context.Context, label string, files []string, op
 		return nil, st, fmt.Errorf("analysis: no readable profiles in %s (%d quarantined)", label, len(st.Quarantined))
 	}
 	db.MeasurementBytes = st.BytesRead
+	emitPhaseSpans(spans, db.Temporal)
 	return db, st, nil
 }
 
@@ -590,7 +608,13 @@ func decodeOne(path string, in *profio.Intern, open func(string) (io.ReadCloser,
 				reason = salv.Errs[0].Error()
 			}
 			quar.add(path, reason, salv.Trees)
-			if policy == PolicyQuarantine || salv.Trees == 0 {
+			// Sidecar-only damage — every class tree recovered, only the
+			// optional temporal section corrupt — keeps the file in the
+			// merge (windowless) under quarantine too; the quarantine
+			// record above still documents the loss. Anything else follows
+			// the policy: quarantine skips the file, salvage folds what's
+			// left.
+			if !salv.SidecarOnly && (policy == PolicyQuarantine || salv.Trees == 0) {
 				return streamItem{}, false
 			}
 		}

@@ -1,0 +1,109 @@
+// Temporal queries over a merged database: window-restricted profiles,
+// window-to-window comparison, and detected execution phases. All of them
+// answer from Database.Temporal, the index built from the per-thread
+// time-series sidecars during the merge — the cumulative Merged profile is
+// never consulted, so a clipped view shows exactly what happened inside
+// the requested time range even when the whole-run ranking says otherwise.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+	"dcprof/internal/telemetry/spanlog"
+	"dcprof/internal/temporal"
+)
+
+// ErrNoTemporal reports a temporal query against a measurement whose
+// profiles carried no time-series sidecars (temporal profiling disabled,
+// or files written before the sidecar existed).
+var ErrNoTemporal = errors.New("analysis: measurement has no temporal data")
+
+// temporalIndex returns the database's temporal index or ErrNoTemporal.
+func temporalIndex(db *Database) (*temporal.Index, error) {
+	if db == nil || db.Temporal == nil || db.Temporal.NumWindows() == 0 {
+		return nil, ErrNoTemporal
+	}
+	return db.Temporal, nil
+}
+
+// Clip reconstitutes the merged profile restricted to the sim-cycle range
+// [t0, t1). Every window overlapping the range contributes whole — window
+// width is the resolution floor. The result is freshly built and aliases
+// nothing in the database.
+func Clip(db *Database, t0, t1 uint64) (*cct.Profile, error) {
+	ix, err := temporalIndex(db)
+	if err != nil {
+		return nil, err
+	}
+	if t1 <= t0 {
+		return nil, fmt.Errorf("analysis: empty clip range [%d, %d)", t0, t1)
+	}
+	return ix.Clip(t0, t1), nil
+}
+
+// WindowDiff is the result of comparing two time windows of one
+// measurement: both window-restricted profiles plus their aggregate metric
+// totals, ready for side-by-side presentation.
+type WindowDiff struct {
+	W1, W2 uint64 // window indices
+	Width  uint64 // window width in sim cycles
+	P1, P2 *cct.Profile
+	T1, T2 metric.Vector
+}
+
+// Diff reconstitutes the two windows' profiles for comparison. Either
+// window may be empty (no samples landed there); out-of-range indices are
+// allowed and yield empty profiles, so diffing against an idle window
+// works.
+func Diff(db *Database, w1, w2 uint64) (*WindowDiff, error) {
+	ix, err := temporalIndex(db)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowDiff{
+		W1: w1, W2: w2, Width: ix.Width(),
+		P1: ix.WindowProfile(w1), P2: ix.WindowProfile(w2),
+		T1: ix.WindowTotal(w1), T2: ix.WindowTotal(w2),
+	}, nil
+}
+
+// Phases runs change-point detection over the measurement's window
+// aggregates and returns the labeled execution phases, tiling the sampled
+// span.
+func Phases(db *Database) ([]temporal.Phase, error) {
+	ix, err := temporalIndex(db)
+	if err != nil {
+		return nil, err
+	}
+	return ix.Phases(), nil
+}
+
+// emitPhaseSpans adds the detected phases to a pipeline trace as spans on
+// their own row, one simulated cycle mapped to one microsecond, so the
+// program's phase structure lines up with the analyzer's own timeline in
+// any trace viewer. No-op when tracing is off or the measurement has no
+// temporal data.
+func emitPhaseSpans(spans *spanlog.Log, ix *temporal.Index) {
+	if spans == nil || ix == nil {
+		return
+	}
+	for _, ph := range ix.Phases() {
+		spans.Range("phase "+ph.Label, "phases", 0, phaseTid,
+			int64(ph.Start), int64(ph.End-ph.Start),
+			map[string]any{
+				"label":        ph.Label,
+				"start_cycle":  ph.Start,
+				"end_cycle":    ph.End,
+				"start_window": ph.StartWindow,
+				"end_window":   ph.EndWindow,
+				"samples":      ph.Samples,
+			})
+	}
+}
+
+// phaseTid places phase spans on their own trace row, past the decode
+// workers and fold rows.
+const phaseTid = 200

@@ -124,6 +124,13 @@ type Node struct {
 	parent *Node
 	id     FrameID
 
+	// scratch is single-owner bookkeeping space for whichever component
+	// animates the node's tree; the temporal recorder uses it as a
+	// current-window stamp so the per-sample "already seen this window"
+	// check is one field compare instead of a map lookup. Trees are
+	// per-thread while samples flow, so there is exactly one writer.
+	scratch uint64
+
 	// First nodeInline children live inline; the rest spill to a map.
 	nInline   uint8
 	inlineIDs [nodeInline]FrameID
@@ -133,6 +140,12 @@ type Node struct {
 
 // Parent returns the node's parent (nil at the root).
 func (n *Node) Parent() *Node { return n.parent }
+
+// Scratch returns the node's scratch word (see the field doc).
+func (n *Node) Scratch() uint64 { return n.scratch }
+
+// SetScratch stores the node's scratch word (see the field doc).
+func (n *Node) SetScratch(s uint64) { n.scratch = s }
 
 // ID returns the node's interned frame ID (in the default interner).
 func (n *Node) ID() FrameID { return n.id }
@@ -410,6 +423,11 @@ type Profile struct {
 	Event string
 	// Trees holds the per-storage-class CCTs.
 	Trees [NumClasses]*Tree
+	// Temporal, when non-nil, is the time-windowed sidecar: per-node
+	// metric deltas bucketed by fixed-width sim-time windows (see
+	// timeseries.go). Nil when temporal profiling was off or the sidecar
+	// was damaged; everything cumulative works identically either way.
+	Temporal *TimeSeries
 }
 
 // NewProfile creates an empty profile.

@@ -1,0 +1,76 @@
+package cct
+
+// Time-windowed metric deltas: the temporal sidecar's in-memory form.
+//
+// The cumulative CCT answers "where did the metric go over the whole
+// run"; the TimeSeries answers "when". The profiler buckets each sample's
+// metric vector by the thread's sim-clock window in addition to adding it
+// to the CCT node, so a per-node time series rides alongside the profile
+// without duplicating the tree: a TimeDelta points at the node it
+// annotates, and the windows hold only the per-window increments.
+//
+// The types live here rather than in internal/temporal because they are
+// part of the Profile itself (Profile.Temporal) — the writer, reader, and
+// every app that plumbs []*Profile around carries them for free, and the
+// temporal package (recorder, merge index, phase detection) can import
+// cct without a cycle.
+
+import "dcprof/internal/metric"
+
+// TimeDelta is one node's metric increment within one time window.
+type TimeDelta struct {
+	// Class is the storage class of the tree Node belongs to.
+	Class Class
+	// Node is the CCT node the metrics were attributed to. It is a node
+	// of the owning Profile's Trees[Class]; the on-disk encoding refers
+	// to it by its deterministic pre-order index in that tree.
+	Node *Node
+	// Metrics is the increment recorded during the window (not a
+	// cumulative total).
+	Metrics metric.Vector
+}
+
+// TimeWindow is the set of metric deltas recorded during one fixed-width
+// window of sim time.
+type TimeWindow struct {
+	// Index is the window number: the window covers sim cycles
+	// [Index*Width, (Index+1)*Width).
+	Index uint64
+	// Deltas holds the per-node increments. Order is unspecified in
+	// memory; the encoder sorts by (class, node pre-order index).
+	Deltas []TimeDelta
+}
+
+// TimeSeries is one profile's temporal sidecar: fixed-width windows of
+// per-node metric deltas. Windows are stored in ascending Index order
+// with gaps where no samples landed (idle windows cost nothing).
+type TimeSeries struct {
+	// Width is the window width in sim cycles.
+	Width uint64
+	// Windows holds the non-empty windows in ascending Index order.
+	Windows []TimeWindow
+}
+
+// Span returns the series' covered sim-time range [start, end) in cycles,
+// from the first window's start to the last window's end. Zero for an
+// empty series.
+func (ts *TimeSeries) Span() (start, end uint64) {
+	if ts == nil || len(ts.Windows) == 0 {
+		return 0, 0
+	}
+	first := ts.Windows[0].Index
+	last := ts.Windows[len(ts.Windows)-1].Index
+	return first * ts.Width, (last + 1) * ts.Width
+}
+
+// NumDeltas counts delta records across all windows.
+func (ts *TimeSeries) NumDeltas() int {
+	if ts == nil {
+		return 0
+	}
+	n := 0
+	for i := range ts.Windows {
+		n += len(ts.Windows[i].Deltas)
+	}
+	return n
+}

@@ -31,6 +31,20 @@ func benchSetup(cfg Config, depth int) (*Profiler, *sim.Thread) {
 func BenchmarkSamplePath(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.Period = 1 // every access samples
+	benchSamplePath(b, cfg)
+}
+
+// BenchmarkSamplePathNoTemporal is BenchmarkSamplePath with the temporal
+// recorder off — the baseline the hot-path gate compares against to bound
+// what timestamping adds to the sample path.
+func BenchmarkSamplePathNoTemporal(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Period = 1
+	cfg.TemporalWindow = 0
+	benchSamplePath(b, cfg)
+}
+
+func benchSamplePath(b *testing.B, cfg Config) {
 	prof, th := benchSetup(cfg, 12)
 	var bufs []mem.Addr
 	for i := 0; i < 512; i++ {

@@ -67,6 +67,15 @@ type Config struct {
 	// adjustment fixes. For ablation only.
 	UseSkidIP bool
 
+	// TemporalWindow, when nonzero, buckets every sample's metrics into
+	// fixed-width windows of the thread's sim clock (width in cycles) in
+	// addition to the cumulative CCT, producing the temporal sidecar
+	// (Profile.Temporal) that analysis windows/phases are computed from.
+	// Zero disables temporal profiling. The bucketing runs on the sample
+	// hot path but charges no simulated cycles: on real hardware it is a
+	// clock read and a vector add, lost in the handler's fixed cost.
+	TemporalWindow uint64
+
 	// SmallAllocSamplePeriod, when nonzero, tracks every Nth allocation
 	// below SizeThreshold instead of none of them — the paper's §7
 	// extension for programs whose data structures are built from many
@@ -102,6 +111,7 @@ func DefaultConfig() Config {
 		SizeThreshold:    4096,
 		UseTrampoline:    true,
 		CheapContext:     true,
+		TemporalWindow:   65536,
 
 		SampleBaseCycles:  1200,
 		UnwindFrameCycles: 60,

@@ -199,6 +199,9 @@ func TestTraceGrowsWhereProfileDoesNot(t *testing.T) {
 	run := func(iters int) (traceBytes, profileBytes int64) {
 		cfg := DefaultConfig()
 		cfg.Period = 1
+		// The space argument is about the cumulative CCT; the temporal
+		// sidecar grows (slowly) with execution time by design.
+		cfg.TemporalWindow = 0
 		f := newFixture(t, cfg)
 		tr := f.prof.EnableTrace()
 		f.th.At(5)

@@ -217,6 +217,11 @@ type hotpathReport struct {
 	SamplePathNS         int64   `json:"sample_path_ns"`
 	SamplePathAllocs     int64   `json:"sample_path_allocs"`
 	SamplePathParallelNS int64   `json:"sample_path_parallel_ns"`
+	// SamplePathNoTemporalNS is the sample path with the temporal
+	// recorder off; the gate bounds the temporal overhead (on vs off,
+	// measured within one run) to 5% and 0 extra allocs.
+	SamplePathNoTemporalNS int64   `json:"sample_path_no_temporal_ns"`
+	TemporalOverheadPct    float64 `json:"temporal_overhead_pct"`
 	SimOnlyNS            int64   `json:"sim_only_ns"`
 	SampleAttrNS         int64   `json:"sample_attr_ns"`
 	LegacyAttrNS         int64   `json:"legacy_attr_ns"`
@@ -254,6 +259,7 @@ func TestHotPathBenchGate(t *testing.T) {
 	}
 
 	sample := bestOf(rounds, BenchmarkSamplePath)
+	noTemporal := bestOf(rounds, BenchmarkSamplePathNoTemporal)
 	simOnly := bestOf(rounds, benchSimOnlyLoad)
 	legacy := bestOf(rounds, benchLegacyAttribution)
 
@@ -263,10 +269,15 @@ func TestHotPathBenchGate(t *testing.T) {
 	}
 	speedup := float64(legacy.NsPerOp()) / float64(attrNS)
 
+	temporalPct := 100 * (float64(sample.NsPerOp()) - float64(noTemporal.NsPerOp())) /
+		float64(noTemporal.NsPerOp())
+
 	rep := hotpathReport{
-		SamplePathNS:         sample.NsPerOp(),
-		SamplePathAllocs:     sample.AllocsPerOp(),
-		SamplePathParallelNS: bestOf(rounds, BenchmarkSamplePathParallel).NsPerOp(),
+		SamplePathNS:           sample.NsPerOp(),
+		SamplePathAllocs:       sample.AllocsPerOp(),
+		SamplePathParallelNS:   bestOf(rounds, BenchmarkSamplePathParallel).NsPerOp(),
+		SamplePathNoTemporalNS: noTemporal.NsPerOp(),
+		TemporalOverheadPct:    temporalPct,
 		SimOnlyNS:            simOnly.NsPerOp(),
 		SampleAttrNS:         attrNS,
 		LegacyAttrNS:         legacy.NsPerOp(),
@@ -282,8 +293,21 @@ func TestHotPathBenchGate(t *testing.T) {
 
 	pass := true
 	if rep.SamplePathAllocs > 0 {
+		// BenchmarkSamplePath runs DefaultConfig, temporal recorder
+		// included — so this is also the "timestamping adds 0 allocs"
+		// assertion.
 		pass = false
 		t.Errorf("steady-state sample path allocates: %d allocs/op, want 0", rep.SamplePathAllocs)
+	}
+	if rep.SamplePathAllocs > noTemporal.AllocsPerOp() {
+		pass = false
+		t.Errorf("temporal recorder adds allocs: %d with vs %d without",
+			rep.SamplePathAllocs, noTemporal.AllocsPerOp())
+	}
+	if temporalPct > 5 {
+		pass = false
+		t.Errorf("temporal recorder adds %.1f%% to the sample path (%dns vs %dns), gate allows 5%%",
+			temporalPct, rep.SamplePathNS, rep.SamplePathNoTemporalNS)
 	}
 	if speedup < minSpeedup {
 		pass = false

@@ -14,6 +14,7 @@ import (
 	"dcprof/internal/metric"
 	"dcprof/internal/pmu"
 	"dcprof/internal/sim"
+	"dcprof/internal/temporal"
 )
 
 // heapBlock is the tracked state of one live heap allocation: its
@@ -111,6 +112,11 @@ type tstate struct {
 	// consecutive samples usually land in the same block).
 	blockCache heapmap.Cache[*heapBlock]
 
+	// rec buckets samples into sim-time windows (nil when
+	// Config.TemporalWindow is zero). Thread-local, zero-alloc in steady
+	// state; its output becomes profile.Temporal at collection time.
+	rec *temporal.Recorder
+
 	// pathBuf is scratch for building sample paths without allocating.
 	pathBuf []cct.FrameID
 }
@@ -172,6 +178,9 @@ func (p *Profiler) ThreadStart(t *sim.Thread) {
 		frameIDs: make(map[frameKey]cct.FrameID),
 		leafIDs:  make(map[uint64]leafEntry),
 		leafGen:  t.Proc.LoadMap.Gen(),
+	}
+	if p.cfg.TemporalWindow > 0 {
+		ts.rec = temporal.NewRecorder(p.cfg.TemporalWindow)
 	}
 	var sampler pmu.Sampler
 	if p.cfg.Mode == ModeMarked {
@@ -395,6 +404,11 @@ func (ts *tstate) record(class cct.Class, prefix []cct.FrameID, leaf cct.FrameID
 	if n := ts.lastNode; n != nil && class == ts.lastClass && leaf == ts.lastLeaf &&
 		ts.stackEpoch == ts.lastEpoch && samePrefix(prefix, ts.lastPrefix) {
 		ts.prof.tel.lastNodeHits.Inc()
+		if ts.rec != nil {
+			// Before the add: the recorder snapshots cumulative metrics
+			// at a node's first touch per window.
+			ts.rec.Record(ts.t.Clock(), class, n)
+		}
 		n.Metrics.Add(v)
 		return
 	}
@@ -404,7 +418,11 @@ func (ts *tstate) record(class cct.Class, prefix []cct.FrameID, leaf cct.FrameID
 	buf = append(buf, ts.stackIDs...)
 	buf = append(buf, leaf)
 	ts.pathBuf = buf
-	n := ts.profile.Trees[class].AddSampleIDs(buf, v)
+	n := ts.profile.Trees[class].InsertPathIDs(buf)
+	if ts.rec != nil {
+		ts.rec.Record(ts.t.Clock(), class, n)
+	}
+	n.Metrics.Add(v)
 	ts.lastNode, ts.lastClass, ts.lastLeaf = n, class, leaf
 	ts.lastEpoch, ts.lastPrefix = ts.stackEpoch, prefix
 }
@@ -492,6 +510,9 @@ func (p *Profiler) Profiles() []*cct.Profile {
 	defer p.statesMu.Unlock()
 	out := make([]*cct.Profile, 0, len(p.states))
 	for _, ts := range p.states {
+		if ts.rec != nil {
+			ts.profile.Temporal = ts.rec.Series()
+		}
 		out = append(out, ts.profile)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Thread < out[j].Thread })

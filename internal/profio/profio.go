@@ -23,8 +23,12 @@
 //	section: header             — rank, thread, string table, event index
 //	section: tree ×NumClasses   — pre-order node records
 //	u32 footer magic "DCPE"     uvarint total node records   u32 CRC32(count)
+//	trailer ×N (optional)       — u32 section magic · section
 //
 // where every section is `uvarint payloadLen · payload · u32 CRC32(payload)`.
+// Trailer sections after the footer are tagged by a magic ("DCPT" = the
+// temporal sidecar, see temporal.go); unknown magics are checksum-verified
+// and skipped, so older data survives newer writers and vice versa.
 package profio
 
 import (
@@ -116,12 +120,14 @@ func writeProfile(w *bufio.Writer, p *cct.Profile) error {
 		return fmt.Errorf("profio: profile has %d trees, want %d", len(p.Trees), cct.NumClasses)
 	}
 	totalNodes := uint64(0)
-	for _, tree := range p.Trees {
-		n, err := writeTree(sw, tree, strs)
+	var indexes [cct.NumClasses]map[*cct.Node]uint32
+	for ci, tree := range p.Trees {
+		index, err := writeTree(sw, tree, strs)
 		if err != nil {
 			return err
 		}
-		totalNodes += uint64(n)
+		indexes[ci] = index
+		totalNodes += uint64(len(index))
 		if err := flushSection(w, sw, &payload); err != nil {
 			return err
 		}
@@ -133,6 +139,14 @@ func writeProfile(w *bufio.Writer, p *cct.Profile) error {
 	cn := binary.PutUvarint(cnt[:], totalNodes)
 	w.Write(cnt[:cn])
 	writeU32(w, crc32.ChecksumIEEE(cnt[:cn]))
+
+	// Optional trailer: the temporal sidecar, referencing nodes by the
+	// pre-order indices the tree sections above were just written in.
+	if ts := p.Temporal; ts != nil && len(ts.Windows) > 0 {
+		if err := writeTemporalSection(w, sw, &payload, ts, &indexes); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -153,7 +167,10 @@ func flushSection(w *bufio.Writer, sw *bufio.Writer, payload *bytes.Buffer) erro
 	return nil
 }
 
-func writeTree(w *bufio.Writer, t *cct.Tree, strs *stringTable) (int, error) {
+// writeTree encodes one tree section and returns the node→pre-order-index
+// map it assigned (also the section's node count) — the temporal sidecar
+// trailer refers to nodes by these indices.
+func writeTree(w *bufio.Writer, t *cct.Tree, strs *stringTable) (map[*cct.Node]uint32, error) {
 	// Pre-order with parent indices. Walk is deterministic, so index
 	// assignment is too.
 	index := map[*cct.Node]uint32{}
@@ -191,7 +208,7 @@ func writeTree(w *bufio.Writer, t *cct.Tree, strs *stringTable) (int, error) {
 		}
 		return true
 	})
-	return int(count), nil
+	return index, nil
 }
 
 // EncodedSize returns the number of bytes WriteProfile would produce.

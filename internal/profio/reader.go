@@ -93,6 +93,19 @@ type Reader struct {
 	footerDone   bool
 	terminal     error // sticky stream-level failure; nil if resync possible
 
+	// classNodes retains each decoded tree's pre-order node array so the
+	// temporal-sidecar trailer (whose entries reference nodes by pre-order
+	// index) can be resolved after the footer. nil for a class whose
+	// section was damaged.
+	classNodes [cct.NumClasses][]*cct.Node
+	// temporal is the decoded sidecar, nil when absent or damaged.
+	temporal *cct.TimeSeries
+	// trailerDamaged records that a trailer-region error was format-level
+	// damage (bad checksum, truncation, undecodable sidecar) rather than
+	// an I/O failure — the distinction salvage policies use to decide
+	// whether a file is merely missing its sidecar or untrustworthy.
+	trailerDamaged bool
+
 	// frameIDs memoizes string-table-index tuples to interned FrameIDs, so
 	// each distinct frame in a file touches the process-global interner
 	// once; every further node record with the same tuple resolves by one
@@ -287,7 +300,7 @@ func (d *Reader) ReadTree() (cct.Class, *cct.Tree, error) {
 
 	if d.version == Version1 {
 		t := cct.New()
-		n, err := d.readTree(d.br, t)
+		n, err := d.readTree(d.br, t, c)
 		if err != nil {
 			// v1 has no framing: the offset of the next tree is unknown.
 			d.terminal = fmt.Errorf("profio: tree %d: %w", d.next, wrapEOF(err))
@@ -315,7 +328,7 @@ func (d *Reader) ReadTree() (cct.Class, *cct.Tree, error) {
 	// either way only this tree is lost.
 	t := cct.New()
 	pr := bufio.NewReader(bytes.NewReader(payload))
-	n, err := d.readTree(pr, t)
+	n, err := d.readTree(pr, t, c)
 	if err == nil {
 		if _, e := pr.ReadByte(); e != io.EOF {
 			err = fmt.Errorf("trailing bytes in tree section")
@@ -324,6 +337,7 @@ func (d *Reader) ReadTree() (cct.Class, *cct.Tree, error) {
 	if err != nil {
 		d.next++
 		d.treeErrs++
+		d.classNodes[c] = nil // a dropped tree must not anchor sidecar deltas
 		return c, nil, fmt.Errorf("profio: tree %d: %w", int(c), err)
 	}
 	d.next++
@@ -376,22 +390,70 @@ func (d *Reader) readFooter() error {
 	if d.treeErrs == 0 && count != uint64(d.nodes) {
 		return fmt.Errorf("profio: footer: record count %d, decoded %d", count, d.nodes)
 	}
-	switch _, err := d.br.ReadByte(); {
-	case err == nil:
-		return fmt.Errorf("profio: trailing data after footer")
-	case err != io.EOF:
-		return fmt.Errorf("profio: after footer: %w", err)
-	}
-	return nil
+	return d.readTrailers()
 }
 
-// ReadRest decodes every remaining tree and returns the assembled profile.
+// readTrailers scans the tagged sections that may follow the footer:
+// `u32 magic · uvarint len · payload · u32 CRC`. Known magics decode;
+// unknown ones are checksum-verified and skipped, which is how older
+// readers of future formats (and this reader, for sidecars it doesn't
+// know) coexist with newer writers. A clean EOF before any magic is the
+// normal no-trailer case. Errors here are non-terminal in the salvage
+// sense: the trees were already delivered, so a damaged trailer costs
+// only the sidecar.
+func (d *Reader) readTrailers() error {
+	for {
+		m, err := readU32(d.br)
+		if errors.Is(err, io.EOF) {
+			return nil // no (more) trailers
+		}
+		if err != nil {
+			return d.trailerErr(fmt.Errorf("profio: trailer: reading magic: %w", wrapEOF(err)))
+		}
+		payload, err := readSection(d.br, fmt.Sprintf("trailer %#x", m))
+		if err != nil {
+			return d.trailerErr(fmt.Errorf("profio: %w", err))
+		}
+		switch m {
+		case TemporalMagic:
+			if d.temporal != nil {
+				d.trailerDamaged = true
+				return fmt.Errorf("profio: duplicate temporal trailer section")
+			}
+			ts, err := decodeTimeSeries(payload, &d.classNodes)
+			if err != nil {
+				d.trailerDamaged = true
+				return fmt.Errorf("profio: temporal sidecar: %w", err)
+			}
+			d.temporal = ts
+			telTemporalRead.Inc()
+		default:
+			// Unknown trailer: intact (the checksum held), just not ours.
+			telTrailerSkipped.Inc()
+		}
+	}
+}
+
+// trailerErr classifies a trailer-region failure before returning it:
+// checksum mismatches and truncation are format-level damage of the
+// optional trailing sections, anything else (a raw I/O error, say) is
+// not, so callers won't treat a flaky disk as "just a lost sidecar".
+func (d *Reader) trailerErr(err error) error {
+	if errors.Is(err, ErrChecksum) || errors.Is(err, ErrTruncated) {
+		d.trailerDamaged = true
+	}
+	return err
+}
+
+// ReadRest decodes every remaining tree and returns the assembled profile,
+// temporal sidecar (when present) attached.
 func (d *Reader) ReadRest() (*cct.Profile, error) {
 	p := cct.NewProfile(d.rank, d.thread, d.event)
 	for {
 		c, t, err := d.ReadTree()
 		if err == io.EOF {
 			telReadProfiles.Inc()
+			p.Temporal = d.temporal
 			return p, nil
 		}
 		if err != nil {
@@ -400,6 +462,10 @@ func (d *Reader) ReadRest() (*cct.Profile, error) {
 		p.Trees[c] = t
 	}
 }
+
+// Temporal returns the decoded temporal sidecar, nil when the file had
+// none (or its sidecar was damaged). Populated once ReadTree has hit EOF.
+func (d *Reader) Temporal() *cct.TimeSeries { return d.temporal }
 
 // ReadProfile decodes one thread profile.
 func ReadProfile(r io.Reader) (*cct.Profile, error) {
@@ -416,7 +482,7 @@ func ReadProfileInterned(r io.Reader, in *Intern) (*cct.Profile, error) {
 	return d.ReadRest()
 }
 
-func (d *Reader) readTree(br *bufio.Reader, t *cct.Tree) (int, error) {
+func (d *Reader) readTree(br *bufio.Reader, t *cct.Tree, c cct.Class) (int, error) {
 	str := d.str
 	count, err := readUvarint(br)
 	if err != nil {
@@ -524,6 +590,9 @@ func (d *Reader) readTree(br *bufio.Reader, t *cct.Tree) (int, error) {
 		nodes = append(nodes, node)
 	}
 	telReadNodes.Add(count)
+	// Retain the pre-order array: the temporal trailer refers to nodes by
+	// these indices. (The caller clears it again if it drops the tree.)
+	d.classNodes[c] = nodes
 	return int(count), nil
 }
 

@@ -29,6 +29,12 @@ type Salvage struct {
 	// NodesRead is the number of CCT node records decoded from the
 	// salvaged trees.
 	NodesRead int
+	// SidecarOnly reports that every class tree was recovered and the
+	// only damage was format-level corruption of the optional trailing
+	// sidecar region (bad checksum, truncation, undecodable series). Such
+	// a file is safe to merge windowless; an I/O error or footer failure
+	// never sets this.
+	SidecarOnly bool
 }
 
 // Intact reports whether the file decoded completely with every integrity
@@ -87,6 +93,11 @@ func (d *Reader) Salvage() (*Salvage, error) {
 		s.Trees++
 	}
 	s.NodesRead = d.nodes
+	// A salvaged profile keeps its sidecar only if the trailer decoded
+	// cleanly; a damaged sidecar is already in Errs and the profile loads
+	// windowless.
+	s.Profile.Temporal = d.temporal
+	s.SidecarOnly = s.Lost == 0 && len(s.Errs) > 0 && d.trailerDamaged
 	if !s.Intact() {
 		telSalvageFiles.Inc()
 		telSalvageRecovered.Add(uint64(s.Trees))

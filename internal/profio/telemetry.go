@@ -25,4 +25,7 @@ var (
 	telSalvageFiles     = telemetry.Default().Counter("profio.salvage.files")
 	telSalvageRecovered = telemetry.Default().Counter("profio.salvage.recovered_trees")
 	telSalvageLost      = telemetry.Default().Counter("profio.salvage.lost_trees")
+
+	telTemporalRead   = telemetry.Default().Counter("profio.read.temporal_sidecars")
+	telTrailerSkipped = telemetry.Default().Counter("profio.read.trailers_skipped")
 )

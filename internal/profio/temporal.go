@@ -1,0 +1,278 @@
+package profio
+
+// Temporal sidecar codec: the optional trailing v2 section that persists a
+// profile's cct.TimeSeries.
+//
+// The sidecar rides AFTER the footer as a tagged trailer section:
+//
+//	u32 section magic ("DCPT")   uvarint payloadLen · payload · u32 CRC32
+//
+// so a v2 file remains exactly its old self up to and including the
+// footer. Readers that predate trailers stop at the footer; this reader
+// scans trailers until EOF, decoding the magics it knows and skipping
+// (after checksum verification) the ones it does not — the same
+// forward-compatibility seam future sidecars can use.
+//
+// Payload layout (all varints unsigned LEB128):
+//
+//	uvarint width                      window width in sim cycles
+//	uvarint numWindows
+//	per window (ascending index):
+//	  uvarint indexDelta               first window absolute, later ones
+//	                                   delta from the previous (≥ 1)
+//	  uvarint numEntries
+//	  per entry (sorted by class, then node index):
+//	    byte class
+//	    uvarint nodeIdxDelta           absolute when the class changes,
+//	                                   else delta from the previous entry
+//	                                   in the same class (≥ 1)
+//	    byte nnz · {byte metricID, uvarint value}×nnz
+//
+// Node references are the deterministic pre-order indices the tree
+// sections themselves are written in, so the decoder resolves them
+// against the nodes it just built and the sidecar stores no paths at all.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+// TemporalMagic tags the temporal-sidecar trailer section ("DCPT").
+const TemporalMagic = 0x44435054
+
+// maxWindowSpan bounds the distance between a sidecar's first and last
+// window index. The analyzer densifies the window range for phase
+// detection, so a corrupt-but-checksummed sidecar must not be able to
+// claim a astronomically sparse series.
+const maxWindowSpan = 1 << 26
+
+// encKey identifies one (class, node) slot during encoding.
+type encKey struct {
+	class cct.Class
+	idx   uint32
+}
+
+// writeTemporalSection stages the encoded sidecar into sw and emits it as
+// a tagged trailer section. indexes are the per-class node→pre-order-index
+// maps the tree sections were written with.
+func writeTemporalSection(w *bufio.Writer, sw *bufio.Writer, payload *bytes.Buffer, ts *cct.TimeSeries, indexes *[cct.NumClasses]map[*cct.Node]uint32) error {
+	if ts.Width == 0 {
+		return fmt.Errorf("profio: temporal sidecar has zero window width")
+	}
+	// Coalesce: the recorder may emit duplicate window indices (a window
+	// re-opened after a mid-run flush) and the format wants one entry per
+	// (window, class, node). Aggregate first, then sort for determinism.
+	agg := make(map[uint64]map[encKey]*metric.Vector)
+	for wi := range ts.Windows {
+		win := &ts.Windows[wi]
+		entries := agg[win.Index]
+		if entries == nil {
+			entries = make(map[encKey]*metric.Vector)
+			agg[win.Index] = entries
+		}
+		for di := range win.Deltas {
+			d := &win.Deltas[di]
+			if int(d.Class) >= cct.NumClasses {
+				return fmt.Errorf("profio: temporal delta class %d out of range", d.Class)
+			}
+			idx, ok := indexes[d.Class][d.Node]
+			if !ok {
+				return fmt.Errorf("profio: temporal delta references a node outside the %v tree", d.Class)
+			}
+			k := encKey{class: d.Class, idx: idx}
+			if v := entries[k]; v != nil {
+				v.Add(&d.Metrics)
+			} else {
+				cp := d.Metrics
+				entries[k] = &cp
+			}
+		}
+	}
+
+	winIdxs := make([]uint64, 0, len(agg))
+	for w := range agg {
+		winIdxs = append(winIdxs, w)
+	}
+	sort.Slice(winIdxs, func(i, j int) bool { return winIdxs[i] < winIdxs[j] })
+
+	writeUvarint(sw, ts.Width)
+	writeUvarint(sw, uint64(len(winIdxs)))
+	prevWin := uint64(0)
+	for i, wi := range winIdxs {
+		if i == 0 {
+			writeUvarint(sw, wi)
+		} else {
+			writeUvarint(sw, wi-prevWin)
+		}
+		prevWin = wi
+
+		entries := agg[wi]
+		keys := make([]encKey, 0, len(entries))
+		for k := range entries {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].class != keys[b].class {
+				return keys[a].class < keys[b].class
+			}
+			return keys[a].idx < keys[b].idx
+		})
+		writeUvarint(sw, uint64(len(keys)))
+		prevClass, prevIdx := cct.Class(0), uint32(0)
+		for j, k := range keys {
+			sw.WriteByte(byte(k.class))
+			if j > 0 && k.class == prevClass {
+				writeUvarint(sw, uint64(k.idx-prevIdx))
+			} else {
+				writeUvarint(sw, uint64(k.idx))
+			}
+			prevClass, prevIdx = k.class, k.idx
+			v := entries[k]
+			nz := 0
+			for _, x := range v {
+				if x != 0 {
+					nz++
+				}
+			}
+			sw.WriteByte(byte(nz))
+			for m, x := range v {
+				if x != 0 {
+					sw.WriteByte(byte(m))
+					writeUvarint(sw, x)
+				}
+			}
+		}
+	}
+
+	writeU32(w, TemporalMagic)
+	return flushSection(w, sw, payload)
+}
+
+// decodeTimeSeries parses a sidecar payload, resolving node references
+// against the per-class node arrays retained from the tree sections. Every
+// structural claim is validated; an error means the sidecar is dropped
+// (the profile loads windowless), never that the reader panics or
+// over-allocates.
+func decodeTimeSeries(payload []byte, classNodes *[cct.NumClasses][]*cct.Node) (*cct.TimeSeries, error) {
+	br := bufio.NewReader(bytes.NewReader(payload))
+	width, err := readUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("reading width: %w", wrapEOF(err))
+	}
+	if width == 0 {
+		return nil, fmt.Errorf("zero window width")
+	}
+	numWindows, err := readUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("reading window count: %w", wrapEOF(err))
+	}
+	if numWindows > maxWindowSpan {
+		return nil, fmt.Errorf("unreasonable window count %d", numWindows)
+	}
+	ts := &cct.TimeSeries{Width: width}
+	ts.Windows = make([]cct.TimeWindow, 0, min(numWindows, 4096))
+	var firstIdx, prevIdx uint64
+	for wi := uint64(0); wi < numWindows; wi++ {
+		delta, err := readUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("window %d: reading index: %w", wi, wrapEOF(err))
+		}
+		var idx uint64
+		if wi == 0 {
+			idx = delta
+			firstIdx = idx
+		} else {
+			if delta == 0 {
+				return nil, fmt.Errorf("window %d: non-ascending index", wi)
+			}
+			idx = prevIdx + delta
+			if idx < prevIdx {
+				return nil, fmt.Errorf("window %d: index overflows", wi)
+			}
+		}
+		prevIdx = idx
+		if idx-firstIdx > maxWindowSpan {
+			return nil, fmt.Errorf("window %d: unreasonable window span %d", wi, idx-firstIdx)
+		}
+		numEntries, err := readUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("window %d: reading entry count: %w", wi, wrapEOF(err))
+		}
+		if numEntries > maxSection {
+			return nil, fmt.Errorf("window %d: unreasonable entry count %d", wi, numEntries)
+		}
+		win := cct.TimeWindow{Index: idx}
+		win.Deltas = make([]cct.TimeDelta, 0, min(numEntries, 4096))
+		var prevClass cct.Class
+		var prevNodeIdx uint32
+		for ei := uint64(0); ei < numEntries; ei++ {
+			cb, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("window %d entry %d: reading class: %w", wi, ei, wrapEOF(err))
+			}
+			class := cct.Class(cb)
+			if int(class) >= cct.NumClasses {
+				return nil, fmt.Errorf("window %d entry %d: class %d out of range", wi, ei, cb)
+			}
+			rawIdx, err := readUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("window %d entry %d: reading node index: %w", wi, ei, wrapEOF(err))
+			}
+			var nodeIdx uint64
+			if ei > 0 && class == prevClass {
+				if rawIdx == 0 {
+					return nil, fmt.Errorf("window %d entry %d: non-ascending node index", wi, ei)
+				}
+				nodeIdx = uint64(prevNodeIdx) + rawIdx
+			} else {
+				if ei > 0 && class < prevClass {
+					return nil, fmt.Errorf("window %d entry %d: class order violation", wi, ei)
+				}
+				nodeIdx = rawIdx
+			}
+			nodes := classNodes[class]
+			if nodeIdx >= uint64(len(nodes)) {
+				return nil, fmt.Errorf("window %d entry %d: node index %d out of range for %v tree (%d nodes)",
+					wi, ei, nodeIdx, class, len(nodes))
+			}
+			prevClass, prevNodeIdx = class, uint32(nodeIdx)
+			d := cct.TimeDelta{Class: class, Node: nodes[nodeIdx]}
+			nz, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("window %d entry %d: reading metric count: %w", wi, ei, wrapEOF(err))
+			}
+			if int(nz) > int(metric.NumMetrics) {
+				return nil, fmt.Errorf("window %d entry %d: metric count %d out of range", wi, ei, nz)
+			}
+			for k := 0; k < int(nz); k++ {
+				id, err := br.ReadByte()
+				if err != nil {
+					return nil, fmt.Errorf("window %d entry %d: reading metric id: %w", wi, ei, wrapEOF(err))
+				}
+				if int(id) >= int(metric.NumMetrics) {
+					return nil, fmt.Errorf("window %d entry %d: metric id %d out of range", wi, ei, id)
+				}
+				v, err := readUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("window %d entry %d: reading metric value: %w", wi, ei, wrapEOF(err))
+				}
+				d.Metrics[id] += v
+			}
+			win.Deltas = append(win.Deltas, d)
+		}
+		ts.Windows = append(ts.Windows, win)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trailing bytes in temporal section")
+	}
+	if len(ts.Windows) == 0 {
+		return nil, nil // an empty sidecar decodes to no sidecar
+	}
+	return ts, nil
+}

@@ -1,0 +1,346 @@
+package profio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+// temporalProfile builds a sidecar-bearing profile: the sampleProfile
+// trees plus a three-window series touching the heap and static trees.
+func temporalProfile(rank, thread int) *cct.Profile {
+	p := sampleProfile(rank, thread)
+	var heapLeaf, staticLeaf *cct.Node
+	p.Trees[cct.ClassHeap].Walk(func(n *cct.Node, _ int) bool {
+		if n.NumChildren() == 0 {
+			heapLeaf = n
+		}
+		return true
+	})
+	p.Trees[cct.ClassStatic].Walk(func(n *cct.Node, _ int) bool {
+		if n.NumChildren() == 0 {
+			staticLeaf = n
+		}
+		return true
+	})
+	mk := func(samples, lat uint64) metric.Vector {
+		var v metric.Vector
+		v[metric.Samples] = samples
+		v[metric.Latency] = lat
+		return v
+	}
+	p.Temporal = &cct.TimeSeries{
+		Width: 4096,
+		Windows: []cct.TimeWindow{
+			{Index: 0, Deltas: []cct.TimeDelta{
+				{Class: cct.ClassStatic, Node: staticLeaf, Metrics: mk(1, 40)},
+				{Class: cct.ClassHeap, Node: heapLeaf, Metrics: mk(2, 600)},
+			}},
+			{Index: 1, Deltas: []cct.TimeDelta{
+				{Class: cct.ClassHeap, Node: heapLeaf, Metrics: mk(1, 300)},
+			}},
+			{Index: 7, Deltas: []cct.TimeDelta{
+				{Class: cct.ClassHeap, Node: heapLeaf.Parent(), Metrics: mk(4, 100)},
+			}},
+		},
+	}
+	return p
+}
+
+// seriesEqual compares two sidecars structurally: same windows, and each
+// delta resolves to a node with the same root path, class, and metrics.
+func seriesEqual(t *testing.T, a, b *cct.TimeSeries) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("sidecar presence differs: %v vs %v", a != nil, b != nil)
+	}
+	if a == nil {
+		return
+	}
+	if a.Width != b.Width || len(a.Windows) != len(b.Windows) {
+		t.Fatalf("series shape differs: width %d/%d, windows %d/%d",
+			a.Width, b.Width, len(a.Windows), len(b.Windows))
+	}
+	key := func(d *cct.TimeDelta) string {
+		var sb strings.Builder
+		for _, f := range d.Node.Path() {
+			sb.WriteString(f.String())
+			sb.WriteByte('|')
+		}
+		return d.Class.String() + "!" + sb.String()
+	}
+	for i := range a.Windows {
+		wa, wb := &a.Windows[i], &b.Windows[i]
+		if wa.Index != wb.Index {
+			t.Fatalf("window %d index %d vs %d", i, wa.Index, wb.Index)
+		}
+		ma := map[string]metric.Vector{}
+		for j := range wa.Deltas {
+			d := &wa.Deltas[j]
+			v := ma[key(d)]
+			v.Add(&d.Metrics)
+			ma[key(d)] = v
+		}
+		mb := map[string]metric.Vector{}
+		for j := range wb.Deltas {
+			d := &wb.Deltas[j]
+			v := mb[key(d)]
+			v.Add(&d.Metrics)
+			mb[key(d)] = v
+		}
+		if len(ma) != len(mb) {
+			t.Fatalf("window %d: %d vs %d distinct deltas", i, len(ma), len(mb))
+		}
+		for k, va := range ma {
+			if vb, ok := mb[k]; !ok || va != vb {
+				t.Fatalf("window %d delta %q: %v vs %v (present %v)", i, k, va.String(), vb.String(), ok)
+			}
+		}
+	}
+}
+
+func TestTemporalRoundTrip(t *testing.T) {
+	p := temporalProfile(3, 17)
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	profilesEqual(t, p, got)
+	seriesEqual(t, p.Temporal, got.Temporal)
+
+	// Decoded nodes must belong to the decoded trees, not dangle.
+	for _, w := range got.Temporal.Windows {
+		for _, d := range w.Deltas {
+			root := d.Node
+			for root.Parent() != nil {
+				root = root.Parent()
+			}
+			if root != got.Trees[d.Class].Root {
+				t.Fatal("sidecar delta not anchored in its class tree")
+			}
+		}
+	}
+
+	// Byte stability: encode → decode → encode is the identity.
+	var buf2 bytes.Buffer
+	if err := WriteProfile(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("temporal profile re-encoding differs")
+	}
+}
+
+func TestTemporalAbsentStaysAbsent(t *testing.T) {
+	// A profile without a sidecar writes the exact pre-trailer byte
+	// stream and reads back with nil Temporal.
+	p := sampleProfile(1, 2)
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Temporal != nil {
+		t.Fatal("sidecar materialized from nowhere")
+	}
+	// An empty series behaves like no series.
+	p.Temporal = &cct.TimeSeries{Width: 64}
+	var buf2 bytes.Buffer
+	if err := WriteProfile(&buf2, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("empty sidecar changed the encoding")
+	}
+}
+
+// appendTrailer frames payload as a trailer section with the given magic.
+func appendTrailer(img []byte, magic uint32, payload []byte) []byte {
+	out := append([]byte{}, img...)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], magic)
+	out = append(out, u32[:]...)
+	var n [binary.MaxVarintLen64]byte
+	out = append(out, n[:binary.PutUvarint(n[:], uint64(len(payload)))]...)
+	out = append(out, payload...)
+	binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(payload))
+	return append(out, u32[:]...)
+}
+
+func TestUnknownTrailerSkipped(t *testing.T) {
+	p := temporalProfile(0, 0)
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	img := appendTrailer(buf.Bytes(), 0x58545241 /* "XTRA" */, []byte("future section"))
+	got, err := ReadProfile(bytes.NewReader(img))
+	if err != nil {
+		t.Fatalf("unknown trailer must be skipped, got %v", err)
+	}
+	profilesEqual(t, p, got)
+	seriesEqual(t, p.Temporal, got.Temporal)
+	if _, err := ValidateV2Profile(bytes.NewReader(img)); err != nil {
+		t.Fatalf("validate rejected unknown trailer: %v", err)
+	}
+}
+
+func TestCorruptTrailerRejectedStrict(t *testing.T) {
+	p := temporalProfile(0, 0)
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	img := append([]byte{}, buf.Bytes()...)
+	img[len(img)-6] ^= 0x40 // inside the sidecar payload
+	if _, err := ReadProfile(bytes.NewReader(img)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("strict read of damaged sidecar: %v, want checksum error", err)
+	}
+	// Truncated mid-trailer is a truncation, not a silent success.
+	if _, err := ReadProfile(bytes.NewReader(img[:len(img)-8])); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated trailer: %v, want ErrTruncated", err)
+	}
+}
+
+func TestSalvageDamagedSidecarKeepsTrees(t *testing.T) {
+	p := temporalProfile(5, 9)
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func([]byte) []byte{
+		"payload bit flip": func(img []byte) []byte {
+			img[len(img)-6] ^= 0x40
+			return img
+		},
+		"truncated trailer": func(img []byte) []byte {
+			return img[:len(img)-8]
+		},
+		"trailer crc damaged": func(img []byte) []byte {
+			img[len(img)-1] ^= 0x01
+			return img
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			s, err := SalvageProfile(bytes.NewReader(mutate(append([]byte{}, buf.Bytes()...))), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Trees != cct.NumClasses || s.Lost != 0 {
+				t.Fatalf("trees %d lost %d, want %d/0", s.Trees, s.Lost, cct.NumClasses)
+			}
+			if len(s.Errs) == 0 {
+				t.Fatal("damaged sidecar produced no salvage note")
+			}
+			if s.Intact() {
+				t.Fatal("damaged file reported intact")
+			}
+			if s.Profile.Temporal != nil {
+				t.Fatal("damaged sidecar survived salvage")
+			}
+			if !s.SidecarOnly {
+				t.Fatal("sidecar-only damage not classified as such")
+			}
+			profilesEqual(t, p, s.Profile)
+		})
+	}
+}
+
+func TestSalvageDamagedTreeDropsSidecar(t *testing.T) {
+	// When a tree section is damaged, sidecar deltas referencing it can no
+	// longer be anchored; the decoder must reject the sidecar rather than
+	// resurrect data from a dropped tree.
+	p := temporalProfile(0, 0)
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	img := append([]byte{}, buf.Bytes()...)
+	// Walk the section seams: header, then trees. Flip a byte inside the
+	// heap tree's payload (section index 1 + int(cct.ClassHeap)).
+	pos := 8
+	target := 1 + int(cct.ClassHeap)
+	for s := 0; ; s++ {
+		n, k := binary.Uvarint(img[pos:])
+		if k <= 0 {
+			t.Fatal("bad seed image")
+		}
+		if s == target {
+			img[pos+k+int(n)/2] ^= 0x20
+			break
+		}
+		pos += k + int(n) + 4
+	}
+	s, err := SalvageProfile(bytes.NewReader(img), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lost != 1 || s.Trees != cct.NumClasses-1 {
+		t.Fatalf("trees %d lost %d, want %d/1", s.Trees, s.Lost, cct.NumClasses)
+	}
+	if s.Profile.Temporal != nil {
+		t.Fatal("sidecar referencing a lost tree must be dropped")
+	}
+	if s.SidecarOnly {
+		t.Fatal("tree damage misclassified as sidecar-only")
+	}
+}
+
+// FuzzTemporalSection throws arbitrary bytes at the sidecar decoder two
+// ways: framed as a checksum-valid DCPT trailer (so the decoder itself is
+// always reached) and appended raw after the footer. Neither may panic;
+// salvage must still recover every tree.
+func FuzzTemporalSection(f *testing.F) {
+	var base bytes.Buffer
+	if err := WriteProfile(&base, sampleProfile(3, 17)); err != nil {
+		f.Fatal(err)
+	}
+	var withSidecar bytes.Buffer
+	if err := WriteProfile(&withSidecar, temporalProfile(3, 17)); err != nil {
+		f.Fatal(err)
+	}
+	// The valid sidecar payload itself, so the fuzzer mutates from a
+	// structurally interesting point.
+	rest := withSidecar.Bytes()[len(base.Bytes())+4:] // skip trailer magic
+	n, k := binary.Uvarint(rest)
+	if k <= 0 {
+		f.Fatal("seed image: bad sidecar framing")
+	}
+	f.Add(append([]byte{}, rest[k:k+int(n)]...))
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x01, 0x01, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		framed := appendTrailer(base.Bytes(), TemporalMagic, data)
+		if p, err := ReadProfile(bytes.NewReader(framed)); err == nil {
+			var out bytes.Buffer
+			if err := WriteProfile(&out, p); err != nil {
+				t.Fatalf("decoded temporal profile failed to re-encode: %v", err)
+			}
+		}
+		s, err := SalvageProfile(bytes.NewReader(framed), nil)
+		if err != nil {
+			t.Fatalf("salvage failed on framed sidecar: %v", err)
+		}
+		if s.Trees != cct.NumClasses {
+			t.Fatalf("framed sidecar cost %d trees", cct.NumClasses-s.Trees)
+		}
+		// Raw append: arbitrary post-footer garbage.
+		raw := append(append([]byte{}, base.Bytes()...), data...)
+		if _, err := SalvageProfile(bytes.NewReader(raw), nil); err != nil {
+			t.Fatalf("salvage failed on raw trailer bytes: %v", err)
+		}
+	})
+}

@@ -9,8 +9,10 @@ package push
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -28,7 +30,10 @@ import (
 )
 
 // writeMeasurement fills dir with n synthetic thread profiles and
-// returns their encoded bytes by file name.
+// returns their encoded bytes by file name. Odd-numbered threads carry a
+// temporal sidecar, so every multi-file scenario (clean, chaos, resume)
+// pushes a mix of plain and sidecar-bearing v2 files through the digest
+// machinery.
 func writeMeasurement(t testing.TB, dir string, n int) map[string][]byte {
 	t.Helper()
 	out := map[string][]byte{}
@@ -42,6 +47,9 @@ func writeMeasurement(t testing.TB, dir string, n int) map[string][]byte {
 			{Kind: cct.KindHeapData, Name: "grid"},
 			{Kind: cct.KindStmt, Module: "exe", Name: "smooth", File: "sm.c", Line: 42 + i},
 		}, &v)
+		if i%2 == 1 {
+			attachSidecar(p)
+		}
 		var buf bytes.Buffer
 		if err := profio.WriteProfile(&buf, p); err != nil {
 			t.Fatal(err)
@@ -53,6 +61,25 @@ func writeMeasurement(t testing.TB, dir string, n int) map[string][]byte {
 		out[name] = buf.Bytes()
 	}
 	return out
+}
+
+// attachSidecar gives the profile a small two-window temporal sidecar
+// anchored at its heap leaf.
+func attachSidecar(p *cct.Profile) {
+	var leaf *cct.Node
+	p.Trees[cct.ClassHeap].Walk(func(n *cct.Node, _ int) bool {
+		if n.NumChildren() == 0 {
+			leaf = n
+		}
+		return true
+	})
+	var v metric.Vector
+	v[metric.Samples] = 1
+	v[metric.Latency] = 50
+	p.Temporal = &cct.TimeSeries{Width: 4096, Windows: []cct.TimeWindow{
+		{Index: 0, Deltas: []cct.TimeDelta{{Class: cct.ClassHeap, Node: leaf, Metrics: v}}},
+		{Index: 2, Deltas: []cct.TimeDelta{{Class: cct.ClassHeap, Node: leaf, Metrics: v}}},
+	}}
 }
 
 // newDcprofd starts a real server over a temp data dir.
@@ -410,6 +437,80 @@ func TestPushTotalDeadline(t *testing.T) {
 	if sum.Failed == 0 {
 		t.Fatalf("summary %+v, want at least one failure at the deadline", sum)
 	}
+}
+
+// TestPushUnknownTrailerRoundTrip uploads a v2 file carrying both a
+// temporal sidecar and an unknown trailing section: ingest validation
+// must accept it (unknown sections are CRC-verified and skipped, the
+// forward-compatibility contract), the stored bytes must be identical to
+// the source — no re-encoding, no trailer stripping — and a re-push must
+// recognize the stored copy by digest and resume past it.
+func TestPushUnknownTrailerRoundTrip(t *testing.T) {
+	_, ts, dataDir := newDcprofd(t)
+	dir := t.TempDir()
+	profiles := writeMeasurement(t, dir, 2) // thread 1 carries a sidecar
+
+	// Append a future section to the sidecar-bearing file.
+	name := "rank00000-thread00001.dcprof"
+	img := appendUnknownTrailer(profiles[name], []byte("section from the future"))
+	if err := os.WriteFile(filepath.Join(dir, name), img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &sleepRecorder{}
+	sum, err := Push(context.Background(), dir, fastOptions(ts.URL, "fwd", rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Uploaded != 2 || sum.Failed != 0 {
+		t.Fatalf("summary %+v, want both files uploaded", sum)
+	}
+
+	// The stored copy is byte-identical to what was sent.
+	files, err := profio.Files(filepath.Join(dataDir, "fwd"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("server holds %d files (err %v), want 2", len(files), err)
+	}
+	found := false
+	for _, f := range files {
+		stored, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(stored, img) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no stored file matches the unknown-trailer upload byte for byte")
+	}
+
+	// The collection still merges and serves.
+	getBody(t, ts.URL+"/collections/fwd/topdown")
+
+	// A second push resumes both files off the digest list — the digest
+	// of the stored bytes matches the source exactly.
+	sum2, err := Push(context.Background(), dir, fastOptions(ts.URL, "fwd", rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Resumed != 2 || sum2.Uploaded != 0 {
+		t.Fatalf("re-push summary %+v, want both files resumed by digest", sum2)
+	}
+}
+
+// appendUnknownTrailer frames payload as a correctly-checksummed trailer
+// section under a magic no reader knows.
+func appendUnknownTrailer(img, payload []byte) []byte {
+	out := append([]byte{}, img...)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], 0x58545241 /* "XTRA" */)
+	out = append(out, u32[:]...)
+	var n [binary.MaxVarintLen64]byte
+	out = append(out, n[:binary.PutUvarint(n[:], uint64(len(payload)))]...)
+	out = append(out, payload...)
+	binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(payload))
+	return append(out, u32[:]...)
 }
 
 // TestParseRetryAfter covers both header forms.

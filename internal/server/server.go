@@ -18,8 +18,9 @@
 //	POST /collections/{name}/profiles     upload one v2 profile (body = file bytes)
 //	GET  /collections                     list collections
 //	GET  /collections/{name}              collection metadata (+ last merge's quarantine)
-//	GET  /collections/{name}/topdown      top-down view JSON   (?metric=&depth=&min=&rows=)
-//	GET  /collections/{name}/bottomup     bottom-up view JSON  (?metric=&rows=)
+//	GET  /collections/{name}/topdown      top-down view JSON   (?metric=&depth=&min=&rows=&window=t0:t1)
+//	GET  /collections/{name}/bottomup     bottom-up view JSON  (?metric=&rows=&window=t0:t1)
+//	GET  /collections/{name}/phases       detected execution phases JSON
 //	GET  /collections/{name}/diff?base=B  per-variable diff of collection B -> {name}
 //	GET  /collections/{name}/stats        merge pipeline statistics JSON
 //	GET  /collections/{name}/digests      content digests (the dcpush resume surface)
@@ -169,6 +170,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /collections/{name}", s.instrument("metadata", s.handleMetadata))
 	mux.HandleFunc("GET /collections/{name}/topdown", s.instrument("topdown", s.handleTopDown))
 	mux.HandleFunc("GET /collections/{name}/bottomup", s.instrument("bottomup", s.handleBottomUp))
+	mux.HandleFunc("GET /collections/{name}/phases", s.instrument("phases", s.handlePhases))
 	mux.HandleFunc("GET /collections/{name}/diff", s.instrument("diff", s.handleDiff))
 	mux.HandleFunc("GET /collections/{name}/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /collections/{name}/digests", s.instrument("digests", s.handleDigests))
@@ -512,33 +514,31 @@ func queryOptions(r *http.Request, event string) (view.Options, error) {
 }
 
 func (s *Server) handleTopDown(w http.ResponseWriter, r *http.Request) {
-	e, status, err := s.view(r.Context(), r.PathValue("name"))
-	if err != nil {
-		s.viewError(w, status, err)
+	db := s.temporalDB(w, r)
+	if db == nil {
 		return
 	}
-	o, err := queryOptions(r, e.db.Event)
+	o, err := queryOptions(r, db.Event)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	view.WriteTopDownJSON(w, e.db.Merged, o)
+	view.WriteTopDownJSON(w, db.Merged, o)
 }
 
 func (s *Server) handleBottomUp(w http.ResponseWriter, r *http.Request) {
-	e, status, err := s.view(r.Context(), r.PathValue("name"))
-	if err != nil {
-		s.viewError(w, status, err)
+	db := s.temporalDB(w, r)
+	if db == nil {
 		return
 	}
-	o, err := queryOptions(r, e.db.Event)
+	o, err := queryOptions(r, db.Event)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	view.WriteBottomUpJSON(w, e.db.Merged, o)
+	view.WriteBottomUpJSON(w, db.Merged, o)
 }
 
 // handleDiff serves the per-variable comparison base -> {name}: "what

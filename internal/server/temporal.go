@@ -1,0 +1,106 @@
+package server
+
+// Temporal query surface: the ?window= parameter on the view endpoints
+// and the detected-phase endpoint. A windowed query resolves the
+// collection's merged view as usual (cache, singleflight, admission),
+// then derives the window-restricted database through a second cache
+// entry keyed by collection + canonical window spec at the same content
+// generation — repeated queries against one window are cache hits, and
+// an upload invalidates windowed views exactly like whole-run views
+// because the generation is part of the key. Deriving a window never
+// takes a merge-admission token: the clip reads the already-merged
+// temporal index, which is cheap next to a merge.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"dcprof/internal/analysis"
+	"dcprof/internal/temporal"
+	"dcprof/internal/view"
+)
+
+// temporalDB resolves the database a view query should render: the
+// collection's merged view, window-restricted when the request carries
+// ?window=t0:t1. On failure the error response is already written and
+// nil is returned. Malformed specs are 400s diagnosed before any merge
+// starts; a window query against a collection without temporal sidecars
+// is a 400 as well — the parameter asks for data the collection cannot
+// answer.
+func (s *Server) temporalDB(w http.ResponseWriter, r *http.Request) *analysis.Database {
+	spec := r.URL.Query().Get("window")
+	var t0, t1 uint64
+	if spec != "" {
+		var err error
+		t0, t1, err = temporal.ParseWindowSpec(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return nil
+		}
+	}
+	e, status, err := s.view(r.Context(), r.PathValue("name"))
+	if err != nil {
+		s.viewError(w, status, err)
+		return nil
+	}
+	if spec == "" {
+		return e.db
+	}
+	we, err := s.windowView(r.Context(), e, t0, t1)
+	if err != nil {
+		switch {
+		case errors.Is(err, analysis.ErrNoTemporal):
+			httpError(w, http.StatusBadRequest, "collection %q: %v", e.name, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			httpError(w, http.StatusGatewayTimeout, "%v", err)
+		case errors.Is(err, context.Canceled):
+			httpError(w, 499, "%v", err)
+		default:
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return nil
+	}
+	return we.db
+}
+
+// windowView returns the window-restricted view derived from the base
+// entry, through the cache. The derived key cannot collide with a
+// collection name: ValidateName rejects '|', ':' and '='. The derived
+// database shares everything with the base except Merged, which is the
+// freshly clipped profile — the base entry is never mutated.
+func (s *Server) windowView(ctx context.Context, base *viewEntry, t0, t1 uint64) (*viewEntry, error) {
+	key := base.name + "|window=" + temporal.FormatWindowSpec(t0, t1)
+	return s.cache.get(ctx, key, base.gen, nil, func(context.Context) (*analysis.Database, analysis.MergeStats, error) {
+		clipped, err := analysis.Clip(base.db, t0, t1)
+		if err != nil {
+			return nil, analysis.MergeStats{}, err
+		}
+		db := *base.db
+		db.Merged = clipped
+		return &db, base.stats, nil
+	})
+}
+
+// handlePhases serves the detected execution phases of the collection's
+// current merged view, rendered by the same writer as `dcview -phases
+// -json`. A collection whose profiles carried no temporal sidecars has
+// no phase resource: 404.
+func (s *Server) handlePhases(w http.ResponseWriter, r *http.Request) {
+	e, status, err := s.view(r.Context(), r.PathValue("name"))
+	if err != nil {
+		s.viewError(w, status, err)
+		return
+	}
+	ph, err := analysis.Phases(e.db)
+	if err != nil {
+		if errors.Is(err, analysis.ErrNoTemporal) {
+			httpError(w, http.StatusNotFound, "collection %q: %v", e.name, err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	view.WritePhasesJSON(w, e.db.Event, e.db.Temporal.Width(), ph)
+}

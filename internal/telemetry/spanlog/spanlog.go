@@ -69,6 +69,24 @@ func (l *Log) Complete(name, cat string, pid, tid int, start time.Time, dur time
 	l.append(Event{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: us, Pid: pid, Tid: tid, Args: args})
 }
 
+// Range records a span at an absolute log-relative position: startUS
+// microseconds after the log's creation, durUS long. It exists for spans
+// measured on a clock other than the host's — detected program phases in
+// simulated time, mapped one simulated cycle to one microsecond — where
+// Complete's wall-clock anchoring does not apply. No-op on nil.
+func (l *Log) Range(name, cat string, pid, tid int, startUS, durUS int64, args map[string]any) {
+	if l == nil {
+		return
+	}
+	if startUS < 0 {
+		startUS = 0
+	}
+	if durUS < 1 {
+		durUS = 1 // zero-width spans vanish in viewers
+	}
+	l.append(Event{Name: name, Cat: cat, Ph: "X", Ts: startUS, Dur: durUS, Pid: pid, Tid: tid, Args: args})
+}
+
 // Span starts a span now and returns a function that completes it; use
 // with defer. No-op on nil.
 func (l *Log) Span(name, cat string, pid, tid int, args map[string]any) func() {

@@ -1,0 +1,161 @@
+// Package temporal adds the time axis to data-centric profiles.
+//
+// The cumulative CCT answers "where did the latency go over the whole
+// run"; a NUMA storm confined to one phase disappears into that average.
+// This package keeps "when" alongside "where" at three points of the
+// pipeline:
+//
+//   - Recorder buckets each sample's metric vector into fixed-width
+//     windows of the sampled thread's sim clock, on the profiler hot
+//     path, without allocating in steady state. The result rides on the
+//     profile as cct.TimeSeries and is persisted by profio as an
+//     optional trailing v2 section older readers skip.
+//   - Index merges the per-thread series of a measurement into
+//     per-window partial profiles (window-restricted CCTs rebuilt from
+//     each delta's calling context), the substrate for analysis.Clip
+//     and analysis.WindowDiff.
+//   - Phases runs a change-point scan over per-window aggregate
+//     features (sample volume, latency per sample, remote-access
+//     fraction, store fraction) and labels the segments — the
+//     folding-style phase view of Servat et al., reduced to a robust
+//     heuristic.
+//
+// Thread clocks in one measurement are mutually coherent (parallel
+// regions synchronize participants at barriers), so window indices are
+// directly comparable across threads and files.
+package temporal
+
+import (
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+// slot tracks one node touched in the current window: the node plus its
+// cumulative metric vector as of first touch. The window's delta is
+// computed at flush time as current-minus-base, so per-sample recording
+// never copies or adds a vector.
+type slot struct {
+	node  *cct.Node
+	class cct.Class
+	base  metric.Vector
+}
+
+// Recorder buckets per-node metric deltas into fixed-width sim-time
+// windows. It is single-threaded by design — one Recorder per profiled
+// thread, living in the profiler's per-thread state.
+//
+// The design keeps the sample hot path to a few compares: Record is
+// called BEFORE the sample's vector is added to the node, and only marks
+// the node as touched in the current window, snapshotting the node's
+// cumulative metrics on first touch. The per-window delta is recovered
+// at window flush as (cumulative now) − (cumulative at first touch).
+// "Already touched this window" is tracked in the node's scratch word
+// (stamped with a counter that bumps every flush, so windows never need
+// un-stamping), and "still the same window" is a subtract-and-compare
+// against the window's start cycle — so the steady-state case is two
+// compares and a return: no division, no map, no vector copy, and the
+// whole path inlines into the profiler's record loop. Allocation happens
+// only when a window flushes, which amortizes to 0 allocs/op at any
+// realistic samples-per-window ratio; the hot-path bench gate enforces
+// both the alloc and the ns/op budget.
+type Recorder struct {
+	width   uint64
+	windows []cct.TimeWindow
+
+	// Current-window accumulation state. curStart is curIdx*width, kept
+	// so the fast path tests window membership without dividing. stamp
+	// identifies the current window in node scratch words; flush bumps
+	// it, instantly invalidating every stamped node. Starts above zero so
+	// fresh nodes (scratch 0) never read as stamped.
+	cur      []slot
+	curIdx   uint64
+	curStart uint64
+	open     bool
+	stamp    uint64
+}
+
+// NewRecorder creates a recorder with the given window width in sim
+// cycles. Width must be positive.
+func NewRecorder(width uint64) *Recorder {
+	if width == 0 {
+		panic("temporal: window width must be positive")
+	}
+	return &Recorder{width: width, stamp: 1}
+}
+
+// Width returns the window width in sim cycles.
+func (r *Recorder) Width() uint64 { return r.width }
+
+// Record marks node n of class tree `class` as sampled at sim time now.
+// It MUST be called before the sample's metric vector is added to
+// n.Metrics — the recorder snapshots cumulative metrics at first touch
+// per window and recovers the window delta by subtraction at flush.
+//
+// The recorder must be the sole scratch-word user of the profile's trees
+// while recording (true for per-thread profiles under the profiler).
+func (r *Recorder) Record(now uint64, class cct.Class, n *cct.Node) {
+	// now-curStart wraps huge when now < curStart, failing the compare;
+	// a stale in-range curStart after Series is harmless because flush
+	// bumped stamp, so the scratch compare fails.
+	if now-r.curStart < r.width && n.Scratch() == r.stamp {
+		return // steady state: node already snapshotted in this window
+	}
+	r.record(now, class, n)
+}
+
+// record is the slow path: window advance and/or first touch of a node.
+func (r *Recorder) record(now uint64, class cct.Class, n *cct.Node) {
+	idx := now / r.width
+	if !r.open || idx != r.curIdx {
+		r.flush()
+		r.curIdx = idx
+		r.curStart = idx * r.width
+		r.open = true
+	}
+	if n.Scratch() != r.stamp {
+		n.SetScratch(r.stamp)
+		r.cur = append(r.cur, slot{node: n, class: class, base: n.Metrics})
+	}
+}
+
+// flush materializes the current window: each touched node contributes
+// its cumulative metrics minus the first-touch snapshot. Slots whose
+// delta is all-zero are dropped (a Record not followed by a metric add).
+func (r *Recorder) flush() {
+	if r.open && len(r.cur) > 0 {
+		var deltas []cct.TimeDelta
+		for i := range r.cur {
+			s := &r.cur[i]
+			var d metric.Vector
+			nonzero := false
+			for j := range d {
+				d[j] = s.node.Metrics[j] - s.base[j]
+				if d[j] != 0 {
+					nonzero = true
+				}
+			}
+			if nonzero {
+				deltas = append(deltas, cct.TimeDelta{Class: s.class, Node: s.node, Metrics: d})
+			}
+		}
+		if len(deltas) > 0 {
+			r.windows = append(r.windows, cct.TimeWindow{Index: r.curIdx, Deltas: deltas})
+		}
+		r.cur = r.cur[:0]
+	}
+	r.stamp++ // invalidate every node stamped in the closed window
+}
+
+// Series returns the recorded sidecar, flushing the in-progress window,
+// or nil when nothing was recorded. Recording may continue afterwards; a
+// later Series call returns the extended history (a re-opened window
+// appears as a second entry with the same index, which the profio
+// encoder coalesces).
+func (r *Recorder) Series() *cct.TimeSeries {
+	r.flush()
+	r.open = false
+	if len(r.windows) == 0 {
+		return nil
+	}
+	return &cct.TimeSeries{Width: r.width, Windows: r.windows}
+}

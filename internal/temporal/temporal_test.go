@@ -1,0 +1,362 @@
+package temporal
+
+import (
+	"errors"
+	"testing"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+)
+
+func frame(name string) cct.Frame {
+	return cct.Frame{Kind: cct.KindCall, Module: "m", Name: name}
+}
+
+func sampleVec(samples, latency uint64) metric.Vector {
+	var v metric.Vector
+	v[metric.Samples] = samples
+	v[metric.Latency] = latency
+	return v
+}
+
+// buildProfile makes a profile with one static-tree node per name and a
+// recorder-produced series assigning each node one delta per window.
+func buildProfile(rank, thread int, width uint64, names ...string) (*cct.Profile, []*cct.Node) {
+	p := cct.NewProfile(rank, thread, "IBS@4096")
+	nodes := make([]*cct.Node, len(names))
+	for i, nm := range names {
+		v := sampleVec(1, 10)
+		nodes[i] = p.Trees[cct.ClassStatic].AddSample([]cct.Frame{frame(nm)}, &v)
+	}
+	return p, nodes
+}
+
+// addSample mirrors the profiler's sample ordering: mark the node in the
+// recorder first, then add the vector to the node's cumulative metrics.
+func addSample(r *Recorder, now uint64, class cct.Class, n *cct.Node, v metric.Vector) {
+	r.Record(now, class, n)
+	n.Metrics.Add(&v)
+}
+
+func TestRecorderWindowsAndFastPath(t *testing.T) {
+	p, nodes := buildProfile(0, 0, 100, "a", "b")
+	r := NewRecorder(100)
+	v := sampleVec(1, 5)
+	// Window 0: a, a (fast path), b. Window 2 (gap at 1): a.
+	addSample(r, 10, cct.ClassStatic, nodes[0], v)
+	addSample(r, 20, cct.ClassStatic, nodes[0], v)
+	addSample(r, 30, cct.ClassStatic, nodes[1], v)
+	addSample(r, 250, cct.ClassStatic, nodes[0], v)
+	ts := r.Series()
+	if ts == nil || len(ts.Windows) != 2 {
+		t.Fatalf("want 2 windows, got %+v", ts)
+	}
+	if ts.Width != 100 {
+		t.Fatalf("width = %d, want 100", ts.Width)
+	}
+	w0, w2 := ts.Windows[0], ts.Windows[1]
+	if w0.Index != 0 || w2.Index != 2 {
+		t.Fatalf("window indices = %d, %d; want 0, 2", w0.Index, w2.Index)
+	}
+	if len(w0.Deltas) != 2 {
+		t.Fatalf("window 0 has %d deltas, want 2 (a coalesced)", len(w0.Deltas))
+	}
+	if got := w0.Deltas[0].Metrics[metric.Samples]; got != 2 {
+		t.Fatalf("node a window-0 samples = %d, want 2", got)
+	}
+	if w0.Deltas[0].Node != nodes[0] || w0.Deltas[1].Node != nodes[1] {
+		t.Fatalf("window 0 delta nodes wrong")
+	}
+	if len(w2.Deltas) != 1 || w2.Deltas[0].Node != nodes[0] {
+		t.Fatalf("window 2 deltas wrong: %+v", w2.Deltas)
+	}
+	if ts.NumDeltas() != 3 {
+		t.Fatalf("NumDeltas = %d, want 3", ts.NumDeltas())
+	}
+	if s, e := ts.Span(); s != 0 || e != 300 {
+		t.Fatalf("Span = [%d, %d), want [0, 300)", s, e)
+	}
+	_ = p
+}
+
+func TestRecorderEmptySeriesNil(t *testing.T) {
+	if got := NewRecorder(64).Series(); got != nil {
+		t.Fatalf("empty recorder Series = %+v, want nil", got)
+	}
+}
+
+func TestRecorderContinuesAfterSeries(t *testing.T) {
+	_, nodes := buildProfile(0, 0, 100, "a")
+	r := NewRecorder(100)
+	v := sampleVec(1, 0)
+	addSample(r, 10, cct.ClassStatic, nodes[0], v)
+	first := r.Series()
+	if len(first.Windows) != 1 {
+		t.Fatalf("first Series windows = %d", len(first.Windows))
+	}
+	addSample(r, 20, cct.ClassStatic, nodes[0], v)
+	second := r.Series()
+	// Re-opened window 0 appears as a duplicate-index entry; the encoder
+	// coalesces, the recorder only guarantees ascending flush order.
+	total := uint64(0)
+	for _, w := range second.Windows {
+		if w.Index != 0 {
+			t.Fatalf("unexpected window index %d", w.Index)
+		}
+		for _, d := range w.Deltas {
+			total += d.Metrics[metric.Samples]
+		}
+	}
+	if total != 2 {
+		t.Fatalf("total samples after resume = %d, want 2", total)
+	}
+}
+
+func TestIndexFoldClip(t *testing.T) {
+	// Two threads; thread 0 samples "a" in window 0, thread 1 samples
+	// "a" in window 0 and "b" in window 1.
+	p0, n0 := buildProfile(0, 0, 0, "a")
+	r0 := NewRecorder(100)
+	v := sampleVec(1, 10)
+	addSample(r0, 5, cct.ClassStatic, n0[0], v)
+	p0.Temporal = r0.Series()
+
+	p1, n1 := buildProfile(0, 1, 0, "a", "b")
+	r1 := NewRecorder(100)
+	addSample(r1, 50, cct.ClassStatic, n1[0], v)
+	addSample(r1, 150, cct.ClassStatic, n1[1], v)
+	p1.Temporal = r1.Series()
+
+	ix := NewIndex()
+	if err := ix.AddSeries(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.AddSeries(p0); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Series != 2 || ix.NumWindows() != 2 || ix.Width() != 100 {
+		t.Fatalf("index state: series=%d windows=%d width=%d", ix.Series, ix.NumWindows(), ix.Width())
+	}
+	if got := ix.WindowIndices(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("WindowIndices = %v", got)
+	}
+
+	// Window 0 holds two "a" samples merged across threads.
+	w0 := ix.WindowProfile(0)
+	if w0.Rank != 0 || w0.Thread != 0 || w0.Event != "IBS@4096" {
+		t.Fatalf("identity = %d/%d/%q", w0.Rank, w0.Thread, w0.Event)
+	}
+	tot := w0.Total()
+	if tot[metric.Samples] != 2 || tot[metric.Latency] != 20 {
+		t.Fatalf("window 0 total = %v", tot.String())
+	}
+	a, ok := w0.Trees[cct.ClassStatic].Root.Lookup(frame("a"))
+	if !ok || a.Metrics[metric.Samples] != 2 {
+		t.Fatalf("window 0 node a missing or wrong: %v, %v", ok, a)
+	}
+	if _, ok := w0.Trees[cct.ClassStatic].Root.Lookup(frame("b")); ok {
+		t.Fatal("window 0 must not contain b")
+	}
+
+	// Clip across both windows sees all three samples.
+	all := ix.Clip(0, 200)
+	if got := all.Total()[metric.Samples]; got != 3 {
+		t.Fatalf("full clip samples = %d, want 3", got)
+	}
+	// Clip with a partial overlap still includes the whole window.
+	part := ix.Clip(150, 160)
+	if got := part.Total()[metric.Samples]; got != 1 {
+		t.Fatalf("partial clip samples = %d, want 1", got)
+	}
+	// Empty and inverted ranges yield empty profiles.
+	if got := ix.Clip(10_000, 20_000).Total(); !got.IsZero() {
+		t.Fatalf("out-of-range clip not empty: %v", got.String())
+	}
+	if got := ix.Clip(100, 100).Total(); !got.IsZero() {
+		t.Fatalf("empty-range clip not empty: %v", got.String())
+	}
+
+	// Clipped profiles alias nothing: mutating the clip leaves the index
+	// unchanged.
+	a.Metrics[metric.Samples] = 999
+	if got := ix.WindowProfile(0).Total()[metric.Samples]; got != 2 {
+		t.Fatalf("index mutated through clip: samples = %d", got)
+	}
+}
+
+func TestIndexWidthMismatch(t *testing.T) {
+	p0, n0 := buildProfile(0, 0, 0, "a")
+	r0 := NewRecorder(100)
+	v := sampleVec(1, 0)
+	addSample(r0, 5, cct.ClassStatic, n0[0], v)
+	p0.Temporal = r0.Series()
+
+	p1, n1 := buildProfile(0, 1, 0, "a")
+	r1 := NewRecorder(200)
+	addSample(r1, 5, cct.ClassStatic, n1[0], v)
+	p1.Temporal = r1.Series()
+
+	ix := NewIndex()
+	if err := ix.AddSeries(p0); err != nil {
+		t.Fatal(err)
+	}
+	err := ix.AddSeries(p1)
+	if !errors.Is(err, ErrWidthMismatch) {
+		t.Fatalf("err = %v, want ErrWidthMismatch", err)
+	}
+	if ix.Dropped != 1 || ix.Series != 1 {
+		t.Fatalf("dropped=%d series=%d", ix.Dropped, ix.Series)
+	}
+	if got := ix.Clip(0, 1000).Total()[metric.Samples]; got != 1 {
+		t.Fatalf("index changed by rejected series: samples = %d", got)
+	}
+}
+
+func TestIndexIgnoresProfilesWithoutSidecar(t *testing.T) {
+	p, _ := buildProfile(0, 0, 0, "a")
+	ix := NewIndex()
+	if err := ix.AddSeries(p); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Series != 0 || ix.NumWindows() != 0 {
+		t.Fatalf("series=%d windows=%d, want 0/0", ix.Series, ix.NumWindows())
+	}
+	if ix.Phases() != nil {
+		t.Fatal("empty index must have nil phases")
+	}
+}
+
+// remoteVec builds a vector with the given remote fraction.
+func remoteVec(samples, remote uint64) metric.Vector {
+	var v metric.Vector
+	v[metric.Samples] = samples
+	v[metric.FromRMEM] = remote
+	v[metric.FromLMEM] = samples - remote
+	v[metric.Latency] = samples * 10
+	return v
+}
+
+func TestPhasesTwoPhase(t *testing.T) {
+	// 16 windows: 8 local then 8 remote-dominated. The detector must cut
+	// within one window of the true boundary at window 8 and label both
+	// sides.
+	p, nodes := buildProfile(0, 0, 0, "a")
+	r := NewRecorder(100)
+	for w := uint64(0); w < 16; w++ {
+		v := remoteVec(100, 0)
+		if w >= 8 {
+			v = remoteVec(100, 80)
+		}
+		addSample(r, w*100+50, cct.ClassStatic, nodes[0], v)
+	}
+	p.Temporal = r.Series()
+	ix := NewIndex()
+	if err := ix.AddSeries(p); err != nil {
+		t.Fatal(err)
+	}
+	phases := ix.Phases()
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases (%+v), want 2", len(phases), phases)
+	}
+	cut := phases[1].StartWindow
+	if cut < 7 || cut > 9 {
+		t.Fatalf("boundary at window %d, want 8±1", cut)
+	}
+	if phases[0].Label != "local" || phases[1].Label != "numa-remote" {
+		t.Fatalf("labels = %q, %q", phases[0].Label, phases[1].Label)
+	}
+	if phases[0].Start != 0 || phases[1].End != 1600 {
+		t.Fatalf("phase cycle bounds: %+v", phases)
+	}
+	if phases[0].End != phases[1].Start {
+		t.Fatal("phases must tile the span")
+	}
+	if phases[0].Samples+phases[1].Samples != 1600 {
+		t.Fatalf("phase samples don't sum: %+v", phases)
+	}
+}
+
+func TestPhasesUniformSinglePhase(t *testing.T) {
+	p, nodes := buildProfile(0, 0, 0, "a")
+	r := NewRecorder(100)
+	for w := uint64(0); w < 12; w++ {
+		v := remoteVec(100, 10)
+		addSample(r, w*100, cct.ClassStatic, nodes[0], v)
+	}
+	p.Temporal = r.Series()
+	ix := NewIndex()
+	if err := ix.AddSeries(p); err != nil {
+		t.Fatal(err)
+	}
+	phases := ix.Phases()
+	if len(phases) != 1 {
+		t.Fatalf("uniform run split into %d phases: %+v", len(phases), phases)
+	}
+	if phases[0].Label != "local" {
+		t.Fatalf("label = %q", phases[0].Label)
+	}
+}
+
+func TestPhasesIdleGap(t *testing.T) {
+	// Active, idle gap, active: the gap must surface as an idle phase.
+	p, nodes := buildProfile(0, 0, 0, "a")
+	r := NewRecorder(100)
+	for w := uint64(0); w < 18; w++ {
+		if w >= 6 && w < 12 {
+			continue // idle
+		}
+		v := remoteVec(100, 0)
+		addSample(r, w*100, cct.ClassStatic, nodes[0], v)
+	}
+	p.Temporal = r.Series()
+	ix := NewIndex()
+	if err := ix.AddSeries(p); err != nil {
+		t.Fatal(err)
+	}
+	phases := ix.Phases()
+	var idle *Phase
+	for i := range phases {
+		if phases[i].Label == "idle" {
+			idle = &phases[i]
+		}
+	}
+	if idle == nil {
+		t.Fatalf("no idle phase in %+v", phases)
+	}
+	if idle.Samples != 0 {
+		t.Fatalf("idle phase has %d samples", idle.Samples)
+	}
+	if idle.StartWindow > 7 || idle.EndWindow < 10 {
+		t.Fatalf("idle phase [%d, %d] misses the gap", idle.StartWindow, idle.EndWindow)
+	}
+}
+
+func TestParseWindowSpec(t *testing.T) {
+	t0, t1, err := ParseWindowSpec("100:6400")
+	if err != nil || t0 != 100 || t1 != 6400 {
+		t.Fatalf("got %d, %d, %v", t0, t1, err)
+	}
+	for _, bad := range []string{"", "100", ":", "a:b", "100:", ":200", "200:100", "100:100", "-1:5", "1:2:3"} {
+		if _, _, err := ParseWindowSpec(bad); err == nil {
+			t.Errorf("ParseWindowSpec(%q) accepted", bad)
+		}
+	}
+	if got := FormatWindowSpec(100, 6400); got != "100:6400" {
+		t.Fatalf("FormatWindowSpec = %q", got)
+	}
+}
+
+func TestParseWindowPair(t *testing.T) {
+	w1, w2, err := ParseWindowPair("3:3")
+	if err != nil || w1 != 3 || w2 != 3 {
+		t.Fatalf("got %d, %d, %v", w1, w2, err)
+	}
+	if _, _, err := ParseWindowPair("9:2"); err != nil {
+		t.Fatalf("descending pair rejected: %v", err)
+	}
+	for _, bad := range []string{"", "3", "x:y", "3:"} {
+		if _, _, err := ParseWindowPair(bad); err == nil {
+			t.Errorf("ParseWindowPair(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package temporal
+
+// Window-spec parsing shared by the dcview flags (-window, -window-diff)
+// and the server's ?window= query parameter, so both surfaces accept and
+// reject exactly the same strings.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseWindowSpec parses a "t0:t1" sim-cycle range (decimal, t1 > t0),
+// e.g. "0:65536".
+func ParseWindowSpec(s string) (t0, t1 uint64, err error) {
+	t0, t1, err = parsePair(s)
+	if err != nil {
+		return 0, 0, fmt.Errorf("window spec %q: %w (want t0:t1 in sim cycles)", s, err)
+	}
+	if t1 <= t0 {
+		return 0, 0, fmt.Errorf("window spec %q: end %d not after start %d", s, t1, t0)
+	}
+	return t0, t1, nil
+}
+
+// ParseWindowPair parses a "w1:w2" pair of window indices for diffing
+// (decimal; any two indices, equal allowed — diffing a window against
+// itself is a valid no-op query).
+func ParseWindowPair(s string) (w1, w2 uint64, err error) {
+	w1, w2, err = parsePair(s)
+	if err != nil {
+		return 0, 0, fmt.Errorf("window pair %q: %w (want w1:w2 window indices)", s, err)
+	}
+	return w1, w2, nil
+}
+
+// FormatWindowSpec renders the canonical spec for a range, the inverse of
+// ParseWindowSpec — used to derive stable cache keys.
+func FormatWindowSpec(t0, t1 uint64) string {
+	return strconv.FormatUint(t0, 10) + ":" + strconv.FormatUint(t1, 10)
+}
+
+func parsePair(s string) (a, b uint64, err error) {
+	lhs, rhs, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("missing ':'")
+	}
+	a, err = strconv.ParseUint(lhs, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad start %q", lhs)
+	}
+	b, err = strconv.ParseUint(rhs, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad end %q", rhs)
+	}
+	return a, b, nil
+}

@@ -1,0 +1,56 @@
+package view
+
+// Temporal presentation: the detected-phase view. Like the other views,
+// the JSON writer here is the single serializer — `dcview -phases -json`
+// and dcprofd's GET /collections/{name}/phases both render through
+// WritePhasesJSON, so offline and served output stay byte-identical.
+// Window-restricted profiles (dcview -window, server ?window=) need no
+// serializer of their own: a clipped profile is an ordinary cct.Profile
+// and flows through the top-down/bottom-up writers above.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dcprof/internal/temporal"
+)
+
+// PhasesReport is the JSON form of the detected-phase view.
+type PhasesReport struct {
+	Event string `json:"event"`
+	// Width is the window width in sim cycles — phase boundaries are
+	// multiples of it.
+	Width uint64 `json:"window_width"`
+	// Phases tile the sampled span in time order; always an array,
+	// never null.
+	Phases []temporal.Phase `json:"phases"`
+}
+
+// PhasesJSON builds the phase report.
+func PhasesJSON(event string, width uint64, phases []temporal.Phase) *PhasesReport {
+	if phases == nil {
+		phases = []temporal.Phase{}
+	}
+	return &PhasesReport{Event: event, Width: width, Phases: phases}
+}
+
+// WritePhasesJSON writes the phase report as indented JSON.
+func WritePhasesJSON(w io.Writer, event string, width uint64, phases []temporal.Phase) error {
+	return writeJSON(w, PhasesJSON(event, width, phases))
+}
+
+// RenderPhases formats the detected phases as a table.
+func RenderPhases(event string, width uint64, phases []temporal.Phase) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "execution phases — event %s, window %d cycles\n", event, width)
+	if len(phases) == 0 {
+		b.WriteString("(no phases detected)\n")
+		return b.String()
+	}
+	for i, ph := range phases {
+		fmt.Fprintf(&b, "%2d. cycles [%d, %d)  windows %d-%d  %-12s %d samples\n",
+			i+1, ph.Start, ph.End, ph.StartWindow, ph.EndWindow, ph.Label, ph.Samples)
+	}
+	return b.String()
+}

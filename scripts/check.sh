@@ -5,13 +5,14 @@ set -ex
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler ./internal/server ./internal/push
+go test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler ./internal/server ./internal/push ./internal/temporal
 go test -race ./internal/telemetry/...
 # Chaos smoke: dcpush through a scripted faulty transport against a live
 # dcprofd — exactly-once delivery and byte-identical served views.
 go test -race -run='^TestChaosPushSmoke$' -count=1 ./internal/push
 go test -run='^$' -fuzz=FuzzReadProfile -fuzztime=10s ./internal/profio
 go test -run='^$' -fuzz=FuzzSalvageProfile -fuzztime=10s ./internal/profio
+go test -run='^$' -fuzz=FuzzTemporalSection -fuzztime=10s ./internal/profio
 go test -run='^$' -fuzz=FuzzHandleUpload -fuzztime=10s ./internal/server
 go test -run='^$' -fuzz=FuzzUploadIdempotency -fuzztime=10s ./internal/server
 go test -run='^$' -bench=Merge -benchtime=1x ./internal/analysis .

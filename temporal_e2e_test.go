@@ -1,0 +1,247 @@
+// The temporal-profiling golden test: a two-phase synthetic application
+// (streaming over local memory, then gathering from NUMA-remote memory)
+// profiled with time-windowed sampling, checked end to end —
+//
+//   - the cumulative view ranks the streaming variable above the
+//     remote-access one (it simply has more total latency), while
+//     clipping to the second phase surfaces the remote variable the
+//     whole-run ranking hides;
+//   - phase detection finds the streaming -> numa-remote boundary
+//     within one window width of the simulated transition;
+//   - dcprofd's ?window= answer is byte-identical to the offline clip
+//     rendered by the same writer `dcview -window -json` uses.
+package dcprof_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"dcprof/internal/analysis"
+	"dcprof/internal/cache"
+	"dcprof/internal/cct"
+	"dcprof/internal/machine"
+	"dcprof/internal/mem"
+	"dcprof/internal/metric"
+	"dcprof/internal/profiler"
+	"dcprof/internal/profio"
+	"dcprof/internal/server"
+	"dcprof/internal/sim"
+	"dcprof/internal/temporal"
+	"dcprof/internal/view"
+)
+
+// e2eWindow is the temporal window width for the run: small enough that
+// each phase spans many windows, large enough that windows aggregate
+// multiple samples.
+const e2eWindow = 65536
+
+// runTwoPhase simulates the two-phase app on the tiny topology
+// (2 sockets x 2 cores, 2 NUMA domains) and returns the per-thread
+// profiles plus the master's sim clock at the phase transition.
+func runTwoPhase(t *testing.T) (profiles []*cct.Profile, boundary uint64) {
+	t.Helper()
+	// Small caches so the master's zeroed lines do not linger on socket 0
+	// and turn the workers' remote-memory reads into L3 interventions; no
+	// prefetch so the gather phase's sequential reads actually reach the
+	// remote controller instead of riding next-line fills.
+	ccfg := cache.DefaultConfig()
+	ccfg.L1Sets, ccfg.L2Sets, ccfg.L3Sets = 16, 16, 16
+	ccfg.PrefetchDegree = 0
+	node := sim.NewNode(machine.Tiny(), ccfg)
+	p := sim.NewProcess(node, 0, 0, 4, nil)
+
+	cfg := profiler.DefaultConfig()
+	cfg.Period = 64
+	cfg.TemporalWindow = e2eWindow
+	prof := profiler.Attach(p, cfg)
+
+	exe := p.LoadMap.Load("twophase")
+	fMain := exe.AddFunc("main", "tp.c", 1)
+	fGather := exe.AddFunc("gather.omp_fn.0", "tp.c", 30)
+
+	th := p.Start()
+	th.Call(fMain)
+	th.At(3)
+	prof.Label(th, "stream_buf")
+	streamBuf := th.Malloc(1 << 20)
+	prof.Label(th, "remote_buf")
+	remoteBuf := th.Calloc(1<<18, 1) // master first-touch: domain-0 pages
+
+	// Phase 1: the master streams writes over stream_buf — sequential
+	// local stores, lots of them.
+	th.At(12)
+	for pass := 0; pass < 8; pass++ {
+		th.StoreSeq(streamBuf, 1<<14, 8, 64)
+	}
+	boundary = th.Clock()
+
+	// Phase 2: domain-1 workers gather from the master-touched buffer —
+	// every access crosses the NUMA interconnect. Each worker reads its
+	// own half so no one is served from a sibling's cache.
+	p.Parallel(th, fGather, 4, func(w *sim.Thread, tid int) {
+		w.At(33)
+		if w.Domain() == 1 {
+			base := remoteBuf + mem.Addr((tid%2)*(1<<17))
+			for i := 0; i < 4000; i++ {
+				w.Load(base+mem.Addr((i%2048)*64), 8)
+			}
+		}
+	})
+	th.Ret()
+	p.Finish()
+	return prof.Profiles(), boundary
+}
+
+// varRank returns the position of the named variable in the ranking, or
+// -1 when absent.
+func varRank(vars []view.VarStat, name string) int {
+	for i := range vars {
+		if vars[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestTemporalTwoPhaseGolden(t *testing.T) {
+	profiles, boundary := runTwoPhase(t)
+
+	dir := filepath.Join(t.TempDir(), "m")
+	if _, err := profio.WriteDir(dir, profiles); err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := analysis.LoadDirStreamingCtx(context.Background(), dir, analysis.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Temporal == nil {
+		t.Fatal("measurement carried no temporal sidecars")
+	}
+	if db.Temporal.NumWindows() < 8 {
+		t.Fatalf("only %d windows recorded; phases need resolution", db.Temporal.NumWindows())
+	}
+	_, end := db.Temporal.Span()
+	if end <= boundary {
+		t.Fatalf("temporal span ends at %d, before the phase boundary %d", end, boundary)
+	}
+
+	// Cumulative ranking: streaming above remote.
+	cum := view.RankVariables(db.Merged, metric.Latency)
+	sRank, rRank := varRank(cum, "stream_buf"), varRank(cum, "remote_buf")
+	if sRank < 0 || rRank < 0 {
+		t.Fatalf("cumulative ranking missing a variable: stream=%d remote=%d (%d vars)", sRank, rRank, len(cum))
+	}
+	if sRank >= rRank {
+		t.Fatalf("cumulative ranking: stream_buf at %d, remote_buf at %d — want streaming on top", sRank, rRank)
+	}
+
+	// Clip to phase 2: the remote variable surfaces. Start one window
+	// past the boundary so the transition window's streaming tail cannot
+	// blur the ranking.
+	t0 := boundary + e2eWindow
+	clipped, err := analysis.Clip(db, t0, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph2 := view.RankVariables(clipped, metric.Latency)
+	if len(ph2) == 0 {
+		t.Fatal("phase-2 clip is empty")
+	}
+	if ph2[0].Name != "remote_buf" {
+		t.Fatalf("phase-2 clip ranks %q on top, want remote_buf (full ranking: %v)", ph2[0].Name, names(ph2))
+	}
+
+	// Phase detection: some boundary lands within one window width of
+	// the simulated transition, and the detected phase covering the
+	// middle of phase 2 is the NUMA-remote one.
+	phases, err := analysis.Phases(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) < 2 {
+		t.Fatalf("detected %d phases, want at least 2: %+v", len(phases), phases)
+	}
+	bestOff := uint64(1 << 62)
+	for _, ph := range phases[1:] {
+		off := ph.Start - boundary
+		if ph.Start < boundary {
+			off = boundary - ph.Start
+		}
+		if off < bestOff {
+			bestOff = off
+		}
+	}
+	if bestOff > e2eWindow {
+		t.Errorf("no detected phase boundary within one window (%d cycles) of the transition at %d: %+v",
+			uint64(e2eWindow), boundary, phases)
+	}
+	mid := t0 + (end-t0)/2
+	for _, ph := range phases {
+		if ph.Start <= mid && mid < ph.End && ph.Label != "numa-remote" {
+			t.Errorf("phase covering the remote half labeled %q, want numa-remote: %+v", ph.Label, phases)
+		}
+	}
+
+	// Serve the same measurement through dcprofd and compare the
+	// windowed answer byte-for-byte with the offline clip rendered by the
+	// writer dcview -window -json uses.
+	srv, err := server.New(server.Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, p := range profiles {
+		var buf bytes.Buffer
+		if err := profio.WriteProfile(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/collections/run/profiles", "application/octet-stream", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload: status %d", resp.StatusCode)
+		}
+	}
+	spec := temporal.FormatWindowSpec(t0, end)
+	resp, err := http.Get(ts.URL + "/collections/run/topdown?window=" + spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var served bytes.Buffer
+	if _, err := served.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("windowed query: status %d: %s", resp.StatusCode, served.Bytes())
+	}
+	var offline bytes.Buffer
+	opts := view.Options{
+		MaxRows:  view.DefaultMaxRows,
+		MaxDepth: view.DefaultMaxDepth,
+		MinShare: view.DefaultMinShare,
+		Metric:   metric.Default(db.Event),
+	}
+	if err := view.WriteTopDownJSON(&offline, clipped, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served.Bytes(), offline.Bytes()) {
+		t.Fatalf("served ?window= JSON differs from offline clip:\nserved: %s\noffline: %s",
+			served.Bytes(), offline.Bytes())
+	}
+}
+
+func names(vars []view.VarStat) []string {
+	out := make([]string, len(vars))
+	for i := range vars {
+		out[i] = vars[i].Name
+	}
+	return out
+}
