@@ -47,9 +47,11 @@ import (
 const TemporalMagic = 0x44435054
 
 // maxWindowSpan bounds the distance between a sidecar's first and last
-// window index. The analyzer densifies the window range for phase
-// detection, so a corrupt-but-checksummed sidecar must not be able to
-// claim a astronomically sparse series.
+// window index — a sanity cap on how sparse a corrupt-but-checksummed
+// series may claim to be. Downstream consumers must not rely on it for
+// memory safety: it is relative to each file's own first window, so the
+// merged span across files is unbounded, and temporal.Index therefore
+// works over the sparse window list, never a densified range.
 const maxWindowSpan = 1 << 26
 
 // encKey identifies one (class, node) slot during encoding.
@@ -230,6 +232,9 @@ func decodeTimeSeries(payload []byte, classNodes *[cct.NumClasses][]*cct.Node) (
 					return nil, fmt.Errorf("window %d entry %d: non-ascending node index", wi, ei)
 				}
 				nodeIdx = uint64(prevNodeIdx) + rawIdx
+				if nodeIdx < rawIdx {
+					return nil, fmt.Errorf("window %d entry %d: node index overflows", wi, ei)
+				}
 			} else {
 				if ei > 0 && class < prevClass {
 					return nil, fmt.Errorf("window %d entry %d: class order violation", wi, ei)

@@ -215,6 +215,48 @@ func TestCorruptTrailerRejectedStrict(t *testing.T) {
 	}
 }
 
+func TestTemporalNodeDeltaOverflowRejected(t *testing.T) {
+	// A same-class node-index delta that wraps uint64 lands back inside
+	// the bounds check (1 + (2^64-1) ≡ 0), silently re-attributing the
+	// delta to the root. The decoder must reject the wrap itself.
+	p := sampleProfile(0, 0)
+	var base bytes.Buffer
+	if err := WriteProfile(&base, p); err != nil {
+		t.Fatal(err)
+	}
+	var pl []byte
+	var tmp [binary.MaxVarintLen64]byte
+	uv := func(x uint64) { pl = append(pl, tmp[:binary.PutUvarint(tmp[:], x)]...) }
+	uv(4096) // width
+	uv(1)    // one window
+	uv(0)    // at index 0
+	uv(2)    // two entries
+	pl = append(pl, byte(cct.ClassHeap))
+	uv(1) // entry 1: heap node 1, absolute
+	pl = append(pl, 0)
+	pl = append(pl, byte(cct.ClassHeap))
+	uv(^uint64(0)) // entry 2: delta wraps back to node 0
+	pl = append(pl, 0)
+	img := appendTrailer(base.Bytes(), TemporalMagic, pl)
+	if _, err := ReadProfile(bytes.NewReader(img)); err == nil || !strings.Contains(err.Error(), "node index overflows") {
+		t.Fatalf("wrapping node delta not rejected: %v", err)
+	}
+	// Salvage still recovers every tree; only the sidecar is lost.
+	s, err := SalvageProfile(bytes.NewReader(img), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trees != cct.NumClasses || s.Lost != 0 {
+		t.Fatalf("trees %d lost %d, want %d/0", s.Trees, s.Lost, cct.NumClasses)
+	}
+	if s.Profile.Temporal != nil {
+		t.Fatal("wrapping sidecar survived salvage")
+	}
+	if len(s.Errs) == 0 {
+		t.Fatal("rejected sidecar produced no salvage note")
+	}
+}
+
 func TestSalvageDamagedSidecarKeepsTrees(t *testing.T) {
 	p := temporalProfile(5, 9)
 	var buf bytes.Buffer

@@ -44,7 +44,7 @@ type Index struct {
 	haveIdent    bool
 
 	// Series counts sidecars folded in; Dropped counts sidecars rejected
-	// for width mismatch.
+	// (width mismatch, or window indices past the sim-clock range).
 	Series  int
 	Dropped int
 }
@@ -72,6 +72,17 @@ func (ix *Index) AddSeries(p *cct.Profile) error {
 	}
 	if ts.Width == 0 {
 		return fmt.Errorf("temporal: profile rank %d thread %d: series has zero window width", p.Rank, p.Thread)
+	}
+	// Reject windows whose start cycle would overflow the uint64 sim
+	// clock — no real run reaches there, and rejecting before folding
+	// keeps every Span/Clip/Phases cycle computation overflow-free.
+	// Validated before any index mutation so a bad series changes nothing.
+	for wi := range ts.Windows {
+		if ts.Windows[wi].Index >= ^uint64(0)/ts.Width {
+			ix.Dropped++
+			return fmt.Errorf("temporal: profile rank %d thread %d: window %d start overflows the sim clock at width %d",
+				p.Rank, p.Thread, ts.Windows[wi].Index, ts.Width)
+		}
 	}
 	if ix.width == 0 {
 		ix.width = ts.Width

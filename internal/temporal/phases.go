@@ -50,6 +50,13 @@ const (
 	// storeFrac labels a phase streaming when at least this fraction of
 	// its samples were stores.
 	storeFrac = 0.4
+	// phaseGapLimit bounds how many idle windows a gap between two
+	// recorded windows materializes in the scan table. A gap longer than
+	// this keeps phaseGapLimit/2 idle windows at each edge — enough, with
+	// k ≤ phaseMaxK, that the scan sees the same scores and local maxima
+	// it would over the full run of identical idle windows — so the table
+	// stays O(recorded windows) no matter how sparse the indices are.
+	phaseGapLimit = 4 * phaseMaxK
 )
 
 const numFeatures = 4
@@ -67,24 +74,56 @@ func features(v *metric.Vector) [numFeatures]float64 {
 	return f
 }
 
-// Phases segments the run into phases. The scan runs over the dense
-// window range (gaps count as idle windows with zero features), so a
-// computation pause is itself a detectable phase. Returns nil when the
-// index holds no windows.
+// Phases segments the run into phases. Gaps between recorded windows
+// count as idle windows with zero features, so a computation pause is
+// itself a detectable phase — but the scan table is built from the sparse
+// sorted window list with long gaps compressed (see phaseGapLimit), never
+// densified over the span: window indices come from decoded sidecars, so
+// two far-apart indices must cost what they hold, not what they claim.
+// Returns nil when the index holds no windows.
 func (ix *Index) Phases() []Phase {
 	if len(ix.windows) == 0 {
 		return nil
 	}
-	start, end := ix.Span()
-	lo := start / ix.width
-	n := int(end/ix.width - lo)
 
-	// Dense per-window feature table, then per-feature max-normalization
-	// so every feature contributes on the same [0, 1] scale.
+	// Scan table: one entry per recorded window plus the (possibly
+	// compressed) idle windows between them. win holds each entry's
+	// absolute window index; entries are strictly ascending.
+	wins := ix.WindowIndices()
+	win := make([]uint64, 0, len(wins))
+	totals := make([]metric.Vector, 0, len(wins))
+	idle := func(w uint64) {
+		win = append(win, w)
+		totals = append(totals, metric.Vector{})
+	}
+	for i, w := range wins {
+		if i > 0 {
+			prev := wins[i-1]
+			if gap := w - prev - 1; gap <= phaseGapLimit {
+				for g := prev + 1; g < w; g++ {
+					idle(g)
+				}
+			} else {
+				// Long gap: idle edges only. Interior idle windows all
+				// score zero, so dropping them changes no boundary.
+				const half = uint64(phaseGapLimit / 2)
+				for g := prev + 1; g <= prev+half; g++ {
+					idle(g)
+				}
+				for g := w - half; g < w; g++ {
+					idle(g)
+				}
+			}
+		}
+		win = append(win, w)
+		totals = append(totals, ix.WindowTotal(w))
+	}
+	n := len(win)
+
+	// Per-entry feature table, then per-feature max-normalization so
+	// every feature contributes on the same [0, 1] scale.
 	feat := make([][numFeatures]float64, n)
-	totals := make([]metric.Vector, n)
 	for i := 0; i < n; i++ {
-		totals[i] = ix.WindowTotal(lo + uint64(i))
 		feat[i] = features(&totals[i])
 	}
 	var max [numFeatures]float64
@@ -105,7 +144,10 @@ func (ix *Index) Phases() []Phase {
 
 	boundaries := changePoints(feat)
 
-	// Cut [lo, lo+n) at the boundaries and label each segment.
+	// Cut the table at the boundaries and label each segment. Window
+	// bounds come from the entries' absolute indices, so phases still
+	// tile the whole span: a segment ends where the next one starts,
+	// compressed gap interiors included.
 	var phases []Phase
 	segStart := 0
 	for _, b := range append(boundaries, n) {
@@ -116,11 +158,15 @@ func (ix *Index) Phases() []Phase {
 		for i := segStart; i < b; i++ {
 			agg.Add(&totals[i])
 		}
+		endWindow := win[n-1]
+		if b < n {
+			endWindow = win[b] - 1
+		}
 		phases = append(phases, Phase{
-			Start:       (lo + uint64(segStart)) * ix.width,
-			End:         (lo + uint64(b)) * ix.width,
-			StartWindow: lo + uint64(segStart),
-			EndWindow:   lo + uint64(b) - 1,
+			Start:       win[segStart] * ix.width,
+			End:         (endWindow + 1) * ix.width,
+			StartWindow: win[segStart],
+			EndWindow:   endWindow,
 			Label:       labelPhase(&agg),
 			Samples:     agg[metric.Samples],
 		})

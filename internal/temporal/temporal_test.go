@@ -331,6 +331,69 @@ func TestPhasesIdleGap(t *testing.T) {
 	}
 }
 
+func TestPhasesSparseSpanIsCheap(t *testing.T) {
+	// Two bursts separated by an astronomically long idle gap. The scan
+	// must cost O(recorded windows), never O(span): before the sparse
+	// table this densified ~2^45 windows — a makeslice panic or OOM —
+	// and the gap was remotely reachable via uploaded sidecars, whose
+	// span guard is only relative to each file's own first window.
+	p, nodes := buildProfile(0, 0, 0, "a")
+	const far = uint64(1) << 45
+	ts := &cct.TimeSeries{Width: 100}
+	for w := uint64(0); w < 8; w++ {
+		ts.Windows = append(ts.Windows, cct.TimeWindow{Index: w, Deltas: []cct.TimeDelta{
+			{Class: cct.ClassStatic, Node: nodes[0], Metrics: remoteVec(100, 0)},
+		}})
+	}
+	for w := far; w < far+8; w++ {
+		ts.Windows = append(ts.Windows, cct.TimeWindow{Index: w, Deltas: []cct.TimeDelta{
+			{Class: cct.ClassStatic, Node: nodes[0], Metrics: remoteVec(100, 80)},
+		}})
+	}
+	p.Temporal = ts
+	ix := NewIndex()
+	if err := ix.AddSeries(p); err != nil {
+		t.Fatal(err)
+	}
+	phases := ix.Phases()
+	if len(phases) != 3 {
+		t.Fatalf("got %d phases (%+v), want local/idle/numa-remote", len(phases), phases)
+	}
+	if phases[0].Label != "local" || phases[1].Label != "idle" || phases[2].Label != "numa-remote" {
+		t.Fatalf("labels = %q, %q, %q", phases[0].Label, phases[1].Label, phases[2].Label)
+	}
+	// Phases still tile the whole span, compressed gap included.
+	if phases[0].Start != 0 || phases[2].End != (far+8)*100 {
+		t.Fatalf("span bounds: %+v", phases)
+	}
+	for i := 1; i < len(phases); i++ {
+		if phases[i].Start != phases[i-1].End || phases[i].StartWindow != phases[i-1].EndWindow+1 {
+			t.Fatalf("phases %d and %d don't tile: %+v", i-1, i, phases)
+		}
+	}
+	if phases[0].Samples+phases[2].Samples != 1600 || phases[1].Samples != 0 {
+		t.Fatalf("phase samples: %+v", phases)
+	}
+}
+
+func TestAddSeriesRejectsSimClockOverflow(t *testing.T) {
+	// A window whose start cycle exceeds uint64 would wrap every Span,
+	// Clip, and Phases computation; AddSeries must drop the series whole.
+	p, nodes := buildProfile(0, 0, 0, "a")
+	p.Temporal = &cct.TimeSeries{Width: 100, Windows: []cct.TimeWindow{
+		{Index: ^uint64(0) / 100, Deltas: []cct.TimeDelta{
+			{Class: cct.ClassStatic, Node: nodes[0], Metrics: sampleVec(1, 10)},
+		}},
+	}}
+	ix := NewIndex()
+	if err := ix.AddSeries(p); err == nil {
+		t.Fatal("sim-clock-overflowing series accepted")
+	}
+	if ix.Dropped != 1 || ix.Series != 0 || ix.NumWindows() != 0 {
+		t.Fatalf("dropped=%d series=%d windows=%d, want 1/0/0", ix.Dropped, ix.Series, ix.NumWindows())
+	}
+}
+
 func TestParseWindowSpec(t *testing.T) {
 	t0, t1, err := ParseWindowSpec("100:6400")
 	if err != nil || t0 != 100 || t1 != 6400 {
