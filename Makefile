@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos-smoke fuzz-smoke bench-smoke
+.PHONY: check lint vet build test race chaos-smoke fuzz-smoke bench-smoke
 
 # check is the full pre-merge gate: static checks, the whole test suite
 # (including the fault-injection suite), the race detector over the
@@ -8,7 +8,15 @@ GO ?= go
 # streaming merge pipeline, and the fault-tolerant I/O layers), a short
 # fuzz of the profile reader, salvager, and the daemon's upload ingest,
 # and a one-iteration merge benchmark smoke to catch gross regressions.
-check: vet build test race chaos-smoke fuzz-smoke bench-smoke
+check: lint build test race chaos-smoke fuzz-smoke bench-smoke
+
+# lint: formatting drift is an error, then go vet.
+lint:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
@@ -45,3 +53,5 @@ bench-smoke:
 		$(GO) test -run='^TestTelemetryOverheadGate$$' -count=1 ./internal/analysis
 	DCPROF_BENCH_HOTPATH="$(CURDIR)/BENCH_hotpath.json" \
 		$(GO) test -run='^TestHotPathBenchGate$$' -count=1 -timeout=30m ./internal/profiler
+	DCPROF_BENCH_MIDDLEWARE="$(CURDIR)/BENCH_telemetry.json" \
+		$(GO) test -run='^TestMiddlewareOverheadGate$$' -count=1 ./internal/server

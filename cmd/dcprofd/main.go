@@ -23,6 +23,18 @@
 //	curl -sS 'http://localhost:8080/collections/amg-run1/stats'
 //	curl -sS 'http://localhost:8080/debug/telemetry?prefix=server.'
 //
+//	# fleet observability: Prometheus scrape target, rates view, the
+//	# server's own recent history, and the last requests as a trace
+//	curl -sS http://localhost:8080/metrics
+//	curl -sS http://localhost:8080/debug/vars
+//	curl -sS 'http://localhost:8080/debug/timeline?window=30s'
+//	curl -sS http://localhost:8080/debug/trace > trace.json   # open in Perfetto
+//
+// Every request gets an X-Request-ID (propagated from the client when it
+// sent one — dcpush always does) and one structured JSON access-log line
+// on stderr; grep the ID to join a client-side failure to the exact
+// server-side request.
+//
 // Shutdown is graceful: SIGINT/SIGTERM stop accepting connections and
 // wait (bounded) for in-flight requests. All diagnostics go to stderr.
 package main
@@ -32,6 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,6 +52,7 @@ import (
 	"time"
 
 	"dcprof/internal/server"
+	"dcprof/internal/telemetry/spanlog"
 )
 
 func main() {
@@ -54,10 +68,14 @@ func main() {
 		colQuota   = flag.Int64("collection-quota-mb", 0, "per-collection disk quota in MiB (0 = unlimited)")
 		totalQuota = flag.Int64("total-quota-mb", 0, "total disk quota in MiB across collections (0 = unlimited)")
 		probeEvery = flag.Duration("probe-interval", 5*time.Second, "min interval between read-only recovery probes")
+		accessLog  = flag.Bool("access-log", true, "emit one structured JSON access-log line per request on stderr")
+		traceCap   = flag.Int("trace-events", 4096, "request spans retained for /debug/trace (0 disables tracing)")
+		tlEvery    = flag.Duration("timeline-interval", time.Second, "self-telemetry snapshot interval for /debug/timeline (0 disables)")
+		tlPoints   = flag.Int("timeline-points", 300, "self-telemetry snapshots retained")
 	)
 	flag.Parse()
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		DataDir:               *data,
 		CacheEntries:          *entries,
 		Workers:               *workers,
@@ -68,11 +86,21 @@ func main() {
 		MaxCollectionBytes:    *colQuota << 20,
 		MaxTotalBytes:         *totalQuota << 20,
 		ReadonlyProbeInterval: *probeEvery,
-	})
+		TimelineInterval:      *tlEvery,
+		TimelinePoints:        *tlPoints,
+	}
+	if *accessLog {
+		cfg.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if *traceCap > 0 {
+		cfg.Spans = spanlog.NewBounded(*traceCap)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dcprofd: %v\n", err)
 		os.Exit(1)
 	}
+	defer srv.Close()
 
 	hs := &http.Server{
 		Addr:              *addr,

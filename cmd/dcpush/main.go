@@ -9,6 +9,12 @@
 //
 //	dcpush -server http://localhost:8080 -collection amg-run1 measurements/
 //
+// Every attempt carries an X-Request-ID derived from the batch's ID
+// (printed in the summary; settable with -request-id), and every
+// retry/backoff/resume decision is logged as a structured JSON line on
+// stderr — grep the ID in the server's access log to see the same
+// request from the other side.
+//
 // The summary is printed as JSON on stdout; the exit status is 1 when
 // any file could not be delivered.
 package main
@@ -18,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +43,7 @@ func main() {
 		perFile    = flag.Duration("file-timeout", 2*time.Minute, "per-file deadline, retries included (0 = none)")
 		total      = flag.Duration("timeout", 0, "whole-batch deadline (0 = none)")
 		quiet      = flag.Bool("q", false, "suppress per-file progress on stderr")
+		requestID  = flag.String("request-id", "", "batch request ID; per-file IDs derive from it (default: random)")
 	)
 	flag.Parse()
 	if *collection == "" || flag.NArg() != 1 {
@@ -55,11 +63,10 @@ func main() {
 		MaxBackoff:     *maxBackoff,
 		PerFileTimeout: *perFile,
 		TotalTimeout:   *total,
+		RequestID:      *requestID,
 	}
 	if !*quiet {
-		opt.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "dcpush: "+format+"\n", args...)
-		}
+		opt.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 
 	sum, err := push.Push(ctx, flag.Arg(0), opt)

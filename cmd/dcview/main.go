@@ -145,6 +145,10 @@ func main() {
 		fmt.Printf("merge stats: %d profiles, %.2f MB read, %d -> %d nodes (%.1fx coalescing), decode %s, merge %s, %d workers, peak residency %d profiles\n",
 			st.Inputs, float64(st.BytesRead)/1e6, st.InputNodes, st.MergedNodes,
 			st.CoalescingFactor(), st.DecodeWall, st.MergeWall, st.Workers, st.MaxResident)
+		if st.DecodeFileP99 > 0 {
+			fmt.Printf("decode latency per file: p50 %s, p95 %s, p99 %s\n",
+				st.DecodeFileP50, st.DecodeFileP95, st.DecodeFileP99)
+		}
 		for _, q := range st.Quarantined {
 			fmt.Printf("quarantined: %s (%d trees salvaged): %s\n", q.Path, q.SalvagedTrees, q.Reason)
 		}

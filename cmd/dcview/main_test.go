@@ -19,14 +19,17 @@ import (
 // test also uses — the two JSON surfaces cannot drift independently.
 func TestStatsJSONGolden(t *testing.T) {
 	st := analysis.MergeStats{
-		Inputs:      128,
-		InputNodes:  40960,
-		MergedNodes: 512,
-		Workers:     4,
-		BytesRead:   1 << 20,
-		DecodeWall:  1234567 * time.Microsecond,
-		MergeWall:   1300000 * time.Microsecond,
-		MaxResident: 9,
+		Inputs:        128,
+		InputNodes:    40960,
+		MergedNodes:   512,
+		Workers:       4,
+		BytesRead:     1 << 20,
+		DecodeWall:    1234567 * time.Microsecond,
+		MergeWall:     1300000 * time.Microsecond,
+		MaxResident:   9,
+		DecodeFileP50: 2500 * time.Microsecond,
+		DecodeFileP95: 9000 * time.Microsecond,
+		DecodeFileP99: 48000 * time.Microsecond,
 		Quarantined: []analysis.QuarantinedFile{
 			{Path: "m/rank00002.dcprof", Reason: "section heap: checksum mismatch", SalvagedTrees: 3},
 		},
@@ -40,6 +43,9 @@ func TestStatsJSONGolden(t *testing.T) {
 	rep := statstest.RoundTrip(t, buf.Bytes())
 	if rep.Inputs != 128 || rep.MaxResident != 9 || len(rep.Quarantined) != 1 {
 		t.Errorf("parsed report lost values: %+v", rep)
+	}
+	if rep.DecodeFileP50US != 2500 || rep.DecodeFileP99US != 48000 {
+		t.Errorf("decode quantiles lost: p50 %d p99 %d", rep.DecodeFileP50US, rep.DecodeFileP99US)
 	}
 
 	golden := filepath.Join("testdata", "stats_golden.json")

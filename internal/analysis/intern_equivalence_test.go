@@ -79,7 +79,7 @@ func checkByteStable(t *testing.T, ps []*cct.Profile) {
 }
 
 func TestEncodingByteStableMicro(t *testing.T) { checkByteStable(t, microProfiles(t)) }
-func TestEncodingByteStableAMG(t *testing.T)  { checkByteStable(t, amgProfiles(t)) }
+func TestEncodingByteStableAMG(t *testing.T)   { checkByteStable(t, amgProfiles(t)) }
 
 // stringRebuild reconstructs a profile through the string-keyed API alone:
 // every node's path is re-inserted as Frame values, so child lookup runs

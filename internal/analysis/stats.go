@@ -42,6 +42,11 @@ type MergeStats struct {
 	// many files the measurement holds (0 for in-memory merges, where
 	// the caller already owns every profile).
 	MaxResident int
+	// DecodeFileP50/P95/P99 are per-file decode latency quantiles from
+	// the streaming pipeline's histogram — the tail a slow disk or one
+	// pathological file produces, invisible in DecodeWall's total (zero
+	// for in-memory merges).
+	DecodeFileP50, DecodeFileP95, DecodeFileP99 time.Duration
 
 	// Quarantined lists the files skipped (or only partially recovered)
 	// by a quarantine- or salvage-policy ingest, sorted by path. Empty
@@ -77,6 +82,9 @@ type StatsReport struct {
 	DecodeWallUS     int64               `json:"decode_wall_us"`
 	MergeWallUS      int64               `json:"merge_wall_us"`
 	MaxResident      int                 `json:"max_resident"`
+	DecodeFileP50US  int64               `json:"decode_file_p50_us"`
+	DecodeFileP95US  int64               `json:"decode_file_p95_us"`
+	DecodeFileP99US  int64               `json:"decode_file_p99_us"`
 	Quarantined      []QuarantinedReport `json:"quarantined"`
 }
 
@@ -100,6 +108,9 @@ func (s MergeStats) Report() StatsReport {
 		DecodeWallUS:     s.DecodeWall.Microseconds(),
 		MergeWallUS:      s.MergeWall.Microseconds(),
 		MaxResident:      s.MaxResident,
+		DecodeFileP50US:  s.DecodeFileP50.Microseconds(),
+		DecodeFileP95US:  s.DecodeFileP95.Microseconds(),
+		DecodeFileP99US:  s.DecodeFileP99.Microseconds(),
 		Quarantined:      make([]QuarantinedReport, 0, len(s.Quarantined)),
 	}
 	for _, q := range s.Quarantined {
@@ -116,14 +127,17 @@ func (s MergeStats) Report() StatsReport {
 // lets the JSON-surface tests prove schema and struct agree.
 func (r StatsReport) MergeStats() MergeStats {
 	s := MergeStats{
-		Inputs:      r.Inputs,
-		InputNodes:  r.InputNodes,
-		MergedNodes: r.MergedNodes,
-		Workers:     r.Workers,
-		BytesRead:   r.BytesRead,
-		DecodeWall:  time.Duration(r.DecodeWallUS) * time.Microsecond,
-		MergeWall:   time.Duration(r.MergeWallUS) * time.Microsecond,
-		MaxResident: r.MaxResident,
+		Inputs:        r.Inputs,
+		InputNodes:    r.InputNodes,
+		MergedNodes:   r.MergedNodes,
+		Workers:       r.Workers,
+		BytesRead:     r.BytesRead,
+		DecodeWall:    time.Duration(r.DecodeWallUS) * time.Microsecond,
+		MergeWall:     time.Duration(r.MergeWallUS) * time.Microsecond,
+		MaxResident:   r.MaxResident,
+		DecodeFileP50: time.Duration(r.DecodeFileP50US) * time.Microsecond,
+		DecodeFileP95: time.Duration(r.DecodeFileP95US) * time.Microsecond,
+		DecodeFileP99: time.Duration(r.DecodeFileP99US) * time.Microsecond,
 	}
 	for _, q := range r.Quarantined {
 		s.Quarantined = append(s.Quarantined, QuarantinedFile{

@@ -115,6 +115,7 @@ const (
 	instQuarFiles       = "analysis.quarantine.files"
 	instQuarSalvaged    = "analysis.quarantine.salvaged_trees"
 	instFilesDiscovered = "analysis.files.discovered"
+	instDecodeLatencyUS = "analysis.decode.file_latency_us"
 	instDecodeWallUS    = "analysis.wall.decode_us"
 	instMergeWallUS     = "analysis.wall.merge_us"
 	instTemporalSeries  = "analysis.temporal.series"
@@ -337,16 +338,20 @@ const foldTidBase = 100
 // struct is presentation, the registry is the single source of truth.
 func statsView(reg *telemetry.Registry, workers int, quarantined []QuarantinedFile) MergeStats {
 	s := reg.Snapshot()
+	dh := s.Histograms[instDecodeLatencyUS]
 	return MergeStats{
-		Workers:     workers,
-		Inputs:      int(s.Counters[instProfilesMerged]),
-		InputNodes:  int(s.Counters[instNodesInput]),
-		MergedNodes: int(s.Gauges[instNodesMerged].Value),
-		BytesRead:   int64(s.Counters[instBytesRead]),
-		DecodeWall:  time.Duration(s.Gauges[instDecodeWallUS].Value) * time.Microsecond,
-		MergeWall:   time.Duration(s.Gauges[instMergeWallUS].Value) * time.Microsecond,
-		MaxResident: int(s.Gauges[instResidency].Max),
-		Quarantined: quarantined,
+		Workers:       workers,
+		Inputs:        int(s.Counters[instProfilesMerged]),
+		InputNodes:    int(s.Counters[instNodesInput]),
+		MergedNodes:   int(s.Gauges[instNodesMerged].Value),
+		BytesRead:     int64(s.Counters[instBytesRead]),
+		DecodeWall:    time.Duration(s.Gauges[instDecodeWallUS].Value) * time.Microsecond,
+		MergeWall:     time.Duration(s.Gauges[instMergeWallUS].Value) * time.Microsecond,
+		MaxResident:   int(s.Gauges[instResidency].Max),
+		DecodeFileP50: time.Duration(dh.P50) * time.Microsecond,
+		DecodeFileP95: time.Duration(dh.P95) * time.Microsecond,
+		DecodeFileP99: time.Duration(dh.P99) * time.Microsecond,
+		Quarantined:   quarantined,
 	}
 }
 
@@ -463,7 +468,12 @@ func LoadFilesStreamingCtx(ctx context.Context, label string, files []string, op
 	reg.Counter(instFilesDiscovered).Add(uint64(len(files)))
 
 	var (
-		res    = reg.Gauge(instResidency)
+		res = reg.Gauge(instResidency)
+		// Per-file decode latency distribution: pow-2 µs buckets up to ~4s,
+		// same shape as the server's HTTP latency histograms. Its quantiles
+		// surface in MergeStats/StatsReport — one slow file in a thousand
+		// is a p99 signal, invisible in the decode wall total.
+		decLat = reg.Histogram(instDecodeLatencyUS, telemetry.Pow2Bounds(22))
 		intern = profio.NewIntern()
 		quar   = newQuarantineLog()
 		items  = make(chan streamItem)
@@ -495,7 +505,9 @@ func LoadFilesStreamingCtx(ctx context.Context, label string, files []string, op
 				}
 				decodeDone := spans.Span("decode "+filepath.Base(path), "ingest",
 					0, w+1, nil)
+				t0 := time.Now()
 				it, ok := decodeOne(path, intern, open, opt.Policy, fail, quar)
+				decLat.Observe(uint64(time.Since(t0).Microseconds()))
 				decodeDone()
 				if !ok {
 					spans.Instant("quarantine "+filepath.Base(path), "ingest", 0, w+1, nil)

@@ -29,7 +29,7 @@ type Interner struct {
 	ids sync.Map // Frame -> FrameID
 
 	mu     sync.Mutex
-	frames []Frame                // append-only; guarded by mu
+	frames []Frame                 // append-only; guarded by mu
 	snap   atomic.Pointer[[]Frame] // published prefix of frames for readers
 }
 

@@ -233,26 +233,26 @@ func bestOfPair(rounds int, fnA, fnB func(*testing.B)) (bestA, bestB testing.Ben
 }
 
 type hotpathReport struct {
-	SamplePathNS         int64   `json:"sample_path_ns"`
-	SamplePathAllocs     int64   `json:"sample_path_allocs"`
-	SamplePathParallelNS int64   `json:"sample_path_parallel_ns"`
+	SamplePathNS         int64 `json:"sample_path_ns"`
+	SamplePathAllocs     int64 `json:"sample_path_allocs"`
+	SamplePathParallelNS int64 `json:"sample_path_parallel_ns"`
 	// SamplePathNoTemporalNS is the sample path with the temporal
 	// recorder off; the gate bounds the temporal overhead (on vs off,
 	// measured within one run) to 5% and 0 extra allocs.
 	SamplePathNoTemporalNS int64   `json:"sample_path_no_temporal_ns"`
 	TemporalOverheadPct    float64 `json:"temporal_overhead_pct"`
-	SimOnlyNS            int64   `json:"sim_only_ns"`
-	SampleAttrNS         int64   `json:"sample_attr_ns"`
-	LegacyAttrNS         int64   `json:"legacy_attr_ns"`
-	AttrSpeedup          float64 `json:"attr_speedup"`
-	GateMinSpeedup       float64 `json:"gate_min_speedup"`
-	ClassifyNS           int64   `json:"classify_ns"`
-	ClassifyParallelNS   int64   `json:"classify_parallel_ns"`
-	AddSampleStringNS    int64   `json:"add_sample_string_ns"`
-	AddSampleIDsNS       int64   `json:"add_sample_ids_ns"`
-	Merge128ThreadsNS    int64   `json:"merge_128_threads_ns"`
-	Pass                 bool    `json:"pass"`
-	Timestamp            string  `json:"timestamp"`
+	SimOnlyNS              int64   `json:"sim_only_ns"`
+	SampleAttrNS           int64   `json:"sample_attr_ns"`
+	LegacyAttrNS           int64   `json:"legacy_attr_ns"`
+	AttrSpeedup            float64 `json:"attr_speedup"`
+	GateMinSpeedup         float64 `json:"gate_min_speedup"`
+	ClassifyNS             int64   `json:"classify_ns"`
+	ClassifyParallelNS     int64   `json:"classify_parallel_ns"`
+	AddSampleStringNS      int64   `json:"add_sample_string_ns"`
+	AddSampleIDsNS         int64   `json:"add_sample_ids_ns"`
+	Merge128ThreadsNS      int64   `json:"merge_128_threads_ns"`
+	Pass                   bool    `json:"pass"`
+	Timestamp              string  `json:"timestamp"`
 }
 
 // TestHotPathBenchGate is the perf regression gate for the interned sample
@@ -301,17 +301,17 @@ func TestHotPathBenchGate(t *testing.T) {
 		SamplePathParallelNS:   bestOf(rounds, BenchmarkSamplePathParallel).NsPerOp(),
 		SamplePathNoTemporalNS: noTemporal.NsPerOp(),
 		TemporalOverheadPct:    temporalPct,
-		SimOnlyNS:            simOnly.NsPerOp(),
-		SampleAttrNS:         attrNS,
-		LegacyAttrNS:         legacy.NsPerOp(),
-		AttrSpeedup:          speedup,
-		GateMinSpeedup:       minSpeedup,
-		ClassifyNS:           bestOf(rounds, BenchmarkClassify).NsPerOp(),
-		ClassifyParallelNS:   bestOf(rounds, BenchmarkClassifyParallel).NsPerOp(),
-		AddSampleStringNS:    bestOf(rounds, benchAddSampleString).NsPerOp(),
-		AddSampleIDsNS:       bestOf(rounds, benchAddSampleIDs).NsPerOp(),
-		Merge128ThreadsNS:    bestOf(rounds, benchMerge128).NsPerOp(),
-		Timestamp:            time.Now().UTC().Format(time.RFC3339),
+		SimOnlyNS:              simOnly.NsPerOp(),
+		SampleAttrNS:           attrNS,
+		LegacyAttrNS:           legacy.NsPerOp(),
+		AttrSpeedup:            speedup,
+		GateMinSpeedup:         minSpeedup,
+		ClassifyNS:             bestOf(rounds, BenchmarkClassify).NsPerOp(),
+		ClassifyParallelNS:     bestOf(rounds, BenchmarkClassifyParallel).NsPerOp(),
+		AddSampleStringNS:      bestOf(rounds, benchAddSampleString).NsPerOp(),
+		AddSampleIDsNS:         bestOf(rounds, benchAddSampleIDs).NsPerOp(),
+		Merge128ThreadsNS:      bestOf(rounds, benchMerge128).NsPerOp(),
+		Timestamp:              time.Now().UTC().Format(time.RFC3339),
 	}
 
 	pass := true

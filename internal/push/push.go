@@ -23,12 +23,14 @@ package push
 import (
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -40,6 +42,12 @@ import (
 	"dcprof/internal/profio"
 	"dcprof/internal/telemetry"
 )
+
+// requestIDHeader matches the server's join key: dcprofd echoes the ID
+// on the response and stamps it on its access-log line and trace span,
+// so the client-side retry log and the server-side record of the same
+// attempt share an identity.
+const requestIDHeader = "X-Request-ID"
 
 // Options configures a push. Zero values get sane defaults; the seams
 // (Client, Sleep, Jitter, Now) exist so the fault-injection tests run a
@@ -78,6 +86,14 @@ type Options struct {
 	// Logf, when set, receives one line per notable event (skip, retry,
 	// failure). Nil silences progress.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives the same events as structured records
+	// (one per skip/retry/failure/outcome, each carrying the request ID)
+	// — the client half of the request-ID join.
+	Logger *slog.Logger
+	// RequestID identifies the batch; per-file IDs derive from it as
+	// "<batch>-<index>" and ride X-Request-ID on every attempt. Empty
+	// generates a random one (see Summary.RequestID).
+	RequestID string
 }
 
 // FileResult records the outcome for one profile file.
@@ -89,11 +105,16 @@ type FileResult struct {
 	// Status is "uploaded", "duplicate", "resumed", or "failed".
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
+	// RequestID is the X-Request-ID every attempt for this file carried —
+	// quote it to find the server-side access-log lines and spans.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Summary is the batch outcome dcpush prints.
 type Summary struct {
-	Collection string       `json:"collection"`
+	Collection string `json:"collection"`
+	// RequestID is the batch identity; per-file IDs are "<this>-<index>".
+	RequestID  string       `json:"request_id,omitempty"`
 	Files      int          `json:"files"`
 	Uploaded   int          `json:"uploaded"`
 	Resumed    int          `json:"resumed"`
@@ -133,6 +154,26 @@ func (o *Options) logf(format string, args ...any) {
 	}
 }
 
+// event emits one structured record when a Logger is configured. Every
+// event carries the request ID so `grep <id>` joins the client's view
+// of an upload with the server's.
+func (o *Options) event(level slog.Level, msg, reqID string, attrs ...slog.Attr) {
+	if o.Logger == nil {
+		return
+	}
+	attrs = append([]slog.Attr{slog.String("request_id", reqID)}, attrs...)
+	o.Logger.LogAttrs(context.Background(), level, msg, attrs...)
+}
+
+// newBatchID returns a 12-hex-char random batch identity.
+func newBatchID() string {
+	var b [6]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return "push"
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // withDefaults fills the zero values.
 func (o Options) withDefaults() Options {
 	if o.Client == nil {
@@ -170,6 +211,9 @@ func (o Options) withDefaults() Options {
 	if o.Registry == nil {
 		o.Registry = telemetry.New()
 	}
+	if o.RequestID == "" {
+		o.RequestID = newBatchID()
+	}
 	return o
 }
 
@@ -180,7 +224,7 @@ func (o Options) withDefaults() Options {
 // batch got.
 func Push(ctx context.Context, dir string, opt Options) (Summary, error) {
 	opt = opt.withDefaults()
-	sum := Summary{Collection: opt.Collection}
+	sum := Summary{Collection: opt.Collection, RequestID: opt.RequestID}
 	if opt.Server == "" || opt.Collection == "" {
 		return sum, errors.New("push: Server and Collection are required")
 	}
@@ -206,8 +250,8 @@ func Push(ctx context.Context, dir string, opt Options) (Summary, error) {
 
 	retries := opt.Registry.Counter("push.retries")
 	var firstErr error
-	for _, path := range files {
-		res := pushFile(ctx, path, have, opt, &sum)
+	for i, path := range files {
+		res := pushFile(ctx, path, fmt.Sprintf("%s-%04d", opt.RequestID, i), have, opt, &sum)
 		sum.Results = append(sum.Results, res)
 		sum.Retries += maxInt(0, res.Attempts-1)
 		retries.Add(uint64(maxInt(0, res.Attempts-1)))
@@ -227,14 +271,18 @@ func Push(ctx context.Context, dir string, opt Options) (Summary, error) {
 }
 
 // pushFile delivers one file: hash, resume-skip, then the retry loop.
-func pushFile(ctx context.Context, path string, have map[string]bool, opt Options, sum *Summary) FileResult {
-	res := FileResult{File: path}
+// Every attempt carries reqID in X-Request-ID, and every retry/backoff
+// decision is logged against it.
+func pushFile(ctx context.Context, path, reqID string, have map[string]bool, opt Options, sum *Summary) FileResult {
+	res := FileResult{File: path, RequestID: reqID}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		res.Status = "failed"
 		res.Error = err.Error()
 		sum.Failed++
 		opt.Registry.Counter("push.failed").Inc()
+		opt.event(slog.LevelError, "read.failed", reqID,
+			slog.String("file", filepath.Base(path)), slog.String("error", err.Error()))
 		return res
 	}
 	res.Bytes = int64(len(data))
@@ -246,6 +294,8 @@ func pushFile(ctx context.Context, path string, have map[string]bool, opt Option
 		sum.Resumed++
 		opt.Registry.Counter("push.resumed").Inc()
 		opt.logf("skip %s: server already holds %s", filepath.Base(path), res.Digest[:12])
+		opt.event(slog.LevelInfo, "resume.skip", reqID,
+			slog.String("file", filepath.Base(path)), slog.String("digest", res.Digest[:12]))
 		return res
 	}
 
@@ -258,7 +308,7 @@ func pushFile(ctx context.Context, path string, have map[string]bool, opt Option
 	var lastErr error
 	for attempt := 1; attempt <= opt.MaxAttempts; attempt++ {
 		res.Attempts = attempt
-		dup, err := postOnce(ctx, data, opt)
+		dup, err := postOnce(ctx, data, reqID, opt)
 		if err == nil {
 			if dup {
 				res.Status = "duplicate"
@@ -271,6 +321,11 @@ func pushFile(ctx context.Context, path string, have map[string]bool, opt Option
 				opt.Registry.Counter("push.uploaded").Inc()
 				opt.Registry.Counter("push.bytes").Add(uint64(len(data)))
 			}
+			opt.event(slog.LevelInfo, "upload.done", reqID,
+				slog.String("file", filepath.Base(path)),
+				slog.String("status", res.Status),
+				slog.Int("attempts", attempt),
+				slog.Int64("bytes", res.Bytes))
 			return res
 		}
 		lastErr = err
@@ -285,6 +340,11 @@ func pushFile(ctx context.Context, path string, have map[string]bool, opt Option
 			delay = retry.retryAfter
 		}
 		opt.logf("retry %s in %v after attempt %d: %v", filepath.Base(path), delay, attempt, err)
+		opt.event(slog.LevelWarn, "upload.retry", reqID,
+			slog.String("file", filepath.Base(path)),
+			slog.Int("attempt", attempt),
+			slog.Int64("delay_ms", delay.Milliseconds()),
+			slog.String("error", err.Error()))
 		if opt.Sleep(ctx, delay) != nil {
 			break // deadline expired mid-backoff
 		}
@@ -294,19 +354,24 @@ func pushFile(ctx context.Context, path string, have map[string]bool, opt Option
 	sum.Failed++
 	opt.Registry.Counter("push.failed").Inc()
 	opt.logf("give up on %s after %d attempts: %v", filepath.Base(path), res.Attempts, lastErr)
+	opt.event(slog.LevelError, "upload.failed", reqID,
+		slog.String("file", filepath.Base(path)),
+		slog.Int("attempts", res.Attempts),
+		slog.String("error", lastErr.Error()))
 	return res
 }
 
 // postOnce performs a single upload attempt and classifies the outcome:
 // (false, nil) uploaded, (true, nil) duplicate, error otherwise —
 // permanentError when retrying cannot help.
-func postOnce(ctx context.Context, data []byte, opt Options) (dup bool, err error) {
+func postOnce(ctx context.Context, data []byte, reqID string, opt Options) (dup bool, err error) {
 	url := strings.TrimSuffix(opt.Server, "/") + "/collections/" + opt.Collection + "/profiles"
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
 	if err != nil {
 		return false, permanentError{err}
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(requestIDHeader, reqID)
 	resp, err := opt.Client.Do(req)
 	if err != nil {
 		return false, retryableError{err: err}
@@ -346,6 +411,7 @@ func remoteDigests(ctx context.Context, opt Options) (map[string]bool, error) {
 		if err != nil {
 			return nil, fmt.Errorf("push: %w", err)
 		}
+		req.Header.Set(requestIDHeader, opt.RequestID+"-digests")
 		resp, err := opt.Client.Do(req)
 		if err != nil {
 			lastErr = err

@@ -179,14 +179,14 @@ func TestChaosPushSmoke(t *testing.T) {
 
 	// Script, in request order (1 GET digests + the file POSTs):
 	flaky := faultio.NewFlakyTransport(nil,
-		faultio.FaultDrop,          // GET digests: connection drops → retried
-		faultio.FaultPass,          // GET digests: ok (empty collection)
-		faultio.Fault5xx,           // file 1: shed with Retry-After
-		faultio.FaultDropResponse,  // file 1: server lands it, response lost
-		faultio.FaultPass,          // file 1: retry answers 200 duplicate
-		faultio.FaultTimeout,       // file 2: client-side timeout
-		faultio.FaultResetMidBody,  // file 2: reset after the (tiny) body
-		faultio.FaultPass,          // file 2: retry answers 200 duplicate
+		faultio.FaultDrop,         // GET digests: connection drops → retried
+		faultio.FaultPass,         // GET digests: ok (empty collection)
+		faultio.Fault5xx,          // file 1: shed with Retry-After
+		faultio.FaultDropResponse, // file 1: server lands it, response lost
+		faultio.FaultPass,         // file 1: retry answers 200 duplicate
+		faultio.FaultTimeout,      // file 2: client-side timeout
+		faultio.FaultResetMidBody, // file 2: reset after the (tiny) body
+		faultio.FaultPass,         // file 2: retry answers 200 duplicate
 		// files 3 and 4: clean.
 	)
 

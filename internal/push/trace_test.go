@@ -1,0 +1,176 @@
+package push
+
+// The request-ID join e2e: a push with an injected fault must be
+// traceable end to end — the client's retry log, the server's access
+// log, and the server's span ring all carry the same per-file request
+// ID, so one grep reconstructs what happened to a specific upload.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dcprof/internal/faultio"
+	"dcprof/internal/server"
+	"dcprof/internal/telemetry/spanlog"
+)
+
+// logBuffer collects slog JSON lines concurrently and parses them back.
+type logBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *logBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *logBuffer) lines(t testing.TB) []map[string]any {
+	t.Helper()
+	l.mu.Lock()
+	raw := l.b.String()
+	l.mu.Unlock()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(raw), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, line)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestRequestIDJoin injects the nastiest fault — the server lands the
+// upload but the client never hears (FaultDropResponse) — and proves
+// the incident is reconstructible by request ID alone:
+//
+//   - the client logs the retry decision under "<batch>-0000",
+//   - the server's access log shows BOTH attempts under that same ID
+//     (the 201 whose response was lost, then the 200 duplicate),
+//   - the server's span ring carries the ID in the span args.
+func TestRequestIDJoin(t *testing.T) {
+	serverLog := &logBuffer{}
+	spans := spanlog.NewBounded(64)
+	srv, err := server.New(server.Config{
+		DataDir:   t.TempDir(),
+		AccessLog: slog.New(slog.NewJSONHandler(serverLog, nil)),
+		Spans:     spans,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	dir := t.TempDir()
+	writeMeasurement(t, dir, 1)
+
+	clientLog := &logBuffer{}
+	rec := &sleepRecorder{}
+	opt := fastOptions(ts.URL, "join", rec)
+	opt.RequestID = "joinbatch"
+	opt.Logger = slog.New(slog.NewJSONHandler(clientLog, nil))
+	opt.Client = &http.Client{Transport: faultio.NewFlakyTransport(nil,
+		faultio.FaultPass,         // GET digests (404: empty collection)
+		faultio.FaultDropResponse, // POST: server lands it, response lost
+		faultio.FaultPass,         // POST retry: 200 duplicate
+	)}
+
+	sum, err := Push(context.Background(), dir, opt)
+	if err != nil {
+		t.Fatalf("push: %v\nsummary: %+v", err, sum)
+	}
+	const fileID = "joinbatch-0000"
+	if sum.RequestID != "joinbatch" {
+		t.Errorf("summary request ID = %q, want the supplied batch ID", sum.RequestID)
+	}
+	if len(sum.Results) != 1 || sum.Results[0].RequestID != fileID {
+		t.Fatalf("results %+v, want one result under %s", sum.Results, fileID)
+	}
+	if sum.Results[0].Status != "duplicate" || sum.Results[0].Attempts != 2 {
+		t.Fatalf("result %+v, want duplicate on attempt 2", sum.Results[0])
+	}
+
+	// Client side: the retry decision and the final outcome both carry
+	// the file's request ID.
+	var sawRetry, sawDone bool
+	for _, m := range clientLog.lines(t) {
+		if m["request_id"] != fileID {
+			continue
+		}
+		switch m["msg"] {
+		case "upload.retry":
+			sawRetry = true
+			if m["attempt"].(float64) != 1 || m["error"] == "" {
+				t.Errorf("retry line lacks attempt/error: %v", m)
+			}
+		case "upload.done":
+			sawDone = true
+			if m["status"] != "duplicate" || m["attempts"].(float64) != 2 {
+				t.Errorf("done line = %v, want duplicate after 2 attempts", m)
+			}
+		}
+	}
+	if !sawRetry || !sawDone {
+		t.Fatalf("client log missing retry=%v done=%v for %s", sawRetry, sawDone, fileID)
+	}
+
+	// Server side: both attempts hit the upload route under the same ID —
+	// first the 201 whose response the network ate, then the duplicate
+	// 200. The digest preflight logs under "<batch>-digests".
+	deadline := time.Now().Add(5 * time.Second)
+	var statuses []float64
+	for {
+		statuses = statuses[:0]
+		for _, m := range serverLog.lines(t) {
+			if m["route"] == "upload" && m["request_id"] == fileID {
+				statuses = append(statuses, m["status"].(float64))
+			}
+		}
+		if len(statuses) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server access log has %d upload lines for %s, want 2:\n%v",
+				len(statuses), fileID, serverLog.lines(t))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if statuses[0] != 201 || statuses[1] != 200 {
+		t.Errorf("upload statuses = %v, want [201 200] (landed, then duplicate)", statuses)
+	}
+	foundDigests := false
+	for _, m := range serverLog.lines(t) {
+		if m["route"] == "digests" && m["request_id"] == "joinbatch-digests" {
+			foundDigests = true
+		}
+	}
+	if !foundDigests {
+		t.Error("digest preflight not logged under joinbatch-digests")
+	}
+
+	// Span ring: the same ID is queryable from the trace buffer.
+	foundSpan := false
+	for _, e := range spans.Events() {
+		if e.Name == "upload" && e.Ph == "X" && e.Args["request_id"] == fileID {
+			foundSpan = true
+		}
+	}
+	if !foundSpan {
+		t.Errorf("no upload span carries %s; events: %+v", fileID, spans.Events())
+	}
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"dcprof/internal/cct"
+	"dcprof/internal/metric"
+	"dcprof/internal/telemetry/spanlog"
+)
+
+// benchProfile builds one dense thread profile (~hundreds of distinct
+// contexts), so the gated query renders a realistically sized topdown
+// report instead of a toy one.
+func benchProfile(thread int) *cct.Profile {
+	p := cct.NewProfile(0, thread, "IBS@4096")
+	for i := 0; i < 300; i++ {
+		var v metric.Vector
+		v[metric.Samples] = uint64(i%9 + 1)
+		v[metric.Latency] = uint64(50 + i*7%900)
+		fn := fmt.Sprintf("f%02d", i%40)
+		p.Trees[cct.Class(i%cct.NumClasses)].AddSample([]cct.Frame{
+			{Kind: cct.KindCall, Module: "exe", Name: "main", File: "main.c"},
+			{Kind: cct.KindCall, Module: "exe", Name: fn, File: fn + ".c"},
+			{Kind: cct.KindStmt, Module: "exe", Name: fn, File: fn + ".c", Line: i % 50},
+		}, &v)
+	}
+	return p
+}
+
+// TestMiddlewareOverheadGate measures the cached-query hot path through
+// the fully instrumented handler chain (request ID, access log to a
+// discard JSON logger, span ring, counters, latency histogram) against
+// the same handler with no middleware, and fails if observability costs
+// more than the gate allows. Opt-in via DCPROF_BENCH_MIDDLEWARE=<report
+// file> (check.sh sets it, pointing at the telemetry bench report so
+// both gates land in one JSON document).
+func TestMiddlewareOverheadGate(t *testing.T) {
+	out := os.Getenv("DCPROF_BENCH_MIDDLEWARE")
+	if out == "" {
+		t.Skip("set DCPROF_BENCH_MIDDLEWARE=<report file> to run the middleware overhead gate")
+	}
+
+	const gate = 1.05 // instrumented must stay within 5% of bare
+
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.AccessLog = slog.New(slog.NewJSONHandler(io.Discard, nil))
+		c.Spans = spanlog.NewBounded(4096)
+	})
+	for th := 0; th < 8; th++ {
+		mustUpload(t, ts, "bench", encodeProfile(t, benchProfile(th)))
+	}
+	mustGet(t, ts, "/collections/bench/topdown") // warm the view cache
+
+	// Both variants dispatch to the same server, store, and warmed cache;
+	// the only difference is the instrument() wrapper. ServeMux patterns
+	// stay identical so PathValue("name") resolves in both.
+	instrumented := srv.Handler()
+	bare := http.NewServeMux()
+	bare.HandleFunc("GET /collections/{name}/topdown", srv.handleTopDown)
+
+	// Best-of-N over in-process recorder requests: no sockets, no client
+	// allocation noise — just handler-path cost.
+	const (
+		rounds   = 7
+		requests = 400
+	)
+	measure := func(h http.Handler) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < rounds; i++ {
+			t0 := time.Now()
+			for j := 0; j < requests; j++ {
+				req := httptest.NewRequest(http.MethodGet, "/collections/bench/topdown", nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Fatalf("status %d during measurement", rec.Code)
+				}
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	// Interleaved warmup so allocator and map steady-state hit both.
+	measure(bare)
+	measure(instrumented)
+	off := measure(bare)
+	on := measure(instrumented)
+	ratio := float64(on) / float64(off)
+
+	rep := map[string]any{
+		"middleware_off_ns": off.Nanoseconds(),
+		"middleware_on_ns":  on.Nanoseconds(),
+		"ratio":             ratio,
+		"gate":              gate,
+		"pass":              ratio <= gate,
+		"requests":          requests,
+		"best_of":           rounds,
+		"timestamp":         time.Now().UTC().Format(time.RFC3339),
+	}
+
+	// Merge under the "middleware" key of whatever report document is
+	// already at the path (the telemetry gate writes a flat object there
+	// first), so one file carries every perf gate.
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("existing report %s is not JSON: %v", out, err)
+		}
+	}
+	doc["middleware"] = rep
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("bare %v, instrumented %v, ratio %.3f (gate %.2f), report %s", off, on, ratio, gate, out)
+	if ratio > gate {
+		t.Errorf("instrumented cached query is %.1f%% slower than bare (gate %.0f%%)", 100*(ratio-1), 100*(gate-1))
+	}
+}

@@ -100,6 +100,9 @@ func (c *viewCache) get(ctx context.Context, name string, gen uint64, adm *semap
 			c.lru.MoveToFront(elem)
 			c.hits.Inc()
 			c.mu.Unlock()
+			if info := infoFrom(ctx); info != nil {
+				info.cache = "hit"
+			}
 			return e, nil
 		}
 		// Stale generation: leave the entry in place — an in-flight query
@@ -107,6 +110,9 @@ func (c *viewCache) get(ctx context.Context, name string, gen uint64, adm *semap
 		// through to the miss path; insert() will replace it.
 	}
 	c.misses.Inc()
+	if info := infoFrom(ctx); info != nil {
+		info.cache = "miss"
+	}
 	call, ok := c.inflight[key]
 	if !ok {
 		// This request would start a new merge: admission applies.

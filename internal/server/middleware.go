@@ -1,0 +1,188 @@
+package server
+
+// Request-scoped observability: every routed endpoint passes through
+// instrument, which gives the request an identity (X-Request-ID,
+// generated here or propagated from the client), measures it
+// (per-endpoint request/error counters and a latency histogram), logs it
+// (one structured access-log line with everything an operator joins on),
+// and traces it (a span per request into the server's bounded trace
+// buffer). The request ID is the join key across all four surfaces and
+// across machines: dcpush stamps the same ID on its retry log, so a
+// failed upload is traceable from the client's backoff decisions to the
+// exact server-side line and span that rejected it.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"dcprof/internal/telemetry"
+)
+
+// RequestIDHeader carries the request identity in both directions:
+// clients may supply one (dcpush does), and the server always echoes the
+// effective ID on the response so a caller can quote it in a report.
+const RequestIDHeader = "X-Request-ID"
+
+// reqInfo accumulates per-request facts the access log wants but only
+// deeper layers know: whether the view cache hit, and why admission shed.
+// It rides the request context down and is read back after the handler
+// returns — same goroutine, no lock needed.
+type reqInfo struct {
+	id         string
+	cache      string // "hit" | "miss" | "" (endpoint doesn't touch the cache)
+	shed       string // "uploads" | "merges" | "readonly" | ""
+	collection string
+}
+
+type reqInfoKey struct{}
+
+// infoFrom returns the request's reqInfo, or nil outside instrument —
+// callers must nil-check (cache_test drives viewCache.get directly).
+func infoFrom(ctx context.Context) *reqInfo {
+	info, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return info
+}
+
+// newRequestID returns a 16-hex-char random ID — short enough to quote
+// in a bug report, random enough to never collide within a retention
+// window.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; degrade to a fixed
+		// marker rather than taking requests down with it.
+		return "rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID accepts client-supplied IDs conservatively: 1..64 bytes
+// of [A-Za-z0-9._-], so a hostile header can't inject log fields or blow
+// up line length. Anything else is replaced, not rejected.
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// statusWriter remembers the status code and body size for
+// instrumentation and the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with the full request-scoped observability
+// stack: per-endpoint instruments under "server.http.<endpoint>.*",
+// request-ID generation/propagation, one structured access-log line, and
+// a trace span.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.reg.Counter("server.http." + endpoint + ".requests")
+	errs := s.reg.Counter("server.http." + endpoint + ".errors")
+	respBytes := s.reg.Counter("server.http." + endpoint + ".resp_bytes")
+	// Power-of-two µs buckets up to ~4s cover sub-ms cache hits and
+	// multi-second cold merges in one shape.
+	lat := s.reg.Histogram("server.http."+endpoint+".latency_us", telemetry.Pow2Bounds(22))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+
+		info := &reqInfo{id: r.Header.Get(RequestIDHeader)}
+		if !validRequestID(info.id) {
+			info.id = newRequestID()
+		}
+		info.collection = r.PathValue("name")
+		w.Header().Set(RequestIDHeader, info.id)
+
+		ctx := context.WithValue(r.Context(), reqInfoKey{}, info)
+		if s.cfg.RequestTimeout > 0 {
+			// The deadline rides the request context into everything the
+			// handler does — including, for queries, the merge pipeline.
+			tctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+			ctx = tctx
+		}
+		r = r.WithContext(ctx)
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		dur := time.Since(start)
+
+		reqs.Inc()
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+		respBytes.Add(uint64(sw.bytes))
+		lat.Observe(uint64(dur.Microseconds()))
+
+		if s.accessLog != nil {
+			attrs := []slog.Attr{
+				slog.String("request_id", info.id),
+				slog.String("method", r.Method),
+				slog.String("route", endpoint),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Int64("latency_us", dur.Microseconds()),
+			}
+			if info.collection != "" {
+				attrs = append(attrs, slog.String("collection", info.collection))
+			}
+			if info.cache != "" {
+				attrs = append(attrs, slog.String("cache", info.cache))
+			}
+			if info.shed != "" {
+				attrs = append(attrs, slog.String("shed", info.shed))
+			}
+			level := slog.LevelInfo
+			switch {
+			case sw.status >= 500:
+				level = slog.LevelError
+			case sw.status >= 400:
+				level = slog.LevelWarn
+			}
+			s.accessLog.LogAttrs(r.Context(), level, "request", attrs...)
+		}
+
+		if s.spans != nil {
+			args := map[string]any{
+				"request_id": info.id,
+				"method":     r.Method,
+				"path":       r.URL.Path,
+				"status":     sw.status,
+			}
+			if info.cache != "" {
+				args["cache"] = info.cache
+			}
+			// Round-robin tid rows so concurrent requests render side by
+			// side instead of stacking on one lane.
+			row := int(s.traceRow.Add(1) % 8)
+			s.spans.Complete(endpoint, "http", 0, row, start, dur, args)
+		}
+	}
+}

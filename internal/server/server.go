@@ -26,7 +26,16 @@
 //	GET  /collections/{name}/digests      content digests (the dcpush resume surface)
 //	GET  /healthz                         liveness (always 200 while the process serves)
 //	GET  /readyz                          readiness (503 when read-only or saturated)
+//	GET  /metrics                         Prometheus text exposition (the scrape target)
 //	GET  /debug/telemetry                 telemetry snapshot    (?prefix=server.)
+//	GET  /debug/vars                      totals + delta/rates since the previous request
+//	GET  /debug/timeline                  self-telemetry time series (?window=30s)
+//	GET  /debug/trace                     bounded request-span ring, trace-event JSON
+//
+// Every endpoint passes through the instrument middleware: requests get
+// an X-Request-ID (client-supplied or generated), one structured
+// access-log line, a trace span, and per-endpoint latency/error
+// instruments — see middleware.go.
 //
 // Degradation contract: saturated admission sheds with 429 (uploads) or
 // 503 (merges) plus Retry-After; a full disk flips the server read-only
@@ -42,14 +51,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dcprof/internal/analysis"
 	"dcprof/internal/metric"
 	"dcprof/internal/profio"
 	"dcprof/internal/telemetry"
+	"dcprof/internal/telemetry/spanlog"
 	"dcprof/internal/view"
 )
 
@@ -92,6 +105,19 @@ type Config struct {
 	// analysis accounting (nil creates a private registry). /debug/telemetry
 	// snapshots it.
 	Registry *telemetry.Registry
+	// AccessLog receives one structured line per request (nil disables
+	// access logging). dcprofd wires a JSON handler on stderr.
+	AccessLog *slog.Logger
+	// Spans receives one span per request (nil disables tracing). Use a
+	// bounded log (spanlog.NewBounded) for long-running servers; /debug/trace
+	// serves it.
+	Spans *spanlog.Log
+	// TimelineInterval is how often the self-telemetry timeline snapshots
+	// the registry (<=0 disables the ticker; /debug/timeline then only
+	// shows explicitly recorded points).
+	TimelineInterval time.Duration
+	// TimelinePoints bounds the timeline ring (<=0 uses 300).
+	TimelinePoints int
 }
 
 // Server is the continuous-profiling service.
@@ -104,6 +130,17 @@ type Server struct {
 
 	uploadSem *semaphore
 	mergeSem  *semaphore
+
+	accessLog    *slog.Logger
+	spans        *spanlog.Log
+	timeline     *telemetry.Timeline
+	timelineStop func()
+	started      time.Time
+	traceRow     atomic.Int64
+
+	varsMu     sync.Mutex
+	lastVars   telemetry.Snapshot
+	lastVarsAt time.Time
 
 	uploadsAccepted  *telemetry.Counter
 	uploadsRejected  *telemetry.Counter
@@ -139,7 +176,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:              cfg,
 		store:            st,
 		cache:            newViewCache(cfg.CacheEntries, reg),
@@ -147,6 +184,10 @@ func New(cfg Config) (*Server, error) {
 		health:           newHealth(st.fs, cfg.DataDir, cfg.ReadonlyProbeInterval, reg),
 		uploadSem:        newSemaphore(cfg.MaxInflightUploads, reg.Gauge("server.admission.uploads.inflight")),
 		mergeSem:         newSemaphore(cfg.MaxConcurrentMerges, reg.Gauge("server.admission.merges.inflight")),
+		accessLog:        cfg.AccessLog,
+		spans:            cfg.Spans,
+		timeline:         telemetry.NewTimeline(reg, cfg.TimelinePoints),
+		started:          time.Now(),
 		uploadsAccepted:  reg.Counter("server.uploads.accepted"),
 		uploadsRejected:  reg.Counter("server.uploads.rejected"),
 		uploadsDuplicate: reg.Counter("server.uploads.duplicates"),
@@ -156,11 +197,27 @@ func New(cfg Config) (*Server, error) {
 		shedMerges:       reg.Counter("server.shed.merges"),
 		shedReadonly:     reg.Counter("server.shed.readonly"),
 		quotaRejected:    reg.Counter("server.uploads.quota_rejected"),
-	}, nil
+	}
+	if cfg.TimelineInterval > 0 {
+		s.timelineStop = s.timeline.Start(cfg.TimelineInterval)
+	}
+	return s, nil
 }
 
 // Registry returns the registry the server accounts into.
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Timeline returns the server's self-telemetry timeline — tests and
+// embedders can Record points explicitly when no ticker runs.
+func (s *Server) Timeline() *telemetry.Timeline { return s.timeline }
+
+// Close stops the server's background work (the timeline ticker). Safe
+// to call more than once; the HTTP listener is the caller's to close.
+func (s *Server) Close() {
+	if s.timelineStop != nil {
+		s.timelineStop()
+	}
+}
 
 // Handler returns the service's HTTP surface.
 func (s *Server) Handler() http.Handler {
@@ -174,55 +231,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /collections/{name}/diff", s.instrument("diff", s.handleDiff))
 	mux.HandleFunc("GET /collections/{name}/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /collections/{name}/digests", s.instrument("digests", s.handleDigests))
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /debug/telemetry", s.instrument("telemetry", s.handleTelemetry))
+	mux.HandleFunc("GET /debug/vars", s.instrument("vars", s.handleVars))
+	mux.HandleFunc("GET /debug/timeline", s.instrument("timeline", s.handleTimeline))
+	mux.HandleFunc("GET /debug/trace", s.instrument("trace", s.handleTrace))
 	return mux
 }
 
-// statusWriter remembers the status code for instrumentation.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// instrument wraps a handler with per-endpoint request, error, and
-// latency instruments under "server.http.<endpoint>.*".
-func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	reqs := s.reg.Counter("server.http." + endpoint + ".requests")
-	errs := s.reg.Counter("server.http." + endpoint + ".errors")
-	// Power-of-two µs buckets up to ~4s cover sub-ms cache hits and
-	// multi-second cold merges in one shape.
-	lat := s.reg.Histogram("server.http."+endpoint+".latency_us", telemetry.Pow2Bounds(22))
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		if s.cfg.RequestTimeout > 0 {
-			// The deadline rides the request context into everything the
-			// handler does — including, for queries, the merge pipeline.
-			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-			defer cancel()
-			r = r.WithContext(ctx)
-		}
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
-		reqs.Inc()
-		if sw.status >= 400 {
-			errs.Inc()
-		}
-		lat.Observe(uint64(time.Since(start).Microseconds()))
-	}
-}
-
 // shedWith rejects the request with a Retry-After hint and counts the
-// shed in both the per-reason counter and the total.
-func (s *Server) shedWith(w http.ResponseWriter, reason *telemetry.Counter, status int, retryAfterSec int, format string, args ...any) {
+// shed in both the per-reason counter and the total; tag names the shed
+// reason in the access-log line.
+func (s *Server) shedWith(w http.ResponseWriter, r *http.Request, tag string, reason *telemetry.Counter, status int, retryAfterSec int, format string, args ...any) {
 	s.shed.Inc()
 	reason.Inc()
+	if info := infoFrom(r.Context()); info != nil {
+		info.shed = tag
+	}
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
 	httpError(w, status, format, args...)
 }
@@ -253,12 +280,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // is answered 200 against the existing file — retries are idempotent.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if !s.uploadSem.tryAcquire() {
-		s.shedWith(w, s.shedUploads, http.StatusTooManyRequests, 1, "upload capacity saturated (%d in flight)", s.cfg.MaxInflightUploads)
+		s.shedWith(w, r, "uploads", s.shedUploads, http.StatusTooManyRequests, 1, "upload capacity saturated (%d in flight)", s.cfg.MaxInflightUploads)
 		return
 	}
 	defer s.uploadSem.release()
 	if !s.health.writable() {
-		s.shedWith(w, s.shedReadonly, http.StatusServiceUnavailable, 5, "server is read-only (data dir not writable); uploads rejected, queries still served")
+		s.shedWith(w, r, "readonly", s.shedReadonly, http.StatusServiceUnavailable, 5, "server is read-only (data dir not writable); uploads rejected, queries still served")
 		return
 	}
 
@@ -464,9 +491,9 @@ func (s *Server) view(ctx context.Context, name string) (*viewEntry, int, error)
 
 // viewError writes a query failure, attaching Retry-After and shed
 // accounting when the failure is merge-admission saturation.
-func (s *Server) viewError(w http.ResponseWriter, status int, err error) {
+func (s *Server) viewError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	if status == http.StatusServiceUnavailable {
-		s.shedWith(w, s.shedMerges, status, 2, "%v", err)
+		s.shedWith(w, r, "merges", s.shedMerges, status, 2, "%v", err)
 		return
 	}
 	httpError(w, status, "%v", err)
@@ -551,12 +578,12 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	}
 	before, status, err := s.view(r.Context(), base)
 	if err != nil {
-		s.viewError(w, status, err)
+		s.viewError(w, r, status, err)
 		return
 	}
 	after, status, err := s.view(r.Context(), r.PathValue("name"))
 	if err != nil {
-		s.viewError(w, status, err)
+		s.viewError(w, r, status, err)
 		return
 	}
 	o, err := queryOptions(r, after.db.Event)
@@ -574,7 +601,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	e, status, err := s.view(r.Context(), r.PathValue("name"))
 	if err != nil {
-		s.viewError(w, status, err)
+		s.viewError(w, r, status, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -41,7 +41,7 @@ func (s *Server) temporalDB(w http.ResponseWriter, r *http.Request) *analysis.Da
 	}
 	e, status, err := s.view(r.Context(), r.PathValue("name"))
 	if err != nil {
-		s.viewError(w, status, err)
+		s.viewError(w, r, status, err)
 		return nil
 	}
 	if spec == "" {
@@ -89,7 +89,7 @@ func (s *Server) windowView(ctx context.Context, base *viewEntry, t0, t1 uint64)
 func (s *Server) handlePhases(w http.ResponseWriter, r *http.Request) {
 	e, status, err := s.view(r.Context(), r.PathValue("name"))
 	if err != nil {
-		s.viewError(w, status, err)
+		s.viewError(w, r, status, err)
 		return
 	}
 	ph, err := analysis.Phases(e.db)

@@ -62,6 +62,7 @@ func newTestServer(t testing.TB, adjust func(*Config)) (*Server, *httptest.Serve
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
 	return srv, ts
 }
 

@@ -1,0 +1,333 @@
+// Package promtest is a small, strict, hand-rolled parser for the
+// Prometheus text exposition format (version 0.0.4) — the independent
+// check on WritePromText's output. It is deliberately NOT the encoder
+// run backwards: it re-derives the format rules from the specification
+// (TYPE declarations, the metric-name charset, label syntax, histogram
+// series suffixes) so an encoder bug cannot hide behind a mirrored
+// decoder bug. The telemetry unit tests and the dcprofd scrape e2e test
+// both validate through it.
+//
+// Beyond syntax, Parse enforces the semantic invariants a real scraper
+// relies on: every sample belongs to a declared family of the right
+// shape, histogram buckets are cumulative and non-decreasing with the
+// le="+Inf" bucket equal to _count, and no family is declared twice.
+package promtest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one sample line.
+type Sample struct {
+	// Name is the full sample name as exposed (including _bucket/_sum/
+	// _count suffixes for histogram series).
+	Name string
+	// Labels holds the label pairs ({} and none parse the same).
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one declared metric family and its samples.
+type Family struct {
+	Name    string // as declared on the # TYPE line
+	Type    string // "counter", "gauge", "histogram", "summary", "untyped"
+	Samples []Sample
+}
+
+// Doc is a parsed exposition document.
+type Doc struct {
+	Families map[string]*Family
+}
+
+// Parse parses and validates one exposition document.
+func Parse(data []byte) (*Doc, error) {
+	doc := &Doc{Families: map[string]*Family{}}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("line %d: %s: %q", ln+1, fmt.Sprintf(format, args...), line)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return nil, fail("bare comment marker")
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 3 || !validName(fields[2]) {
+					return nil, fail("malformed HELP")
+				}
+			case "TYPE":
+				if len(fields) != 4 || !validName(fields[2]) {
+					return nil, fail("malformed TYPE")
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fail("unknown metric type %q", fields[3])
+				}
+				if _, dup := doc.Families[fields[2]]; dup {
+					return nil, fail("family %s declared twice", fields[2])
+				}
+				doc.Families[fields[2]] = &Family{Name: fields[2], Type: fields[3]}
+			default:
+				// Free-form comment: legal, ignored.
+			}
+			continue
+		}
+
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+		fam := doc.familyOf(s.Name)
+		if fam == nil {
+			return nil, fail("sample %s has no declared family", s.Name)
+		}
+		if fam.Type == "histogram" {
+			if s.Name == fam.Name {
+				return nil, fail("histogram family %s sampled without a series suffix", fam.Name)
+			}
+		} else if s.Name != fam.Name {
+			return nil, fail("sample %s does not match family %s", s.Name, fam.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	for _, fam := range doc.Families {
+		if fam.Type == "histogram" {
+			if err := validateHistogram(fam); err != nil {
+				return nil, fmt.Errorf("histogram %s: %w", fam.Name, err)
+			}
+		}
+	}
+	return doc, nil
+}
+
+// familyOf resolves a sample name to its declared family: an exact match
+// for scalar families, or the _bucket/_sum/_count-stripped base when that
+// base is a declared histogram.
+func (d *Doc) familyOf(sample string) *Family {
+	if fam, ok := d.Families[sample]; ok {
+		return fam
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(sample, suffix)
+		if !found {
+			continue
+		}
+		if fam, ok := d.Families[base]; ok && fam.Type == "histogram" {
+			return fam
+		}
+	}
+	return nil
+}
+
+// Value returns the value of the single unlabeled sample named name, and
+// whether such a sample exists.
+func (d *Doc) Value(name string) (float64, bool) {
+	fam := d.familyOf(name)
+	if fam == nil {
+		return 0, false
+	}
+	for _, s := range fam.Samples {
+		if s.Name == name && len(s.Labels) == 0 {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// CounterNames lists every declared counter family, sorted.
+func (d *Doc) CounterNames() []string {
+	var out []string
+	for name, fam := range d.Families {
+		if fam.Type == "counter" {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// validateHistogram checks the invariants scrapers assume: bucket counts
+// cumulative and non-decreasing in le order, exactly one le="+Inf" bucket
+// equal to _count, and _sum/_count present.
+func validateHistogram(fam *Family) error {
+	type bucket struct {
+		le  float64
+		n   float64
+		inf bool
+	}
+	var (
+		buckets    []bucket
+		sum, count float64
+		haveSum    bool
+		haveCount  bool
+	)
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case fam.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("bucket without le label")
+			}
+			if le == "+Inf" {
+				buckets = append(buckets, bucket{le: math.Inf(1), n: s.Value, inf: true})
+				continue
+			}
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("unparseable le %q", le)
+			}
+			buckets = append(buckets, bucket{le: f, n: s.Value})
+		case fam.Name + "_sum":
+			sum, haveSum = s.Value, true
+		case fam.Name + "_count":
+			count, haveCount = s.Value, true
+		}
+	}
+	if !haveSum || !haveCount {
+		return fmt.Errorf("missing _sum or _count")
+	}
+	if len(buckets) == 0 || !buckets[len(buckets)-1].inf {
+		return fmt.Errorf("buckets must end with le=\"+Inf\"")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].le <= buckets[i-1].le {
+			return fmt.Errorf("le bounds not strictly increasing at index %d", i)
+		}
+		if buckets[i].n < buckets[i-1].n {
+			return fmt.Errorf("bucket counts not cumulative at le=%v: %v < %v",
+				buckets[i].le, buckets[i].n, buckets[i-1].n)
+		}
+	}
+	if inf := buckets[len(buckets)-1].n; inf != count {
+		return fmt.Errorf("+Inf bucket %v != count %v", inf, count)
+	}
+	if count > 0 && sum < 0 {
+		return fmt.Errorf("negative sum %v", sum)
+	}
+	return nil
+}
+
+// parseSample parses `name[{labels}] value [timestamp]`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameRune(line[i], i) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("missing metric name")
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set")
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want `value [timestamp]` after name, got %q", rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("unparseable value %q", fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("unparseable timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses `k1="v1",k2="v2"` (trailing comma tolerated, as the
+// format allows).
+func parseLabels(body string, into map[string]string) error {
+	body = strings.TrimSuffix(strings.TrimSpace(body), ",")
+	if body == "" {
+		return nil
+	}
+	for len(body) > 0 {
+		eq := strings.Index(body, "=")
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair in %q", body)
+		}
+		key := strings.TrimSpace(body[:eq])
+		if !validName(key) {
+			return fmt.Errorf("bad label name %q", key)
+		}
+		body = strings.TrimSpace(body[eq+1:])
+		if !strings.HasPrefix(body, `"`) {
+			return fmt.Errorf("label value for %s not quoted", key)
+		}
+		val, rest, err := scanQuoted(body)
+		if err != nil {
+			return err
+		}
+		into[key] = val
+		body = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		body = strings.TrimSpace(body)
+	}
+	return nil
+}
+
+// scanQuoted consumes a double-quoted string honoring \" \\ \n escapes.
+func scanQuoted(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in %q", s)
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string in %q", s)
+}
+
+func isNameRune(c byte, pos int) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(c >= '0' && c <= '9' && pos > 0)
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !isNameRune(name[i], i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,84 @@
+package promtest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseValidDocument(t *testing.T) {
+	doc, err := Parse([]byte(strings.Join([]string{
+		`# HELP up whether the target is up`,
+		`# TYPE up gauge`,
+		`up 1`,
+		`# TYPE requests_total counter`,
+		`requests_total 42`,
+		`# TYPE lat histogram`,
+		`lat_bucket{le="10"} 2`,
+		`lat_bucket{le="100"} 5`,
+		`lat_bucket{le="+Inf"} 6`,
+		`lat_sum 640`,
+		`lat_count 6`,
+		``,
+	}, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := doc.Value("requests_total"); !ok || v != 42 {
+		t.Errorf("requests_total = %v (%v)", v, ok)
+	}
+	if got := doc.CounterNames(); len(got) != 1 || got[0] != "requests_total" {
+		t.Errorf("CounterNames = %v", got)
+	}
+	fam := doc.Families["lat"]
+	if fam == nil || len(fam.Samples) != 5 {
+		t.Fatalf("histogram samples = %+v", fam)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := map[string]string{
+		"undeclared sample":     "nope 1\n",
+		"duplicate family":      "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"unknown type":          "# TYPE a zebra\n",
+		"bad value":             "# TYPE a gauge\na fish\n",
+		"bucket without le":     "# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative":        "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"inf != count":          "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 9\n",
+		"no inf bucket":         "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"missing sum":           "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"descending le":         "# TYPE h histogram\nh_bucket{le=\"9\"} 1\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"unquoted label":        "# TYPE a gauge\na{x=y} 1\n",
+		"unterminated labels":   "# TYPE a gauge\na{x=\"y\" 1\n",
+		"histogram bare sample": "# TYPE h histogram\nh 1\nh_bucket{le=\"+Inf\"} 0\nh_sum 0\nh_count 0\n",
+		"scalar with suffix":    "# TYPE a gauge\na_bucket{le=\"1\"} 1\n",
+	}
+	for name, doc := range bad {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: parse accepted invalid document:\n%s", name, doc)
+		}
+	}
+}
+
+func TestParseLabelEscapes(t *testing.T) {
+	doc, err := Parse([]byte("# TYPE a gauge\na{path=\"C:\\\\tmp\",msg=\"line\\nbreak \\\"quoted\\\"\"} 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := doc.Families["a"].Samples[0]
+	if s.Labels["path"] != `C:\tmp` || s.Labels["msg"] != "line\nbreak \"quoted\"" {
+		t.Errorf("labels = %#v", s.Labels)
+	}
+	if s.Value != 3 {
+		t.Errorf("value = %v", s.Value)
+	}
+}
+
+func TestParseTimestampsAndInf(t *testing.T) {
+	doc, err := Parse([]byte("# TYPE a gauge\na 1.5 1700000000000\n# TYPE b gauge\nb +Inf\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := doc.Value("a"); v != 1.5 {
+		t.Errorf("a = %v", v)
+	}
+}

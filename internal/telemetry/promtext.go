@@ -1,0 +1,160 @@
+package telemetry
+
+// Prometheus text exposition (format version 0.0.4): the encoder behind
+// dcprofd's GET /metrics. The registry's instruments map directly onto
+// the Prometheus data model — Counter -> counter, Gauge -> a pair of
+// gauges (level and high-water), Histogram -> histogram with cumulative
+// le-labeled buckets plus exact-extreme gauges — so any scrape stack
+// (Prometheus, VictoriaMetrics, Grafana agent) can ingest the server's
+// self-telemetry without an adapter. Instrument names use dots as layer
+// separators ("server.cache.hits"); exposition sanitizes them to the
+// metric-name charset ("server_cache_hits"). Families are emitted in
+// sorted order and the whole document is a pure function of the
+// snapshot, so two encodings of one snapshot are byte-identical — what
+// lets the scrape tests diff text instead of parsing twice.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type a /metrics response should carry.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// SanitizeMetricName maps an instrument name onto the Prometheus metric
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*: every other rune becomes '_', and a
+// leading digit gets a '_' prefix. An empty name becomes "_".
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// WritePromText encodes the snapshot in the Prometheus text format.
+//
+//   - Counters are suffixed "_total" per convention.
+//   - Gauges emit two series: the level and "<name>_max" (the tracked
+//     high-water mark, which Prometheus cannot reconstruct from samples).
+//   - Histograms emit cumulative "<name>_bucket{le=...}" series ending in
+//     le="+Inf", plus "_sum" and "_count", and — when non-empty — the
+//     exact "<name>_min"/"<name>_max" extremes as gauges.
+func WritePromText(w io.Writer, s Snapshot) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		n := SanitizeMetricName(name) + "_total"
+		p("# TYPE %s counter\n%s %s\n", n, n, strconv.FormatUint(s.Counters[name], 10))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		v := s.Gauges[name]
+		n := SanitizeMetricName(name)
+		p("# TYPE %s gauge\n%s %s\n", n, n, strconv.FormatInt(v.Value, 10))
+		p("# TYPE %s_max gauge\n%s_max %s\n", n, n, strconv.FormatInt(v.Max, 10))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		v := s.Histograms[name]
+		n := SanitizeMetricName(name)
+		p("# TYPE %s histogram\n", n)
+		cum := uint64(0)
+		for b, c := range v.Counts {
+			cum += c
+			le := "+Inf"
+			if b < len(v.Bounds) {
+				le = strconv.FormatUint(v.Bounds[b], 10)
+			}
+			p("%s_bucket{le=%q} %d\n", n, le, cum)
+		}
+		p("%s_sum %d\n%s_count %d\n", n, v.Sum, n, v.Count)
+		if v.Count > 0 {
+			p("# TYPE %s_min gauge\n%s_min %d\n", n, n, v.Min)
+			p("# TYPE %s_max gauge\n%s_max %d\n", n, n, v.Max)
+		}
+	}
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Delta returns the change from prev to s: counters and histogram
+// buckets/sums/counts subtract (an instrument absent from prev, or one
+// that went backwards — a restart — contributes its current value);
+// gauges keep their current level and high-water, since a level has no
+// meaningful difference. Histogram Min/Max stay the lifetime extremes
+// (the bounded buckets cannot recover a windowed extreme), and the
+// derived quantiles are recomputed over the delta'd buckets — the
+// "activity since the previous snapshot" view /debug/vars and the
+// timeline diffs serve.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]GaugeValue, len(s.Gauges)),
+		Histograms: make(map[string]HistogramValue, len(s.Histograms)),
+	}
+	for name, cur := range s.Counters {
+		if p, ok := prev.Counters[name]; ok && p <= cur {
+			out.Counters[name] = cur - p
+		} else {
+			out.Counters[name] = cur
+		}
+	}
+	for name, cur := range s.Gauges {
+		out.Gauges[name] = cur
+	}
+	for name, cur := range s.Histograms {
+		d := HistogramValue{
+			Bounds: append([]uint64(nil), cur.Bounds...),
+			Counts: append([]uint64(nil), cur.Counts...),
+			Count:  cur.Count,
+			Sum:    cur.Sum,
+			Min:    cur.Min,
+			Max:    cur.Max,
+		}
+		if p, ok := prev.Histograms[name]; ok && p.Count <= cur.Count && len(p.Counts) == len(cur.Counts) {
+			for b := range d.Counts {
+				if p.Counts[b] <= d.Counts[b] {
+					d.Counts[b] -= p.Counts[b]
+				}
+			}
+			d.Count = cur.Count - p.Count
+			if p.Sum <= cur.Sum {
+				d.Sum = cur.Sum - p.Sum
+			}
+		}
+		d.refreshQuantiles()
+		out.Histograms[name] = d
+	}
+	return out
+}

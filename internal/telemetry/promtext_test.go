@@ -1,0 +1,280 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dcprof/internal/telemetry/promtest"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"server.cache.hits":      "server_cache_hits",
+		"already_fine":           "already_fine",
+		"weird-name with spaces": "weird_name_with_spaces",
+		"7starts.with.digit":     "_7starts_with_digit",
+		"":                       "_",
+		"a:b":                    "a:b",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePromTextParses(t *testing.T) {
+	r := New()
+	r.Counter("server.uploads.accepted").Add(7)
+	r.Counter("server.shed").Add(0)
+	r.Gauge("server.admission.merges.inflight").Set(2)
+	h := r.Histogram("server.http.topdown.latency_us", []uint64{10, 100, 1000})
+	for _, v := range []uint64{3, 42, 97, 5000} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := promtest.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("encoder output does not parse: %v\n%s", err, buf.Bytes())
+	}
+
+	if v, ok := doc.Value("server_uploads_accepted_total"); !ok || v != 7 {
+		t.Errorf("counter = %v (present %v), want 7", v, ok)
+	}
+	if v, ok := doc.Value("server_admission_merges_inflight"); !ok || v != 2 {
+		t.Errorf("gauge = %v (present %v), want 2", v, ok)
+	}
+	if v, ok := doc.Value("server_http_topdown_latency_us_count"); !ok || v != 4 {
+		t.Errorf("histogram count = %v (present %v), want 4", v, ok)
+	}
+	if v, ok := doc.Value("server_http_topdown_latency_us_min"); !ok || v != 3 {
+		t.Errorf("histogram min = %v (present %v), want 3", v, ok)
+	}
+	if v, ok := doc.Value("server_http_topdown_latency_us_max"); !ok || v != 5000 {
+		t.Errorf("histogram max = %v (present %v), want 5000", v, ok)
+	}
+	fam := doc.Families["server_http_topdown_latency_us"]
+	if fam == nil || fam.Type != "histogram" {
+		t.Fatalf("histogram family missing or wrong type: %+v", fam)
+	}
+
+	// Determinism: one snapshot encodes byte-identically twice.
+	var again bytes.Buffer
+	if err := WritePromText(&again, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("encoding is not deterministic for an unchanged registry")
+	}
+}
+
+func TestPromTextEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, New().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := promtest.Parse(buf.Bytes()); err != nil {
+		t.Fatalf("empty exposition does not parse: %v", err)
+	}
+}
+
+func TestHistogramMinMax(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", []uint64{8, 64})
+	for _, v := range []uint64{9, 3, 77, 12} {
+		h.Observe(v)
+	}
+	hv := r.Snapshot().Histograms["h"]
+	if hv.Min != 3 || hv.Max != 77 {
+		t.Errorf("min/max = %d/%d, want 3/77", hv.Min, hv.Max)
+	}
+
+	empty := r.Histogram("empty", nil)
+	_ = empty
+	ev := r.Snapshot().Histograms["empty"]
+	if ev.Min != 0 || ev.Max != 0 {
+		t.Errorf("empty histogram min/max = %d/%d, want 0/0", ev.Min, ev.Max)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []uint64{10, 100, 1000})
+	// 100 observations of 5: every quantile must be pinned to [Min,Max],
+	// not smeared across the first bucket's [0,10) span.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	hv := r.Snapshot().Histograms["lat"]
+	if hv.P50 != 5 || hv.P99 != 5 {
+		t.Errorf("constant series quantiles = p50 %v p99 %v, want 5", hv.P50, hv.P99)
+	}
+
+	// Overflow-bucket quantile must interpolate toward the exact Max, not
+	// clamp at the last finite bound (1000).
+	h2 := r.Histogram("over", []uint64{10})
+	for i := 0; i < 10; i++ {
+		h2.Observe(5000)
+	}
+	v2 := r.Snapshot().Histograms["over"]
+	if v2.P99 <= 10 || v2.P99 > 5000 {
+		t.Errorf("overflow p99 = %v, want in (10, 5000]", v2.P99)
+	}
+	if q := v2.Quantile(1); q != 5000 {
+		t.Errorf("Quantile(1) = %v, want exact max 5000", q)
+	}
+	if q := v2.Quantile(0); q != 5000 {
+		t.Errorf("Quantile(0) = %v, want exact min 5000", q)
+	}
+
+	// A spread distribution: quantiles are ordered and inside [Min, Max].
+	h3 := r.Histogram("spread", Pow2Bounds(12))
+	for v := uint64(1); v <= 1000; v++ {
+		h3.Observe(v)
+	}
+	v3 := r.Snapshot().Histograms["spread"]
+	if !(v3.P50 <= v3.P95 && v3.P95 <= v3.P99) {
+		t.Errorf("quantiles out of order: %v %v %v", v3.P50, v3.P95, v3.P99)
+	}
+	if v3.P50 < float64(v3.Min) || v3.P99 > float64(v3.Max) {
+		t.Errorf("quantiles escape [min,max]: p50 %v p99 %v min %d max %d",
+			v3.P50, v3.P99, v3.Min, v3.Max)
+	}
+	// p50 of uniform 1..1000 must land near 500 (bucket interpolation is
+	// coarse; pow-2 buckets put 500 in (256,512]).
+	if v3.P50 < 256 || v3.P50 > 512 {
+		t.Errorf("uniform p50 = %v, want within its (256,512] bucket", v3.P50)
+	}
+
+	if q := (HistogramValue{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestAbsorbCarriesMinMax(t *testing.T) {
+	src := New()
+	src.Histogram("h", []uint64{10}).Observe(3)
+	src.Histogram("h", nil).Observe(500)
+
+	dst := New()
+	dst.Histogram("h", []uint64{10}).Observe(40)
+	dst.Absorb(src.Snapshot())
+
+	hv := dst.Snapshot().Histograms["h"]
+	if hv.Min != 3 || hv.Max != 500 {
+		t.Errorf("absorbed min/max = %d/%d, want 3/500", hv.Min, hv.Max)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	h := r.Histogram("h", []uint64{10})
+	g := r.Gauge("g")
+	c.Add(5)
+	h.Observe(3)
+	g.Set(7)
+	prev := r.Snapshot()
+
+	c.Add(2)
+	h.Observe(40)
+	g.Set(1)
+	cur := r.Snapshot()
+
+	d := cur.Delta(prev)
+	if d.Counters["c"] != 2 {
+		t.Errorf("counter delta = %d, want 2", d.Counters["c"])
+	}
+	if d.Gauges["g"].Value != 1 || d.Gauges["g"].Max != 7 {
+		t.Errorf("gauge in delta = %+v, want current level 1 / max 7", d.Gauges["g"])
+	}
+	hd := d.Histograms["h"]
+	if hd.Count != 1 || hd.Sum != 40 {
+		t.Errorf("histogram delta count/sum = %d/%d, want 1/40", hd.Count, hd.Sum)
+	}
+	if hd.Counts[0] != 0 || hd.Counts[1] != 1 {
+		t.Errorf("histogram delta buckets = %v, want [0 1]", hd.Counts)
+	}
+
+	// An instrument that went backwards (restart) falls back to current.
+	reset := Snapshot{Counters: map[string]uint64{"c": 100}}
+	if d := cur.Delta(reset); d.Counters["c"] != 7 {
+		t.Errorf("reset counter delta = %d, want current total 7", d.Counters["c"])
+	}
+	// Delta against an empty snapshot is the current totals.
+	if d := cur.Delta(Snapshot{}); d.Counters["c"] != 7 || d.Histograms["h"].Count != 2 {
+		t.Errorf("delta vs empty lost totals: %+v", d)
+	}
+}
+
+func TestTimelineRingAndWindow(t *testing.T) {
+	r := New()
+	c := r.Counter("ticks")
+	tl := NewTimeline(r, 4)
+	base := time.Now()
+	for i := 0; i < 6; i++ {
+		c.Inc()
+		tl.Record(base.Add(time.Duration(i) * time.Second))
+	}
+	if tl.Len() != 4 {
+		t.Fatalf("ring len = %d, want 4", tl.Len())
+	}
+	pts := tl.Points()
+	// Oldest two dropped: points are t+2s..t+5s in order.
+	for i, p := range pts {
+		want := base.Add(time.Duration(i+2) * time.Second)
+		if !p.At.Equal(want) {
+			t.Errorf("point %d at %v, want %v", i, p.At, want)
+		}
+	}
+	// Counters in the points are monotone — each snapshot saw one more tick.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Snapshot.Counters["ticks"] <= pts[i-1].Snapshot.Counters["ticks"] {
+			t.Errorf("timeline counters not monotone at %d: %v", i, pts)
+		}
+	}
+	if got := len(tl.Window(base.Add(4 * time.Second))); got != 2 {
+		t.Errorf("window kept %d points, want 2", got)
+	}
+	if got := len(tl.Window(base.Add(time.Hour))); got != 0 {
+		t.Errorf("future window kept %d points, want 0", got)
+	}
+
+	// Self-accounting: the registry counts its own timeline records.
+	if n := r.Snapshot().Counters["telemetry.timeline.records"]; n != 6 {
+		t.Errorf("timeline.records = %d, want 6", n)
+	}
+
+	var nilTL *Timeline
+	nilTL.Record(time.Now())
+	if nilTL.Len() != 0 || nilTL.Points() != nil {
+		t.Error("nil timeline should no-op")
+	}
+	nilTL.Start(time.Second)()
+}
+
+func TestTimelineTicker(t *testing.T) {
+	r := New()
+	tl := NewTimeline(r, 16)
+	stop := tl.Start(2 * time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for tl.Len() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if tl.Len() < 3 {
+		t.Fatalf("ticker recorded %d points in 2s, want >= 3", tl.Len())
+	}
+	n := tl.Len()
+	time.Sleep(10 * time.Millisecond)
+	if tl.Len() != n {
+		t.Error("timeline kept recording after stop")
+	}
+}

@@ -44,10 +44,25 @@ type Log struct {
 	mu     sync.Mutex
 	events []Event
 	base   time.Time
+	// max bounds the log when > 0: the ring keeps only the last max
+	// events. next is the overwrite position once full.
+	max  int
+	next int
+	full bool
 }
 
 // New creates an empty log whose timestamps are relative to now.
 func New() *Log { return &Log{base: time.Now()} }
+
+// NewBounded creates a log that retains only the last max events — the
+// shape a long-running server wants: a trace of "the last N seconds",
+// bounded in memory, always ready to dump, never needing rotation. A
+// max <= 0 leaves the log unbounded.
+func NewBounded(max int) *Log {
+	l := New()
+	l.max = max
+	return l
+}
 
 // now returns the log-relative timestamp in microseconds.
 func (l *Log) now() int64 { return time.Since(l.base).Microseconds() }
@@ -117,7 +132,13 @@ func (l *Log) Counter(name string, pid int, values map[string]any) {
 
 func (l *Log) append(e Event) {
 	l.mu.Lock()
-	l.events = append(l.events, e)
+	if l.max > 0 && len(l.events) == l.max {
+		l.events[l.next] = e
+		l.next = (l.next + 1) % l.max
+		l.full = true
+	} else {
+		l.events = append(l.events, e)
+	}
 	l.mu.Unlock()
 }
 
@@ -132,14 +153,20 @@ func (l *Log) Len() int {
 }
 
 // Events returns a copy of the recorded events sorted by timestamp (ties
-// keep insertion order), the order WriteTo emits.
+// keep insertion order), the order WriteTo emits. On a bounded log the
+// copy unrolls the ring so insertion order is preserved before the sort.
 func (l *Log) Events() []Event {
 	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
+	out := make([]Event, 0, len(l.events))
+	if l.full {
+		out = append(out, l.events[l.next:]...)
+		out = append(out, l.events[:l.next]...)
+	} else {
+		out = append(out, l.events...)
+	}
 	l.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
 	return out

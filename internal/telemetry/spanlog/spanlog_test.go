@@ -106,6 +106,57 @@ func TestEmptyLogWritesValidDocument(t *testing.T) {
 	}
 }
 
+func TestBoundedRing(t *testing.T) {
+	l := NewBounded(4)
+	for i := 0; i < 7; i++ {
+		l.Range("e", "c", 0, 0, int64(i), 1, map[string]any{"i": i})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("len = %d, want ring capacity 4", l.Len())
+	}
+	ev := l.Events()
+	if len(ev) != 4 {
+		t.Fatalf("events = %d, want 4", len(ev))
+	}
+	// Oldest three overwritten: the survivors are ts 3..6 in order.
+	for i, e := range ev {
+		if e.Ts != int64(i+3) {
+			t.Errorf("event %d ts = %d, want %d", i, e.Ts, i+3)
+		}
+	}
+
+	// Unbounded default unaffected.
+	u := NewBounded(0)
+	for i := 0; i < 10; i++ {
+		u.Instant("x", "", 0, 0, nil)
+	}
+	if u.Len() != 10 {
+		t.Errorf("max<=0 should be unbounded, len = %d", u.Len())
+	}
+}
+
+func TestBoundedConcurrentAppend(t *testing.T) {
+	l := NewBounded(64)
+	const goroutines, per = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Complete("e", "c", 0, g, time.Now(), time.Microsecond, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != 64 {
+		t.Errorf("bounded len = %d, want 64", l.Len())
+	}
+	if got := len(l.Events()); got != 64 {
+		t.Errorf("events = %d, want 64", got)
+	}
+}
+
 func TestConcurrentAppend(t *testing.T) {
 	l := New()
 	const goroutines, per = 16, 200

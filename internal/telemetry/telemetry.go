@@ -66,7 +66,7 @@ type cell struct {
 func stripeHint() int {
 	var b byte
 	p := pointerOf(&b)
-	return int((p >> 6) ^ (p >> 16)) & (stripes - 1)
+	return int((p>>6)^(p>>16)) & (stripes - 1)
 }
 
 // Counter is a monotonically increasing striped counter.
@@ -155,7 +155,11 @@ func (g *Gauge) Max() int64 {
 // Histogram is a bounded histogram over explicit upper bounds: an
 // observation lands in the first bucket whose bound is >= the value, or in
 // the implicit overflow bucket. Bucket counts and the running sum are
-// striped like counters, so Observe is lock-free.
+// striped like counters, so Observe is lock-free. The exact minimum and
+// maximum ever observed ride alongside the buckets: after warm-up they are
+// two atomic loads per Observe, and they are what keeps quantile estimates
+// honest at the edges — a p99 in the +Inf bucket interpolates toward the
+// true maximum instead of clamping to the last finite bound.
 type Histogram struct {
 	name   string
 	bounds []uint64
@@ -163,6 +167,9 @@ type Histogram struct {
 	counts []cell
 	sum    []cell
 	n      []cell
+	// minv starts at ^uint64(0) so the first observation always wins.
+	minv atomic.Uint64
+	maxv atomic.Uint64
 }
 
 // Observe records one value. Safe for concurrent use; no-op on nil.
@@ -175,6 +182,29 @@ func (h *Histogram) Observe(v uint64) {
 	h.counts[b*stripes+s].v.Add(1)
 	h.sum[s].v.Add(v)
 	h.n[s].v.Add(1)
+	atomicMin(&h.minv, v)
+	atomicMax(&h.maxv, v)
+}
+
+// atomicMin lowers m to v if v is smaller (CAS loop; usually a single
+// load after warm-up, since extremes stop moving).
+func atomicMin(m *atomic.Uint64, v uint64) {
+	for {
+		cur := m.Load()
+		if v >= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// atomicMax raises m to v if v is larger.
+func atomicMax(m *atomic.Uint64, v uint64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // HistogramValue is a folded histogram snapshot.
@@ -186,6 +216,15 @@ type HistogramValue struct {
 	// Count and Sum aggregate every observation (Mean = Sum/Count).
 	Count uint64 `json:"count"`
 	Sum   uint64 `json:"sum"`
+	// Min and Max are the exact extreme observations (both 0 when empty).
+	// They bound quantile interpolation in the first and overflow buckets.
+	Min uint64 `json:"min"`
+	Max uint64 `json:"max"`
+	// P50, P95, and P99 are bucket-interpolated quantile estimates,
+	// derived by Quantile at fold time (0 when empty).
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
 // Mean returns the average observed value (0 when empty).
@@ -194,6 +233,56 @@ func (v HistogramValue) Mean() float64 {
 		return 0
 	}
 	return float64(v.Sum) / float64(v.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket holding the q*Count-th observation. The exact Min and
+// Max tighten the edge buckets: an estimate in the first bucket starts at
+// Min rather than 0, and one in the overflow bucket interpolates toward
+// Max instead of clamping to the last finite bound. Returns 0 when empty.
+func (v HistogramValue) Quantile(q float64) float64 {
+	if v.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(v.Min)
+	}
+	if q >= 1 {
+		return float64(v.Max)
+	}
+	rank := q * float64(v.Count)
+	cum := 0.0
+	for b, n := range v.Counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank > next {
+			cum = next
+			continue
+		}
+		lo, hi := float64(v.Min), float64(v.Max)
+		if b > 0 && float64(v.Bounds[b-1]) > lo {
+			lo = float64(v.Bounds[b-1])
+		}
+		if b < len(v.Bounds) && float64(v.Bounds[b]) < hi {
+			hi = float64(v.Bounds[b])
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return lo + (hi-lo)*(rank-cum)/float64(n)
+	}
+	return float64(v.Max)
+}
+
+// refreshQuantiles recomputes the derived P50/P95/P99 fields from the
+// bucket counts — called wherever a HistogramValue is built or rewritten
+// (fold, Delta) so the derived fields never go stale.
+func (v *HistogramValue) refreshQuantiles() {
+	v.P50 = v.Quantile(0.50)
+	v.P95 = v.Quantile(0.95)
+	v.P99 = v.Quantile(0.99)
 }
 
 // value folds the stripes.
@@ -211,6 +300,11 @@ func (h *Histogram) value() HistogramValue {
 		out.Sum += h.sum[s].v.Load()
 		out.Count += h.n[s].v.Load()
 	}
+	if out.Count > 0 {
+		out.Min = h.minv.Load()
+		out.Max = h.maxv.Load()
+	}
+	out.refreshQuantiles()
 	return out
 }
 
@@ -298,6 +392,7 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 			sum:    make([]cell, stripes),
 			n:      make([]cell, stripes),
 		}
+		h.minv.Store(^uint64(0))
 		r.hists[name] = h
 	}
 	return h
@@ -430,6 +525,10 @@ func (r *Registry) Absorb(s Snapshot) {
 		}
 		h.sum[0].v.Add(v.Sum)
 		h.n[0].v.Add(v.Count)
+		if v.Count > 0 {
+			atomicMin(&h.minv, v.Min)
+			atomicMax(&h.maxv, v.Max)
+		}
 	}
 }
 

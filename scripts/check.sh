@@ -2,6 +2,8 @@
 # Full pre-merge gate, for environments without make (see Makefile).
 set -ex
 
+# Lint: formatting drift is an error, then go vet.
+test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
@@ -25,3 +27,9 @@ DCPROF_BENCH_TELEMETRY="$(pwd)/BENCH_telemetry.json" \
 # committed speedup), report in BENCH_hotpath.json.
 DCPROF_BENCH_HOTPATH="$(pwd)/BENCH_hotpath.json" \
 	go test -run='^TestHotPathBenchGate$' -count=1 -timeout=30m ./internal/profiler
+# Observability must be near-free on the serving hot path: the cached-query
+# route through the full middleware chain (request IDs, access log, spans,
+# instruments) is gated at <5% over the bare handler. Runs after the
+# telemetry gate so both reports merge into BENCH_telemetry.json.
+DCPROF_BENCH_MIDDLEWARE="$(pwd)/BENCH_telemetry.json" \
+	go test -run='^TestMiddlewareOverheadGate$' -count=1 ./internal/server
