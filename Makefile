@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint vet build test race chaos-smoke fuzz-smoke bench-smoke
+.PHONY: check lint vet build test race chaos-smoke fuzz-smoke bench-smoke bench-merge-scale
 
 # check is the full pre-merge gate: static checks, the whole test suite
 # (including the fault-injection suite), the race detector over the
@@ -8,7 +8,7 @@ GO ?= go
 # streaming merge pipeline, and the fault-tolerant I/O layers), a short
 # fuzz of the profile reader, salvager, and the daemon's upload ingest,
 # and a one-iteration merge benchmark smoke to catch gross regressions.
-check: lint build test race chaos-smoke fuzz-smoke bench-smoke
+check: lint build test race chaos-smoke fuzz-smoke bench-smoke bench-merge-scale
 
 # lint: formatting drift is an error, then go vet.
 lint:
@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler ./internal/server ./internal/push ./internal/temporal
+	$(GO) test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler ./internal/server ./internal/push ./internal/temporal ./internal/cct
 	$(GO) test -race ./internal/telemetry/...
 
 # Chaos smoke: the dcpush client through a scripted faulty transport
@@ -44,6 +44,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadProfile -fuzztime=10s ./internal/profio
 	$(GO) test -run='^$$' -fuzz=FuzzSalvageProfile -fuzztime=10s ./internal/profio
 	$(GO) test -run='^$$' -fuzz=FuzzTemporalSection -fuzztime=10s ./internal/profio
+	$(GO) test -run='^$$' -fuzz=FuzzReadV3Profile -fuzztime=10s ./internal/profio
 	$(GO) test -run='^$$' -fuzz=FuzzHandleUpload -fuzztime=10s ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzUploadIdempotency -fuzztime=10s ./internal/server
 
@@ -55,3 +56,11 @@ bench-smoke:
 		$(GO) test -run='^TestHotPathBenchGate$$' -count=1 -timeout=30m ./internal/profiler
 	DCPROF_BENCH_MIDDLEWARE="$(CURDIR)/BENCH_telemetry.json" \
 		$(GO) test -run='^TestMiddlewareOverheadGate$$' -count=1 ./internal/server
+
+# Merge-scale gate: sweep {1k, 10k} profiles x {1, 4, 8} workers through
+# the sharded streaming merge, enforce the v3 size win and the scaling
+# (or, on CPU-constrained hosts, overhead) bounds, and fail on >20%
+# regression of 8-worker 1k-profile throughput vs the committed report.
+bench-merge-scale:
+	DCPROF_BENCH_MERGE_SCALE="$(CURDIR)/BENCH_merge_scale.json" \
+		$(GO) test -run='^TestMergeScaleGate$$' -count=1 -timeout=30m ./internal/analysis

@@ -4,7 +4,7 @@
 // per thread), then prints a short summary.
 //
 // Profile files are written durably (write temp file, fsync, rename) in
-// the checksummed v2 format, so a crash mid-measurement never leaves a
+// the checksummed v3 format, so a crash mid-measurement never leaves a
 // corrupt file under a final profile name and any later at-rest damage is
 // detected at read time.
 //
@@ -68,7 +68,7 @@ func main() {
 	fmt.Printf("%s/%s: %d simulated cycles, %d cycles of measurement overhead (%.2f%%)\n",
 		res.App, res.Variant, res.Cycles, res.OverheadCycles,
 		100*float64(res.OverheadCycles)/float64(res.Cycles))
-	fmt.Printf("wrote %d thread profiles (%.2f MB, durable checksummed v2) to %s\n",
+	fmt.Printf("wrote %d thread profiles (%.2f MB, durable checksummed v3) to %s\n",
 		len(res.Profiles), float64(bytes)/1e6, *outDir)
 
 	if *telFile != "" {

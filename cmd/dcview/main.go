@@ -67,6 +67,8 @@ func main() {
 		diffDir    = flag.String("diff", "", "second measurement directory to compare against (before -> after)")
 		asJSON     = flag.Bool("json", false, "dump the merged database as JSON and exit")
 		workers    = flag.Int("workers", 0, "streaming ingest/merge workers (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 0, "fold shards per storage class (0 = derive from -workers); the merged result is identical for every value")
+		sectionPar = flag.Int("section-parallel", 0, "decode each file's class-tree sections with up to this many goroutines (<= 1 = sequential)")
 		stats      = flag.Bool("stats", false, "print streaming merge pipeline statistics")
 		strict     = flag.Bool("strict", false, "abort on the first unreadable profile (the default)")
 		quarantine = flag.Bool("quarantine", false, "skip unreadable profiles and report them instead of aborting")
@@ -125,7 +127,7 @@ func main() {
 
 	load := func(dir string) (*analysis.Database, analysis.MergeStats, error) {
 		return analysis.LoadDirStreamingCtx(context.Background(), dir,
-			analysis.LoadOptions{Workers: *workers, Policy: policy})
+			analysis.LoadOptions{Workers: *workers, Shards: *shards, SectionParallel: *sectionPar, Policy: policy})
 	}
 
 	db, st, err := load(*dir)
@@ -145,6 +147,7 @@ func main() {
 		fmt.Printf("merge stats: %d profiles, %.2f MB read, %d -> %d nodes (%.1fx coalescing), decode %s, merge %s, %d workers, peak residency %d profiles\n",
 			st.Inputs, float64(st.BytesRead)/1e6, st.InputNodes, st.MergedNodes,
 			st.CoalescingFactor(), st.DecodeWall, st.MergeWall, st.Workers, st.MaxResident)
+		fmt.Printf("merge stages: fold %s, reduce %s\n", st.FoldWall, st.ReduceWall)
 		if st.DecodeFileP99 > 0 {
 			fmt.Printf("decode latency per file: p50 %s, p95 %s, p99 %s\n",
 				st.DecodeFileP50, st.DecodeFileP95, st.DecodeFileP99)

@@ -26,6 +26,8 @@ func TestStatsJSONGolden(t *testing.T) {
 		BytesRead:     1 << 20,
 		DecodeWall:    1234567 * time.Microsecond,
 		MergeWall:     1300000 * time.Microsecond,
+		FoldWall:      1280000 * time.Microsecond,
+		ReduceWall:    1500 * time.Microsecond,
 		MaxResident:   9,
 		DecodeFileP50: 2500 * time.Microsecond,
 		DecodeFileP95: 9000 * time.Microsecond,

@@ -328,7 +328,7 @@ func TestFoldPanicQuarantined(t *testing.T) {
 	close(items)
 
 	quar := newQuarantineLog()
-	db, _ := mergeItems(context.Background(), items, 1, false, telemetry.New(), nil, quar, nil)
+	db, _ := mergeItems(context.Background(), items, 1, 0, false, telemetry.New(), nil, quar, nil)
 	if db == nil {
 		t.Fatal("merge returned nil database")
 	}

@@ -37,6 +37,12 @@ type MergeStats struct {
 	// database was assembled. The stages overlap — that they nearly
 	// coincide is the pipelining win.
 	DecodeWall, MergeWall time.Duration
+	// FoldWall and ReduceWall break MergeWall down: FoldWall (also from
+	// pipeline start) ends when every shard folder has drained, ReduceWall
+	// is the duration of the final shard-accumulator reduce alone — the
+	// only barrier in the pipeline, and with shared-nothing sharding it
+	// should be near zero (pointer adoption, not tree walks).
+	FoldWall, ReduceWall time.Duration
 	// MaxResident is the peak number of decoded profiles simultaneously
 	// alive in the pipeline — bounded by ~2×Workers regardless of how
 	// many files the measurement holds (0 for in-memory merges, where
@@ -81,6 +87,8 @@ type StatsReport struct {
 	BytesRead        int64               `json:"bytes_read"`
 	DecodeWallUS     int64               `json:"decode_wall_us"`
 	MergeWallUS      int64               `json:"merge_wall_us"`
+	FoldWallUS       int64               `json:"fold_wall_us"`
+	ReduceWallUS     int64               `json:"reduce_wall_us"`
 	MaxResident      int                 `json:"max_resident"`
 	DecodeFileP50US  int64               `json:"decode_file_p50_us"`
 	DecodeFileP95US  int64               `json:"decode_file_p95_us"`
@@ -107,6 +115,8 @@ func (s MergeStats) Report() StatsReport {
 		BytesRead:        s.BytesRead,
 		DecodeWallUS:     s.DecodeWall.Microseconds(),
 		MergeWallUS:      s.MergeWall.Microseconds(),
+		FoldWallUS:       s.FoldWall.Microseconds(),
+		ReduceWallUS:     s.ReduceWall.Microseconds(),
 		MaxResident:      s.MaxResident,
 		DecodeFileP50US:  s.DecodeFileP50.Microseconds(),
 		DecodeFileP95US:  s.DecodeFileP95.Microseconds(),
@@ -134,6 +144,8 @@ func (r StatsReport) MergeStats() MergeStats {
 		BytesRead:     r.BytesRead,
 		DecodeWall:    time.Duration(r.DecodeWallUS) * time.Microsecond,
 		MergeWall:     time.Duration(r.MergeWallUS) * time.Microsecond,
+		FoldWall:      time.Duration(r.FoldWallUS) * time.Microsecond,
+		ReduceWall:    time.Duration(r.ReduceWallUS) * time.Microsecond,
 		MaxResident:   r.MaxResident,
 		DecodeFileP50: time.Duration(r.DecodeFileP50US) * time.Microsecond,
 		DecodeFileP95: time.Duration(r.DecodeFileP95US) * time.Microsecond,

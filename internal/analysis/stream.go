@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"dcprof/internal/cct"
+	"dcprof/internal/metric"
 	"dcprof/internal/profio"
 	"dcprof/internal/telemetry"
 	"dcprof/internal/telemetry/spanlog"
@@ -72,6 +73,20 @@ func (p ErrorPolicy) String() string {
 type LoadOptions struct {
 	// Workers is the decode/fold concurrency (<= 0 uses GOMAXPROCS).
 	Workers int
+	// Shards is the number of fold shards per storage class (<= 0 derives
+	// from Workers). Each profile's root subtrees are partitioned across
+	// shards by frame-ID hash, so no two shard accumulators ever share a
+	// node — folds proceed shared-nothing and the final reduce adopts
+	// pointers instead of copying trees. The merged result is
+	// byte-identical for every shard count.
+	Shards int
+	// SectionParallel, when > 1, decodes each profile file's class-tree
+	// sections concurrently (profio.ReadProfileAt) with up to this many
+	// goroutines per file. The fast path requires an intact file and a
+	// random-access handle; anything else falls back to the sequential
+	// reader, whose error semantics (strict/quarantine/salvage) are
+	// authoritative.
+	SectionParallel int
 	// Policy selects strict, quarantine, or salvage error handling.
 	Policy ErrorPolicy
 	// Open overrides how profile files are opened (nil uses os.Open) —
@@ -99,6 +114,16 @@ type streamItem struct {
 	nodes int    // CCT nodes decoded (0 when unknown)
 }
 
+// shardItem is one profile's contribution to one (class, shard) fold: the
+// root subtrees whose frame IDs hash to the shard, plus — on shard 0 only
+// — the tree root's own metrics.
+type shardItem struct {
+	roots       []*cct.Node
+	rootMetrics metric.Vector
+	path        string // source file, for fault attribution
+	rem         *int32 // shard items of the owning profile not yet folded
+}
+
 // Instrument names the merge pipeline accounts under. Decoded-profile
 // residency (the bounded-memory guarantee the streaming path exists to
 // provide) and fold-queue depth are gauges with tracked maxima; the rest
@@ -118,6 +143,9 @@ const (
 	instDecodeLatencyUS = "analysis.decode.file_latency_us"
 	instDecodeWallUS    = "analysis.wall.decode_us"
 	instMergeWallUS     = "analysis.wall.merge_us"
+	instFoldWallUS      = "analysis.wall.fold_us"
+	instReduceWallUS    = "analysis.wall.reduce_us"
+	instShards          = "analysis.pipeline.shards"
 	instTemporalSeries  = "analysis.temporal.series"
 	instTemporalDropped = "analysis.temporal.dropped"
 )
@@ -155,33 +183,73 @@ func (q *quarantineLog) sorted() []QuarantinedFile {
 	return out
 }
 
+// shardOf maps a root subtree's frame ID to its fold shard (Fibonacci
+// hashing: multiplicative spread of sequentially assigned interner IDs).
+func shardOf(id cct.FrameID, shards int) int {
+	return int((uint64(id) * 0x9e3779b97f4a7c15 >> 32) % uint64(shards))
+}
+
+// defaultShards sizes the per-class shard count so the folder goroutine
+// total tracks the requested worker count, as the unsharded engine's did.
+func defaultShards(workers int) int {
+	return (workers + cct.NumClasses - 1) / cct.NumClasses
+}
+
+// EffectiveWorkers resolves the decode/fold concurrency this option set
+// would actually run with — the number observability surfaces report.
+func (o LoadOptions) EffectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// EffectiveShards resolves the per-class fold shard count this option set
+// would actually run with.
+func (o LoadOptions) EffectiveShards() int {
+	if o.Shards > 0 {
+		return o.Shards
+	}
+	return defaultShards(o.EffectiveWorkers())
+}
+
 // mergeItems is the channel-fed reduction engine behind Merge,
 // MergePreserving, MergeStream, and LoadDirStreaming.
 //
-// Each arriving profile is split into its storage-class trees, which are
-// fanned out to per-class folder goroutines; every folder owns one
-// accumulator tree and folds incoming trees into it immediately. When the
-// input drains, the few per-class accumulators are reduced pairwise — the
-// only step with a barrier, over O(workers) trees instead of O(inputs).
+// Each arriving profile is split twice: by storage class, then by a hash
+// of each root subtree's frame ID into one of `shards` fold shards. Every
+// (class, shard) pair owns a private accumulator tree and a dedicated
+// folder goroutine, and because the hash partitions root subtrees the
+// accumulators are shared-nothing — no node is ever reachable from two
+// shards, so folds run without locks and without false sharing. When the
+// input drains, each class's shard accumulators are reduced pairwise in
+// parallel rounds; disjointness makes every reduce step pointer adoption
+// (cct.Tree.Absorb), not a tree walk, so the only barrier in the pipeline
+// costs O(shards) pointer moves. The result is byte-identical under every
+// shard count — a property test holds the encoder to that.
 //
-// With preserve=false the first tree a folder receives becomes its
-// accumulator (the input profile is consumed); with preserve=true folders
-// start from fresh empty trees and the inputs are never mutated.
+// With preserve=false incoming subtrees are adopted into the accumulators
+// (the input profiles are consumed); with preserve=true they are copied
+// in and the inputs are never mutated.
 //
 // When ctx is cancelled the split stage stops folding and drains the
 // remaining items so upstream decoders unblock. When quar is non-nil a
-// panic while folding one tree is recovered into a quarantine record for
-// the tree's source file instead of crashing the process (nil — the
-// in-memory merge paths — preserves the old panic-through behavior).
+// panic while folding one shard item is recovered into a quarantine
+// record for the item's source file instead of crashing the process (nil
+// — the in-memory merge paths — preserves the old panic-through
+// behavior).
 //
 // reg is the per-merge telemetry registry every stage accounts into and
 // the returned MergeStats is a view over; callers create a fresh one per
 // merge. res is the decoded-profile residency gauge (nil for in-memory
 // merges, where the caller already owns every profile); spans, when
 // non-nil, receives per-stage trace events.
-func mergeItems(ctx context.Context, items <-chan streamItem, workers int, preserve bool, reg *telemetry.Registry, res *telemetry.Gauge, quar *quarantineLog, spans *spanlog.Log) (*Database, MergeStats) {
+func mergeItems(ctx context.Context, items <-chan streamItem, workers, shards int, preserve bool, reg *telemetry.Registry, res *telemetry.Gauge, quar *quarantineLog, spans *spanlog.Log) (*Database, MergeStats) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if shards <= 0 {
+		shards = defaultShards(workers)
 	}
 	start := time.Now()
 	var (
@@ -191,56 +259,45 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 		foldQueue  = reg.Gauge(instFoldQueue)
 		foldPanics = reg.Counter(instFoldPanics)
 	)
+	reg.Gauge(instShards).Set(int64(shards))
 
-	type classItem struct {
-		tree *cct.Tree
-		path string // source file, for fault attribution
-		rem  *int32 // trees of the owning profile not yet folded
-	}
-	var chans [cct.NumClasses]chan classItem
+	chans := make([][]chan shardItem, cct.NumClasses)
 	for c := range chans {
-		chans[c] = make(chan classItem, 1)
+		chans[c] = make([]chan shardItem, shards)
+		for k := range chans[c] {
+			chans[c][k] = make(chan shardItem, 1)
+		}
 	}
 
-	perClass := (workers + cct.NumClasses - 1) / cct.NumClasses
 	accs := make([][]*cct.Tree, cct.NumClasses)
 	var fwg sync.WaitGroup
 	for c := 0; c < cct.NumClasses; c++ {
-		accs[c] = make([]*cct.Tree, perClass)
-		for k := 0; k < perClass; k++ {
+		accs[c] = make([]*cct.Tree, shards)
+		for k := 0; k < shards; k++ {
 			fwg.Add(1)
 			go func(c, k int) {
 				defer fwg.Done()
 				defer spans.Span(fmt.Sprintf("fold %s[%d]", cct.Class(c), k), "merge",
-					0, foldTidBase+c*perClass+k, nil)()
-				var acc *cct.Tree
-				if preserve {
-					acc = cct.New()
-				}
-				for it := range chans[c] {
+					0, foldTidBase+c*shards+k, nil)()
+				acc := cct.New()
+				for it := range chans[c][k] {
 					foldQueue.Add(-1)
 					if quar == nil {
-						if acc == nil {
-							acc = it.tree
-						} else {
-							acc.Root.MergeFrom(it.tree.Root)
-						}
+						foldShard(acc, it, preserve)
 					} else {
-						foldRecovering(&acc, it.tree, it.path, cct.Class(c), quar, foldPanics)
+						foldShardRecovering(acc, it, preserve, cct.Class(c), quar, foldPanics)
 					}
 					if atomic.AddInt32(it.rem, -1) == 0 {
 						res.Add(-1)
 					}
-				}
-				if acc == nil {
-					acc = cct.New()
 				}
 				accs[c][k] = acc
 			}(c, k)
 		}
 	}
 
-	// Split stage: runs inline, recording identity while fanning trees out.
+	// Split stage: runs inline, recording identity while fanning subtrees
+	// out to their shards.
 	var (
 		ranks        = map[int]bool{}
 		bestRank     int
@@ -250,6 +307,7 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 		lastItemSeen time.Time
 		cancelled    bool
 		tix          = temporal.NewIndex()
+		buckets      = make([]*shardItem, cct.NumClasses*shards)
 	)
 	for it := range items {
 		if !cancelled && ctx.Err() != nil {
@@ -270,15 +328,44 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 		}
 		// Fold the profile's temporal sidecar BEFORE fanning its trees out:
 		// the index walks node parent chains, and folders adopt and mutate
-		// trees concurrently once they are on the class channels. The fold
+		// trees concurrently once they are on the shard channels. The fold
 		// copies everything it needs, so it holds no node references after.
 		if err := tix.AddSeries(it.p); err != nil && quar != nil {
 			quar.add(it.path, fmt.Sprintf("temporal sidecar dropped: %v", err), 0)
 		}
-		rem := int32(cct.NumClasses)
-		for c, tr := range it.p.Trees {
+		// Group the profile's root subtrees by (class, shard). rem counts
+		// the shard items actually produced, so residency drops exactly
+		// when the profile's last piece is folded. A panic while grouping
+		// (a nil or structurally damaged tree the decoder let through) is
+		// the fault boundary the folders used to own; with quarantining on
+		// it becomes a per-file record, without it (the in-memory merge
+		// paths) it propagates as before.
+		sent, gerr := groupShards(it, shards, buckets, quar != nil)
+		if gerr != nil {
+			for i := range buckets {
+				buckets[i] = nil
+			}
+			quar.add(it.path, gerr.Error(), 0)
+			foldPanics.Inc()
+			res.Add(-1)
+			lastItemSeen = time.Now()
+			continue
+		}
+		if sent == 0 {
+			res.Add(-1)
+			lastItemSeen = time.Now()
+			continue
+		}
+		rem := new(int32)
+		*rem = int32(sent)
+		for i, b := range buckets {
+			if b == nil {
+				continue
+			}
+			buckets[i] = nil
+			b.rem = rem
 			foldQueue.Add(1)
-			chans[c] <- classItem{tr, it.path, &rem}
+			chans[i/shards][i%shards] <- *b
 		}
 		lastItemSeen = time.Now()
 	}
@@ -287,20 +374,47 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 		decodeWall = lastItemSeen.Sub(start)
 	}
 	for c := range chans {
-		close(chans[c])
+		for k := range chans[c] {
+			close(chans[c][k])
+		}
 	}
 	fwg.Wait()
+	foldWall := time.Since(start)
 
-	reduceDone := spans.Span("reduce accumulators", "merge", 0, 0, nil)
+	// Hierarchical reduce: per class, pairwise parallel rounds over the
+	// shard accumulators. Shards partition root subtrees, so each Absorb
+	// moves pointers instead of walking trees.
+	reduceStart := time.Now()
+	reduceDone := spans.Span("reduce accumulators", "merge", 0, 0,
+		map[string]any{"shards": shards})
 	merged := cct.NewProfile(bestRank, bestThread, bestEvent)
+	var rwg sync.WaitGroup
 	for c := 0; c < cct.NumClasses; c++ {
-		acc := accs[c][0]
-		for k := 1; k < perClass; k++ {
-			acc.Merge(accs[c][k])
-		}
-		merged.Trees[c] = acc
+		rwg.Add(1)
+		go func(c int) {
+			defer rwg.Done()
+			defer spans.Span(fmt.Sprintf("reduce %s", cct.Class(c)), "merge",
+				0, foldTidBase+c*shards, nil)()
+			trees := accs[c]
+			for n := len(trees); n > 1; {
+				half := (n + 1) / 2
+				var pwg sync.WaitGroup
+				for i := 0; i+half < n; i++ {
+					pwg.Add(1)
+					go func(i int) {
+						defer pwg.Done()
+						trees[i].Absorb(trees[i+half])
+					}(i)
+				}
+				pwg.Wait()
+				n = half
+			}
+			merged.Trees[c] = trees[0]
+		}(c)
 	}
+	rwg.Wait()
 	reduceDone()
+	reduceWall := time.Since(reduceStart)
 	mergeWall := time.Since(start)
 	spans.Complete("merge pipeline", "merge", 0, 0, start, mergeWall,
 		map[string]any{"workers": workers})
@@ -310,6 +424,8 @@ func mergeItems(ctx context.Context, items <-chan streamItem, workers int, prese
 	reg.Gauge(instNodesMerged).Set(int64(merged.NumNodes()))
 	reg.Gauge(instDecodeWallUS).Set(decodeWall.Microseconds())
 	reg.Gauge(instMergeWallUS).Set(mergeWall.Microseconds())
+	reg.Gauge(instFoldWallUS).Set(foldWall.Microseconds())
+	reg.Gauge(instReduceWallUS).Set(reduceWall.Microseconds())
 	var quarantined []QuarantinedFile
 	if quar != nil {
 		quarantined = quar.sorted()
@@ -347,6 +463,8 @@ func statsView(reg *telemetry.Registry, workers int, quarantined []QuarantinedFi
 		BytesRead:     int64(s.Counters[instBytesRead]),
 		DecodeWall:    time.Duration(s.Gauges[instDecodeWallUS].Value) * time.Microsecond,
 		MergeWall:     time.Duration(s.Gauges[instMergeWallUS].Value) * time.Microsecond,
+		FoldWall:      time.Duration(s.Gauges[instFoldWallUS].Value) * time.Microsecond,
+		ReduceWall:    time.Duration(s.Gauges[instReduceWallUS].Value) * time.Microsecond,
 		MaxResident:   int(s.Gauges[instResidency].Max),
 		DecodeFileP50: time.Duration(dh.P50) * time.Microsecond,
 		DecodeFileP95: time.Duration(dh.P95) * time.Microsecond,
@@ -355,15 +473,65 @@ func statsView(reg *telemetry.Registry, workers int, quarantined []QuarantinedFi
 	}
 }
 
-// foldRecovering folds one class tree into the accumulator, converting a
-// panic (a decoder bug surfacing in merge, or damaged structure the format
-// checks missed) into a quarantine record for the tree's source file. The
-// accumulator may have absorbed part of the tree before the panic — the
-// merge is best-effort for that file, which is what the quarantine record
+// groupShards partitions one profile's root subtrees into the split
+// stage's (class, shard) buckets and returns the number of distinct
+// buckets touched. With recoverPanics it converts a panic — a nil class
+// tree, structure a decoder bug let through — into an error for the
+// caller to quarantine.
+func groupShards(it streamItem, shards int, buckets []*shardItem, recoverPanics bool) (sent int, err error) {
+	if recoverPanics {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic folding profile: %v", r)
+			}
+		}()
+	}
+	bucket := func(c, k int) *shardItem {
+		b := buckets[c*shards+k]
+		if b == nil {
+			b = &shardItem{path: it.path}
+			buckets[c*shards+k] = b
+			sent++
+		}
+		return b
+	}
+	for c, tr := range it.p.Trees {
+		if tr.Root.Metrics != (metric.Vector{}) {
+			bucket(c, 0).rootMetrics = tr.Root.Metrics
+		}
+		tr.Root.EachChild(func(r *cct.Node) {
+			b := bucket(c, shardOf(r.ID(), shards))
+			b.roots = append(b.roots, r)
+		})
+	}
+	return sent, nil
+}
+
+// foldShard folds one shard item into the shard's accumulator. With
+// preserve=false the item's subtrees are adopted (re-parented, no
+// copying); with preserve=true they are merged in by copy and the source
+// profile stays untouched.
+func foldShard(acc *cct.Tree, it shardItem, preserve bool) {
+	acc.Root.Metrics.Add(&it.rootMetrics)
+	for _, r := range it.roots {
+		if preserve {
+			acc.Root.ChildID(r.ID()).MergeFrom(r)
+		} else {
+			acc.Root.MergeChild(r)
+		}
+	}
+}
+
+// foldShardRecovering is foldShard converting a panic (a decoder bug
+// surfacing in merge, or damaged structure the format checks missed) into
+// a quarantine record for the item's source file. The accumulator may
+// have absorbed part of the item before the panic — the merge is
+// best-effort for that file, which is what the quarantine record
 // documents.
-func foldRecovering(acc **cct.Tree, tree *cct.Tree, path string, c cct.Class, quar *quarantineLog, panics *telemetry.Counter) {
+func foldShardRecovering(acc *cct.Tree, it shardItem, preserve bool, c cct.Class, quar *quarantineLog, panics *telemetry.Counter) {
 	defer func() {
 		if r := recover(); r != nil {
+			path := it.path
 			if path == "" {
 				path = "(in-memory profile)"
 			}
@@ -371,11 +539,7 @@ func foldRecovering(acc **cct.Tree, tree *cct.Tree, path string, c cct.Class, qu
 			panics.Inc()
 		}
 	}()
-	if *acc == nil {
-		*acc = tree
-	} else {
-		(*acc).Root.MergeFrom(tree.Root)
-	}
+	foldShard(acc, it, preserve)
 }
 
 // mergeSlice feeds an in-memory profile slice through the engine.
@@ -387,7 +551,7 @@ func mergeSlice(profiles []*cct.Profile, workers int, preserve bool) (*Database,
 		}
 		close(items)
 	}()
-	return mergeItems(context.Background(), items, workers, preserve, telemetry.New(), nil, nil, nil)
+	return mergeItems(context.Background(), items, workers, 0, preserve, telemetry.New(), nil, nil, nil)
 }
 
 // MergeStream merges profiles as they arrive on ch, with the same bounded
@@ -401,7 +565,7 @@ func MergeStream(ch <-chan *cct.Profile, workers int) (*Database, MergeStats) {
 		}
 		close(items)
 	}()
-	return mergeItems(context.Background(), items, workers, false, telemetry.New(), nil, nil, nil)
+	return mergeItems(context.Background(), items, workers, 0, false, telemetry.New(), nil, nil, nil)
 }
 
 // LoadDirStreaming reads a measurement directory written by profio.WriteDir
@@ -506,7 +670,7 @@ func LoadFilesStreamingCtx(ctx context.Context, label string, files []string, op
 				decodeDone := spans.Span("decode "+filepath.Base(path), "ingest",
 					0, w+1, nil)
 				t0 := time.Now()
-				it, ok := decodeOne(path, intern, open, opt.Policy, fail, quar)
+				it, ok := decodeOne(path, intern, open, opt.Policy, opt.SectionParallel, fail, quar)
 				decLat.Observe(uint64(time.Since(t0).Microseconds()))
 				decodeDone()
 				if !ok {
@@ -537,7 +701,7 @@ func LoadFilesStreamingCtx(ctx context.Context, label string, files []string, op
 		close(items)
 	}()
 
-	db, st := mergeItems(ctx, items, workers, false, reg, res, quar, spans)
+	db, st := mergeItems(ctx, items, workers, opt.Shards, false, reg, res, quar, spans)
 	if err := ctx.Err(); err != nil {
 		return nil, st, fmt.Errorf("analysis: %w", err)
 	}
@@ -560,7 +724,15 @@ func LoadFilesStreamingCtx(ctx context.Context, label string, files []string, op
 // error. Panics while opening or decoding are contained here and treated
 // exactly like decode errors, so one poisoned file cannot take down the
 // analyzer.
-func decodeOne(path string, in *profio.Intern, open func(string) (io.ReadCloser, error), policy ErrorPolicy, fail func(error), quar *quarantineLog) (it streamItem, ok bool) {
+//
+// When sectionParallel > 1 and the opened handle supports random access,
+// the file's class-tree sections are decoded concurrently first
+// (profio.ReadProfileAt). The fast path only succeeds on fully intact
+// files; any failure falls through to the sequential reader below, whose
+// strict/quarantine/salvage semantics are authoritative — an intact file
+// decodes identically either way, so policies cannot observe which path
+// ran.
+func decodeOne(path string, in *profio.Intern, open func(string) (io.ReadCloser, error), policy ErrorPolicy, sectionParallel int, fail func(error), quar *quarantineLog) (it streamItem, ok bool) {
 	var (
 		p     *cct.Profile
 		nodes int
@@ -580,6 +752,22 @@ func decodeOne(path string, in *profio.Intern, open func(string) (io.ReadCloser,
 		defer f.Close()
 		if st, serr := statSize(f); serr == nil {
 			size = st
+		}
+		if sectionParallel > 1 && size > 0 {
+			if ra, isRA := f.(io.ReaderAt); isRA {
+				if pp, n, perr := profio.ReadProfileAt(ra, size, in, sectionParallel); perr == nil {
+					p, nodes = pp, n
+					return size, nil
+				}
+				// ReadProfileAt uses only ReadAt, which leaves an os.File's
+				// seek offset alone; reset anyway for handles that couple
+				// the two, then let the sequential reader rule on the file.
+				if sk, isSeek := f.(io.Seeker); isSeek {
+					if _, serr := sk.Seek(0, io.SeekStart); serr != nil {
+						return size, fmt.Errorf("rewinding after parallel decode: %w", serr)
+					}
+				}
+			}
 		}
 		switch policy {
 		case PolicyStrict:
@@ -613,7 +801,9 @@ func decodeOne(path string, in *profio.Intern, open func(string) (io.ReadCloser,
 		return streamItem{}, false
 	}
 
-	if policy != PolicyStrict {
+	// salv is nil under a non-strict policy when the parallel fast path
+	// already produced the (necessarily intact) profile.
+	if policy != PolicyStrict && salv != nil {
 		if !salv.Intact() {
 			reason := "damaged"
 			if len(salv.Errs) > 0 {

@@ -167,17 +167,23 @@ func (n *Node) ChildID(id FrameID) *Node {
 		return c
 	}
 	c := &Node{Frame: FrameByID(id), parent: n, id: id}
+	n.attach(c)
+	return c
+}
+
+// attach links c — whose id must not already key a child of n — into n's
+// child set: inline slots first, map spill after.
+func (n *Node) attach(c *Node) {
 	if n.nInline < nodeInline {
-		n.inlineIDs[n.nInline] = id
+		n.inlineIDs[n.nInline] = c.id
 		n.inline[n.nInline] = c
 		n.nInline++
-		return c
+		return
 	}
 	if n.children == nil {
 		n.children = make(map[FrameID]*Node)
 	}
-	n.children[id] = c
-	return c
+	n.children[c.id] = c
 }
 
 // lookupID returns the child with the given interned frame if it exists.
@@ -242,6 +248,11 @@ func (n *Node) eachChild(fn func(*Node)) {
 		fn(c)
 	}
 }
+
+// EachChild calls fn on every child in unspecified order — the
+// allocation-free traversal for callers that don't need the deterministic
+// sort Children pays for.
+func (n *Node) EachChild(fn func(*Node)) { n.eachChild(fn) }
 
 // Path returns the frames from the root (exclusive) down to n.
 func (n *Node) Path() []Frame {
@@ -328,6 +339,30 @@ func mergeNode(dst, src *Node) {
 // left untouched.
 func (n *Node) MergeFrom(src *Node) {
 	mergeNode(n, src)
+}
+
+// MergeChild folds src — a child-level subtree from another tree over the
+// same interner — into n, consuming it. When n already has a child with
+// src's frame the two subtrees merge recursively; otherwise src is adopted
+// wholesale, re-parented under n with no copying. Adoption is what makes
+// the sharded merge's reduce cheap: shards partition root subtrees, so
+// most reduce steps move a pointer instead of walking a tree. Either way
+// src belongs to n's tree afterwards and must not be used by the caller.
+func (n *Node) MergeChild(src *Node) {
+	if dst, ok := n.lookupID(src.id); ok {
+		mergeNode(dst, src)
+		return
+	}
+	src.parent = n
+	n.attach(src)
+}
+
+// Absorb moves o's structure and metrics into t, consuming o. Overlapping
+// subtrees merge; disjoint ones re-parent into t without copying. Use
+// Merge when the source must survive.
+func (t *Tree) Absorb(o *Tree) {
+	t.Root.Metrics.Add(&o.Root.Metrics)
+	o.Root.eachChild(func(c *Node) { t.Root.MergeChild(c) })
 }
 
 // Clone returns a deep copy of the tree.

@@ -1,7 +1,9 @@
 package cct
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -291,5 +293,94 @@ func BenchmarkMergeLargeTrees(b *testing.B) {
 		c := randomTree(2, 2000)
 		b.StartTimer()
 		a.Merge(c)
+	}
+}
+
+// treeFingerprint flattens a tree to a deterministic (path, metrics) map so
+// structurally equal trees compare equal regardless of how they were built.
+func treeFingerprint(tr *Tree) map[string]metric.Vector {
+	fp := make(map[string]metric.Vector)
+	tr.Walk(func(n *Node, _ int) bool {
+		key := fmt.Sprintf("%v", n.Path())
+		v := fp[key]
+		v.Add(&n.Metrics)
+		fp[key] = v
+		return true
+	})
+	return fp
+}
+
+// Property: Absorb (destructive, adoption-based) must produce exactly the
+// tree Merge (copying) produces, for any pair of random trees.
+func TestQuickAbsorbMatchesMerge(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		merged := randomTree(s1, 25)
+		merged.Merge(randomTree(s2, 25))
+
+		absorbed := randomTree(s1, 25)
+		absorbed.Absorb(randomTree(s2, 25))
+
+		return reflect.DeepEqual(treeFingerprint(merged), treeFingerprint(absorbed))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAbsorbAdoptsDisjoint: absorbing a tree with a disjoint root subtree
+// must move the nodes, not copy them, and leave parent pointers correct.
+func TestAbsorbAdoptsDisjoint(t *testing.T) {
+	a, b := New(), New()
+	a.AddSample([]Frame{call("left", 1), stmt("left", 10)}, sampleVec(3))
+	b.AddSample([]Frame{call("right", 2), stmt("right", 20)}, sampleVec(4))
+	moved := b.Root.Children()[0]
+
+	a.Absorb(b)
+	got, ok := a.Root.Lookup(call("right", 2))
+	if !ok {
+		t.Fatal("absorbed subtree not reachable")
+	}
+	if got != moved {
+		t.Error("disjoint subtree was copied, not adopted")
+	}
+	if got.Parent() != a.Root {
+		t.Error("adopted subtree's parent not re-pointed")
+	}
+	if a.Total()[metric.Latency] != 7 {
+		t.Errorf("total = %d, want 7", a.Total()[metric.Latency])
+	}
+}
+
+// TestMergeChildOverlap: merging into an existing child must fold metrics
+// recursively rather than attach a duplicate child.
+func TestMergeChildOverlap(t *testing.T) {
+	a, b := New(), New()
+	a.AddSample([]Frame{call("f", 1), stmt("f", 10)}, sampleVec(5))
+	b.AddSample([]Frame{call("f", 1), stmt("f", 10)}, sampleVec(6))
+	b.Root.EachChild(func(c *Node) { a.Root.MergeChild(c) })
+	if n := a.Root.NumChildren(); n != 1 {
+		t.Fatalf("root has %d children, want 1", n)
+	}
+	if a.Total()[metric.Latency] != 11 {
+		t.Errorf("total = %d, want 11", a.Total()[metric.Latency])
+	}
+}
+
+// TestAttachSpillsToMap: adoption through MergeChild must follow the same
+// inline-then-map layout as ChildID so lookups keep working past the
+// inline fanout.
+func TestAttachSpillsToMap(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < nodeInline+3; i++ {
+		b.AddSample([]Frame{call("f", i)}, sampleVec(1))
+	}
+	b.Root.EachChild(func(c *Node) { a.Root.MergeChild(c) })
+	if n := a.Root.NumChildren(); n != nodeInline+3 {
+		t.Fatalf("root has %d children, want %d", n, nodeInline+3)
+	}
+	for i := 0; i < nodeInline+3; i++ {
+		if _, ok := a.Root.Lookup(call("f", i)); !ok {
+			t.Errorf("child %d unreachable after adoption", i)
+		}
 	}
 }

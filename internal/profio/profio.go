@@ -29,6 +29,13 @@
 // Trailer sections after the footer are tagged by a magic ("DCPT" = the
 // temporal sidecar, see temporal.go); unknown magics are checksum-verified
 // and skipped, so older data survives newer writers and vice versa.
+//
+// Format v3 (the current write format, see v3.go) keeps v2's framing —
+// magic, section/checksum layout, footer, trailers — but deduplicates
+// frames into a header-resident frame table and encodes each tree section
+// columnar (delta-varint parent gaps and frame references, sparse columnar
+// metrics), which shrinks files 2–4x and makes tree decode table-driven.
+// v1 and v2 files remain readable.
 package profio
 
 import (
@@ -50,11 +57,18 @@ const Magic = 0x44435046
 // FooterMagic identifies the end-of-file footer ("DCPE" = end).
 const FooterMagic = 0x44435045
 
-// Version is the current format version (checksummed sections + footer).
-const Version = 2
+// Version is the current format version: v2's checksummed section framing
+// with the compact columnar tree encoding and header frame table (v3.go).
+const Version = 3
 
-// Version1 is the legacy format: same record encoding, but no section
-// framing, checksums, or footer. Still readable, never written.
+// Version2 is the row-oriented checksummed format: same section framing,
+// footer, and trailers as v3, with self-contained per-node records. Still
+// readable (and writable through WriteProfileV2, for fixtures and the
+// compatibility surface); new files are written as v3.
+const Version2 = 2
+
+// Version1 is the legacy format: same record encoding as v2, but no
+// section framing, checksums, or footer. Still readable, never written.
 const Version1 = 1
 
 // TmpSuffix is appended to a profile's final name while it is being
@@ -69,16 +83,27 @@ const noParent = ^uint32(0)
 // rejected as corrupt before any proportional allocation happens.
 const maxSection = 1 << 30
 
-// WriteProfile encodes one thread profile in format v2.
+// WriteProfile encodes one thread profile in the current format (v3).
 func WriteProfile(w io.Writer, p *cct.Profile) error {
 	bw := bufio.NewWriter(w)
-	if err := writeProfile(bw, p); err != nil {
+	if err := writeProfileV3(bw, p); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-func writeProfile(w *bufio.Writer, p *cct.Profile) error {
+// WriteProfileV2 encodes one thread profile in format v2 — the
+// compatibility writer behind version-migration tests and v2 fixtures.
+// New files should use WriteProfile.
+func WriteProfileV2(w io.Writer, p *cct.Profile) error {
+	bw := bufio.NewWriter(w)
+	if err := writeProfileV2(bw, p); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeProfileV2(w *bufio.Writer, p *cct.Profile) error {
 	// Collect the string table.
 	strs := newStringTable()
 	for _, tree := range p.Trees {
@@ -92,7 +117,7 @@ func writeProfile(w *bufio.Writer, p *cct.Profile) error {
 	strs.intern(p.Event)
 
 	writeU32(w, Magic)
-	writeU32(w, Version)
+	writeU32(w, Version2)
 
 	// Each section is staged in memory so its length prefix and checksum
 	// can be emitted; sections are one tree each, so staging cost is one

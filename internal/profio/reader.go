@@ -75,8 +75,8 @@ func (in *Intern) Len() int {
 // merge each tree away as soon as it arrives instead of holding the whole
 // profile — the unit of streaming the analyzer's pipeline is built on.
 //
-// For v2 input every section's checksum is verified before its records are
-// trusted. A checksum or decode failure inside one tree section is
+// For v2/v3 input every section's checksum is verified before its records
+// are trusted. A checksum or decode failure inside one tree section is
 // recoverable: the reader is already positioned at the next section, so
 // further ReadTree calls continue with the following tree (the salvage
 // path). A truncation or framing failure is terminal — Broken reports it —
@@ -86,7 +86,7 @@ type Reader struct {
 	version      uint32
 	rank, thread int
 	event        string
-	strs         []string
+	dec          treeDecoder
 	next         int
 	nodes        int
 	treeErrs     int
@@ -105,12 +105,24 @@ type Reader struct {
 	// an I/O failure — the distinction salvage policies use to decide
 	// whether a file is merely missing its sidecar or untrustworthy.
 	trailerDamaged bool
+}
 
-	// frameIDs memoizes string-table-index tuples to interned FrameIDs, so
-	// each distinct frame in a file touches the process-global interner
-	// once; every further node record with the same tuple resolves by one
-	// integer-keyed map probe. Valid across trees of one file (the string
-	// table is per-file).
+// treeDecoder holds the per-file state tree-section decoding needs: the
+// string table, the v3 frame table, and the v1/v2 frame memo. It is split
+// out of Reader so the section-parallel path (parallel.go) can hand each
+// goroutine its own decoder sharing the immutable strs/frameTab with a
+// private memo.
+type treeDecoder struct {
+	strs []string
+	// frameTab is the v3 header frame table, pre-resolved to interned
+	// FrameIDs — immutable after the header parses, so concurrent tree
+	// decodes may share it.
+	frameTab []cct.FrameID
+	// frameIDs memoizes v1/v2 string-table-index tuples to interned
+	// FrameIDs, so each distinct frame in a file touches the process-global
+	// interner once; every further node record with the same tuple resolves
+	// by one integer-keyed map probe. Valid across trees of one file (the
+	// string table is per-file).
 	frameIDs map[frameRef]cct.FrameID
 }
 
@@ -146,7 +158,7 @@ func NewReaderInterned(r io.Reader, in *Intern) (*Reader, error) {
 		if err := d.parseHeader(br, in); err != nil {
 			return nil, err
 		}
-	case Version:
+	case Version2, Version:
 		payload, err := readSection(br, "header")
 		if err != nil {
 			return nil, fmt.Errorf("profio: %w", err)
@@ -154,6 +166,12 @@ func NewReaderInterned(r io.Reader, in *Intern) (*Reader, error) {
 		hr := bufio.NewReader(bytes.NewReader(payload))
 		if err := d.parseHeader(hr, in); err != nil {
 			return nil, err
+		}
+		if v == Version {
+			// v3 appends the frame table to the header section.
+			if err := d.parseFrameTable(hr); err != nil {
+				return nil, err
+			}
 		}
 		if _, err := hr.ReadByte(); err != io.EOF {
 			return nil, fmt.Errorf("profio: header: trailing bytes in section")
@@ -202,7 +220,7 @@ func (d *Reader) parseHeader(br *bufio.Reader, in *Intern) error {
 		}
 		strs = append(strs, s)
 	}
-	d.rank, d.thread, d.strs = int(rank), int(thread), strs
+	d.rank, d.thread, d.dec.strs = int(rank), int(thread), strs
 
 	eventIdx, err := readUvarint(br)
 	if err != nil {
@@ -260,7 +278,8 @@ func (d *Reader) Event() string { return d.event }
 // NodesRead returns the number of CCT node records decoded so far.
 func (d *Reader) NodesRead() int { return d.nodes }
 
-// Version returns the format version being decoded (Version1 or Version).
+// Version returns the format version being decoded (Version1, Version2,
+// or Version).
 func (d *Reader) Version() uint32 { return d.version }
 
 // Broken reports whether the stream hit a terminal failure — truncation or
@@ -269,26 +288,29 @@ func (d *Reader) Version() uint32 { return d.version }
 // false and ReadTree continues with the next tree.
 func (d *Reader) Broken() bool { return d.terminal != nil }
 
-func (d *Reader) str(i uint64) (string, error) {
-	if i >= uint64(len(d.strs)) {
+func (d *Reader) str(i uint64) (string, error) { return d.dec.str(i) }
+
+func (td *treeDecoder) str(i uint64) (string, error) {
+	if i >= uint64(len(td.strs)) {
 		return "", fmt.Errorf("profio: string index %d out of range", i)
 	}
-	return d.strs[i], nil
+	return td.strs[i], nil
 }
 
 // ReadTree decodes the next storage-class tree, returning io.EOF once all
-// cct.NumClasses trees have been read and (for v2) the footer validated.
+// cct.NumClasses trees have been read and (for v2/v3) the footer
+// validated.
 //
-// A v2 tree section that is present but damaged yields an error for that
-// class only; the next ReadTree call proceeds to the following class. A v1
-// decode failure or a v2 truncation is terminal: the same error is
+// A v2/v3 tree section that is present but damaged yields an error for
+// that class only; the next ReadTree call proceeds to the following class.
+// A v1 decode failure or a v2/v3 truncation is terminal: the same error is
 // returned from every subsequent call.
 func (d *Reader) ReadTree() (cct.Class, *cct.Tree, error) {
 	if d.terminal != nil {
 		return 0, nil, d.terminal
 	}
 	if d.next >= cct.NumClasses {
-		if d.version == Version && !d.footerDone {
+		if d.version != Version1 && !d.footerDone {
 			d.footerDone = true
 			if err := d.readFooter(); err != nil {
 				return 0, nil, err
@@ -300,14 +322,16 @@ func (d *Reader) ReadTree() (cct.Class, *cct.Tree, error) {
 
 	if d.version == Version1 {
 		t := cct.New()
-		n, err := d.readTree(d.br, t, c)
+		nodes, err := d.dec.readTree(d.br, t)
 		if err != nil {
 			// v1 has no framing: the offset of the next tree is unknown.
 			d.terminal = fmt.Errorf("profio: tree %d: %w", d.next, wrapEOF(err))
 			return c, nil, d.terminal
 		}
 		d.next++
-		d.nodes += n
+		d.nodes += len(nodes)
+		telReadNodes.Add(uint64(len(nodes)))
+		d.classNodes[c] = nodes
 		return c, t, nil
 	}
 
@@ -328,7 +352,12 @@ func (d *Reader) ReadTree() (cct.Class, *cct.Tree, error) {
 	// either way only this tree is lost.
 	t := cct.New()
 	pr := bufio.NewReader(bytes.NewReader(payload))
-	n, err := d.readTree(pr, t, c)
+	var nodes []*cct.Node
+	if d.version == Version {
+		nodes, err = d.dec.readTreeV3(pr, t)
+	} else {
+		nodes, err = d.dec.readTree(pr, t)
+	}
 	if err == nil {
 		if _, e := pr.ReadByte(); e != io.EOF {
 			err = fmt.Errorf("trailing bytes in tree section")
@@ -341,7 +370,11 @@ func (d *Reader) ReadTree() (cct.Class, *cct.Tree, error) {
 		return c, nil, fmt.Errorf("profio: tree %d: %w", int(c), err)
 	}
 	d.next++
-	d.nodes += n
+	d.nodes += len(nodes)
+	telReadNodes.Add(uint64(len(nodes)))
+	// Retain the pre-order array: the temporal trailer refers to nodes by
+	// these indices.
+	d.classNodes[c] = nodes
 	return c, t, nil
 }
 
@@ -482,17 +515,20 @@ func ReadProfileInterned(r io.Reader, in *Intern) (*cct.Profile, error) {
 	return d.ReadRest()
 }
 
-func (d *Reader) readTree(br *bufio.Reader, t *cct.Tree, c cct.Class) (int, error) {
-	str := d.str
+// readTree decodes one v1/v2 row-oriented tree body into t and returns the
+// pre-order node array (the temporal sidecar's reference space). The caller
+// accounts nodes and retains or drops the array.
+func (td *treeDecoder) readTree(br *bufio.Reader, t *cct.Tree) ([]*cct.Node, error) {
+	str := td.str
 	count, err := readUvarint(br)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if count == 0 {
-		return 0, fmt.Errorf("empty node array (even the root must be present)")
+		return nil, fmt.Errorf("empty node array (even the root must be present)")
 	}
 	if count > 1<<28 {
-		return 0, fmt.Errorf("unreasonable node count %d", count)
+		return nil, fmt.Errorf("unreasonable node count %d", count)
 	}
 	// As with the string table, never preallocate from an untrusted count:
 	// a bogus header claiming 2^28 nodes would otherwise cost gigabytes
@@ -501,45 +537,45 @@ func (d *Reader) readTree(br *bufio.Reader, t *cct.Tree, c cct.Class) (int, erro
 	for i := uint64(0); i < count; i++ {
 		parent, err := readU32(br)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		kind, err := br.ReadByte()
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		modI, err := readUvarint(br)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		nameI, err := readUvarint(br)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		fileI, err := readUvarint(br)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		line, err := readUvarint(br)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		// Intern each distinct (kind, indices, line) tuple once per file;
 		// repeats — the overwhelmingly common case, since symbol frames
 		// recur across the whole tree — skip string resolution entirely.
 		ref := frameRef{kind: kind, mod: modI, name: nameI, file: fileI, line: line}
-		id, known := d.frameIDs[ref]
+		id, known := td.frameIDs[ref]
 		if !known {
 			mod, err := str(modI)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			name, err := str(nameI)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			file, err := str(fileI)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			id = cct.InternFrame(cct.Frame{
 				Kind:   cct.Kind(kind),
@@ -548,40 +584,40 @@ func (d *Reader) readTree(br *bufio.Reader, t *cct.Tree, c cct.Class) (int, erro
 				File:   file,
 				Line:   int(int64(line)),
 			})
-			if d.frameIDs == nil {
-				d.frameIDs = make(map[frameRef]cct.FrameID)
+			if td.frameIDs == nil {
+				td.frameIDs = make(map[frameRef]cct.FrameID)
 			}
-			d.frameIDs[ref] = id
+			td.frameIDs[ref] = id
 		}
 
 		var node *cct.Node
 		switch {
 		case parent == noParent:
 			if i != 0 {
-				return 0, fmt.Errorf("non-first node %d has no parent", i)
+				return nil, fmt.Errorf("non-first node %d has no parent", i)
 			}
 			node = t.Root
 		case uint64(parent) >= i:
-			return 0, fmt.Errorf("node %d references later/self parent %d", i, parent)
+			return nil, fmt.Errorf("node %d references later/self parent %d", i, parent)
 		default:
 			node = nodes[parent].ChildID(id)
 		}
 
 		nz, err := br.ReadByte()
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		for k := 0; k < int(nz); k++ {
 			id, err := br.ReadByte()
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			if int(id) >= int(metric.NumMetrics) {
-				return 0, fmt.Errorf("metric id %d out of range", id)
+				return nil, fmt.Errorf("metric id %d out of range", id)
 			}
 			v, err := readUvarint(br)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			var vec metric.Vector
 			vec[id] = v
@@ -589,11 +625,7 @@ func (d *Reader) readTree(br *bufio.Reader, t *cct.Tree, c cct.Class) (int, erro
 		}
 		nodes = append(nodes, node)
 	}
-	telReadNodes.Add(count)
-	// Retain the pre-order array: the temporal trailer refers to nodes by
-	// these indices. (The caller clears it again if it drops the tree.)
-	d.classNodes[c] = nodes
-	return int(count), nil
+	return nodes, nil
 }
 
 // Files returns the profile file paths in dir sorted by name (the canonical

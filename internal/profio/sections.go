@@ -1,0 +1,368 @@
+package profio
+
+// Section index: random-access decode support. v2/v3 files are a sequence
+// of independently framed, CRC'd sections, so their boundaries can be
+// located by walking length prefixes alone — no payload is decoded, no
+// checksum verified, no string touched. The index is what lets a single
+// file's class trees decode concurrently (ReadProfileAt): each goroutine
+// reads its section's byte range and decodes it against the shared,
+// immutable header state.
+//
+// The parallel path is deliberately all-or-nothing: any damage — a bad
+// checksum, a truncated section, a record-level failure — makes
+// ReadProfileAt return an error without trying to resync, and the caller
+// falls back to the sequential Reader, whose salvage semantics are the
+// ones every error-path test pins down. Fast path fast, slow path
+// bit-identical to what it always was.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"dcprof/internal/cct"
+)
+
+// SectionKind discriminates the entries of a SectionIndex.
+type SectionKind uint8
+
+const (
+	// SectionHeader is the identification + string table (+ v3 frame
+	// table) section.
+	SectionHeader SectionKind = iota
+	// SectionTree is one storage-class tree section.
+	SectionTree
+	// SectionTrailer is a tagged post-footer section (temporal sidecar or
+	// a future/unknown magic).
+	SectionTrailer
+)
+
+// SectionInfo locates one section's payload without decoding it.
+type SectionInfo struct {
+	// Kind tags the section.
+	Kind SectionKind
+	// Class is the storage class of a SectionTree entry.
+	Class cct.Class
+	// Magic is the tag of a SectionTrailer entry.
+	Magic uint32
+	// Offset is the absolute byte offset of the section payload.
+	Offset int64
+	// Len is the payload length in bytes.
+	Len int64
+	// CRC is the stored checksum. Indexing records it without verifying;
+	// verification happens when the payload is actually read.
+	CRC uint32
+}
+
+// SectionIndex is the section layout of one v2/v3 profile file.
+type SectionIndex struct {
+	// Version is the file's format version (Version2 or Version).
+	Version uint32
+	// FooterCount is the writer-recorded total node count from the footer
+	// (whose own integrity is verified during indexing — it is a handful
+	// of bytes).
+	FooterCount uint64
+	// Sections lists every section in file order: header, one tree per
+	// storage class, then any trailers.
+	Sections []SectionInfo
+}
+
+// Header returns the header section entry.
+func (ix *SectionIndex) Header() SectionInfo { return ix.Sections[0] }
+
+// Trees returns the storage-class tree section entries in class order.
+func (ix *SectionIndex) Trees() []SectionInfo {
+	return ix.Sections[1 : 1+cct.NumClasses]
+}
+
+// Trailers returns the post-footer trailer section entries.
+func (ix *SectionIndex) Trailers() []SectionInfo {
+	return ix.Sections[1+cct.NumClasses:]
+}
+
+// IndexSections walks a v2/v3 image's framing and returns the location of
+// every section. Payloads are skipped, not read: indexing a file costs a
+// few dozen bytes of I/O regardless of its size. v1 files have no framing
+// and return an error.
+func IndexSections(r io.ReaderAt, size int64) (*SectionIndex, error) {
+	var pre [8]byte
+	if _, err := r.ReadAt(pre[:], 0); err != nil {
+		return nil, fmt.Errorf("profio: index: reading preamble: %w", wrapEOF(err))
+	}
+	if m := binary.LittleEndian.Uint32(pre[:4]); m != Magic {
+		return nil, fmt.Errorf("profio: bad magic %#x", m)
+	}
+	v := binary.LittleEndian.Uint32(pre[4:])
+	switch v {
+	case Version2, Version:
+	case Version1:
+		return nil, fmt.Errorf("profio: v1 files have no section framing to index")
+	default:
+		return nil, fmt.Errorf("profio: unsupported version %d", v)
+	}
+
+	ix := &SectionIndex{Version: v}
+	off := int64(8)
+	uv := func(what string) (uint64, error) {
+		var buf [binary.MaxVarintLen64]byte
+		n, err := r.ReadAt(buf[:], off)
+		if n == 0 {
+			return 0, fmt.Errorf("profio: index: %s: %w (%v)", what, ErrTruncated, err)
+		}
+		u, k := binary.Uvarint(buf[:n])
+		if k <= 0 {
+			return 0, fmt.Errorf("profio: index: %s: %w (bad varint)", what, ErrTruncated)
+		}
+		off += int64(k)
+		return u, nil
+	}
+	u32 := func(what string) (uint32, error) {
+		var buf [4]byte
+		if _, err := r.ReadAt(buf[:], off); err != nil {
+			return 0, fmt.Errorf("profio: index: %s: %w", what, wrapEOF(err))
+		}
+		off += 4
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+
+	for s := 0; s < 1+cct.NumClasses; s++ {
+		what := "header"
+		if s > 0 {
+			what = fmt.Sprintf("tree %d", s-1)
+		}
+		n, err := uv(what + " length")
+		if err != nil {
+			return nil, err
+		}
+		if n > maxSection {
+			return nil, fmt.Errorf("profio: index: %s: unreasonable section size %d", what, n)
+		}
+		info := SectionInfo{Kind: SectionHeader, Offset: off, Len: int64(n)}
+		if s > 0 {
+			info.Kind, info.Class = SectionTree, cct.Class(s-1)
+		}
+		off += int64(n)
+		if off+4 > size {
+			return nil, fmt.Errorf("profio: index: %s: %w (section exceeds file)", what, ErrTruncated)
+		}
+		crc, err := u32(what + " checksum")
+		if err != nil {
+			return nil, err
+		}
+		info.CRC = crc
+		ix.Sections = append(ix.Sections, info)
+	}
+
+	// Footer. Its integrity metadata is a few bytes, so indexing verifies
+	// it outright — the parallel reader needs the count anyway.
+	fm, err := u32("footer magic")
+	if err != nil {
+		return nil, err
+	}
+	if fm != FooterMagic {
+		return nil, fmt.Errorf("profio: index: footer: bad magic %#x", fm)
+	}
+	cntStart := off
+	count, err := uv("footer count")
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, off-cntStart)
+	if _, err := r.ReadAt(raw, cntStart); err != nil {
+		return nil, fmt.Errorf("profio: index: footer: %w", wrapEOF(err))
+	}
+	stored, err := u32("footer checksum")
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(raw); got != stored {
+		telCRCFailures.Inc()
+		return nil, fmt.Errorf("profio: index: footer: %w: computed %08x, stored %08x", ErrChecksum, got, stored)
+	}
+	ix.FooterCount = count
+
+	// Trailers until end of file.
+	for off < size {
+		m, err := u32("trailer magic")
+		if err != nil {
+			return nil, err
+		}
+		n, err := uv("trailer length")
+		if err != nil {
+			return nil, err
+		}
+		if n > maxSection {
+			return nil, fmt.Errorf("profio: index: trailer %#x: unreasonable section size %d", m, n)
+		}
+		info := SectionInfo{Kind: SectionTrailer, Magic: m, Offset: off, Len: int64(n)}
+		off += int64(n)
+		if off+4 > size {
+			return nil, fmt.Errorf("profio: index: trailer %#x: %w (section exceeds file)", m, ErrTruncated)
+		}
+		crc, err := u32("trailer checksum")
+		if err != nil {
+			return nil, err
+		}
+		info.CRC = crc
+		ix.Sections = append(ix.Sections, info)
+	}
+	return ix, nil
+}
+
+// readSectionAt reads one indexed section payload and verifies its
+// checksum — the random-access analogue of readSection.
+func readSectionAt(r io.ReaderAt, info SectionInfo, what string) ([]byte, error) {
+	buf := make([]byte, info.Len)
+	if _, err := r.ReadAt(buf, info.Offset); err != nil {
+		telTruncations.Inc()
+		return nil, fmt.Errorf("%s: %w", what, wrapEOF(err))
+	}
+	telReadBytes.Add(uint64(info.Len) + 4)
+	if got := crc32.ChecksumIEEE(buf); got != info.CRC {
+		telCRCFailures.Inc()
+		return nil, fmt.Errorf("%s: %w: computed %08x, stored %08x", what, ErrChecksum, got, info.CRC)
+	}
+	telReadSections.Inc()
+	return buf, nil
+}
+
+// ReadProfileAt decodes one profile from a random-access image with the
+// storage-class tree sections decoded concurrently, up to `parallel` at a
+// time. Strings are canonicalized through in (nil skips canonicalization).
+// It returns the profile and the number of node records decoded.
+//
+// Every integrity check the sequential reader performs is performed here —
+// section checksums, record validation, footer count, trailer decode — but
+// on ANY failure the whole read fails: resync and salvage stay the
+// sequential Reader's job, so callers should fall back to it on error.
+func ReadProfileAt(r io.ReaderAt, size int64, in *Intern, parallel int) (*cct.Profile, int, error) {
+	ix, err := IndexSections(r, size)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Header first: tree decode needs the string table (and frame table).
+	payload, err := readSectionAt(r, ix.Header(), "header")
+	if err != nil {
+		return nil, 0, fmt.Errorf("profio: %w", err)
+	}
+	d := &Reader{version: ix.Version}
+	hr := bufio.NewReader(bytes.NewReader(payload))
+	if err := d.parseHeader(hr, in); err != nil {
+		return nil, 0, err
+	}
+	if ix.Version == Version {
+		if err := d.parseFrameTable(hr); err != nil {
+			return nil, 0, err
+		}
+	}
+	if _, err := hr.ReadByte(); err != io.EOF {
+		return nil, 0, fmt.Errorf("profio: header: trailing bytes in section")
+	}
+
+	// Tree sections, concurrently. The string and frame tables are
+	// immutable now; each goroutine gets its own treeDecoder so the v1/v2
+	// frame memo is never shared.
+	if parallel < 1 {
+		parallel = 1
+	}
+	p := cct.NewProfile(d.rank, d.thread, d.event)
+	var (
+		wg    sync.WaitGroup
+		sem   = make(chan struct{}, parallel)
+		errs  [cct.NumClasses]error
+		total int
+	)
+	var counts [cct.NumClasses]int
+	for ci, info := range ix.Trees() {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ci int, info SectionInfo) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			payload, err := readSectionAt(r, info, fmt.Sprintf("tree %d", ci))
+			if err != nil {
+				errs[ci] = fmt.Errorf("profio: %w", err)
+				return
+			}
+			dec := treeDecoder{strs: d.dec.strs, frameTab: d.dec.frameTab}
+			t := cct.New()
+			pr := bufio.NewReader(bytes.NewReader(payload))
+			var nodes []*cct.Node
+			if ix.Version == Version {
+				nodes, err = dec.readTreeV3(pr, t)
+			} else {
+				nodes, err = dec.readTree(pr, t)
+			}
+			if err == nil {
+				if _, e := pr.ReadByte(); e != io.EOF {
+					err = fmt.Errorf("trailing bytes in tree section")
+				}
+			}
+			if err != nil {
+				errs[ci] = fmt.Errorf("profio: tree %d: %w", ci, err)
+				return
+			}
+			p.Trees[ci] = t
+			d.classNodes[ci] = nodes
+			counts[ci] = len(nodes)
+		}(ci, info)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	for _, n := range counts {
+		total += n
+	}
+	if ix.FooterCount != uint64(total) {
+		return nil, 0, fmt.Errorf("profio: footer: record count %d, decoded %d", ix.FooterCount, total)
+	}
+	telReadNodes.Add(uint64(total))
+
+	// Trailers, sequentially: the temporal sidecar resolves node indices
+	// against the freshly built class trees.
+	for _, info := range ix.Trailers() {
+		payload, err := readSectionAt(r, info, fmt.Sprintf("trailer %#x", info.Magic))
+		if err != nil {
+			return nil, 0, fmt.Errorf("profio: %w", err)
+		}
+		switch info.Magic {
+		case TemporalMagic:
+			if p.Temporal != nil {
+				return nil, 0, fmt.Errorf("profio: duplicate temporal trailer section")
+			}
+			ts, err := decodeTimeSeries(payload, &d.classNodes)
+			if err != nil {
+				return nil, 0, fmt.Errorf("profio: temporal sidecar: %w", err)
+			}
+			p.Temporal = ts
+			telTemporalRead.Inc()
+		default:
+			telTrailerSkipped.Inc()
+		}
+	}
+	telReadProfiles.Inc()
+	return p, total, nil
+}
+
+// ReadFileParallel is ReadProfileAt over a file path.
+func ReadFileParallel(path string, in *Intern, parallel int) (*cct.Profile, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	return ReadProfileAt(f, st.Size(), in, parallel)
+}

@@ -18,7 +18,7 @@ type ValidateInfo struct {
 	// Rank, Thread, and Event identify the producer, from the header.
 	Rank, Thread int
 	Event        string
-	// Version is the format version (Version1 or Version).
+	// Version is the format version (Version1, Version2, or Version).
 	Version uint32
 	// Nodes counts the CCT node records decoded across all class trees.
 	Nodes int
@@ -61,16 +61,17 @@ func ValidateProfile(r io.Reader) (ValidateInfo, error) {
 	return info, nil
 }
 
-// ValidateV2Profile is ValidateProfile restricted to the checksummed v2
-// format: a structurally valid v1 stream is rejected, because without
-// per-section CRCs the service could not distinguish at-rest damage from
-// writer output later. This is the validator network ingest uses.
+// ValidateV2Profile is ValidateProfile restricted to the checksummed
+// formats (v2 and v3): a structurally valid v1 stream is rejected, because
+// without per-section CRCs the service could not distinguish at-rest
+// damage from writer output later. This is the validator network ingest
+// uses; the name predates v3, which it accepts on the same grounds.
 func ValidateV2Profile(r io.Reader) (ValidateInfo, error) {
 	info, err := ValidateProfile(r)
 	if err != nil {
 		return info, err
 	}
-	if info.Version != Version {
+	if info.Version == Version1 {
 		return info, fmt.Errorf("profio: version %d uploads not accepted (no integrity checksums); re-encode as v%d", info.Version, Version)
 	}
 	return info, nil

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"time"
 
+	"dcprof/internal/analysis"
 	"dcprof/internal/telemetry"
 )
 
@@ -34,6 +35,12 @@ type varsResponse struct {
 	Delta         telemetry.Snapshot `json:"delta"`
 	// RatesPerSecond maps each counter to delta/window.
 	RatesPerSecond map[string]float64 `json:"rates_per_second"`
+	// MergeWorkers, MergeShards, and MergeSectionParallel are the
+	// effective merge-concurrency settings cached merges run with — the
+	// resolved values, not the raw (possibly zero) flags.
+	MergeWorkers         int `json:"merge_workers"`
+	MergeShards          int `json:"merge_shards"`
+	MergeSectionParallel int `json:"merge_section_parallel"`
 }
 
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
@@ -56,12 +63,20 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 			rates[name] = float64(d) / window
 		}
 	}
+	opts := analysis.LoadOptions{Workers: s.cfg.Workers, Shards: s.cfg.Shards}
+	sectionPar := s.cfg.SectionParallel
+	if sectionPar < 1 {
+		sectionPar = 1
+	}
 	writeJSON(w, http.StatusOK, varsResponse{
-		UptimeSeconds:  now.Sub(s.started).Seconds(),
-		WindowSeconds:  window,
-		Totals:         cur,
-		Delta:          delta,
-		RatesPerSecond: rates,
+		UptimeSeconds:        now.Sub(s.started).Seconds(),
+		WindowSeconds:        window,
+		Totals:               cur,
+		Delta:                delta,
+		RatesPerSecond:       rates,
+		MergeWorkers:         opts.EffectiveWorkers(),
+		MergeShards:          opts.EffectiveShards(),
+		MergeSectionParallel: sectionPar,
 	})
 }
 

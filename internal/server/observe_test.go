@@ -11,6 +11,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -291,6 +292,38 @@ func TestVarsDelta(t *testing.T) {
 	}
 	if rate, ok := v.RatesPerSecond["server.http.healthz.requests"]; !ok || rate <= 0 {
 		t.Errorf("healthz rate = %v (present %v), want > 0", rate, ok)
+	}
+}
+
+// TestVarsMergeSettings: /debug/vars reports the effective merge
+// concurrency — resolved values, so an operator sees what the server
+// actually runs with, not the raw zero-valued flags.
+func TestVarsMergeSettings(t *testing.T) {
+	var v struct {
+		MergeWorkers         int `json:"merge_workers"`
+		MergeShards          int `json:"merge_shards"`
+		MergeSectionParallel int `json:"merge_section_parallel"`
+	}
+
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Workers, c.Shards, c.SectionParallel = 6, 3, 2
+	})
+	if err := json.Unmarshal(mustGet(t, ts, "/debug/vars"), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.MergeWorkers != 6 || v.MergeShards != 3 || v.MergeSectionParallel != 2 {
+		t.Errorf("configured merge settings = %+v, want workers 6, shards 3, section parallel 2", v)
+	}
+
+	_, ts = newTestServer(t, nil)
+	if err := json.Unmarshal(mustGet(t, ts, "/debug/vars"), &v); err != nil {
+		t.Fatal(err)
+	}
+	if want := runtime.GOMAXPROCS(0); v.MergeWorkers != want {
+		t.Errorf("default merge_workers = %d, want GOMAXPROCS %d", v.MergeWorkers, want)
+	}
+	if v.MergeShards < 1 || v.MergeSectionParallel != 1 {
+		t.Errorf("default merge settings = %+v, want shards >= 1 and section parallel 1", v)
 	}
 }
 

@@ -7,7 +7,7 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler ./internal/server ./internal/push ./internal/temporal
+go test -race ./internal/sim ./internal/analysis ./internal/profio ./internal/faultio ./internal/profiler ./internal/server ./internal/push ./internal/temporal ./internal/cct
 go test -race ./internal/telemetry/...
 # Chaos smoke: dcpush through a scripted faulty transport against a live
 # dcprofd — exactly-once delivery and byte-identical served views.
@@ -15,6 +15,7 @@ go test -race -run='^TestChaosPushSmoke$' -count=1 ./internal/push
 go test -run='^$' -fuzz=FuzzReadProfile -fuzztime=10s ./internal/profio
 go test -run='^$' -fuzz=FuzzSalvageProfile -fuzztime=10s ./internal/profio
 go test -run='^$' -fuzz=FuzzTemporalSection -fuzztime=10s ./internal/profio
+go test -run='^$' -fuzz=FuzzReadV3Profile -fuzztime=10s ./internal/profio
 go test -run='^$' -fuzz=FuzzHandleUpload -fuzztime=10s ./internal/server
 go test -run='^$' -fuzz=FuzzUploadIdempotency -fuzztime=10s ./internal/server
 go test -run='^$' -bench=Merge -benchtime=1x ./internal/analysis .
@@ -33,3 +34,9 @@ DCPROF_BENCH_HOTPATH="$(pwd)/BENCH_hotpath.json" \
 # telemetry gate so both reports merge into BENCH_telemetry.json.
 DCPROF_BENCH_MIDDLEWARE="$(pwd)/BENCH_telemetry.json" \
 	go test -run='^TestMiddlewareOverheadGate$' -count=1 ./internal/server
+# Merge-scale gate: {1k, 10k} profiles x {1, 4, 8} workers through the
+# sharded streaming merge; enforces the v3 size win, the scaling (or
+# CPU-constrained overhead) bounds, and <=20% regression of 8-worker
+# 1k-profile throughput vs the committed BENCH_merge_scale.json.
+DCPROF_BENCH_MERGE_SCALE="$(pwd)/BENCH_merge_scale.json" \
+	go test -run='^TestMergeScaleGate$' -count=1 -timeout=30m ./internal/analysis
